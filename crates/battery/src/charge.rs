@@ -1,0 +1,168 @@
+//! Charge acceptance and parasitic gassing.
+//!
+//! §2.2 of the paper observes that "the charge acceptance rate of a
+//! near-empty battery is often much higher than a battery that is close to
+//! a full charge" and exploits it by concentrating the limited solar budget
+//! on fewer units (Fig. 4-a, Fig. 10). Two mechanisms model this:
+//!
+//! * a **CC–CV acceptance envelope**: bulk charging is capped at the
+//!   `cc_limit` C-rate, and above the CV knee the acceptable current tapers
+//!   toward zero as the battery approaches full;
+//! * a **parasitic gassing current** that grows with state of charge and is
+//!   subtracted from whatever the charger applies. Near full charge a small
+//!   applied current is almost entirely consumed by gassing, so spreading a
+//!   small solar budget across many units wastes most of it — the physical
+//!   basis for the paper's sequential-beats-batch charging result.
+
+use ins_sim::units::Amps;
+
+use crate::params::BatteryParams;
+
+/// Fraction of full charge where the CC phase hands over to the CV taper.
+const CV_KNEE_SOC: f64 = 0.80;
+
+/// Residual acceptance at 100 % SoC, as a fraction of the CC limit. Kept
+/// high enough that the envelope stays above the gassing current until
+/// very near full charge, so the gassing term (not the envelope) is what
+/// throttles the final approach.
+const TAPER_FLOOR: f64 = 0.35;
+
+/// Maximum current the battery will accept at the given state of charge.
+///
+/// Constant at [`BatteryParams::cc_limit`] through the bulk phase, then
+/// linearly tapering to `TAPER_FLOOR × cc_limit` at full charge.
+#[must_use]
+pub fn acceptance_limit(params: &BatteryParams, soc: f64) -> Amps {
+    let soc = soc.clamp(0.0, 1.0);
+    let cc = params.cc_limit();
+    if soc <= CV_KNEE_SOC {
+        cc
+    } else {
+        let span = 1.0 - CV_KNEE_SOC;
+        let frac = 1.0 - (1.0 - TAPER_FLOOR) * (soc - CV_KNEE_SOC) / span;
+        cc * frac
+    }
+}
+
+/// Parasitic gassing current at the given state of charge: zero below the
+/// onset, rising quadratically to [`BatteryParams::gassing_max`] at full.
+///
+/// Gassing charge is *lost* — it never enters the KiBaM wells.
+#[must_use]
+pub fn gassing_current(params: &BatteryParams, soc: f64) -> Amps {
+    let soc = soc.clamp(0.0, 1.0);
+    if soc <= params.gassing_onset_soc {
+        return Amps::ZERO;
+    }
+    let u = (soc - params.gassing_onset_soc) / (1.0 - params.gassing_onset_soc);
+    params.gassing_max * (u * u)
+}
+
+/// Splits an applied charging current into the part that actually enters
+/// the cells and the part lost to gassing, honouring the acceptance limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeSplit {
+    /// Net current into the KiBaM wells.
+    pub accepted: Amps,
+    /// Current wasted as gassing.
+    pub gassed: Amps,
+}
+
+/// Computes how much of `applied` charging current the battery at `soc`
+/// actually absorbs.
+///
+/// The applied current is first clipped to the acceptance envelope, then
+/// the SoC-dependent gassing current is deducted; the remainder (never
+/// negative) charges the cells.
+#[must_use]
+pub fn split_applied_current(params: &BatteryParams, soc: f64, applied: Amps) -> ChargeSplit {
+    let applied = applied.max(Amps::ZERO);
+    let within_envelope = applied.min(acceptance_limit(params, soc));
+    let gas = gassing_current(params, soc).min(within_envelope);
+    ChargeSplit {
+        accepted: within_envelope - gas,
+        gassed: gas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_phase_accepts_cc_limit() {
+        let p = BatteryParams::ub1280();
+        assert_eq!(acceptance_limit(&p, 0.0), p.cc_limit());
+        assert_eq!(acceptance_limit(&p, 0.5), p.cc_limit());
+        assert_eq!(acceptance_limit(&p, CV_KNEE_SOC), p.cc_limit());
+    }
+
+    #[test]
+    fn taper_declines_to_floor() {
+        let p = BatteryParams::ub1280();
+        let at_90 = acceptance_limit(&p, 0.9);
+        let at_full = acceptance_limit(&p, 1.0);
+        assert!(at_90 < p.cc_limit());
+        assert!(at_full < at_90);
+        assert!((at_full.value() - TAPER_FLOOR * p.cc_limit().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gassing_zero_below_onset_and_max_at_full() {
+        let p = BatteryParams::ub1280();
+        assert_eq!(gassing_current(&p, 0.5), Amps::ZERO);
+        assert_eq!(gassing_current(&p, p.gassing_onset_soc), Amps::ZERO);
+        assert_eq!(gassing_current(&p, 1.0), p.gassing_max);
+        // Quadratic: halfway through the band costs a quarter of max.
+        let mid = p.gassing_onset_soc + 0.5 * (1.0 - p.gassing_onset_soc);
+        assert!((gassing_current(&p, mid).value() - p.gassing_max.value() * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_low_soc_passes_everything() {
+        let p = BatteryParams::ub1280();
+        let s = split_applied_current(&p, 0.3, Amps::new(5.0));
+        assert_eq!(s.accepted, Amps::new(5.0));
+        assert_eq!(s.gassed, Amps::ZERO);
+    }
+
+    #[test]
+    fn split_high_soc_wastes_small_currents() {
+        let p = BatteryParams::ub1280();
+        // At 95 % SoC gassing ≈ 4·(0.8)² = 2.56 A; a 3 A trickle is mostly
+        // wasted, a concentrated 8 A charge mostly lands.
+        let trickle = split_applied_current(&p, 0.95, Amps::new(3.0));
+        assert!(trickle.accepted.value() < 0.5);
+        let ratio_trickle = trickle.accepted.value() / 3.0;
+
+        let concentrated = split_applied_current(&p, 0.95, Amps::new(8.0));
+        let envelope = acceptance_limit(&p, 0.95).value();
+        let applied = envelope.min(8.0);
+        let ratio_concentrated = concentrated.accepted.value() / applied;
+        assert!(
+            ratio_concentrated > 2.0 * ratio_trickle,
+            "concentrated charging must be disproportionately more effective"
+        );
+    }
+
+    #[test]
+    fn split_never_negative_and_never_exceeds_applied() {
+        let p = BatteryParams::ub1280();
+        for soc in [0.0, 0.3, 0.76, 0.85, 0.99, 1.0] {
+            for amps in [0.0, 0.5, 3.0, 8.75, 50.0] {
+                let s = split_applied_current(&p, soc, Amps::new(amps));
+                assert!(s.accepted.value() >= 0.0);
+                assert!(s.gassed.value() >= 0.0);
+                assert!(s.accepted.value() + s.gassed.value() <= amps + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_applied_treated_as_zero() {
+        let p = BatteryParams::ub1280();
+        let s = split_applied_current(&p, 0.5, Amps::new(-5.0));
+        assert_eq!(s.accepted, Amps::ZERO);
+        assert_eq!(s.gassed, Amps::ZERO);
+    }
+}

@@ -1,0 +1,169 @@
+//! Multi-unit e-Buffer aggregation.
+//!
+//! Utilities for working with a set of [`BatteryUnit`]s as the paper's
+//! "energy buffer": splitting a common discharge current across the online
+//! subset the way parallel strings share load (stronger units carry more),
+//! and computing pack-level statistics (total stored energy, voltage σ —
+//! the balance indicator of Table 6).
+
+use ins_sim::stats::RunningStats;
+use ins_sim::units::{Amps, Volts, WattHours};
+
+use crate::unit::BatteryUnit;
+
+/// Splits a total discharge current across units the way parallel strings
+/// would: proportionally to each unit's conductance-weighted voltage
+/// headroom above the common bus.
+///
+/// Returns one current per unit, in the same order; units with no headroom
+/// receive zero. The currents sum to `total` unless every unit is
+/// exhausted, in which case they sum to less.
+#[must_use]
+pub fn split_discharge_current(units: &[&BatteryUnit], total: Amps) -> Vec<Amps> {
+    if units.is_empty() || total.value() <= 0.0 {
+        return vec![Amps::ZERO; units.len()];
+    }
+    // Weight by open-circuit voltage headroom over the weakest acceptable
+    // bus voltage divided by internal resistance: the linear-circuit
+    // solution up to a common offset, with negative shares clamped.
+    let weights: Vec<f64> = units
+        .iter()
+        .map(|u| {
+            let headroom =
+                (u.open_circuit_voltage() - u.params().cutoff_voltage).value().max(0.0);
+            if u.is_exhausted() {
+                0.0
+            } else {
+                headroom / u.params().r_discharge.value()
+            }
+        })
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        return vec![Amps::ZERO; units.len()];
+    }
+    weights
+        .iter()
+        .map(|w| total * (w / sum))
+        .collect()
+}
+
+/// Summary of the e-Buffer's aggregate state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackSummary {
+    /// Sum of stored energy across units.
+    pub stored_energy: WattHours,
+    /// Mean open-circuit voltage.
+    pub mean_voltage: Volts,
+    /// Population standard deviation of open-circuit voltages — the
+    /// imbalance indicator the paper reports as "Battery Volt. σ".
+    pub voltage_std_dev: f64,
+    /// Mean state of charge.
+    pub mean_soc: f64,
+    /// Lowest state of charge of any unit.
+    pub min_soc: f64,
+}
+
+/// Computes the aggregate state of a set of units.
+///
+/// Returns a zeroed summary for an empty slice.
+#[must_use]
+pub fn summarize(units: &[BatteryUnit]) -> PackSummary {
+    if units.is_empty() {
+        return PackSummary {
+            stored_energy: WattHours::ZERO,
+            mean_voltage: Volts::ZERO,
+            voltage_std_dev: 0.0,
+            mean_soc: 0.0,
+            min_soc: 0.0,
+        };
+    }
+    let stored_energy = units.iter().map(BatteryUnit::stored_energy).sum();
+    let volt_stats: RunningStats = units
+        .iter()
+        .map(|u| u.open_circuit_voltage().value())
+        .collect();
+    let soc_stats: RunningStats = units.iter().map(BatteryUnit::soc).collect();
+    PackSummary {
+        stored_energy,
+        mean_voltage: Volts::new(volt_stats.mean()),
+        voltage_std_dev: volt_stats.population_std_dev(),
+        mean_soc: soc_stats.mean(),
+        min_soc: soc_stats.min(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BatteryParams;
+    use crate::unit::BatteryId;
+    use ins_sim::units::Hours;
+
+    fn unit_at(id: usize, soc: f64) -> BatteryUnit {
+        BatteryUnit::with_soc(BatteryId(id), BatteryParams::cabinet_24v(), soc)
+    }
+
+    #[test]
+    fn split_sums_to_total() {
+        let a = unit_at(0, 0.9);
+        let b = unit_at(1, 0.5);
+        let shares = split_discharge_current(&[&a, &b], Amps::new(30.0));
+        let total: f64 = shares.iter().map(|s| s.value()).sum();
+        assert!((total - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stronger_unit_carries_more() {
+        let strong = unit_at(0, 0.95);
+        let weak = unit_at(1, 0.30);
+        let shares = split_discharge_current(&[&strong, &weak], Amps::new(30.0));
+        assert!(shares[0] > shares[1]);
+        assert!(shares[1].value() > 0.0);
+    }
+
+    #[test]
+    fn exhausted_unit_carries_nothing() {
+        let mut dead = unit_at(0, 1.0);
+        while !dead.is_exhausted() {
+            dead.discharge(Amps::new(40.0), Hours::new(1.0 / 60.0));
+        }
+        let alive = unit_at(1, 0.8);
+        let shares = split_discharge_current(&[&dead, &alive], Amps::new(20.0));
+        assert_eq!(shares[0], Amps::ZERO);
+        assert!((shares[1].value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_handles_degenerate_inputs() {
+        assert!(split_discharge_current(&[], Amps::new(10.0)).is_empty());
+        let a = unit_at(0, 0.9);
+        let shares = split_discharge_current(&[&a], Amps::ZERO);
+        assert_eq!(shares, vec![Amps::ZERO]);
+    }
+
+    #[test]
+    fn summary_of_identical_units_has_zero_sigma() {
+        let units = vec![unit_at(0, 0.8), unit_at(1, 0.8), unit_at(2, 0.8)];
+        let s = summarize(&units);
+        assert!(s.voltage_std_dev < 1e-12);
+        assert!((s.mean_soc - 0.8).abs() < 1e-12);
+        assert!((s.min_soc - 0.8).abs() < 1e-12);
+        assert!(s.stored_energy.value() > 0.0);
+    }
+
+    #[test]
+    fn summary_detects_imbalance() {
+        let balanced = summarize(&[unit_at(0, 0.8), unit_at(1, 0.8)]);
+        let skewed = summarize(&[unit_at(0, 0.99), unit_at(1, 0.3)]);
+        assert!(skewed.voltage_std_dev > balanced.voltage_std_dev);
+        assert!((skewed.min_soc - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.stored_energy, WattHours::ZERO);
+        assert_eq!(s.mean_voltage, Volts::ZERO);
+    }
+}

@@ -1,0 +1,223 @@
+//! Battery parameter sets.
+//!
+//! The prototype's e-Buffer uses six UPG UB1280 12 V / 35 Ah valve-regulated
+//! lead-acid batteries, wired as three 24 V cabinets of two series units
+//! (the paper's Table 6 logs pack voltages of 23–26 V and §6.5 quotes a
+//! 210 Ah buffer). [`BatteryParams::ub1280`] models one 12 V unit and
+//! [`BatteryParams::cabinet_24v`] one cabinet.
+
+use ins_sim::units::{AmpHours, Amps, Ohms, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Electrochemical and lifetime parameters of one battery unit.
+///
+/// The kinetic parameters (`kibam_c`, `kibam_k_per_hour`) follow the
+/// standard two-well Kinetic Battery Model for lead-acid chemistry; the
+/// remaining constants are engineering data for the UB1280 family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryParams {
+    /// Nameplate voltage (12 V per unit, 24 V per cabinet).
+    pub nominal_voltage: Volts,
+    /// Nameplate capacity at the reference (20 h) rate.
+    pub capacity: AmpHours,
+    /// KiBaM capacity ratio `c`: fraction of charge immediately available.
+    pub kibam_c: f64,
+    /// KiBaM rate constant `k` (1/hour) governing bound→available flow,
+    /// i.e. how quickly the battery *recovers* at rest.
+    pub kibam_k_per_hour: f64,
+    /// Internal resistance seen during discharge.
+    pub r_discharge: Ohms,
+    /// Internal resistance seen during charge (slightly higher for VRLA).
+    pub r_charge: Ohms,
+    /// Open-circuit voltage at 0 % available charge.
+    pub ocv_empty: Volts,
+    /// Open-circuit voltage at 100 % available charge.
+    pub ocv_full: Volts,
+    /// Depth of the voltage collapse as the available well empties: the
+    /// open-circuit curve plunges by up to this amount near 0 % available
+    /// charge, so a drained unit reliably crosses the protection cutoff.
+    pub ocv_knee: Volts,
+    /// Constant-voltage charging limit (2.40 V/cell for VRLA).
+    pub cv_limit: Volts,
+    /// Bulk (constant-current) charge limit as a fraction of capacity per
+    /// hour (0.25 ⇒ 8.75 A for a 35 Ah unit).
+    pub cc_limit_c_rate: f64,
+    /// State of charge above which parasitic gassing becomes significant.
+    pub gassing_onset_soc: f64,
+    /// Gassing current at 100 % state of charge.
+    pub gassing_max: Amps,
+    /// Terminal voltage below which the unit must be disconnected for
+    /// protection (§2.3 of the paper).
+    pub cutoff_voltage: Volts,
+    /// Total lifetime ampere-hour throughput before wear-out. The paper
+    /// (§2.2, citing \[56\]) treats the aggregate Ah through the buffer as
+    /// approximately constant over a lead-acid battery's life.
+    pub lifetime_throughput: AmpHours,
+    /// Calendar (float) service life in days, the upper bound on life even
+    /// with zero cycling (typically 4–5 years for this class, §6.2).
+    pub float_life_days: f64,
+}
+
+impl BatteryParams {
+    /// One UPG UB1280 12 V / 35 Ah VRLA unit, as deployed in the prototype.
+    #[must_use]
+    pub fn ub1280() -> Self {
+        Self {
+            nominal_voltage: Volts::new(12.0),
+            capacity: AmpHours::new(35.0),
+            kibam_c: 0.62,
+            kibam_k_per_hour: 0.5,
+            r_discharge: Ohms::new(0.011),
+            r_charge: Ohms::new(0.015),
+            ocv_empty: Volts::new(11.95),
+            ocv_full: Volts::new(12.85),
+            ocv_knee: Volts::new(1.5),
+            cv_limit: Volts::new(14.4),
+            cc_limit_c_rate: 0.25,
+            gassing_onset_soc: 0.75,
+            gassing_max: Amps::new(4.0),
+            cutoff_voltage: Volts::new(10.8),
+            // ≈ 250 nameplate capacities of total discharge throughput, the
+            // common engineering figure for deep-cycle VRLA.
+            lifetime_throughput: AmpHours::new(250.0 * 35.0),
+            float_life_days: 5.0 * 365.0,
+        }
+    }
+
+    /// One 24 V cabinet: two UB1280 units in series (voltage and
+    /// resistance double; capacity and currents stay per-string).
+    #[must_use]
+    pub fn cabinet_24v() -> Self {
+        let unit = Self::ub1280();
+        Self {
+            nominal_voltage: unit.nominal_voltage * 2.0,
+            r_discharge: unit.r_discharge * 2.0,
+            r_charge: unit.r_charge * 2.0,
+            ocv_empty: unit.ocv_empty * 2.0,
+            ocv_full: unit.ocv_full * 2.0,
+            ocv_knee: unit.ocv_knee * 2.0,
+            cv_limit: unit.cv_limit * 2.0,
+            cutoff_voltage: unit.cutoff_voltage * 2.0,
+            ..unit
+        }
+    }
+
+    /// Bulk-phase constant-current limit in amperes.
+    #[must_use]
+    pub fn cc_limit(&self) -> Amps {
+        Amps::new(self.capacity.value() * self.cc_limit_c_rate)
+    }
+
+    /// Nameplate stored energy at nominal voltage.
+    #[must_use]
+    pub fn nominal_energy(&self) -> ins_sim::units::WattHours {
+        self.capacity * self.nominal_voltage
+    }
+
+    /// Validates physical consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint, e.g. a
+    /// non-positive capacity or a KiBaM ratio outside `(0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity.value() <= 0.0 {
+            return Err("capacity must be positive".into());
+        }
+        if !(0.0 < self.kibam_c && self.kibam_c < 1.0) {
+            return Err("kibam_c must lie in (0, 1)".into());
+        }
+        if self.kibam_k_per_hour <= 0.0 {
+            return Err("kibam_k_per_hour must be positive".into());
+        }
+        if self.ocv_full <= self.ocv_empty {
+            return Err("ocv_full must exceed ocv_empty".into());
+        }
+        if self.ocv_knee.value() < 0.0 {
+            return Err("ocv_knee must be non-negative".into());
+        }
+        if self.cv_limit <= self.ocv_full {
+            return Err("cv_limit must exceed ocv_full".into());
+        }
+        if self.cutoff_voltage >= self.ocv_empty {
+            return Err("cutoff_voltage must lie below ocv_empty".into());
+        }
+        if !(0.0..=1.0).contains(&self.gassing_onset_soc) {
+            return Err("gassing_onset_soc must lie in [0, 1]".into());
+        }
+        if self.cc_limit_c_rate <= 0.0 {
+            return Err("cc_limit_c_rate must be positive".into());
+        }
+        if self.lifetime_throughput.value() <= 0.0 {
+            return Err("lifetime_throughput must be positive".into());
+        }
+        if self.float_life_days <= 0.0 {
+            return Err("float_life_days must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for BatteryParams {
+    /// Defaults to the prototype's 24 V cabinet.
+    fn default() -> Self {
+        Self::cabinet_24v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        BatteryParams::ub1280().validate().unwrap();
+        BatteryParams::cabinet_24v().validate().unwrap();
+        BatteryParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn cabinet_doubles_voltage_not_capacity() {
+        let unit = BatteryParams::ub1280();
+        let cab = BatteryParams::cabinet_24v();
+        assert_eq!(cab.nominal_voltage, Volts::new(24.0));
+        assert_eq!(cab.capacity, unit.capacity);
+        assert_eq!(cab.cv_limit, Volts::new(28.8));
+        assert!((cab.r_discharge.value() - 2.0 * unit.r_discharge.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cc_limit_matches_c_rate() {
+        let p = BatteryParams::ub1280();
+        assert!((p.cc_limit().value() - 8.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_energy() {
+        let p = BatteryParams::ub1280();
+        assert!((p.nominal_energy().value() - 420.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut p = BatteryParams::ub1280();
+        p.kibam_c = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = BatteryParams::ub1280();
+        p.capacity = AmpHours::ZERO;
+        assert!(p.validate().is_err());
+
+        let mut p = BatteryParams::ub1280();
+        p.cv_limit = Volts::new(12.0);
+        assert!(p.validate().is_err());
+
+        let mut p = BatteryParams::ub1280();
+        p.cutoff_voltage = Volts::new(13.0);
+        assert!(p.validate().is_err());
+
+        let mut p = BatteryParams::ub1280();
+        p.ocv_full = p.ocv_empty;
+        assert!(p.validate().is_err());
+    }
+}

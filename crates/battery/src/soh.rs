@@ -1,0 +1,127 @@
+//! State of health: capacity fade over the wear life.
+//!
+//! The paper treats a unit as serviceable until its lifetime ampere-hour
+//! throughput is consumed (§2.2) and retires it at end of life. Real
+//! lead-acid capacity also *fades* on the way there — a unit at 80 % of
+//! its throughput budget no longer holds its nameplate charge. This
+//! module provides the standard linear-fade model as an opt-in extension
+//! (the paper's own experiments, and this reproduction's calibrated
+//! figures, use nameplate capacity throughout).
+
+use ins_sim::units::AmpHours;
+use serde::{Deserialize, Serialize};
+
+/// Capacity-fade model: linear from nameplate at zero wear to
+/// `eol_capacity_fraction` at a fully consumed throughput budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SohModel {
+    /// Remaining capacity fraction at end of life. The industry
+    /// convention retires lead-acid at 80 % of nameplate.
+    pub eol_capacity_fraction: f64,
+}
+
+impl SohModel {
+    /// The conventional 80 %-at-end-of-life model.
+    #[must_use]
+    pub fn lead_acid() -> Self {
+        Self {
+            eol_capacity_fraction: 0.8,
+        }
+    }
+
+    /// Creates a model with a custom end-of-life fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eol_capacity_fraction <= 1`.
+    #[must_use]
+    pub fn new(eol_capacity_fraction: f64) -> Self {
+        assert!(
+            0.0 < eol_capacity_fraction && eol_capacity_fraction <= 1.0,
+            "end-of-life capacity fraction must lie in (0, 1]"
+        );
+        Self {
+            eol_capacity_fraction,
+        }
+    }
+
+    /// State of health in `[eol, 1]` for a wear fraction in `[0, 1]`.
+    #[must_use]
+    pub fn health(&self, wear_fraction: f64) -> f64 {
+        let w = wear_fraction.clamp(0.0, 1.0);
+        1.0 - (1.0 - self.eol_capacity_fraction) * w
+    }
+
+    /// Effective capacity of a unit with the given nameplate capacity and
+    /// wear fraction.
+    #[must_use]
+    pub fn effective_capacity(&self, nameplate: AmpHours, wear_fraction: f64) -> AmpHours {
+        nameplate * self.health(wear_fraction)
+    }
+
+    /// The wear fraction at which effective capacity first drops below a
+    /// required ampere-hour figure. Returns `None` when the requirement is
+    /// met for the unit's whole life — or can never be met at all (more
+    /// than nameplate).
+    #[must_use]
+    pub fn wear_at_capacity(&self, nameplate: AmpHours, required: AmpHours) -> Option<f64> {
+        if required > nameplate {
+            return None;
+        }
+        let eol_capacity = nameplate * self.eol_capacity_fraction;
+        if required <= eol_capacity {
+            return None;
+        }
+        let fade_span = 1.0 - self.eol_capacity_fraction;
+        let needed_health = required / nameplate;
+        Some((1.0 - needed_health) / fade_span)
+    }
+}
+
+impl Default for SohModel {
+    fn default() -> Self {
+        Self::lead_acid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_is_linear_between_fresh_and_eol() {
+        let m = SohModel::lead_acid();
+        assert_eq!(m.health(0.0), 1.0);
+        assert!((m.health(0.5) - 0.9).abs() < 1e-12);
+        assert!((m.health(1.0) - 0.8).abs() < 1e-12);
+        // Clamped outside the wear range.
+        assert_eq!(m.health(-1.0), 1.0);
+        assert!((m.health(2.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_capacity_scales_nameplate() {
+        let m = SohModel::lead_acid();
+        let cap = m.effective_capacity(AmpHours::new(35.0), 1.0);
+        assert!((cap.value() - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wear_at_capacity_finds_the_threshold() {
+        let m = SohModel::lead_acid();
+        let nameplate = AmpHours::new(35.0);
+        // Needing 31.5 Ah (90 % of nameplate) → health 0.9 → wear 0.5.
+        let w = m.wear_at_capacity(nameplate, AmpHours::new(31.5)).unwrap();
+        assert!((w - 0.5).abs() < 1e-9);
+        // Needing ≤ 28 Ah is satisfied for the whole life.
+        assert!(m.wear_at_capacity(nameplate, AmpHours::new(28.0)).is_none());
+        // Needing more than nameplate can never be satisfied.
+        assert!(m.wear_at_capacity(nameplate, AmpHours::new(40.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "end-of-life capacity fraction must lie in (0, 1]")]
+    fn rejects_zero_eol() {
+        let _ = SohModel::new(0.0);
+    }
+}

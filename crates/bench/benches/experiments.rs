@@ -1,0 +1,81 @@
+//! Criterion benchmarks that exercise each experiment family end to end
+//! (scaled down where the full experiment takes minutes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ins_bench::experiments::{buffer, costs, logs, sizing, traces};
+use ins_sim::units::WattHours;
+
+fn bench_cost_experiments(c: &mut Criterion) {
+    c.bench_function("exp_fig01_fig03_costs", |b| {
+        b.iter(|| {
+            black_box(costs::fig1a());
+            black_box(costs::fig1b());
+            black_box(costs::fig3a());
+            black_box(costs::fig3b());
+            black_box(costs::fig22());
+            black_box(costs::fig23());
+            black_box(costs::fig24());
+            black_box(costs::fig25());
+        });
+    });
+}
+
+fn bench_sizing_experiments(c: &mut Criterion) {
+    c.bench_function("exp_table02_03_07", |b| {
+        b.iter(|| {
+            black_box(sizing::table2(WattHours::from_kilowatt_hours(2.0), 2.5));
+            black_box(sizing::table3(1));
+            black_box(sizing::table7());
+        });
+    });
+}
+
+fn bench_buffer_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer");
+    group.sample_size(10);
+    group.bench_function("exp_fig04b_fig14", |b| {
+        b.iter(|| {
+            black_box(buffer::fig4b());
+            black_box(buffer::fig14a());
+            black_box(buffer::fig14b(60));
+        });
+    });
+    group.finish();
+}
+
+fn bench_trace_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traces");
+    group.sample_size(10);
+    group.bench_function("exp_fig05_fig15", |b| {
+        b.iter(|| {
+            black_box(traces::fig05(5));
+            black_box(traces::fig15(1));
+        });
+    });
+    group.finish();
+}
+
+fn bench_log_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logs");
+    group.sample_size(10);
+    group.bench_function("exp_table06_single_day", |b| {
+        b.iter(|| {
+            // One sunny-day pair rather than the full 3×2 matrix.
+            let rows = logs::table6(2);
+            black_box(rows.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cost_experiments,
+    bench_sizing_experiments,
+    bench_buffer_experiments,
+    bench_trace_experiments,
+    bench_log_experiment
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Criterion benchmarks of the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ins_battery::{BatteryId, BatteryParams, BatteryUnit};
+use ins_core::controller::{InsureController, PowerController};
+use ins_core::system::InSituSystem;
+use ins_sim::time::{SimDuration, SimTime};
+use ins_sim::units::{Amps, Hours};
+use ins_solar::trace::{high_generation_day, SolarTraceBuilder};
+use ins_solar::weather::DayWeather;
+
+fn bench_battery(c: &mut Criterion) {
+    c.bench_function("battery_discharge_step_10s", |b| {
+        let mut unit = BatteryUnit::new(BatteryId(0), BatteryParams::cabinet_24v());
+        b.iter(|| {
+            let out = unit.discharge(black_box(Amps::new(15.0)), Hours::new(10.0 / 3600.0));
+            if unit.soc() < 0.2 {
+                unit.charge(Amps::new(8.75), Hours::new(0.5));
+            }
+            black_box(out.voltage)
+        });
+    });
+    c.bench_function("battery_charge_step_10s", |b| {
+        let mut unit =
+            BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), 0.5);
+        b.iter(|| {
+            let out = unit.charge(black_box(Amps::new(8.0)), Hours::new(10.0 / 3600.0));
+            if unit.soc() > 0.95 {
+                unit.discharge(Amps::new(20.0), Hours::new(0.5));
+            }
+            black_box(out.accepted)
+        });
+    });
+}
+
+fn bench_solar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solar");
+    group.sample_size(20);
+    group.bench_function("generate_one_day_trace_10s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let t = SolarTraceBuilder::new()
+                .weather(DayWeather::Cloudy)
+                .seed(seed)
+                .build_day();
+            black_box(t.total_energy())
+        });
+    });
+    group.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    // One controller decision over a realistic observation.
+    let solar = high_generation_day(1);
+    let mut sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
+        .time_step(SimDuration::from_secs(10))
+        .build();
+    sys.run_until(SimTime::from_hms(10, 0, 0));
+    c.bench_function("full_system_step_10s", |b| {
+        b.iter(|| {
+            sys.step();
+            black_box(sys.now())
+        });
+    });
+}
+
+fn bench_full_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_day");
+    group.sample_size(10);
+    group.bench_function("insure_one_day_60s_steps", |b| {
+        b.iter(|| {
+            let mut sys = InSituSystem::builder(
+                high_generation_day(1),
+                Box::new(InsureController::default()),
+            )
+            .time_step(SimDuration::from_secs(60))
+            .build();
+            sys.run_until(SimTime::from_hms(23, 59, 0));
+            black_box(sys.workload().processed_gb())
+        });
+    });
+    group.finish();
+}
+
+fn bench_controller_decision(c: &mut Criterion) {
+    use ins_battery::BatteryId;
+    use ins_cluster::dvfs::DutyCycle;
+    use ins_core::controller::SystemObservation;
+    use ins_core::spm::UnitView;
+    use ins_core::tpm::LoadKnob;
+    use ins_powernet::matrix::Attachment;
+    use ins_sim::units::{AmpHours, Volts, Watts};
+
+    let obs = SystemObservation {
+        now: SimTime::from_hms(12, 0, 0),
+        elapsed_days: 0.5,
+        solar_power: Watts::new(800.0),
+        units: (0..3)
+            .map(|i| UnitView {
+                id: BatteryId(i),
+                soc: 0.5 + i as f64 * 0.15,
+                available_fraction: 0.5 + i as f64 * 0.15,
+                discharge_throughput: AmpHours::new(i as f64 * 4.0),
+                at_cutoff: false,
+            })
+            .collect(),
+        attachments: vec![Attachment::Isolated; 3],
+        discharge_current: Amps::new(12.0),
+        active_vms: 4,
+        target_vms: 4,
+        total_vm_slots: 8,
+        duty: DutyCycle::FULL,
+        rack_demand: Watts::new(900.0),
+        rack_demand_target: Watts::new(900.0),
+        rack_demand_full: Watts::new(1800.0),
+        pack_voltage: Volts::new(24.0),
+        pending_gb: 50.0,
+        knob: LoadKnob::DutyCycle,
+    };
+    c.bench_function("insure_controller_decision", |b| {
+        let mut ctrl = InsureController::default();
+        b.iter(|| black_box(ctrl.control(black_box(&obs))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_battery,
+    bench_solar,
+    bench_controller,
+    bench_controller_decision,
+    bench_full_day
+);
+criterion_main!(benches);

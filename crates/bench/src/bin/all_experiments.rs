@@ -1,0 +1,156 @@
+//! Runs every experiment in the reproduction, in paper order.
+//!
+//! ```sh
+//! cargo run -p ins-bench --release --bin all_experiments
+//! ```
+
+use ins_bench::experiments::{buffer, costs, endurance, fullsys, hetero, logs, micro, sizing, traces};
+use ins_bench::table::{dollars, TextTable};
+use ins_sim::units::WattHours;
+
+fn heading(s: &str) {
+    println!();
+    println!("{}", "=".repeat(72));
+    println!("{s}");
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    heading("Fig. 1 — bulk data movement overhead");
+    let mut t = TextTable::new(vec!["link", "hours per TB"]);
+    for (name, hours) in costs::fig1a() {
+        t.row(vec![name.to_string(), format!("{hours:.1}")]);
+    }
+    println!("{}", t.render());
+    let mut t = TextTable::new(vec!["volume (TB)", "avg $/TB"]);
+    for (tb, cost) in costs::fig1b() {
+        t.row(vec![format!("{tb:.0}"), format!("{cost:.2}")]);
+    }
+    println!("{}", t.render());
+
+    heading("Fig. 3 — cost benefits of standalone in-situ systems");
+    let mut t = TextTable::new(vec!["strategy", "5-yr TCO"]);
+    for (strategy, series) in costs::fig3a() {
+        t.row(vec![strategy.to_string(), dollars(series[4])]);
+    }
+    println!("{}", t.render());
+    let mut t = TextTable::new(vec!["technology", "11-yr TCO"]);
+    for (tech, series) in costs::fig3b() {
+        t.row(vec![tech.to_string(), dollars(*series.last().expect("non-empty"))]);
+    }
+    println!("{}", t.render());
+
+    heading("Fig. 4 — energy buffer properties");
+    let (seq, batch) = buffer::fig4a();
+    println!(
+        "sequential charge: {:.1} h   batch charge: {:.1} h   (ratio {:.0} %)",
+        seq.hours_to_target,
+        batch.hours_to_target,
+        seq.hours_to_target / batch.hours_to_target * 100.0
+    );
+    let (high, low) = buffer::fig4b();
+    println!(
+        "1C discharge delivered {:.1} Ah vs C/8's {:.1} Ah; rest recovered {:+.2} V",
+        high.delivered_ah,
+        low.delivered_ah,
+        high.voltage_after_rest - high.voltage_at_switchout
+    );
+
+    heading("Table 2 — seismic throughput under a 2 kWh budget");
+    println!(
+        "{}",
+        sizing::render_table2(&sizing::table2(WattHours::from_kilowatt_hours(2.0), 2.5))
+    );
+
+    heading("Table 3 — video throughput by VM count");
+    println!("{}", sizing::render_table3(&sizing::table3(4)));
+
+    heading("Fig. 5 — unified buffer switch-out snapshot");
+    let run = traces::fig05(5);
+    println!("service interruptions in 2 h: {}", run.interruptions.len());
+
+    heading("Fig. 14 — InSURE power behaviour");
+    let p = buffer::fig14a();
+    println!("charging completion order (start SoC {:?}): {:?}", p.start_soc, p.completion_order);
+    let b = buffer::fig14b(240);
+    println!("discharge balance imbalance: {:.2}×", b.imbalance);
+
+    heading("Fig. 15 — solar evaluation days");
+    let (hi, lo) = traces::fig15(1);
+    println!(
+        "high: {:.0} W daytime mean / {:.1} kWh    low: {:.0} W / {:.1} kWh",
+        hi.daytime_mean_w, hi.energy_kwh, lo.daytime_mean_w, lo.energy_kwh
+    );
+
+    heading("Fig. 16 — full-day InSURE trace");
+    let day = traces::fig16(3);
+    println!(
+        "morning charge {:.0} → {:.0} Wh; {} interventions; {:.1} GB processed",
+        day.stored_dawn_wh, day.stored_mid_morning_wh, day.interventions, day.processed_gb
+    );
+
+    heading("Table 6 — day-long operation logs");
+    println!("{}", logs::render_table6(&logs::table6(2)));
+
+    heading("Table 7 — heterogeneous servers");
+    println!("{}", sizing::render_table7(&sizing::table7()));
+
+    heading("Figs. 17–19 — micro-benchmark effectiveness (takes a minute)");
+    let rows = micro::fig17_19(3);
+    println!("{}", micro::render(&rows));
+
+    heading("Figs. 20–21 — full-system evaluation");
+    println!("Fig. 20 (seismic):");
+    println!("{}", fullsys::render(&fullsys::figure("seismic", 7)));
+    println!("Fig. 21 (video):");
+    println!("{}", fullsys::render(&fullsys::figure("video", 7)));
+
+    heading("Fig. 22 — annual depreciation");
+    let (cmp, _) = costs::fig22();
+    for c in cmp {
+        println!("{:<28} {:>9}  ({:.2}×)", c.tech.to_string(), dollars(c.annual), c.vs_insure);
+    }
+
+    heading("Fig. 23 — scale-out vs cloud by sunshine fraction");
+    for row in costs::fig23() {
+        println!(
+            "SF {:>3.0}%: scale-out {:>9}   cloud {:>9}",
+            row.sunshine_fraction * 100.0,
+            dollars(row.scale_out),
+            dollars(row.cloud)
+        );
+    }
+
+    heading("Fig. 24 — TCO crossover");
+    let (_, crossover) = costs::fig24();
+    println!("cloud/in-situ crossover: {crossover:.2} GB/day (paper ≈ 0.9)");
+
+    heading("Fig. 25 — application scenarios");
+    println!("{}", costs::render_fig25(&costs::fig25()));
+
+    heading("§6.2 extension — low-power rack, full system (dedup)");
+    let (xeon, i7) = hetero::compare("dedup", 3);
+    println!(
+        "Xeon rack {:.0} GB at {:.0} GB/kWh; i7 rack {:.0} GB at {:.0} GB/kWh ({:.1}×)",
+        xeon.metrics.processed_gb,
+        xeon.gb_per_kwh,
+        i7.metrics.processed_gb,
+        i7.gb_per_kwh,
+        i7.gb_per_kwh / xeon.gb_per_kwh
+    );
+
+    heading("Extension — two-week endurance and sunshine sweep");
+    let run = endurance::endurance(14, 9);
+    println!(
+        "14 days: {:.1} GB/day, wear imbalance {:.2}×, est. life {:.0} days",
+        run.gb_per_day, run.wear_imbalance, run.metrics.expected_service_life_days
+    );
+    for p in endurance::sunshine_sweep(&[1.0, 0.6, 0.4], 5, 4) {
+        println!(
+            "SF {:>3.0}%: {:>6.1} GB/day on {:>5.1} kWh/day",
+            p.sunshine_fraction * 100.0,
+            p.gb_per_day,
+            p.solar_kwh_per_day
+        );
+    }
+}

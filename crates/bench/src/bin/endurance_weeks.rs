@@ -1,0 +1,25 @@
+//! Multi-day endurance run + sunshine-fraction throughput sweep.
+use ins_bench::experiments::endurance::{endurance, sunshine_sweep};
+use ins_bench::table::TextTable;
+
+fn main() {
+    println!("Endurance — two weeks of mixed weather under InSURE");
+    let run = endurance(14, 9);
+    println!("  {:.1} GB/day, wear imbalance {:.2}×, per-unit Ah {:?}",
+        run.gb_per_day,
+        run.wear_imbalance,
+        run.unit_throughput_ah.iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!("{}", run.metrics);
+    println!();
+
+    println!("Sunshine-fraction sweep (5-day campaigns) — Fig. 23/24's premise");
+    let mut t = TextTable::new(vec!["sunshine fraction", "GB/day", "solar kWh/day"]);
+    for p in sunshine_sweep(&[1.0, 0.8, 0.6, 0.4], 5, 4) {
+        t.row(vec![
+            format!("{:.0}%", p.sunshine_fraction * 100.0),
+            format!("{:.1}", p.gb_per_day),
+            format!("{:.1}", p.solar_kwh_per_day),
+        ]);
+    }
+    println!("{}", t.render());
+}

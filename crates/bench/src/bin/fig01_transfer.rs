@@ -1,0 +1,19 @@
+//! Fig. 1: the overhead associated with bulk data movement.
+use ins_bench::experiments::costs::{fig1a, fig1b};
+use ins_bench::table::TextTable;
+
+fn main() {
+    println!("Fig. 1-a — transfer time for 1 TB by link class");
+    let mut t = TextTable::new(vec!["link", "hours per TB"]);
+    for (name, hours) in fig1a() {
+        t.row(vec![name.to_string(), format!("{hours:.1}")]);
+    }
+    println!("{}", t.render());
+
+    println!("Fig. 1-b — average $/TB transferred out of AWS (Jan 2014 tiers)");
+    let mut t = TextTable::new(vec!["volume (TB)", "avg $/TB"]);
+    for (tb, cost) in fig1b() {
+        t.row(vec![format!("{tb:.0}"), format!("{cost:.2}")]);
+    }
+    println!("{}", t.render());
+}

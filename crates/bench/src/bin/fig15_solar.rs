@@ -1,0 +1,18 @@
+//! Fig. 15: the two solar evaluation traces.
+use ins_bench::experiments::traces::fig15;
+
+fn main() {
+    let (high, low) = fig15(1);
+    for day in [&high, &low] {
+        println!(
+            "Fig. 15 — {} : daytime mean {:.0} W, total {:.1} kWh",
+            day.label, day.daytime_mean_w, day.energy_kwh
+        );
+        println!("time        solar W");
+        for s in &day.series {
+            println!("{}   {:7.0}", s.time, s.value);
+        }
+        println!();
+    }
+    println!("(paper: 1114 W and 427 W daytime means on the 1.6 kW array)");
+}

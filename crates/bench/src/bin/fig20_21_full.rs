@@ -1,0 +1,10 @@
+//! Figs. 20–21: full-system evaluation on the in-situ workloads.
+use ins_bench::experiments::fullsys::{figure, render};
+
+fn main() {
+    println!("Fig. 20 — seismic batch job: InSURE improvement over baseline");
+    println!("{}", render(&figure("seismic", 7)));
+    println!("Fig. 21 — video stream: InSURE improvement over baseline");
+    println!("{}", render(&figure("video", 7)));
+    println!("(paper: 20 % to over 60 % improvements across the six metrics)");
+}

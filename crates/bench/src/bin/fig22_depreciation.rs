@@ -1,0 +1,19 @@
+//! Fig. 22: annual depreciation cost breakdown.
+use ins_bench::experiments::costs::fig22;
+use ins_bench::table::dollars;
+
+fn main() {
+    println!("Fig. 22 — annual depreciation by configuration");
+    let (comparison, breakdown) = fig22();
+    println!("{breakdown}");
+    for c in comparison {
+        println!(
+            "{:<28} {:>9}   ({:.2}× InSURE)",
+            c.tech.to_string(),
+            dollars(c.annual),
+            c.vs_insure
+        );
+    }
+    println!();
+    println!("(paper: diesel ≈ +20 %, fuel cell ≈ +24 % over InSURE)");
+}

@@ -1,0 +1,18 @@
+//! Fig. 24: TCO vs data rate and the cloud/in-situ crossover.
+use ins_bench::experiments::costs::fig24;
+use ins_bench::table::{dollars, TextTable};
+
+fn main() {
+    println!("Fig. 24 — 5-year TCO vs data generation rate");
+    let (rows, crossover) = fig24();
+    let mut t = TextTable::new(vec![
+        "GB/day", "cloud", "insitu-40%", "insitu-60%", "insitu-80%", "insitu-100%",
+    ]);
+    for (rate, cloud, insitu) in rows {
+        let mut row = vec![format!("{rate}"), dollars(cloud)];
+        row.extend(insitu.iter().map(|&v| dollars(v)));
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("crossover (60 % sunshine): {crossover:.2} GB/day  (paper: ≈ 0.9 GB/day)");
+}

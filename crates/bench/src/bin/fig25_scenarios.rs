@@ -1,0 +1,8 @@
+//! Fig. 25: application-specific cost analysis.
+use ins_bench::experiments::costs::{fig25, render_fig25};
+
+fn main() {
+    println!("Fig. 25 — per-application cost savings of InSURE over the cloud");
+    println!("{}", render_fig25(&fig25()));
+    println!("(paper: application-dependent savings from 15 % to 97 %)");
+}

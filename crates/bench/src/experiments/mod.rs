@@ -1,0 +1,25 @@
+//! One experiment module per paper table/figure family.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`costs`] | Fig. 1, Fig. 3, Fig. 22, Fig. 23, Fig. 24, Fig. 25 |
+//! | [`sizing`] | Table 2, Table 3, Table 7 |
+//! | [`buffer`] | Fig. 4, Fig. 14 |
+//! | [`traces`] | Fig. 5, Fig. 15, Fig. 16 |
+//! | [`logs`] | Table 6 |
+//! | [`micro`] | Fig. 17, Fig. 18, Fig. 19 |
+//! | [`fullsys`] | Fig. 20, Fig. 21 |
+//! | [`hetero`] | §6.2's system-level low-power-node comparison |
+//! | [`endurance`] | multi-day Eq. 1 screening + sunshine-fraction sweep |
+//! | [`ablation`] | DESIGN.md's design-choice ablations |
+
+pub mod ablation;
+pub mod buffer;
+pub mod endurance;
+pub mod costs;
+pub mod fullsys;
+pub mod hetero;
+pub mod logs;
+pub mod micro;
+pub mod sizing;
+pub mod traces;

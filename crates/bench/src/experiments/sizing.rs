@@ -1,0 +1,280 @@
+//! Tables 2, 3 and 7: compute-capability sizing under an energy budget
+//! and server heterogeneity.
+
+use ins_cluster::profiles::ServerProfile;
+use ins_sim::time::SimDuration;
+use ins_sim::units::{WattHours, Watts};
+use ins_workload::benchmark::{table7_benchmarks, MicroBenchmark};
+use ins_workload::scaling::ScalingModel;
+use ins_workload::stream::{StreamSpec, StreamWorkload};
+
+use crate::table::TextTable;
+
+/// One row of Table 2 (seismic analysis under a fixed energy budget).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Active VM count.
+    pub vms: u32,
+    /// Average rack power at this VM count.
+    pub avg_power: Watts,
+    /// Fraction of the observation window the cluster could stay up on
+    /// the energy budget.
+    pub availability: f64,
+    /// Delivered throughput (capacity × availability), GB/hour.
+    pub throughput_gb_per_hour: f64,
+}
+
+/// Reproduces Table 2: the same 2 kWh energy budget spent at 8 VMs vs
+/// 4 VMs. High power drains the budget early (and triggers checkpoint
+/// churn), so the *lower* configuration delivers more data.
+///
+/// `window_hours` is the observation window (the paper processes one
+/// 114 GB job arrival within ≈ 2.5 h).
+#[must_use]
+pub fn table2(budget: WattHours, window_hours: f64) -> Vec<Table2Row> {
+    let model = ScalingModel::seismic_analysis();
+    let profile = ServerProfile::xeon_proliant();
+    let util = 0.41;
+    [8u32, 4]
+        .into_iter()
+        .map(|vms| {
+            let machines = vms.div_ceil(profile.vm_slots);
+            let power = profile.power_at(util, 1.0) * f64::from(machines);
+            let runtime_hours = (budget.value() / power.value()).min(window_hours);
+            let mut availability = runtime_hours / window_hours;
+            // The high-power configuration also pays the paper's observed
+            // checkpoint churn: each forced on/off cycle stalls ~15 min.
+            let cycles = if availability < 1.0 { 1.0 } else { 0.0 };
+            let stall_hours = cycles * 0.25;
+            availability = ((runtime_hours - stall_hours).max(0.0) / window_hours).min(1.0);
+            Table2Row {
+                vms,
+                avg_power: power,
+                availability,
+                throughput_gb_per_hour: model.gb_per_hour(vms, 1.0) * availability,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 3 (video analysis at a VM count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Active VM count.
+    pub vms: u32,
+    /// Average rack power.
+    pub avg_power: Watts,
+    /// Mean service delay, minutes.
+    pub delay_minutes: f64,
+    /// Sustained throughput, GB/minute.
+    pub throughput_gb_per_min: f64,
+}
+
+/// Reproduces Table 3: the 24-camera stream served with 8/6/4/2 VMs.
+#[must_use]
+pub fn table3(observation_hours: u64) -> Vec<Table3Row> {
+    let model = ScalingModel::video_surveillance();
+    let profile = ServerProfile::xeon_proliant();
+    let util = 0.41;
+    [8u32, 6, 4, 2]
+        .into_iter()
+        .map(|vms| {
+            let machines = vms.div_ceil(profile.vm_slots);
+            let power = profile.power_at(util, 1.0) * f64::from(machines);
+            let capacity = model.gb_per_hour(vms, 1.0);
+            let mut stream = StreamWorkload::new(StreamSpec::video_surveillance());
+            for _ in 0..(observation_hours * 60) {
+                stream.step(SimDuration::from_minutes(1), capacity);
+            }
+            Table3Row {
+                vms,
+                avg_power: power,
+                delay_minutes: stream.mean_delay_minutes(),
+                throughput_gb_per_min: stream.processed_gb()
+                    / (observation_hours as f64 * 60.0),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 7 (heterogeneous node comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7Row {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Input size, GB.
+    pub input_gb: f64,
+    /// Server type name.
+    pub server: &'static str,
+    /// Execution time, seconds.
+    pub exec_time_s: f64,
+    /// Average node power.
+    pub avg_power: Watts,
+    /// Data processed per kWh of node energy.
+    pub gb_per_kwh: f64,
+}
+
+/// Reproduces Table 7: legacy Xeon node vs low-power Core i7 node on the
+/// three measured benchmarks.
+#[must_use]
+pub fn table7() -> Vec<Table7Row> {
+    let mut rows = Vec::new();
+    for b in table7_benchmarks() {
+        for (server, point) in [("Xeon 3.2G", &b.xeon), ("Core i-7", &b.i7)] {
+            rows.push(Table7Row {
+                benchmark: b.name,
+                input_gb: b.input_gb,
+                server,
+                exec_time_s: point.exec_time_s,
+                avg_power: point.avg_power,
+                gb_per_kwh: b.gb_per_kwh(point),
+            });
+        }
+    }
+    rows
+}
+
+/// Energy-efficiency ratio (i7 / Xeon) per benchmark — the paper's
+/// "5X~15X" data-throughput improvement claim for low-power nodes.
+#[must_use]
+pub fn table7_efficiency_ratios() -> Vec<(&'static str, f64)> {
+    table7_benchmarks()
+        .iter()
+        .map(|b: &MicroBenchmark| (b.name, b.gb_per_kwh(&b.i7) / b.gb_per_kwh(&b.xeon)))
+        .collect()
+}
+
+/// Renders Table 2 in the paper's layout.
+#[must_use]
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "Compute Capability",
+        "Avg. Pwr. (W)",
+        "Availability",
+        "Throughput (GB/h)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            format!("{}VM", r.vms),
+            format!("{:.0}", r.avg_power.value()),
+            crate::table::pct(r.availability),
+            format!("{:.1}", r.throughput_gb_per_hour),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Table 3 in the paper's layout.
+#[must_use]
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "Compute Capability",
+        "Avg. Pwr. (W)",
+        "Delay (min)",
+        "Throughput (GB/min)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            format!("{}VM", r.vms),
+            format!("{:.0}", r.avg_power.value()),
+            format!("{:.2}", r.delay_minutes),
+            format!("{:.2}", r.throughput_gb_per_min),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Table 7 in the paper's layout.
+#[must_use]
+pub fn render_table7(rows: &[Table7Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "Bench",
+        "Data",
+        "Server Type",
+        "Exe. Time",
+        "Avg. Power",
+        "Data per kWh",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.benchmark.to_string(),
+            format!("{:.2} GB", r.input_gb),
+            r.server.to_string(),
+            format!("{:.1} s", r.exec_time_s),
+            format!("{:.0} W", r.avg_power.value()),
+            if r.gb_per_kwh >= 1000.0 {
+                format!("{:.1} TB/kWh", r.gb_per_kwh / 1000.0)
+            } else {
+                format!("{:.0} GB/kWh", r.gb_per_kwh)
+            },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lower_config_wins() {
+        // The paper's counter-intuitive finding: under a 2 kWh budget the
+        // 4-VM configuration out-delivers the 8-VM configuration.
+        let rows = table2(WattHours::from_kilowatt_hours(2.0), 2.5);
+        assert_eq!(rows.len(), 2);
+        let eight = &rows[0];
+        let four = &rows[1];
+        assert_eq!(eight.vms, 8);
+        assert!(eight.availability < 0.75, "8 VM availability {:.2}", eight.availability);
+        assert!((four.availability - 1.0).abs() < 1e-9, "4 VM must stay up");
+        assert!(
+            four.throughput_gb_per_hour > eight.throughput_gb_per_hour,
+            "4 VM {:.1} GB/h must beat 8 VM {:.1} GB/h",
+            four.throughput_gb_per_hour,
+            eight.throughput_gb_per_hour
+        );
+        // Power figures in the paper's ballpark (1397 W / 696 W).
+        assert!((eight.avg_power.value() - 1400.0).abs() < 60.0);
+        assert!((four.avg_power.value() - 700.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn table3_matches_paper_shape() {
+        let rows = table3(4);
+        assert_eq!(rows.len(), 4);
+        // 8 VM: full rate, no delay; 2 VM: 1/3 rate, growing delay.
+        assert!((rows[0].throughput_gb_per_min - 0.21).abs() < 0.01);
+        assert!(rows[0].delay_minutes < 0.2);
+        assert!(rows[3].throughput_gb_per_min < 0.09);
+        assert!(rows[3].delay_minutes > rows[1].delay_minutes);
+        // Power ladder ≈ 1411/1050/686/335 W.
+        assert!((rows[0].avg_power.value() - 1400.0).abs() < 60.0);
+        assert!((rows[3].avg_power.value() - 350.0).abs() < 30.0);
+        // Throughput decreases with VM count.
+        assert!(rows.windows(2).all(|w| {
+            w[0].throughput_gb_per_min >= w[1].throughput_gb_per_min - 1e-9
+        }));
+    }
+
+    #[test]
+    fn table7_efficiency_gap() {
+        let ratios = table7_efficiency_ratios();
+        assert_eq!(ratios.len(), 3);
+        for (name, ratio) in ratios {
+            assert!(
+                (4.0..20.0).contains(&ratio),
+                "{name} i7/Xeon efficiency ratio {ratio:.1} (paper: 5–15×)"
+            );
+        }
+    }
+
+    #[test]
+    fn renders_do_not_panic_and_contain_rows() {
+        let t2 = render_table2(&table2(WattHours::from_kilowatt_hours(2.0), 2.5));
+        assert!(t2.contains("8VM") && t2.contains("4VM"));
+        let t3 = render_table3(&table3(1));
+        assert!(t3.contains("2VM"));
+        let t7 = render_table7(&table7());
+        assert!(t7.contains("dedup") && t7.contains("Core i-7"));
+    }
+}

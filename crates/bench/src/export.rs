@@ -1,0 +1,170 @@
+//! CSV export of simulation traces and metric tables.
+//!
+//! The prototype "automatically collects various log data" (§5); a
+//! downstream user of this reproduction will want the same series out of
+//! the simulator for plotting. Everything here renders to a `String` so
+//! the caller decides where it goes (file, stdout, pipe).
+
+use ins_core::metrics::RunMetrics;
+use ins_core::system::InSituSystem;
+use ins_sim::trace::Trace;
+
+/// Renders one trace as two-column CSV (`seconds,value`).
+///
+/// # Examples
+///
+/// ```
+/// use ins_bench::export::trace_to_csv;
+/// use ins_sim::trace::Trace;
+/// use ins_sim::time::SimTime;
+///
+/// let mut t = Trace::new("solar W");
+/// t.record(SimTime::from_secs(0), 0.0);
+/// t.record(SimTime::from_secs(60), 850.5);
+/// let csv = trace_to_csv(&t);
+/// assert!(csv.starts_with("seconds,solar W\n"));
+/// assert!(csv.contains("60,850.5"));
+/// ```
+#[must_use]
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = format!("seconds,{}\n", escape(trace.name()));
+    for s in trace.iter() {
+        out.push_str(&format!("{},{}\n", s.time.as_secs(), s.value));
+    }
+    out
+}
+
+/// Renders the full set of a system run's traces side by side:
+/// `seconds,solar_w,load_w,stored_wh,pack_v` (one row per step; all four
+/// traces are recorded on the same clock, so rows align).
+#[must_use]
+pub fn system_traces_to_csv(system: &InSituSystem) -> String {
+    let mut out = String::from("seconds,solar_w,load_w,stored_wh,pack_v\n");
+    let solar = system.trace_solar().samples();
+    let load = system.trace_load().samples();
+    let stored = system.trace_stored().samples();
+    let volts = system.trace_pack_voltage().samples();
+    let n = solar.len().min(load.len()).min(stored.len()).min(volts.len());
+    for i in 0..n {
+        out.push_str(&format!(
+            "{},{:.1},{:.1},{:.1},{:.3}\n",
+            solar[i].time.as_secs(),
+            solar[i].value,
+            load[i].value,
+            stored[i].value,
+            volts[i].value
+        ));
+    }
+    out
+}
+
+/// Renders a set of run metrics as one CSV row per run, with a header.
+#[must_use]
+pub fn metrics_to_csv(rows: &[RunMetrics]) -> String {
+    let mut out = String::from(
+        "controller,elapsed_h,uptime,service_availability,processed_gb,\
+         gb_per_hour,latency_min,buffer_mean_wh,service_life_days,\
+         gb_per_ah,ah_through,load_kwh,effective_kwh,power_ctrl,on_off,\
+         vm_ctrl,min_v,end_v,volt_sigma,solar_kwh,brownouts,emergencies\n",
+    );
+    for m in rows {
+        out.push_str(&format!(
+            "{},{:.2},{:.4},{:.4},{:.2},{:.3},{:.2},{:.1},{:.1},{:.3},{:.2},\
+             {:.3},{:.3},{},{},{},{:.2},{:.2},{:.4},{:.3},{},{}\n",
+            escape(&m.controller),
+            m.elapsed_hours,
+            m.uptime,
+            m.service_availability,
+            m.processed_gb,
+            m.throughput_gb_per_hour,
+            m.mean_latency_minutes,
+            m.mean_stored_energy_wh,
+            m.expected_service_life_days,
+            m.gb_per_amp_hour,
+            m.discharge_throughput_ah,
+            m.load_kwh,
+            m.effective_kwh,
+            m.power_ctrl_times,
+            m.on_off_cycles,
+            m.vm_ctrl_times,
+            m.min_voltage,
+            m.end_voltage,
+            m.voltage_sigma,
+            m.solar_kwh,
+            m.brownouts,
+            m.emergency_shutdowns
+        ));
+    }
+    out
+}
+
+/// Quotes a CSV field if it contains a comma or quote.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ins_core::controller::InsureController;
+    use ins_sim::time::{SimDuration, SimTime};
+    use ins_solar::trace::high_generation_day;
+
+    fn short_run() -> InSituSystem {
+        let mut sys = InSituSystem::builder(
+            high_generation_day(1),
+            Box::new(InsureController::default()),
+        )
+        .time_step(SimDuration::from_secs(60))
+        .build();
+        sys.run_until(SimTime::from_hms(2, 0, 0));
+        sys
+    }
+
+    #[test]
+    fn trace_csv_has_one_row_per_sample() {
+        let sys = short_run();
+        let csv = trace_to_csv(sys.trace_solar());
+        let rows = csv.lines().count();
+        assert_eq!(rows, sys.trace_solar().len() + 1);
+        assert!(csv.starts_with("seconds,"));
+    }
+
+    #[test]
+    fn system_csv_aligns_all_series() {
+        let sys = short_run();
+        let csv = system_traces_to_csv(&sys);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "seconds,solar_w,load_w,stored_wh,pack_v"
+        );
+        let first = lines.next().unwrap();
+        assert_eq!(first.split(',').count(), 5);
+        assert_eq!(csv.lines().count(), sys.trace_solar().len() + 1);
+    }
+
+    #[test]
+    fn metrics_csv_round_trips_field_count() {
+        let sys = short_run();
+        let m = RunMetrics::collect(&sys);
+        let csv = metrics_to_csv(&[m.clone(), m]);
+        let mut lines = csv.lines();
+        let header_fields = lines.next().unwrap().split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), header_fields);
+        }
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn escaping_handles_commas_and_quotes() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,170 @@
+//! Plain-text table formatting for experiment output.
+//!
+//! The experiment binaries print paper-style rows; this module keeps the
+//! formatting in one place so every table lines up the same way.
+
+/// A simple fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use ins_bench::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["metric", "value"]);
+/// t.row(vec!["uptime".into(), "41%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("uptime"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(headers: Vec<&'static str>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with padded columns and a separator line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            out.push_str(&format!("{:>w$}", h, w = widths[i]));
+            if i + 1 < cols {
+                out.push_str("  ");
+            }
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:>w$}", cell, w = widths[i]));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage string (`0.41` → `"41.0%"`).
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a signed improvement (`0.41` → `"+41.0%"`).
+#[must_use]
+pub fn improvement(fraction: f64) -> String {
+    format!("{:+.1}%", fraction * 100.0)
+}
+
+/// Formats dollars with thousands separators (`12345.6` → `"$12,346"`).
+#[must_use]
+pub fn dollars(amount: f64) -> String {
+    let rounded = amount.round() as i64;
+    let negative = rounded < 0;
+    let digits = rounded.unsigned_abs().to_string();
+    let mut grouped = String::new();
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            grouped.push(',');
+        }
+        grouped.push(ch);
+    }
+    if negative {
+        format!("-${grouped}")
+    } else {
+        format!("${grouped}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("longer-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match header width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn percent_and_improvement_formats() {
+        assert_eq!(pct(0.4137), "41.4%");
+        assert_eq!(improvement(0.2), "+20.0%");
+        assert_eq!(improvement(-0.05), "-5.0%");
+    }
+
+    #[test]
+    fn dollar_grouping() {
+        assert_eq!(dollars(1_234_567.4), "$1,234,567");
+        assert_eq!(dollars(999.0), "$999");
+        assert_eq!(dollars(-1500.0), "-$1,500");
+        assert_eq!(dollars(0.2), "$0");
+    }
+}

@@ -1,0 +1,361 @@
+//! The server rack: VM placement over physical machines.
+//!
+//! The prototype runs 8 Xen VMs on 4 physical machines, two per PM (§5).
+//! The node allocator adjusts the number of active VMs (stream workloads)
+//! or the clock duty cycle (batch workloads); this module maps a target VM
+//! count onto server power states and tracks the control-action counters
+//! the paper logs in Table 6 ("Power Ctrl. Times", "On/Off Cycles",
+//! "VM Ctrl. Times").
+
+use ins_sim::time::SimDuration;
+use ins_sim::units::{WattHours, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::dvfs::DutyCycle;
+use crate::profiles::ServerProfile;
+use crate::server::Server;
+use crate::vm::VmPool;
+
+/// A homogeneous rack of physical machines with a VM target.
+///
+/// # Examples
+///
+/// ```
+/// use ins_cluster::rack::Rack;
+/// use ins_cluster::profiles::ServerProfile;
+/// use ins_sim::time::SimDuration;
+///
+/// let mut rack = Rack::prototype(); // 4 ProLiant machines, 8 VM slots
+/// rack.set_target_vms(8);
+/// for _ in 0..15 {
+///     rack.step(SimDuration::from_minutes(1), 1.0);
+/// }
+/// assert_eq!(rack.active_vms(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rack {
+    servers: Vec<Server>,
+    vm_pool: VmPool,
+    target_vms: u32,
+    duty: DutyCycle,
+    vm_control_actions: u64,
+    duty_control_actions: u64,
+}
+
+impl Rack {
+    /// Creates a rack of `n` identical machines, all off, targeting zero
+    /// VMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the profile is invalid.
+    #[must_use]
+    pub fn new(profile: ServerProfile, n: usize) -> Self {
+        assert!(n > 0, "rack needs at least one server");
+        let slots = profile.vm_slots;
+        Self {
+            servers: (0..n).map(|_| Server::new(profile.clone())).collect(),
+            vm_pool: VmPool::new(slots * n as u32, slots),
+            target_vms: 0,
+            duty: DutyCycle::FULL,
+            vm_control_actions: 0,
+            duty_control_actions: 0,
+        }
+    }
+
+    /// The prototype rack: four HP ProLiant machines (8 VM slots).
+    #[must_use]
+    pub fn prototype() -> Self {
+        Self::new(ServerProfile::xeon_proliant(), 4)
+    }
+
+    /// The physical machines.
+    #[must_use]
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Total VM slots across all machines.
+    #[must_use]
+    pub fn total_vm_slots(&self) -> u32 {
+        self.servers
+            .iter()
+            .map(|s| s.profile().vm_slots)
+            .sum()
+    }
+
+    /// The VM count currently requested.
+    #[must_use]
+    pub fn target_vms(&self) -> u32 {
+        self.target_vms
+    }
+
+    /// VMs actually running right now (bounded by machines that finished
+    /// booting).
+    #[must_use]
+    pub fn active_vms(&self) -> u32 {
+        let slots = self
+            .servers
+            .iter()
+            .filter(|s| s.is_on())
+            .map(|s| s.profile().vm_slots)
+            .sum::<u32>();
+        self.target_vms.min(slots)
+    }
+
+    /// Current duty cycle.
+    #[must_use]
+    pub fn duty(&self) -> DutyCycle {
+        self.duty
+    }
+
+    /// Sets the duty cycle; counts one control action if it changed.
+    pub fn set_duty(&mut self, duty: DutyCycle) {
+        if (duty.fraction() - self.duty.fraction()).abs() > 1e-12 {
+            self.duty = duty;
+            self.duty_control_actions += 1;
+        }
+    }
+
+    /// Sets the target VM count, clamped to the rack's slots. Powers
+    /// machines on/off as needed (fewest machines that fit the target);
+    /// counts one VM control action if the target changed.
+    pub fn set_target_vms(&mut self, vms: u32) {
+        let vms = vms.min(self.total_vm_slots());
+        if vms != self.target_vms {
+            self.target_vms = vms;
+            self.vm_control_actions += 1;
+        }
+        // Machines needed assuming uniform slot counts.
+        let slots_per = self.servers[0].profile().vm_slots.max(1);
+        let needed = vms.div_ceil(slots_per) as usize;
+        // Keep the first `needed` machines on (stable assignment avoids
+        // needless churn), power the rest down.
+        for (i, server) in self.servers.iter_mut().enumerate() {
+            if i < needed {
+                server.power_on();
+            } else {
+                server.power_off();
+            }
+        }
+    }
+
+    /// Immediately checkpoints and powers off every machine (the TPM's
+    /// low-state-of-charge emergency path).
+    pub fn shutdown_all(&mut self) {
+        self.set_target_vms(0);
+    }
+
+    /// Hard power loss across the rack: every machine drops straight to
+    /// off (no checkpoint window) — what a brown-out does to servers whose
+    /// supply actually collapsed.
+    pub fn force_shutdown_all(&mut self) {
+        if self.target_vms != 0 {
+            self.target_vms = 0;
+            self.vm_control_actions += 1;
+        }
+        for server in &mut self.servers {
+            server.force_off();
+        }
+    }
+
+    /// Power the rack would draw right now at the given utilization.
+    #[must_use]
+    pub fn power_demand(&self, utilization: f64) -> Watts {
+        self.servers
+            .iter()
+            .map(|s| s.power_draw(utilization, self.duty))
+            .sum()
+    }
+
+    /// Advances all machines by `dt` at the given utilization; returns the
+    /// rack's power draw during the step. VM placement is reconciled
+    /// against the machines actually serving (checkpoint on machine loss,
+    /// restore when capacity returns).
+    pub fn step(&mut self, dt: SimDuration, utilization: f64) -> Watts {
+        let duty = self.duty;
+        let draw = self
+            .servers
+            .iter_mut()
+            .map(|s| s.step(dt, utilization, duty))
+            .sum();
+        let on: Vec<bool> = self.servers.iter().map(Server::is_on).collect();
+        self.vm_pool.reconcile(self.target_vms, &on);
+        draw
+    }
+
+    /// Aggregate compute capacity right now: active VMs × duty ×
+    /// per-profile speed, normalized so 1.0 ≡ one full-speed prototype VM.
+    #[must_use]
+    pub fn compute_capacity(&self) -> f64 {
+        let speed = self.servers[0].profile().relative_speed;
+        f64::from(self.active_vms()) * self.duty.throughput_scale() * speed
+    }
+
+    /// Total energy consumed by all machines.
+    #[must_use]
+    pub fn total_energy(&self) -> WattHours {
+        self.servers.iter().map(Server::total_energy).sum()
+    }
+
+    /// Energy consumed while machines were productive.
+    #[must_use]
+    pub fn effective_energy(&self) -> WattHours {
+        self.servers.iter().map(Server::effective_energy).sum()
+    }
+
+    /// Sum of per-machine on/off cycles.
+    #[must_use]
+    pub fn on_off_cycles(&self) -> u64 {
+        self.servers.iter().map(Server::on_off_cycles).sum()
+    }
+
+    /// VM-target control actions taken so far.
+    #[must_use]
+    pub fn vm_control_actions(&self) -> u64 {
+        self.vm_control_actions
+    }
+
+    /// Duty-cycle control actions taken so far.
+    #[must_use]
+    pub fn duty_control_actions(&self) -> u64 {
+        self.duty_control_actions
+    }
+
+    /// Mean availability across machines.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.servers.iter().map(Server::availability).sum::<f64>() / self.servers.len() as f64
+    }
+
+    /// `true` when at least one machine is serving.
+    #[must_use]
+    pub fn any_serving(&self) -> bool {
+        self.servers.iter().any(Server::is_on)
+    }
+
+    /// The VM pool: placement state and checkpoint/restore/migration
+    /// counters (the 5-minute management overhead of §5 accrues per
+    /// operation recorded here).
+    #[must_use]
+    pub fn vm_pool(&self) -> &VmPool {
+        &self.vm_pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(rack: &mut Rack, minutes: u64) {
+        for _ in 0..minutes {
+            rack.step(SimDuration::from_minutes(1), 1.0);
+        }
+    }
+
+    #[test]
+    fn prototype_has_8_slots() {
+        let rack = Rack::prototype();
+        assert_eq!(rack.total_vm_slots(), 8);
+        assert_eq!(rack.active_vms(), 0);
+        assert!(!rack.any_serving());
+    }
+
+    #[test]
+    fn vm_target_maps_to_fewest_machines() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(5); // needs 3 machines
+        settle(&mut rack, 15);
+        let on = rack.servers().iter().filter(|s| s.is_on()).count();
+        assert_eq!(on, 3);
+        assert_eq!(rack.active_vms(), 5);
+    }
+
+    #[test]
+    fn target_clamps_to_slots() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(100);
+        assert_eq!(rack.target_vms(), 8);
+    }
+
+    #[test]
+    fn scale_down_checkpoints_and_counts_cycles() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(8);
+        settle(&mut rack, 15);
+        rack.set_target_vms(4);
+        settle(&mut rack, 10);
+        assert_eq!(rack.active_vms(), 4);
+        assert_eq!(rack.on_off_cycles(), 2, "two machines cycled off");
+        assert_eq!(rack.vm_control_actions(), 2);
+    }
+
+    #[test]
+    fn duty_changes_count_once_per_change() {
+        let mut rack = Rack::prototype();
+        rack.set_duty(DutyCycle::new(0.5));
+        rack.set_duty(DutyCycle::new(0.5));
+        rack.set_duty(DutyCycle::FULL);
+        assert_eq!(rack.duty_control_actions(), 2);
+    }
+
+    #[test]
+    fn power_demand_scales_with_vms_and_duty() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(8);
+        settle(&mut rack, 15);
+        let full = rack.power_demand(1.0);
+        assert!((full.value() - 1800.0).abs() < 1e-9, "4 × 450 W at full tilt");
+        rack.set_duty(DutyCycle::new(0.5));
+        let halved = rack.power_demand(1.0);
+        assert!((halved.value() - 1460.0).abs() < 1e-9, "4 × 365 W at 50 % duty");
+    }
+
+    #[test]
+    fn compute_capacity_tracks_vms_and_duty() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(8);
+        settle(&mut rack, 15);
+        assert_eq!(rack.compute_capacity(), 8.0);
+        rack.set_duty(DutyCycle::new(0.5));
+        assert_eq!(rack.compute_capacity(), 4.0);
+        rack.set_target_vms(4);
+        settle(&mut rack, 10);
+        assert_eq!(rack.compute_capacity(), 2.0);
+    }
+
+    #[test]
+    fn shutdown_all_turns_everything_off() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(8);
+        settle(&mut rack, 15);
+        rack.shutdown_all();
+        settle(&mut rack, 10);
+        assert!(!rack.any_serving());
+        assert_eq!(rack.power_demand(1.0), Watts::ZERO);
+        assert_eq!(rack.on_off_cycles(), 4);
+    }
+
+    #[test]
+    fn vm_pool_follows_machine_lifecycle() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(6);
+        settle(&mut rack, 15);
+        assert_eq!(rack.vm_pool().running(), 6);
+        // Scale down: two VMs checkpoint.
+        rack.set_target_vms(2);
+        settle(&mut rack, 10);
+        assert_eq!(rack.vm_pool().running(), 2);
+        assert!(rack.vm_pool().total_checkpoints() >= 4);
+        // Hard crash checkpoints the rest on the next step.
+        rack.force_shutdown_all();
+        settle(&mut rack, 1);
+        assert_eq!(rack.vm_pool().running(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rack needs at least one server")]
+    fn rejects_empty_rack() {
+        let _ = Rack::new(ServerProfile::xeon_proliant(), 0);
+    }
+}

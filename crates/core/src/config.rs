@@ -1,0 +1,145 @@
+//! InSURE controller configuration.
+
+use ins_sim::time::SimDuration;
+use ins_sim::units::{AmpHours, Amps, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the spatio-temporal power manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InsureConfig {
+    /// Fine-grained control period (TPM current check, Fig. 11).
+    pub control_period: SimDuration,
+    /// Coarse-grained SPM screening interval (Fig. 9's interval `T`).
+    pub screening_interval: SimDuration,
+    /// State of charge at which a charging unit is considered charged and
+    /// brought online ("pre-determined capacity (90 %)", §3.2).
+    pub charge_target_soc: f64,
+    /// State of charge below which a discharging unit is pulled offline
+    /// and servers are checkpointed (Fig. 11's `SOCσ`).
+    pub soc_low_threshold: f64,
+    /// Per-unit discharge current cap (Fig. 11's `Iσ`): above it the TPM
+    /// sheds load so the recovery effect can act.
+    pub discharge_current_cap: Amps,
+    /// Peak charging power per unit (`PPC` in Fig. 10's `N = PG/PPC`).
+    pub peak_charge_power: Watts,
+    /// Designated lifetime discharge throughput per unit (`DL` in Eq. 1).
+    pub lifetime_discharge: AmpHours,
+    /// Desired battery lifetime (`TL` in Eq. 1), days.
+    pub desired_lifetime_days: f64,
+    /// Elastic screening (§3.3): allow the discharge threshold to grow
+    /// when too few units pass screening, trading lifetime for throughput.
+    pub elastic_threshold: bool,
+    /// Fraction of discharging units' current headroom kept in reserve
+    /// before the TPM raises capacity again (hysteresis guard).
+    pub raise_headroom: f64,
+}
+
+impl InsureConfig {
+    /// The prototype's configuration: 1-minute TPM period, hourly SPM
+    /// screening, 90 % charge target, 30 % low-SoC emergency threshold,
+    /// 0.5 C discharge cap, and a 4-year design life for the 35 Ah units.
+    #[must_use]
+    pub fn prototype() -> Self {
+        Self {
+            control_period: SimDuration::from_minutes(1),
+            screening_interval: SimDuration::from_hours(1),
+            charge_target_soc: 0.90,
+            soc_low_threshold: 0.30,
+            discharge_current_cap: Amps::new(17.5),
+            peak_charge_power: Watts::new(230.0),
+            lifetime_discharge: AmpHours::new(250.0 * 35.0),
+            desired_lifetime_days: 4.0 * 365.0,
+            elastic_threshold: true,
+            raise_headroom: 0.25,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.control_period.is_zero() {
+            return Err("control period must be non-zero".into());
+        }
+        if self.screening_interval.is_zero() {
+            return Err("screening interval must be non-zero".into());
+        }
+        if !(0.0 < self.charge_target_soc && self.charge_target_soc <= 1.0) {
+            return Err("charge target must lie in (0, 1]".into());
+        }
+        if !(0.0..1.0).contains(&self.soc_low_threshold) {
+            return Err("low-SoC threshold must lie in [0, 1)".into());
+        }
+        if self.soc_low_threshold >= self.charge_target_soc {
+            return Err("low-SoC threshold must be below the charge target".into());
+        }
+        if self.discharge_current_cap.value() <= 0.0 {
+            return Err("discharge current cap must be positive".into());
+        }
+        if self.peak_charge_power.value() <= 0.0 {
+            return Err("peak charge power must be positive".into());
+        }
+        if self.lifetime_discharge.value() <= 0.0 {
+            return Err("lifetime discharge must be positive".into());
+        }
+        if self.desired_lifetime_days <= 0.0 {
+            return Err("desired lifetime must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.raise_headroom) {
+            return Err("raise headroom must lie in [0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for InsureConfig {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_validates() {
+        InsureConfig::prototype().validate().unwrap();
+        InsureConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_inverted_thresholds() {
+        let mut c = InsureConfig::prototype();
+        c.soc_low_threshold = 0.95;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_periods() {
+        let mut c = InsureConfig::prototype();
+        c.control_period = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = InsureConfig::prototype();
+        c.screening_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_positive_limits() {
+        for f in [
+            |c: &mut InsureConfig| c.discharge_current_cap = Amps::ZERO,
+            |c: &mut InsureConfig| c.peak_charge_power = Watts::ZERO,
+            |c: &mut InsureConfig| c.lifetime_discharge = AmpHours::ZERO,
+            |c: &mut InsureConfig| c.desired_lifetime_days = 0.0,
+            |c: &mut InsureConfig| c.charge_target_soc = 0.0,
+            |c: &mut InsureConfig| c.raise_headroom = 1.0,
+        ] {
+            let mut c = InsureConfig::prototype();
+            f(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+}

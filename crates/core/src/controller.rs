@@ -1,0 +1,830 @@
+//! Power controllers: InSURE and the two comparison policies.
+//!
+//! A [`PowerController`] sees a [`SystemObservation`] once per control
+//! period and returns a [`ControlAction`] (battery attachments, VM target,
+//! duty cycle). Three policies are provided:
+//!
+//! * [`InsureController`] — the paper's contribution: SPM screening and
+//!   adaptive batch charging plus TPM discharge capping (§3.3–3.4),
+//! * [`BaselineController`] — "a baseline in-situ design that adopts the
+//!   power management approach of today's grid-connected green data
+//!   centers" (§6.4): renewable tracking and peak shaving over a unified,
+//!   non-reconfigurable buffer,
+//! * [`NoOptController`] — Table 6's "Non-Opt" log: a fixed daily server
+//!   schedule that uses the buffer aggressively with few control actions.
+
+use ins_battery::BatteryId;
+use ins_cluster::dvfs::DutyCycle;
+use ins_powernet::matrix::Attachment;
+use ins_sim::time::{SimTime, SimDuration};
+use ins_sim::units::{AmpHours, Amps, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::config::InsureConfig;
+use crate::spm::{
+    charge_batch_size, discharge_threshold, screen, select_for_charging,
+    select_for_discharge, UnitView,
+};
+use crate::tpm::{decide, LoadKnob, TpmAction, TpmInput};
+
+/// Everything a controller may observe in one control period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemObservation {
+    /// Current simulated instant.
+    pub now: SimTime,
+    /// Days since deployment start (for Eq. 1's `T`).
+    pub elapsed_days: f64,
+    /// Solar power currently harvested.
+    pub solar_power: Watts,
+    /// Per-unit battery state.
+    pub units: Vec<UnitView>,
+    /// Per-unit current attachment (indexed like `units`).
+    pub attachments: Vec<Attachment>,
+    /// Total discharge current measured over the last period.
+    pub discharge_current: Amps,
+    /// VMs currently serving.
+    pub active_vms: u32,
+    /// VM target currently requested.
+    pub target_vms: u32,
+    /// Total VM slots in the rack.
+    pub total_vm_slots: u32,
+    /// Present duty cycle.
+    pub duty: DutyCycle,
+    /// Rack power demand at the present settings.
+    pub rack_demand: Watts,
+    /// Worst-case rack power demand once the current VM target finishes
+    /// booting (used to size the discharge group ahead of demand steps).
+    pub rack_demand_target: Watts,
+    /// Rack power demand if everything ran flat out (for tracking).
+    pub rack_demand_full: Watts,
+    /// Nominal pack voltage (for converting power to current).
+    pub pack_voltage: Volts,
+    /// Data waiting to be processed, GB.
+    pub pending_gb: f64,
+    /// The knob this workload exposes to the TPM.
+    pub knob: LoadKnob,
+}
+
+/// A controller's orders for the coming period.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControlAction {
+    /// Desired attachment per unit (omitted units keep their attachment).
+    pub attachments: Vec<(BatteryId, Attachment)>,
+    /// New VM target, if changed.
+    pub target_vms: Option<u32>,
+    /// New duty cycle, if changed.
+    pub duty: Option<DutyCycle>,
+    /// Checkpoint everything and power the cluster down now.
+    pub emergency_shutdown: bool,
+}
+
+/// A power-management policy.
+pub trait PowerController {
+    /// Short display name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Produces the orders for the next control period.
+    fn control(&mut self, obs: &SystemObservation) -> ControlAction;
+}
+
+// ---------------------------------------------------------------------
+// InSURE
+// ---------------------------------------------------------------------
+
+/// The paper's joint spatio-temporal power manager.
+#[derive(Debug, Clone)]
+pub struct InsureController {
+    config: InsureConfig,
+    eligible: Vec<BatteryId>,
+    last_screening: Option<SimTime>,
+    unused_budget: AmpHours,
+    /// Raises are blocked until this instant after an emergency shutdown
+    /// or capping action, so the cluster cannot thrash through expensive
+    /// on/off cycles.
+    raise_blocked_until: Option<SimTime>,
+    /// Exponentially smoothed solar surplus (W): VM additions commit a
+    /// ~10-minute boot, so they key off the sustained surplus, not one
+    /// bright control period between clouds.
+    smoothed_surplus: f64,
+}
+
+impl InsureController {
+    /// Creates the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`InsureConfig::validate`].
+    #[must_use]
+    pub fn new(config: InsureConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid InSURE config: {e}"));
+        Self {
+            config,
+            eligible: Vec::new(),
+            last_screening: None,
+            unused_budget: AmpHours::ZERO,
+            raise_blocked_until: None,
+            smoothed_surplus: 0.0,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &InsureConfig {
+        &self.config
+    }
+
+    fn maybe_screen(&mut self, obs: &SystemObservation) {
+        let due = match self.last_screening {
+            None => true,
+            Some(t) => obs.now.since(t) >= self.config.screening_interval,
+        };
+        if !due {
+            return;
+        }
+        self.last_screening = Some(obs.now);
+        let threshold = discharge_threshold(
+            self.unused_budget,
+            self.config.lifetime_discharge,
+            obs.elapsed_days,
+            self.config.desired_lifetime_days,
+        );
+        // Keep at least two units in play so load and charge can proceed.
+        let s = screen(&obs.units, threshold, self.config.elastic_threshold, 2);
+        // Unused budget for the next interval: mean per-unit leftover.
+        if !obs.units.is_empty() {
+            let leftover: f64 = obs
+                .units
+                .iter()
+                .map(|u| (s.applied_threshold - u.discharge_throughput).value().max(0.0))
+                .sum::<f64>()
+                / obs.units.len() as f64;
+            self.unused_budget = AmpHours::new(leftover);
+        }
+        self.eligible = s.eligible;
+    }
+}
+
+impl PowerController for InsureController {
+    fn name(&self) -> &'static str {
+        "InSURE (spatio-temporal)"
+    }
+
+    fn control(&mut self, obs: &SystemObservation) -> ControlAction {
+        self.maybe_screen(obs);
+        let cfg = &self.config;
+        let mut action = ControlAction::default();
+
+        // --- Temporal decision first: it may force a shutdown. ---------
+        let discharging_now: Vec<&UnitView> = obs
+            .units
+            .iter()
+            .zip(&obs.attachments)
+            .filter(|(_, a)| **a == Attachment::DischargeBus)
+            .map(|(u, _)| u)
+            .collect();
+        let n_discharging = discharging_now.len().max(1);
+        let tpm_input = TpmInput {
+            discharge_current: obs.discharge_current,
+            current_threshold: cfg.discharge_current_cap * n_discharging as f64,
+            min_discharging_soc: discharging_now
+                .iter()
+                .map(|u| u.soc)
+                .fold(1.0, f64::min),
+            min_discharging_available: discharging_now
+                .iter()
+                .map(|u| u.available_fraction)
+                .fold(1.0, f64::min),
+            soc_threshold: cfg.soc_low_threshold,
+            available_threshold: 0.15,
+            knob: obs.knob,
+            raise_headroom: cfg.raise_headroom,
+            discharging: !discharging_now.is_empty()
+                && obs.discharge_current.value() > 0.0,
+        };
+        let mut allow_raise = false;
+        match decide(&tpm_input) {
+            TpmAction::EmergencyShutdown => {
+                action.emergency_shutdown = true;
+                action.target_vms = Some(0);
+                self.raise_blocked_until =
+                    Some(obs.now + SimDuration::from_minutes(20));
+            }
+            TpmAction::CapPower(LoadKnob::DutyCycle) => {
+                if obs.duty.at_floor() {
+                    // Capping exhausted: drop one PM worth of VMs instead.
+                    action.target_vms = Some(obs.target_vms.saturating_sub(2));
+                } else {
+                    action.duty = Some(obs.duty.lowered());
+                }
+                self.raise_blocked_until =
+                    Some(obs.now + SimDuration::from_minutes(5));
+            }
+            TpmAction::CapPower(LoadKnob::VmCount) => {
+                action.target_vms = Some(obs.target_vms.saturating_sub(1));
+                self.raise_blocked_until =
+                    Some(obs.now + SimDuration::from_minutes(5));
+            }
+            TpmAction::Hold { headroom } => {
+                allow_raise = headroom
+                    && self.raise_blocked_until.is_none_or(|t| obs.now >= t);
+            }
+        }
+
+        // --- Demand estimate after the temporal decision. --------------
+        let target_vms = action.target_vms.unwrap_or(obs.target_vms);
+        // Size the supply for the *worst case* of the present draw, the
+        // demand of the rack's current VM target, and the demand of the
+        // target this action is issuing — so demand steps (including our
+        // own raises) never outrun the discharge group. An emergency
+        // shutdown still has to power the 5-minute checkpoint wind-down,
+        // so the present draw stays in the estimate even then.
+        let issued_demand = Watts::new(f64::from(target_vms.div_ceil(2)) * 360.0);
+        let demand = if action.emergency_shutdown {
+            obs.rack_demand
+        } else {
+            obs.rack_demand
+                .max(obs.rack_demand_target)
+                .max(issued_demand)
+        };
+        let deficit = (demand - obs.solar_power).max(Watts::ZERO);
+        let surplus = (obs.solar_power - demand).max(Watts::ZERO);
+        self.smoothed_surplus += 0.2 * (surplus.value() - self.smoothed_surplus);
+
+        // --- Spatial decision: who charges, who discharges. ------------
+        let mut assigned: Vec<(BatteryId, Attachment)> = Vec::new();
+        // Discharge selection: cover the deficit under the per-unit cap.
+        let needed_current = Amps::new(deficit.value() / obs.pack_voltage.value().max(1.0));
+        let dischargers = select_for_discharge(
+            &obs.units,
+            &self.eligible,
+            needed_current,
+            cfg.discharge_current_cap,
+            cfg.soc_low_threshold,
+        );
+        for id in &dischargers {
+            assigned.push((*id, Attachment::DischargeBus));
+        }
+        // Charge selection from the remaining eligible units.
+        let charge_eligible: Vec<BatteryId> = self
+            .eligible
+            .iter()
+            .copied()
+            .filter(|id| !dischargers.contains(id))
+            .collect();
+        let n = charge_batch_size(surplus, cfg.peak_charge_power);
+        let chargers = select_for_charging(
+            &obs.units,
+            &charge_eligible,
+            n,
+            cfg.charge_target_soc,
+        );
+        for id in &chargers {
+            assigned.push((*id, Attachment::ChargeBus));
+        }
+        // Charged spare units ride the discharge bus as hot standby while
+        // servers run: they carry no current while solar suffices, but
+        // give the bus instant ride-through when a cloud crosses between
+        // control periods. Everything else floats isolated.
+        let serving = target_vms > 0 && !action.emergency_shutdown;
+        for u in &obs.units {
+            if !assigned.iter().any(|(id, _)| *id == u.id) {
+                let hot_standby = serving
+                    && self.eligible.contains(&u.id)
+                    && u.soc > cfg.soc_low_threshold + 0.1
+                    && !u.at_cutoff;
+                let to = if hot_standby {
+                    Attachment::DischargeBus
+                } else {
+                    Attachment::Isolated
+                };
+                assigned.push((u.id, to));
+            }
+        }
+        action.attachments = assigned;
+
+        // --- Night economy policy (independent of raise headroom). ------
+        // Night work runs on stored Ah, the scarcest resource: run a
+        // reduced footprint only while there is a backlog to chew through,
+        // and wind all the way down at the emergency-handling reserve
+        // (§6.3's energy availability).
+        let mean_soc = if obs.units.is_empty() {
+            0.0
+        } else {
+            obs.units.iter().map(|u| u.soc).sum::<f64>() / obs.units.len() as f64
+        };
+        let night = obs.solar_power.value() < 5.0;
+        let night_cap = if night { obs.total_vm_slots / 2 } else { obs.total_vm_slots };
+        let backlog = obs.pending_gb > 25.0;
+        if night
+            && !action.emergency_shutdown
+            && action.target_vms.is_none()
+            && target_vms > 0
+            && (target_vms > night_cap || mean_soc < 0.50 || !backlog)
+        {
+            action.target_vms = Some(target_vms - 1);
+        }
+
+        // --- Capacity raise when healthy. -------------------------------
+        if allow_raise && !action.emergency_shutdown && action.target_vms.is_none() {
+            let charged_buffer = obs
+                .units
+                .iter()
+                .filter(|u| u.soc >= cfg.charge_target_soc * 0.8)
+                .count();
+            // Raising the duty cycle is cheap; adding a VM may power a
+            // machine on, so it needs either a solar surplus covering the
+            // increment or a solidly charged buffer.
+            let vm_increment = Watts::new(250.0);
+            let night_ok = !night || (mean_soc > 0.55 && backlog);
+            if obs.duty.fraction() < 1.0 && action.duty.is_none() {
+                if surplus.value() > 0.0 || charged_buffer >= 2 {
+                    action.duty = Some(obs.duty.raised());
+                }
+            } else if target_vms < night_cap
+                && night_ok
+                && (self.smoothed_surplus > vm_increment.value() || charged_buffer >= 2)
+            {
+                // Grow one VM at a time; the rack maps VMs to PMs. Block
+                // further raises until this one has had time to boot and
+                // show up in the measured demand.
+                action.target_vms = Some(target_vms + 1);
+                self.raise_blocked_until = Some(obs.now + SimDuration::from_minutes(6));
+            }
+        }
+        action
+    }
+}
+
+impl Default for InsureController {
+    fn default() -> Self {
+        Self::new(InsureConfig::prototype())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline: grid-green style tracking + peak shaving, unified buffer
+// ---------------------------------------------------------------------
+
+/// The §6.4 baseline: renewable-tracking load control with a unified
+/// (all-or-nothing) energy buffer and no discharge capping.
+#[derive(Debug, Clone)]
+pub struct BaselineController {
+    /// Per-machine power estimate used for renewable tracking (one
+    /// ProLiant at the workloads' utilization).
+    watts_per_machine: f64,
+    /// Protection threshold: unified buffer disconnects below this SoC.
+    protection_soc: f64,
+    /// `true` while the buffer is locked out charging after a protection
+    /// event (it must recharge to the release level before reuse).
+    locked_out: bool,
+    /// SoC at which a locked-out buffer is released back to the load.
+    release_soc: f64,
+}
+
+impl BaselineController {
+    /// Creates the baseline with prototype numbers (≈ 360 W per active
+    /// machine, 25 % protection cutoff, 60 % recharge release).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            watts_per_machine: 360.0,
+            protection_soc: 0.25,
+            locked_out: false,
+            release_soc: 0.60,
+        }
+    }
+}
+
+impl Default for BaselineController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PowerController for BaselineController {
+    fn name(&self) -> &'static str {
+        "baseline (tracking + peak shaving)"
+    }
+
+    fn control(&mut self, obs: &SystemObservation) -> ControlAction {
+        let mut action = ControlAction::default();
+        let mean_soc = if obs.units.is_empty() {
+            0.0
+        } else {
+            obs.units.iter().map(|u| u.soc).sum::<f64>() / obs.units.len() as f64
+        };
+        let any_cutoff = obs.units.iter().any(|u| u.at_cutoff);
+
+        // Unified protection: the whole buffer drops out together.
+        if !self.locked_out && (mean_soc < self.protection_soc || any_cutoff) {
+            self.locked_out = true;
+        }
+        if self.locked_out && mean_soc >= self.release_soc {
+            self.locked_out = false;
+        }
+
+        if self.locked_out {
+            // Whole buffer charges; servers may only ride direct solar.
+            for u in &obs.units {
+                action.attachments.push((u.id, Attachment::ChargeBus));
+            }
+            // Solar-only operation needs a stability margin, or every
+            // passing cloud browns the servers out.
+            let machines = (obs.solar_power.value()
+                / (self.watts_per_machine * 1.3))
+                .floor() as u32;
+            let target = (machines * 2).min(obs.total_vm_slots);
+            if target == 0 {
+                action.emergency_shutdown = true;
+            }
+            action.target_vms = Some(target);
+            return action;
+        }
+
+        // Renewable tracking: machine count follows the solar budget, with
+        // the unified buffer shaving what's left (no per-unit decisions).
+        let buffer_assist = if mean_soc > 0.5 { 1.5 } else { 0.5 };
+        let budget = obs.solar_power.value() * (1.0 + buffer_assist * 0.3);
+        let machines = (budget / self.watts_per_machine).floor() as u32;
+        let target = (machines * 2).min(obs.total_vm_slots);
+        action.target_vms = Some(target);
+
+        // The unified buffer backs the load whenever the demand implied
+        // by the VM target being set right now (machines booting included)
+        // can exceed solar.
+        let tracked_demand = Watts::new(f64::from(machines) * self.watts_per_machine);
+        let demand_estimate = obs.rack_demand.max(tracked_demand);
+        let unified = if demand_estimate > obs.solar_power {
+            Attachment::DischargeBus
+        } else {
+            Attachment::ChargeBus
+        };
+        for u in &obs.units {
+            action.attachments.push((u.id, unified));
+        }
+        action
+    }
+}
+
+// ---------------------------------------------------------------------
+// Non-Opt: fixed schedule, aggressive buffer use (Table 6)
+// ---------------------------------------------------------------------
+
+/// Table 6's non-optimized log: the prototype's fixed daily schedule
+/// ("the first PM is turned on at 8:30 AM, the fourth at 11:30 AM; from
+/// 4:00 PM the first PM is turned off and all PMs are down by 6:30 PM",
+/// §5) with the buffer used aggressively and no capping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum DegradationLevel {
+    /// Run the full schedule.
+    #[default]
+    Full,
+    /// Buffer sagging: run half the schedule.
+    Half,
+    /// Buffer nearly flat: shut down until it recovers.
+    Dead,
+}
+
+/// See module docs; carries a coarse protection state with hysteresis so
+/// the operators' one manual rule ("back off when the pack sags") doesn't
+/// flap every control period.
+#[derive(Debug, Clone, Default)]
+pub struct NoOptController {
+    degradation: DegradationLevel,
+}
+
+impl NoOptController {
+    /// Creates the controller.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fixed VM schedule by time of day.
+    #[must_use]
+    fn scheduled_vms(hour: f64) -> u32 {
+        match hour {
+            h if h < 8.5 => 0,
+            h if h < 9.5 => 2,
+            h if h < 10.5 => 4,
+            h if h < 11.5 => 6,
+            h if h < 16.0 => 8,
+            h if h < 17.0 => 6,
+            h if h < 17.75 => 4,
+            h if h < 18.5 => 2,
+            _ => 0,
+        }
+    }
+}
+
+impl PowerController for NoOptController {
+    fn name(&self) -> &'static str {
+        "non-optimized (fixed schedule)"
+    }
+
+    fn control(&mut self, obs: &SystemObservation) -> ControlAction {
+        let mut action = ControlAction::default();
+        let mut target =
+            Self::scheduled_vms(obs.now.time_of_day_hours()).min(obs.total_vm_slots);
+        // The operators' only concession to the power system: when the
+        // pack sags they halve the schedule, and drop it entirely once it
+        // is nearly flat. The trigger watches the *available well* (what
+        // actually collapses under load); wide hysteresis bands keep the
+        // rule from flapping as the well bounces back at rest.
+        let mean_available = if obs.units.is_empty() {
+            0.0
+        } else {
+            obs.units.iter().map(|u| u.available_fraction).sum::<f64>()
+                / obs.units.len() as f64
+        };
+        self.degradation = match self.degradation {
+            DegradationLevel::Full if mean_available < 0.35 => DegradationLevel::Half,
+            DegradationLevel::Half if mean_available < 0.15 => DegradationLevel::Dead,
+            DegradationLevel::Half if mean_available > 0.75 => DegradationLevel::Full,
+            DegradationLevel::Dead if mean_available > 0.60 => DegradationLevel::Half,
+            level => level,
+        };
+        match self.degradation {
+            DegradationLevel::Full => {}
+            DegradationLevel::Half => target /= 2,
+            DegradationLevel::Dead => target = 0,
+        }
+        action.target_vms = Some(target);
+        // Aggressive unified buffer: discharge whenever the demand implied
+        // by the schedule target *being set right now* (booting machines
+        // included) can exceed solar; charge everything otherwise. Only
+        // hard exhaustion stops it.
+        let scheduled_demand = Watts::new(f64::from(target.div_ceil(2)) * 360.0);
+        let unified = if obs.rack_demand.max(scheduled_demand) > obs.solar_power {
+            Attachment::DischargeBus
+        } else {
+            Attachment::ChargeBus
+        };
+        for u in &obs.units {
+            let a = if u.at_cutoff { Attachment::ChargeBus } else { unified };
+            action.attachments.push((u.id, a));
+        }
+        action
+    }
+}
+
+/// Convenience alias used across experiments.
+pub type BoxedController = Box<dyn PowerController>;
+
+/// A named controller factory, as used by experiment sweeps.
+pub type ControllerFactory = (&'static str, fn() -> BoxedController);
+
+/// The evaluation's controller line-up, for experiments that sweep all
+/// three policies.
+#[must_use]
+pub fn lineup() -> Vec<ControllerFactory> {
+    vec![
+        ("insure", || Box::new(InsureController::default())),
+        ("baseline", || Box::new(BaselineController::new())),
+        ("noopt", || Box::new(NoOptController::new())),
+    ]
+}
+
+/// Minimum duration between controller invocations used by experiments.
+#[must_use]
+pub fn default_control_period() -> SimDuration {
+    SimDuration::from_minutes(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> SystemObservation {
+        SystemObservation {
+            now: SimTime::from_hms(12, 0, 0),
+            elapsed_days: 0.5,
+            solar_power: Watts::new(1200.0),
+            units: vec![
+                UnitView {
+                    id: BatteryId(0),
+                    soc: 0.9,
+                    available_fraction: 0.9,
+                    discharge_throughput: AmpHours::new(5.0),
+                    at_cutoff: false,
+                },
+                UnitView {
+                    id: BatteryId(1),
+                    soc: 0.5,
+                    available_fraction: 0.5,
+                    discharge_throughput: AmpHours::new(8.0),
+                    at_cutoff: false,
+                },
+                UnitView {
+                    id: BatteryId(2),
+                    soc: 0.3,
+                    available_fraction: 0.3,
+                    discharge_throughput: AmpHours::new(2.0),
+                    at_cutoff: false,
+                },
+            ],
+            attachments: vec![Attachment::Isolated; 3],
+            discharge_current: Amps::ZERO,
+            active_vms: 4,
+            target_vms: 4,
+            total_vm_slots: 8,
+            duty: DutyCycle::FULL,
+            rack_demand: Watts::new(900.0),
+            rack_demand_target: Watts::new(900.0),
+            rack_demand_full: Watts::new(1800.0),
+            pack_voltage: Volts::new(24.0),
+            pending_gb: 100.0,
+            knob: LoadKnob::DutyCycle,
+        }
+    }
+
+    #[test]
+    fn insure_charges_surplus_into_lowest_soc_units() {
+        let mut c = InsureController::default();
+        let action = c.control(&obs());
+        // 300 W surplus at 230 W PPC → one charger, the 0.3-SoC unit.
+        let chargers: Vec<BatteryId> = action
+            .attachments
+            .iter()
+            .filter(|(_, a)| *a == Attachment::ChargeBus)
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(chargers, vec![BatteryId(2)]);
+        assert!(!action.emergency_shutdown);
+    }
+
+    #[test]
+    fn insure_discharges_under_deficit() {
+        let mut c = InsureController::default();
+        let mut o = obs();
+        o.solar_power = Watts::new(100.0);
+        let action = c.control(&o);
+        let dischargers: Vec<BatteryId> = action
+            .attachments
+            .iter()
+            .filter(|(_, a)| *a == Attachment::DischargeBus)
+            .map(|(id, _)| *id)
+            .collect();
+        assert!(!dischargers.is_empty());
+        // Fullest unit first.
+        assert_eq!(dischargers[0], BatteryId(0));
+        // The 0.3-SoC unit is at the low threshold and must not discharge.
+        assert!(!dischargers.contains(&BatteryId(2)));
+    }
+
+    #[test]
+    fn insure_caps_duty_on_overcurrent() {
+        let mut c = InsureController::default();
+        let mut o = obs();
+        o.solar_power = Watts::new(100.0);
+        o.attachments = vec![
+            Attachment::DischargeBus,
+            Attachment::DischargeBus,
+            Attachment::Isolated,
+        ];
+        o.discharge_current = Amps::new(60.0); // 2 units × 17.5 A cap = 35 A
+        let action = c.control(&o);
+        assert_eq!(action.duty, Some(DutyCycle::FULL.lowered()));
+    }
+
+    #[test]
+    fn insure_reduces_vms_for_stream_workloads() {
+        let mut c = InsureController::default();
+        let mut o = obs();
+        o.knob = LoadKnob::VmCount;
+        o.solar_power = Watts::new(100.0);
+        o.attachments = vec![
+            Attachment::DischargeBus,
+            Attachment::DischargeBus,
+            Attachment::Isolated,
+        ];
+        o.discharge_current = Amps::new(60.0);
+        let action = c.control(&o);
+        assert_eq!(action.target_vms, Some(3));
+    }
+
+    #[test]
+    fn insure_shuts_down_on_low_soc_discharge() {
+        let mut c = InsureController::default();
+        let mut o = obs();
+        o.units[0].soc = 0.2;
+        o.attachments = vec![
+            Attachment::DischargeBus,
+            Attachment::Isolated,
+            Attachment::Isolated,
+        ];
+        o.discharge_current = Amps::new(10.0);
+        let action = c.control(&o);
+        assert!(action.emergency_shutdown);
+        assert_eq!(action.target_vms, Some(0));
+    }
+
+    #[test]
+    fn insure_raises_capacity_with_headroom_and_energy() {
+        let mut c = InsureController::default();
+        let mut o = obs();
+        o.duty = DutyCycle::new(0.5);
+        let action = c.control(&o);
+        assert_eq!(action.duty, Some(DutyCycle::new(0.5).raised()));
+    }
+
+    #[test]
+    fn insure_grows_vms_at_full_duty_once_surplus_is_sustained() {
+        let mut c = InsureController::default();
+        let mut o = obs(); // duty already full, 4 of 8 VMs, 300 W surplus
+        // The smoothed-surplus gate requires the surplus to persist
+        // across several control periods before committing a boot.
+        let mut raised = None;
+        for minute in 0..15 {
+            o.now = SimTime::from_hms(12, minute, 0);
+            let action = c.control(&o);
+            if action.target_vms.is_some() {
+                raised = action.target_vms;
+                break;
+            }
+        }
+        assert_eq!(raised, Some(5));
+    }
+
+    #[test]
+    fn insure_does_not_raise_on_one_bright_period() {
+        let mut c = InsureController::default();
+        let o = obs();
+        let action = c.control(&o);
+        assert_eq!(
+            action.target_vms, None,
+            "a single sunny minute must not boot a machine"
+        );
+    }
+
+    #[test]
+    fn baseline_moves_the_whole_buffer_together() {
+        let mut c = BaselineController::new();
+        let mut o = obs();
+        o.solar_power = Watts::new(200.0);
+        let action = c.control(&o);
+        let first = action.attachments[0].1;
+        assert!(action.attachments.iter().all(|(_, a)| *a == first));
+        assert_eq!(first, Attachment::DischargeBus);
+    }
+
+    #[test]
+    fn baseline_tracks_renewable_with_vm_count() {
+        let mut c = BaselineController::new();
+        let mut o = obs();
+        o.solar_power = Watts::new(1400.0);
+        let high = c.control(&o).target_vms.unwrap();
+        o.solar_power = Watts::new(400.0);
+        let low = c.control(&o).target_vms.unwrap();
+        assert!(high > low);
+    }
+
+    #[test]
+    fn baseline_locks_out_on_protection_and_recovers() {
+        let mut c = BaselineController::new();
+        let mut o = obs();
+        for u in &mut o.units {
+            u.soc = 0.2;
+        }
+        o.solar_power = Watts::new(100.0);
+        let action = c.control(&o);
+        // Locked out: everything charges, servers can't run on 100 W.
+        assert!(action
+            .attachments
+            .iter()
+            .all(|(_, a)| *a == Attachment::ChargeBus));
+        assert!(action.emergency_shutdown);
+        // Recharged: lockout releases.
+        for u in &mut o.units {
+            u.soc = 0.95;
+        }
+        o.solar_power = Watts::new(1200.0);
+        let action = c.control(&o);
+        assert!(!action.emergency_shutdown);
+        assert!(action.target_vms.unwrap() > 0);
+    }
+
+    #[test]
+    fn noopt_follows_the_wall_clock() {
+        let mut c = NoOptController::new();
+        let mut o = obs();
+        o.now = SimTime::from_hms(7, 0, 0);
+        assert_eq!(c.control(&o).target_vms, Some(0));
+        o.now = SimTime::from_hms(12, 0, 0);
+        assert_eq!(c.control(&o).target_vms, Some(8));
+        o.now = SimTime::from_hms(19, 0, 0);
+        assert_eq!(c.control(&o).target_vms, Some(0));
+    }
+
+    #[test]
+    fn lineup_builds_all_three() {
+        let l = lineup();
+        assert_eq!(l.len(), 3);
+        for (name, make) in l {
+            let c = make();
+            assert!(!c.name().is_empty(), "{name}");
+        }
+    }
+}

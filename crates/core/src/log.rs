@@ -1,0 +1,177 @@
+//! Per-day operation logs from a multi-day run.
+//!
+//! §6.2 mines "three pairs of day-long operation logs" from the
+//! prototype's monitoring stack. A multi-day [`InSituSystem`] run records
+//! everything the same way; [`daily_logs`] slices its traces and event log
+//! back into the per-day rows of Table 6.
+
+use ins_sim::stats::RunningStats;
+use ins_sim::time::{SimTime, SECONDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+use crate::system::{InSituSystem, SystemEvent};
+
+/// One day's worth of Table 6-style statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailyLog {
+    /// Day index (0-based).
+    pub day: u64,
+    /// Solar energy harvested this day, kWh.
+    pub solar_kwh: f64,
+    /// Load energy consumed this day, kWh.
+    pub load_kwh: f64,
+    /// Minimum mean pack voltage seen this day.
+    pub min_voltage: f64,
+    /// Mean pack voltage at the day's last sample.
+    pub end_voltage: f64,
+    /// Standard deviation of the pack voltage over the day.
+    pub voltage_sigma: f64,
+    /// Brown-outs this day.
+    pub brownouts: usize,
+    /// Emergency shutdowns this day.
+    pub emergency_shutdowns: usize,
+}
+
+/// Slices a finished run into per-day logs. Days with no recorded samples
+/// (beyond the simulated horizon) are omitted.
+#[must_use]
+pub fn daily_logs(system: &InSituSystem) -> Vec<DailyLog> {
+    let solar = system.trace_solar().samples();
+    if solar.is_empty() {
+        return Vec::new();
+    }
+    let load = system.trace_load().samples();
+    let volts = system.trace_pack_voltage().samples();
+    let last_day = solar.last().expect("checked non-empty").time.day();
+    let dt_h = if solar.len() >= 2 {
+        (solar[1].time - solar[0].time).as_hours().value()
+    } else {
+        0.0
+    };
+    (0..=last_day)
+        .filter_map(|day| {
+            let in_day =
+                |t: SimTime| t.day() == day;
+            let day_solar: f64 = solar
+                .iter()
+                .filter(|s| in_day(s.time))
+                .map(|s| s.value * dt_h)
+                .sum();
+            let day_load: f64 = load
+                .iter()
+                .filter(|s| in_day(s.time))
+                .map(|s| s.value * dt_h)
+                .sum();
+            let day_volts: Vec<f64> = volts
+                .iter()
+                .filter(|s| in_day(s.time))
+                .map(|s| s.value)
+                .collect();
+            if day_volts.is_empty() {
+                return None;
+            }
+            let stats: RunningStats = day_volts.iter().copied().collect();
+            let from = SimTime::from_secs(day * SECONDS_PER_DAY);
+            let to = SimTime::from_secs((day + 1) * SECONDS_PER_DAY);
+            let brownouts = system
+                .events()
+                .between(from, to)
+                .filter(|e| matches!(e.event, SystemEvent::BrownOut))
+                .count();
+            let emergency_shutdowns = system
+                .events()
+                .between(from, to)
+                .filter(|e| matches!(e.event, SystemEvent::EmergencyShutdown))
+                .count();
+            Some(DailyLog {
+                day,
+                solar_kwh: day_solar / 1000.0,
+                load_kwh: day_load / 1000.0,
+                min_voltage: stats.min(),
+                end_voltage: *day_volts.last().expect("checked non-empty"),
+                voltage_sigma: stats.population_std_dev(),
+                brownouts,
+                emergency_shutdowns,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::InsureController;
+    use crate::system::InSituSystem;
+    use ins_sim::time::SimDuration;
+    use ins_solar::trace::SolarTraceBuilder;
+    use ins_solar::weather::DayWeather;
+
+    fn three_day_run() -> InSituSystem {
+        let solar = SolarTraceBuilder::new()
+            .seed(6)
+            .build_days(&[DayWeather::Sunny, DayWeather::Rainy, DayWeather::Cloudy]);
+        let mut sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
+            .time_step(SimDuration::from_secs(60))
+            .build();
+        sys.run_until(SimTime::from_secs(3 * SECONDS_PER_DAY));
+        sys
+    }
+
+    #[test]
+    fn one_log_per_simulated_day() {
+        let sys = three_day_run();
+        let logs = daily_logs(&sys);
+        assert_eq!(logs.len(), 3);
+        assert_eq!(logs[0].day, 0);
+        assert_eq!(logs[2].day, 2);
+    }
+
+    #[test]
+    fn daily_energy_sums_to_run_totals() {
+        let sys = three_day_run();
+        let logs = daily_logs(&sys);
+        let daily_solar: f64 = logs.iter().map(|l| l.solar_kwh).sum();
+        assert!(
+            (daily_solar - sys.solar_harvested().kilowatt_hours()).abs() < 0.2,
+            "per-day solar {daily_solar:.2} vs total {:.2}",
+            sys.solar_harvested().kilowatt_hours()
+        );
+        let daily_load: f64 = logs.iter().map(|l| l.load_kwh).sum();
+        assert!(
+            (daily_load - sys.rack().total_energy().kilowatt_hours()).abs() < 0.2,
+            "per-day load {daily_load:.2} vs total {:.2}",
+            sys.rack().total_energy().kilowatt_hours()
+        );
+    }
+
+    #[test]
+    fn weather_shows_up_in_daily_budgets() {
+        let sys = three_day_run();
+        let logs = daily_logs(&sys);
+        assert!(
+            logs[0].solar_kwh > logs[1].solar_kwh,
+            "sunny day 0 ({:.1}) must out-harvest rainy day 1 ({:.1})",
+            logs[0].solar_kwh,
+            logs[1].solar_kwh
+        );
+    }
+
+    #[test]
+    fn voltage_statistics_are_physical() {
+        let sys = three_day_run();
+        for log in daily_logs(&sys) {
+            assert!(log.min_voltage > 15.0 && log.min_voltage < 30.0);
+            assert!(log.end_voltage >= log.min_voltage - 1e-9);
+            assert!(log.voltage_sigma >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_run_yields_no_logs() {
+        let solar = SolarTraceBuilder::new().seed(1).build_day();
+        let sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
+            .time_step(SimDuration::from_secs(60))
+            .build();
+        assert!(daily_logs(&sys).is_empty());
+    }
+}

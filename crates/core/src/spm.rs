@@ -1,0 +1,323 @@
+//! Spatial power management (SPM).
+//!
+//! The paper's Fig. 9 and Fig. 10 algorithms:
+//!
+//! * **Screening** — at each coarse interval, compute the discharge budget
+//!   threshold `δD = DU + DL · T / TL` (Eq. 1) and move units whose
+//!   aggregated discharge exceeds it into the offline group, balancing
+//!   wear across the e-Buffer.
+//! * **Batch sizing** — compute `N = PG / PPC`, the number of units the
+//!   current renewable budget can charge at near-peak rate, and pick the
+//!   `N` neediest eligible units (priority to low state of charge,
+//!   Fig. 14-a; ties broken toward low lifetime usage, Fig. 14-b).
+//! * **Discharge selection** — pick enough charged units to carry the
+//!   load under the per-unit current cap, preferring full, lightly-used
+//!   units (discharge balancing).
+
+use ins_battery::BatteryId;
+use ins_sim::units::{AmpHours, Amps, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Controller-visible state of one battery unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitView {
+    /// The unit's id.
+    pub id: BatteryId,
+    /// Total state of charge in `[0, 1]`.
+    pub soc: f64,
+    /// Fill level of the KiBaM available well in `[0, 1]` — the early
+    /// warning of an imminent terminal-voltage collapse.
+    pub available_fraction: f64,
+    /// Lifetime discharge throughput (the paper's `AhT[i]`).
+    pub discharge_throughput: AmpHours,
+    /// `true` when the unit's protection cutoff tripped this period.
+    pub at_cutoff: bool,
+}
+
+/// The discharge budget threshold of Eq. 1: `δD = DU + DL · T / TL`.
+///
+/// `unused_budget` is the budget left over from the previous control
+/// period (`DU`), `lifetime_discharge` the designated total (`DL`),
+/// `elapsed_days` the age of the deployment (`T`) and
+/// `desired_lifetime_days` the design life (`TL`).
+#[must_use]
+pub fn discharge_threshold(
+    unused_budget: AmpHours,
+    lifetime_discharge: AmpHours,
+    elapsed_days: f64,
+    desired_lifetime_days: f64,
+) -> AmpHours {
+    let ratio = (elapsed_days / desired_lifetime_days).max(0.0);
+    unused_budget + lifetime_discharge * ratio
+}
+
+/// Result of the Fig. 9 screening pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Screening {
+    /// Units under the threshold, usable in the coming cycle.
+    pub eligible: Vec<BatteryId>,
+    /// Over-used units rested for this period.
+    pub rested: Vec<BatteryId>,
+    /// The threshold actually applied (possibly relaxed, see below).
+    pub applied_threshold: AmpHours,
+}
+
+/// Screens units against the discharge threshold (Fig. 9).
+///
+/// With `elastic` set (§3.3's lifetime-for-throughput trade), the
+/// threshold is relaxed in 10 % steps until at least `min_eligible` units
+/// qualify, so a long stretch of high demand cannot strand the system with
+/// an empty eligible set.
+#[must_use]
+pub fn screen(
+    units: &[UnitView],
+    threshold: AmpHours,
+    elastic: bool,
+    min_eligible: usize,
+) -> Screening {
+    let mut applied = threshold;
+    loop {
+        let eligible: Vec<BatteryId> = units
+            .iter()
+            .filter(|u| u.discharge_throughput < applied || applied.value() <= 0.0)
+            .map(|u| u.id)
+            .collect();
+        let enough = eligible.len() >= min_eligible.min(units.len());
+        if enough || !elastic {
+            let rested = units
+                .iter()
+                .map(|u| u.id)
+                .filter(|id| !eligible.contains(id))
+                .collect();
+            return Screening {
+                eligible,
+                rested,
+                applied_threshold: applied,
+            };
+        }
+        // Relax by 10 % of the designated threshold (or a floor when the
+        // threshold started at zero).
+        let bump = (threshold.value() * 0.1).max(1.0);
+        applied = AmpHours::new(applied.value() + bump);
+    }
+}
+
+/// Fig. 10's batch size: how many units the renewable budget `pg` can
+/// charge at near-peak per-unit power `ppc`. At least one whenever any
+/// usable budget exists.
+///
+/// # Panics
+///
+/// Panics if `ppc` is not positive.
+#[must_use]
+pub fn charge_batch_size(pg: Watts, ppc: Watts) -> usize {
+    assert!(ppc.value() > 0.0, "peak charge power must be positive");
+    if pg.value() <= 0.0 {
+        return 0;
+    }
+    let n = (pg.value() / ppc.value()).floor() as usize;
+    n.max(1)
+}
+
+/// Picks up to `n` units to charge: lowest state of charge first
+/// (fast-charging priority, Fig. 14-a), ties toward the least-used unit
+/// (balance, Fig. 14-b). Only units below `target_soc` are candidates.
+#[must_use]
+pub fn select_for_charging(
+    units: &[UnitView],
+    eligible: &[BatteryId],
+    n: usize,
+    target_soc: f64,
+) -> Vec<BatteryId> {
+    let mut candidates: Vec<&UnitView> = units
+        .iter()
+        .filter(|u| eligible.contains(&u.id) && u.soc < target_soc)
+        .collect();
+    candidates.sort_by(|a, b| {
+        a.soc
+            .partial_cmp(&b.soc)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(
+                a.discharge_throughput
+                    .value()
+                    .partial_cmp(&b.discharge_throughput.value())
+                    .unwrap_or(core::cmp::Ordering::Equal),
+            )
+    });
+    candidates.into_iter().take(n).map(|u| u.id).collect()
+}
+
+/// Picks units to carry a total discharge `needed` under a per-unit
+/// current cap: fullest and least-used units first, adding units until the
+/// per-unit share fits under the cap (or candidates run out).
+///
+/// Returns the chosen ids; an empty vector means no unit can serve.
+#[must_use]
+pub fn select_for_discharge(
+    units: &[UnitView],
+    eligible: &[BatteryId],
+    needed: Amps,
+    per_unit_cap: Amps,
+    min_usable_soc: f64,
+) -> Vec<BatteryId> {
+    if needed.value() <= 0.0 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<&UnitView> = units
+        .iter()
+        .filter(|u| eligible.contains(&u.id) && u.soc > min_usable_soc && !u.at_cutoff)
+        .collect();
+    // Fullest first; among equals, least lifetime usage first.
+    candidates.sort_by(|a, b| {
+        b.soc
+            .partial_cmp(&a.soc)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(
+                a.discharge_throughput
+                    .value()
+                    .partial_cmp(&b.discharge_throughput.value())
+                    .unwrap_or(core::cmp::Ordering::Equal),
+            )
+    });
+    let mut chosen = Vec::new();
+    for u in candidates {
+        chosen.push(u.id);
+        let per_unit = needed / chosen.len() as f64;
+        if per_unit <= per_unit_cap {
+            break;
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: usize, soc: f64, throughput: f64) -> UnitView {
+        UnitView {
+            id: BatteryId(id),
+            soc,
+            available_fraction: soc,
+            discharge_throughput: AmpHours::new(throughput),
+            at_cutoff: false,
+        }
+    }
+
+    #[test]
+    fn threshold_grows_linearly_with_age() {
+        let dl = AmpHours::new(8750.0);
+        let t0 = discharge_threshold(AmpHours::ZERO, dl, 0.0, 1460.0);
+        assert_eq!(t0, AmpHours::ZERO);
+        let t1 = discharge_threshold(AmpHours::ZERO, dl, 146.0, 1460.0);
+        assert!((t1.value() - 875.0).abs() < 1e-9);
+        // Unused budget carries forward.
+        let t2 = discharge_threshold(AmpHours::new(100.0), dl, 146.0, 1460.0);
+        assert!((t2.value() - 975.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn screening_separates_overused_units() {
+        let units = [view(0, 0.8, 10.0), view(1, 0.8, 200.0), view(2, 0.8, 50.0)];
+        let s = screen(&units, AmpHours::new(100.0), false, 0);
+        assert_eq!(s.eligible, vec![BatteryId(0), BatteryId(2)]);
+        assert_eq!(s.rested, vec![BatteryId(1)]);
+        assert_eq!(s.applied_threshold, AmpHours::new(100.0));
+    }
+
+    #[test]
+    fn elastic_screening_relaxes_until_enough() {
+        // All units above threshold; elastic mode must still find two.
+        let units = [view(0, 0.8, 150.0), view(1, 0.8, 120.0), view(2, 0.8, 180.0)];
+        let rigid = screen(&units, AmpHours::new(100.0), false, 2);
+        assert!(rigid.eligible.is_empty());
+        let elastic = screen(&units, AmpHours::new(100.0), true, 2);
+        assert!(elastic.eligible.len() >= 2);
+        assert!(elastic.applied_threshold > AmpHours::new(100.0));
+    }
+
+    #[test]
+    fn batch_size_follows_budget() {
+        let ppc = Watts::new(230.0);
+        assert_eq!(charge_batch_size(Watts::ZERO, ppc), 0);
+        assert_eq!(charge_batch_size(Watts::new(100.0), ppc), 1);
+        assert_eq!(charge_batch_size(Watts::new(460.0), ppc), 2);
+        assert_eq!(charge_batch_size(Watts::new(800.0), ppc), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak charge power must be positive")]
+    fn batch_size_rejects_zero_ppc() {
+        let _ = charge_batch_size(Watts::new(100.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn charging_selection_prefers_low_soc() {
+        let units = [view(0, 0.9, 0.0), view(1, 0.2, 0.0), view(2, 0.5, 0.0)];
+        let all = [BatteryId(0), BatteryId(1), BatteryId(2)];
+        let picked = select_for_charging(&units, &all, 2, 0.9);
+        assert_eq!(picked, vec![BatteryId(1), BatteryId(2)]);
+    }
+
+    #[test]
+    fn charging_selection_ignores_already_charged() {
+        let units = [view(0, 0.95, 0.0), view(1, 0.92, 0.0)];
+        let all = [BatteryId(0), BatteryId(1)];
+        assert!(select_for_charging(&units, &all, 2, 0.9).is_empty());
+    }
+
+    #[test]
+    fn charging_selection_breaks_ties_by_usage() {
+        let units = [view(0, 0.5, 500.0), view(1, 0.5, 10.0)];
+        let all = [BatteryId(0), BatteryId(1)];
+        let picked = select_for_charging(&units, &all, 1, 0.9);
+        assert_eq!(picked, vec![BatteryId(1)]);
+    }
+
+    #[test]
+    fn charging_selection_respects_eligibility() {
+        let units = [view(0, 0.1, 0.0), view(1, 0.2, 0.0)];
+        let only_one = [BatteryId(1)];
+        let picked = select_for_charging(&units, &only_one, 2, 0.9);
+        assert_eq!(picked, vec![BatteryId(1)]);
+    }
+
+    #[test]
+    fn discharge_selection_adds_units_until_cap_fits() {
+        let units = [view(0, 0.9, 0.0), view(1, 0.85, 0.0), view(2, 0.8, 0.0)];
+        let all = [BatteryId(0), BatteryId(1), BatteryId(2)];
+        // 40 A needed at a 17.5 A cap → 3 units.
+        let picked =
+            select_for_discharge(&units, &all, Amps::new(40.0), Amps::new(17.5), 0.3);
+        assert_eq!(picked.len(), 3);
+        // 15 A needed → a single (fullest) unit suffices.
+        let picked =
+            select_for_discharge(&units, &all, Amps::new(15.0), Amps::new(17.5), 0.3);
+        assert_eq!(picked, vec![BatteryId(0)]);
+    }
+
+    #[test]
+    fn discharge_selection_skips_depleted_and_cutoff_units() {
+        let mut low = view(0, 0.2, 0.0);
+        low.at_cutoff = false;
+        let mut tripped = view(1, 0.9, 0.0);
+        tripped.at_cutoff = true;
+        let good = view(2, 0.7, 0.0);
+        let all = [BatteryId(0), BatteryId(1), BatteryId(2)];
+        let picked = select_for_discharge(
+            &[low, tripped, good],
+            &all,
+            Amps::new(10.0),
+            Amps::new(17.5),
+            0.3,
+        );
+        assert_eq!(picked, vec![BatteryId(2)]);
+    }
+
+    #[test]
+    fn discharge_selection_zero_need_is_empty() {
+        let units = [view(0, 0.9, 0.0)];
+        let all = [BatteryId(0)];
+        assert!(select_for_discharge(&units, &all, Amps::ZERO, Amps::new(17.5), 0.3).is_empty());
+    }
+}

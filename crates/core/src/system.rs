@@ -1,0 +1,758 @@
+//! Full-system co-simulation: solar → e-Buffer → servers → workload.
+//!
+//! [`InSituSystem`] wires every substrate together and advances them in
+//! lock-step, playing the role of the prototype's "power and load
+//! coordination" node (§4): it observes the system once per control
+//! period, asks the installed [`PowerController`] for orders, applies
+//! them through the switch matrix and rack, settles the power flow, and
+//! keeps the logs the paper mines for its evaluation.
+
+use ins_battery::{BatteryId, BatteryParams, BatteryUnit};
+use ins_cluster::rack::Rack;
+use ins_powernet::bus::LoadBus;
+use ins_powernet::charger::ChargeController;
+use ins_powernet::matrix::{Attachment, SwitchMatrix};
+use ins_sim::log::EventLog;
+use ins_sim::stats::RunningStats;
+use ins_sim::time::{SimClock, SimDuration, SimTime};
+use ins_sim::trace::Trace;
+use ins_sim::units::{AmpHours, Amps, Volts, WattHours, Watts};
+use ins_solar::SolarTrace;
+use ins_workload::batch::{BatchSpec, BatchWorkload};
+use ins_workload::scaling::ScalingModel;
+use ins_workload::stream::{StreamSpec, StreamWorkload};
+
+use crate::controller::{ControlAction, PowerController, SystemObservation};
+use crate::spm::UnitView;
+use crate::tpm::LoadKnob;
+
+/// The workload driving the cluster.
+#[derive(Debug, Clone)]
+pub enum WorkloadModel {
+    /// Intermittent batch jobs (seismic surveys).
+    Batch {
+        /// Job queue and completion stats.
+        workload: BatchWorkload,
+        /// Cluster throughput scaling.
+        scaling: ScalingModel,
+        /// CPU utilization the workload drives while running.
+        utilization: f64,
+    },
+    /// Continuous data stream (video surveillance).
+    Stream {
+        /// Backlog and delay stats.
+        workload: StreamWorkload,
+        /// Cluster throughput scaling.
+        scaling: ScalingModel,
+        /// CPU utilization the workload drives while running.
+        utilization: f64,
+    },
+}
+
+impl WorkloadModel {
+    /// The paper's seismic case study (Table 2 parameters).
+    #[must_use]
+    pub fn seismic() -> Self {
+        WorkloadModel::Batch {
+            workload: BatchWorkload::new(BatchSpec::seismic()),
+            scaling: ScalingModel::seismic_analysis(),
+            utilization: 0.41,
+        }
+    }
+
+    /// The paper's video-surveillance case study (Table 3 parameters).
+    #[must_use]
+    pub fn video() -> Self {
+        WorkloadModel::Stream {
+            workload: StreamWorkload::new(StreamSpec::video_surveillance()),
+            scaling: ScalingModel::video_surveillance(),
+            utilization: 0.41,
+        }
+    }
+
+    /// The TPM knob this workload exposes.
+    #[must_use]
+    pub fn knob(&self) -> LoadKnob {
+        match self {
+            WorkloadModel::Batch { .. } => LoadKnob::DutyCycle,
+            WorkloadModel::Stream { .. } => LoadKnob::VmCount,
+        }
+    }
+
+    /// CPU utilization while processing.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        match self {
+            WorkloadModel::Batch { utilization, .. }
+            | WorkloadModel::Stream { utilization, .. } => *utilization,
+        }
+    }
+
+    /// Cluster capacity at the given VM count and duty, GB/hour.
+    #[must_use]
+    pub fn capacity_gb_per_hour(&self, vms: u32, duty: f64) -> f64 {
+        match self {
+            WorkloadModel::Batch { scaling, .. }
+            | WorkloadModel::Stream { scaling, .. } => scaling.gb_per_hour(vms, duty),
+        }
+    }
+
+    /// Advances the workload by `dt` at `gb_per_hour` capacity.
+    pub fn step(&mut self, now: SimTime, dt: SimDuration, gb_per_hour: f64) {
+        match self {
+            WorkloadModel::Batch { workload, .. } => workload.step(now, dt, gb_per_hour),
+            WorkloadModel::Stream { workload, .. } => workload.step(dt, gb_per_hour),
+        }
+    }
+
+    /// Data processed so far, GB.
+    #[must_use]
+    pub fn processed_gb(&self) -> f64 {
+        match self {
+            WorkloadModel::Batch { workload, .. } => workload.processed_gb(),
+            WorkloadModel::Stream { workload, .. } => workload.processed_gb(),
+        }
+    }
+
+    /// Data waiting, GB.
+    #[must_use]
+    pub fn pending_gb(&self) -> f64 {
+        match self {
+            WorkloadModel::Batch { workload, .. } => workload.pending_gb(),
+            WorkloadModel::Stream { workload, .. } => workload.backlog_gb(),
+        }
+    }
+
+    /// Mean service latency in minutes (job turnaround for batch, queue
+    /// delay for streams).
+    #[must_use]
+    pub fn mean_latency_minutes(&self) -> f64 {
+        match self {
+            WorkloadModel::Batch { workload, .. } => workload.mean_turnaround_minutes(),
+            WorkloadModel::Stream { workload, .. } => workload.mean_delay_minutes(),
+        }
+    }
+}
+
+/// Notable events recorded during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemEvent {
+    /// The controller ordered an emergency checkpoint + shutdown.
+    EmergencyShutdown,
+    /// The power sources could not cover the demand: servers browned out
+    /// and were forcibly checkpointed.
+    BrownOut,
+    /// A battery unit tripped its protection cutoff while discharging.
+    CutoffTrip(BatteryId),
+}
+
+/// The assembled in-situ system.
+pub struct InSituSystem {
+    clock: SimClock,
+    solar: SolarTrace,
+    units: Vec<BatteryUnit>,
+    matrix: SwitchMatrix,
+    charger: ChargeController,
+    bus: LoadBus,
+    rack: Rack,
+    workload: WorkloadModel,
+    controller: Box<dyn PowerController>,
+    control_period: SimDuration,
+    started: SimTime,
+    last_control: Option<SimTime>,
+    last_discharge_current: Amps,
+
+    // Measurement state.
+    trace_solar: Trace,
+    trace_load: Trace,
+    trace_stored: Trace,
+    trace_pack_voltage: Trace,
+    voltage_stats: RunningStats,
+    events: EventLog<SystemEvent>,
+    solar_harvested: WattHours,
+    solar_used_load: WattHours,
+    solar_used_charge: WattHours,
+    battery_delivered: WattHours,
+    served_time: SimDuration,
+    demand_time: SimDuration,
+}
+
+impl core::fmt::Debug for InSituSystem {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("InSituSystem")
+            .field("now", &self.clock.now())
+            .field("controller", &self.controller.name())
+            .field("units", &self.units.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl InSituSystem {
+    /// Starts building a system.
+    #[must_use]
+    pub fn builder(solar: SolarTrace, controller: Box<dyn PowerController>) -> SystemBuilder {
+        SystemBuilder::new(solar, controller)
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The battery units.
+    #[must_use]
+    pub fn units(&self) -> &[BatteryUnit] {
+        &self.units
+    }
+
+    /// The switch matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &SwitchMatrix {
+        &self.matrix
+    }
+
+    /// The server rack.
+    #[must_use]
+    pub fn rack(&self) -> &Rack {
+        &self.rack
+    }
+
+    /// The workload.
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadModel {
+        &self.workload
+    }
+
+    /// The installed controller's name.
+    #[must_use]
+    pub fn controller_name(&self) -> &'static str {
+        self.controller.name()
+    }
+
+    /// Recorded events.
+    #[must_use]
+    pub fn events(&self) -> &EventLog<SystemEvent> {
+        &self.events
+    }
+
+    /// Solar power trace as replayed (one sample per step).
+    #[must_use]
+    pub fn trace_solar(&self) -> &Trace {
+        &self.trace_solar
+    }
+
+    /// Load (rack draw) trace.
+    #[must_use]
+    pub fn trace_load(&self) -> &Trace {
+        &self.trace_load
+    }
+
+    /// Total e-Buffer stored energy trace (Wh).
+    #[must_use]
+    pub fn trace_stored(&self) -> &Trace {
+        &self.trace_stored
+    }
+
+    /// Mean cabinet open-circuit voltage trace.
+    #[must_use]
+    pub fn trace_pack_voltage(&self) -> &Trace {
+        &self.trace_pack_voltage
+    }
+
+    /// Pooled statistics of the pack-voltage trace (Table 6's σ source).
+    #[must_use]
+    pub fn voltage_stats(&self) -> &RunningStats {
+        &self.voltage_stats
+    }
+
+    /// Total solar energy harvested so far.
+    #[must_use]
+    pub fn solar_harvested(&self) -> WattHours {
+        self.solar_harvested
+    }
+
+    /// Solar energy consumed directly by the load / by charging.
+    #[must_use]
+    pub fn solar_used(&self) -> (WattHours, WattHours) {
+        (self.solar_used_load, self.solar_used_charge)
+    }
+
+    /// Energy delivered by the e-Buffer to the load.
+    #[must_use]
+    pub fn battery_delivered(&self) -> WattHours {
+        self.battery_delivered
+    }
+
+    /// Fraction of demand-time during which demand was fully served.
+    #[must_use]
+    pub fn service_availability(&self) -> f64 {
+        if self.demand_time.is_zero() {
+            return 1.0;
+        }
+        self.served_time.as_secs() as f64 / self.demand_time.as_secs() as f64
+    }
+
+    /// Hours simulated so far.
+    #[must_use]
+    pub fn elapsed_hours(&self) -> f64 {
+        (self.clock.now() - self.started).as_hours().value()
+    }
+
+    /// Builds the controller-visible observation.
+    fn observe(&self, solar: Watts) -> SystemObservation {
+        let views: Vec<UnitView> = self
+            .units
+            .iter()
+            .map(|u| UnitView {
+                id: u.id(),
+                soc: u.soc(),
+                available_fraction: u.available_fraction(),
+                discharge_throughput: u.discharge_throughput(),
+                at_cutoff: u.at_cutoff(Amps::new(10.0)),
+            })
+            .collect();
+        let attachments: Vec<Attachment> = self
+            .units
+            .iter()
+            .map(|u| {
+                self.matrix
+                    .attachment(u.id())
+                    .expect("matrix tracks every unit")
+            })
+            .collect();
+        let util = self.workload.utilization();
+        SystemObservation {
+            now: self.clock.now(),
+            elapsed_days: self.elapsed_hours() / 24.0,
+            solar_power: solar,
+            units: views,
+            attachments,
+            discharge_current: self.last_discharge_current,
+            active_vms: self.rack.active_vms(),
+            target_vms: self.rack.target_vms(),
+            total_vm_slots: self.rack.total_vm_slots(),
+            duty: self.rack.duty(),
+            rack_demand: self.rack.power_demand(util),
+            rack_demand_target: {
+                let profile = self.rack.servers()[0].profile();
+                let machines = self
+                    .rack
+                    .target_vms()
+                    .div_ceil(profile.vm_slots.max(1));
+                profile.power_at(util, self.rack.duty().fraction())
+                    * f64::from(machines)
+            },
+            rack_demand_full: Watts::new(
+                self.rack.servers().len() as f64
+                    * self.rack.servers()[0].profile().peak_power.value(),
+            ),
+            pack_voltage: Volts::new(
+                self.units
+                    .first()
+                    .map_or(24.0, |u| u.params().nominal_voltage.value()),
+            ),
+            pending_gb: self.workload.pending_gb(),
+            knob: self.workload.knob(),
+        }
+    }
+
+    fn apply(&mut self, action: ControlAction) {
+        if action.emergency_shutdown {
+            self.rack.shutdown_all();
+            self.events.push(self.clock.now(), SystemEvent::EmergencyShutdown);
+        }
+        for (id, attachment) in action.attachments {
+            self.matrix
+                .attach(id, attachment)
+                .expect("controller only names known units");
+        }
+        if let Some(vms) = action.target_vms {
+            if !action.emergency_shutdown {
+                self.rack.set_target_vms(vms);
+            }
+        }
+        if let Some(duty) = action.duty {
+            self.rack.set_duty(duty);
+        }
+    }
+
+    /// Advances the system one clock step.
+    pub fn step(&mut self) {
+        let now = self.clock.now();
+        let dt = self.clock.dt();
+        let dt_h = dt.as_hours();
+        let solar = self.solar.power_at(now);
+
+        // Controller at its period boundary.
+        let control_due = match self.last_control {
+            None => true,
+            Some(t) => now.since(t) >= self.control_period,
+        };
+        if control_due {
+            self.last_control = Some(now);
+            let obs = self.observe(solar);
+            let action = self.controller.control(&obs);
+            self.apply(action);
+        }
+
+        // Power settlement: load first (solar then discharging units).
+        let util = self.workload.utilization();
+        let demand = self.rack.power_demand(util);
+        let discharging_ids = self.matrix.discharging_units();
+        let settlement = {
+            let mut refs: Vec<&mut BatteryUnit> = self
+                .units
+                .iter_mut()
+                .filter(|u| discharging_ids.contains(&u.id()))
+                .collect();
+            self.bus.settle(demand, solar, &mut refs, dt_h)
+        };
+        let pack_v = self
+            .units
+            .first()
+            .map_or(24.0, |u| u.params().nominal_voltage.value());
+        self.last_discharge_current = Amps::new(settlement.battery_used.value() / pack_v);
+
+        // Brown-out: a materially unservable demand (beyond what the PSU
+        // ride-through tolerates) forces an immediate checkpoint. Small
+        // transient mismatches only degrade that step's progress.
+        let shortfall_frac = if demand.value() > 1.0 {
+            settlement.shortfall / demand
+        } else {
+            0.0
+        };
+        let browned_out = shortfall_frac > 0.05;
+        if browned_out {
+            // The supply actually collapsed: machines crash off instantly
+            // (no orderly checkpoint window) and must cold-boot later.
+            self.rack.force_shutdown_all();
+            self.events.push(now, SystemEvent::BrownOut);
+        }
+        // Cutoff trips while discharging.
+        for id in &discharging_ids {
+            let unit = &self.units[id.0];
+            if unit.at_cutoff(Amps::new(10.0)) {
+                self.events.push(now, SystemEvent::CutoffTrip(*id));
+            }
+        }
+
+        // Charging from what solar remains.
+        let solar_left = (solar - settlement.solar_used).max(Watts::ZERO);
+        let charging_ids = self.matrix.charging_units();
+        let charge_step = {
+            let mut refs: Vec<&mut BatteryUnit> = self
+                .units
+                .iter_mut()
+                .filter(|u| charging_ids.contains(&u.id()))
+                .collect();
+            self.charger.charge(&mut refs, solar_left, dt_h)
+        };
+
+        // Isolated units rest (recovery effect continues).
+        for u in self.units.iter_mut() {
+            let attached = discharging_ids.contains(&u.id()) || charging_ids.contains(&u.id());
+            if !attached {
+                u.rest(dt_h);
+            }
+        }
+
+        // Rack advances; workload progresses when the demand was served.
+        let draw = self.rack.step(dt, util);
+        let capacity = if browned_out {
+            0.0
+        } else {
+            // Tolerated transient shortfalls degrade progress linearly.
+            self.workload
+                .capacity_gb_per_hour(self.rack.active_vms(), self.rack.duty().fraction())
+                * (1.0 - shortfall_frac / 0.05).clamp(0.0, 1.0)
+        };
+        self.workload.step(now, dt, capacity);
+
+        // Accounting.
+        self.solar_harvested += solar * dt_h;
+        self.solar_used_load += settlement.solar_used * dt_h;
+        self.solar_used_charge += charge_step.drawn * dt_h;
+        self.battery_delivered += settlement.battery_used * dt_h;
+        if demand.value() > 1.0 {
+            self.demand_time += dt;
+            if !browned_out {
+                self.served_time += dt;
+            }
+        }
+        self.trace_solar.record(now, solar.value());
+        self.trace_load.record(now, draw.value());
+        let stored: WattHours = self.units.iter().map(BatteryUnit::stored_energy).sum();
+        self.trace_stored.record(now, stored.value());
+        let mean_v = self
+            .units
+            .iter()
+            .map(|u| u.open_circuit_voltage().value())
+            .sum::<f64>()
+            / self.units.len().max(1) as f64;
+        self.trace_pack_voltage.record(now, mean_v);
+        self.voltage_stats.push(mean_v);
+
+        self.clock.tick();
+    }
+
+    /// Runs until the given instant.
+    pub fn run_until(&mut self, end: SimTime) {
+        while self.clock.now() < end {
+            self.step();
+        }
+    }
+
+    /// Total e-Buffer discharge throughput so far.
+    #[must_use]
+    pub fn total_discharge_throughput(&self) -> AmpHours {
+        self.units.iter().map(BatteryUnit::discharge_throughput).sum()
+    }
+}
+
+/// Builder for [`InSituSystem`].
+pub struct SystemBuilder {
+    solar: SolarTrace,
+    controller: Box<dyn PowerController>,
+    unit_params: BatteryParams,
+    unit_count: usize,
+    initial_soc: f64,
+    rack: Rack,
+    workload: WorkloadModel,
+    control_period: SimDuration,
+    dt: SimDuration,
+    start: SimTime,
+}
+
+impl SystemBuilder {
+    /// Creates a builder with the prototype defaults: three 24 V cabinets
+    /// at 60 % charge, the 4-machine ProLiant rack, the seismic workload,
+    /// 1-minute control period and 10-second simulation step.
+    #[must_use]
+    pub fn new(solar: SolarTrace, controller: Box<dyn PowerController>) -> Self {
+        Self {
+            solar,
+            controller,
+            unit_params: BatteryParams::cabinet_24v(),
+            unit_count: 3,
+            initial_soc: 0.6,
+            rack: Rack::prototype(),
+            workload: WorkloadModel::seismic(),
+            control_period: SimDuration::from_minutes(1),
+            dt: SimDuration::from_secs(10),
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the number of battery cabinets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn unit_count(mut self, count: usize) -> Self {
+        assert!(count > 0, "at least one battery unit required");
+        self.unit_count = count;
+        self
+    }
+
+    /// Sets the per-cabinet battery parameters.
+    #[must_use]
+    pub fn unit_params(mut self, params: BatteryParams) -> Self {
+        self.unit_params = params;
+        self
+    }
+
+    /// Sets the initial (rested) state of charge of every cabinet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soc` is outside `[0, 1]`.
+    #[must_use]
+    pub fn initial_soc(mut self, soc: f64) -> Self {
+        assert!((0.0..=1.0).contains(&soc), "soc must lie in [0, 1]");
+        self.initial_soc = soc;
+        self
+    }
+
+    /// Sets the server rack.
+    #[must_use]
+    pub fn rack(mut self, rack: Rack) -> Self {
+        self.rack = rack;
+        self
+    }
+
+    /// Sets the workload.
+    #[must_use]
+    pub fn workload(mut self, workload: WorkloadModel) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the controller invocation period.
+    #[must_use]
+    pub fn control_period(mut self, period: SimDuration) -> Self {
+        self.control_period = period;
+        self
+    }
+
+    /// Sets the simulation step.
+    #[must_use]
+    pub fn time_step(mut self, dt: SimDuration) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Sets the starting instant (e.g. midnight of day 0).
+    #[must_use]
+    pub fn start_at(mut self, start: SimTime) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Assembles the system.
+    #[must_use]
+    pub fn build(self) -> InSituSystem {
+        let units: Vec<BatteryUnit> = (0..self.unit_count)
+            .map(|i| BatteryUnit::with_soc(BatteryId(i), self.unit_params, self.initial_soc))
+            .collect();
+        InSituSystem {
+            clock: SimClock::starting_at(self.start, self.dt),
+            solar: self.solar,
+            matrix: SwitchMatrix::new(units.len()),
+            units,
+            charger: ChargeController::prototype(),
+            bus: LoadBus::prototype(),
+            rack: self.rack,
+            workload: self.workload,
+            controller: self.controller,
+            control_period: self.control_period,
+            started: self.start,
+            last_control: None,
+            last_discharge_current: Amps::ZERO,
+            trace_solar: Trace::new("solar W"),
+            trace_load: Trace::new("load W"),
+            trace_stored: Trace::new("stored Wh"),
+            trace_pack_voltage: Trace::new("pack V"),
+            voltage_stats: RunningStats::new(),
+            events: EventLog::new(),
+            solar_harvested: WattHours::ZERO,
+            solar_used_load: WattHours::ZERO,
+            solar_used_charge: WattHours::ZERO,
+            battery_delivered: WattHours::ZERO,
+            served_time: SimDuration::ZERO,
+            demand_time: SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{BaselineController, InsureController, NoOptController};
+    use ins_solar::trace::high_generation_day;
+
+    fn day_system(controller: Box<dyn PowerController>) -> InSituSystem {
+        InSituSystem::builder(high_generation_day(42), controller)
+            .time_step(SimDuration::from_secs(30))
+            .build()
+    }
+
+    #[test]
+    fn insure_runs_a_full_day_and_processes_data() {
+        let mut sys = day_system(Box::new(InsureController::default()));
+        sys.run_until(SimTime::from_hms(23, 59, 0));
+        assert!(
+            sys.workload().processed_gb() > 20.0,
+            "processed {} GB",
+            sys.workload().processed_gb()
+        );
+        assert!(sys.solar_harvested().kilowatt_hours() > 8.0);
+        assert!(sys.rack().total_energy().value() > 0.0);
+    }
+
+    #[test]
+    fn all_controllers_survive_a_day() {
+        for make in [
+            || Box::new(InsureController::default()) as Box<dyn PowerController>,
+            || Box::new(BaselineController::new()) as Box<dyn PowerController>,
+            || Box::new(NoOptController::new()) as Box<dyn PowerController>,
+        ] {
+            let mut sys = day_system(make());
+            sys.run_until(SimTime::from_hms(23, 59, 0));
+            // Physical sanity regardless of policy quality.
+            for u in sys.units() {
+                assert!((0.0..=1.0).contains(&u.soc()));
+            }
+            let (load, charge) = sys.solar_used();
+            assert!(load + charge <= sys.solar_harvested() + WattHours::new(1.0));
+        }
+    }
+
+    #[test]
+    fn energy_conservation_within_losses() {
+        let mut sys = day_system(Box::new(InsureController::default()));
+        sys.run_until(SimTime::from_hms(23, 59, 0));
+        // Rack energy must not exceed what solar + battery delivered
+        // (conversion always loses, never creates).
+        let delivered = sys.solar_used().0 + sys.battery_delivered();
+        assert!(
+            sys.rack().total_energy() <= delivered + WattHours::new(1.0),
+            "rack {} Wh vs delivered {} Wh",
+            sys.rack().total_energy().value(),
+            delivered.value()
+        );
+    }
+
+    #[test]
+    fn insure_keeps_voltage_steadier_than_noopt() {
+        let mut insure = day_system(Box::new(InsureController::default()));
+        insure.run_until(SimTime::from_hms(23, 59, 0));
+        let mut noopt = day_system(Box::new(NoOptController::new()));
+        noopt.run_until(SimTime::from_hms(23, 59, 0));
+        assert!(
+            insure.voltage_stats().population_std_dev()
+                <= noopt.voltage_stats().population_std_dev() * 1.1,
+            "insure σ {} vs noopt σ {}",
+            insure.voltage_stats().population_std_dev(),
+            noopt.voltage_stats().population_std_dev()
+        );
+    }
+
+    #[test]
+    fn traces_cover_the_run() {
+        let mut sys = day_system(Box::new(InsureController::default()));
+        sys.run_until(SimTime::from_hms(6, 0, 0));
+        let expected = 6 * 3600 / 30;
+        assert_eq!(sys.trace_solar().len(), expected);
+        assert_eq!(sys.trace_load().len(), expected);
+        assert_eq!(sys.trace_stored().len(), expected);
+        assert_eq!(sys.trace_pack_voltage().len(), expected);
+        assert!((sys.elapsed_hours() - 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn builder_settings_apply() {
+        let sys = InSituSystem::builder(
+            high_generation_day(1),
+            Box::new(InsureController::default()),
+        )
+        .unit_count(6)
+        .initial_soc(0.4)
+        .workload(WorkloadModel::video())
+        .build();
+        assert_eq!(sys.units().len(), 6);
+        assert!((sys.units()[0].soc() - 0.4).abs() < 1e-9);
+        assert!(matches!(sys.workload(), WorkloadModel::Stream { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one battery unit required")]
+    fn builder_rejects_zero_units() {
+        let _ = InSituSystem::builder(
+            high_generation_day(1),
+            Box::new(InsureController::default()),
+        )
+        .unit_count(0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Temporal power management (TPM).
+//!
+//! The Fig. 11 flow chart: at every control period, measure the total
+//! discharge current `Id`; if it exceeds the threshold, cap load power —
+//! lower the DVFS duty cycle for batch jobs (`Dlast ← Dlast − 1`) or
+//! reduce VM instances for stream jobs (`Nvm ← Nvm − 1`). If the state of
+//! charge has fallen below the emergency threshold, checkpoint VM state
+//! and shut servers down, moving the drained units offline. Reducing
+//! demand lets the KiBaM recovery effect restore usable capacity instead
+//! of tripping the protection cutoff.
+
+use ins_sim::units::Amps;
+use serde::{Deserialize, Serialize};
+
+/// Which knob the TPM turns for the current workload (Fig. 11's two
+/// branches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadKnob {
+    /// Batch job: adjust the DVFS duty cycle.
+    DutyCycle,
+    /// Stream job (splittable into small jobs): adjust VM instances.
+    VmCount,
+}
+
+/// The TPM's verdict for one control period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TpmAction {
+    /// Discharge current and state of charge are healthy; if ample
+    /// headroom exists the controller may raise capacity again.
+    Hold {
+        /// `true` when current is far enough under the cap to scale up.
+        headroom: bool,
+    },
+    /// Current exceeded the cap: shed one notch of load on the knob.
+    CapPower(LoadKnob),
+    /// State of charge below the emergency threshold: checkpoint all VM
+    /// state and power the cluster down.
+    EmergencyShutdown,
+}
+
+/// Inputs to one TPM decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpmInput {
+    /// Measured total discharge current across online units.
+    pub discharge_current: Amps,
+    /// Discharge current threshold (`Iσ`): per-unit cap × online units.
+    pub current_threshold: Amps,
+    /// Lowest state of charge among discharging units (`[0, 1]`).
+    pub min_discharging_soc: f64,
+    /// Lowest KiBaM available-well fill among discharging units: the
+    /// terminal voltage collapses when this empties, long before total
+    /// SoC runs out under heavy current.
+    pub min_discharging_available: f64,
+    /// Emergency SoC threshold (`SOCσ`).
+    pub soc_threshold: f64,
+    /// Emergency available-well threshold: below this the pack is about
+    /// to brown the servers out regardless of total SoC.
+    pub available_threshold: f64,
+    /// Which knob this workload exposes.
+    pub knob: LoadKnob,
+    /// Headroom fraction required before reporting scale-up room.
+    pub raise_headroom: f64,
+    /// `true` when any unit is currently discharging (the SoC check only
+    /// applies to an active discharge, per Fig. 11).
+    pub discharging: bool,
+}
+
+/// One pass of the Fig. 11 flow chart.
+#[must_use]
+pub fn decide(input: &TpmInput) -> TpmAction {
+    if input.discharging
+        && (input.min_discharging_soc < input.soc_threshold
+            || input.min_discharging_available < input.available_threshold)
+    {
+        return TpmAction::EmergencyShutdown;
+    }
+    if input.discharging && input.discharge_current > input.current_threshold {
+        return TpmAction::CapPower(input.knob);
+    }
+    let headroom_cap = input.current_threshold * (1.0 - input.raise_headroom);
+    TpmAction::Hold {
+        headroom: !input.discharging || input.discharge_current < headroom_cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> TpmInput {
+        TpmInput {
+            discharge_current: Amps::new(10.0),
+            current_threshold: Amps::new(35.0),
+            min_discharging_soc: 0.7,
+            min_discharging_available: 0.7,
+            soc_threshold: 0.3,
+            available_threshold: 0.15,
+            knob: LoadKnob::DutyCycle,
+            raise_headroom: 0.25,
+            discharging: true,
+        }
+    }
+
+    #[test]
+    fn healthy_state_holds_with_headroom() {
+        let action = decide(&base());
+        assert_eq!(action, TpmAction::Hold { headroom: true });
+    }
+
+    #[test]
+    fn near_cap_holds_without_headroom() {
+        let mut input = base();
+        input.discharge_current = Amps::new(30.0); // above 35 × 0.75
+        assert_eq!(decide(&input), TpmAction::Hold { headroom: false });
+    }
+
+    #[test]
+    fn over_cap_sheds_on_the_right_knob() {
+        let mut input = base();
+        input.discharge_current = Amps::new(40.0);
+        assert_eq!(decide(&input), TpmAction::CapPower(LoadKnob::DutyCycle));
+        input.knob = LoadKnob::VmCount;
+        assert_eq!(decide(&input), TpmAction::CapPower(LoadKnob::VmCount));
+    }
+
+    #[test]
+    fn low_soc_wins_over_everything() {
+        let mut input = base();
+        input.discharge_current = Amps::new(100.0);
+        input.min_discharging_soc = 0.2;
+        assert_eq!(decide(&input), TpmAction::EmergencyShutdown);
+    }
+
+    #[test]
+    fn soc_check_only_applies_while_discharging() {
+        let mut input = base();
+        input.min_discharging_soc = 0.1;
+        input.discharging = false;
+        // Solar-only operation with empty batteries is fine.
+        assert_eq!(decide(&input), TpmAction::Hold { headroom: true });
+    }
+
+    #[test]
+    fn drained_available_well_forces_shutdown_despite_healthy_soc() {
+        // Heavy current can empty the available well while half the total
+        // charge remains bound — the TPM must act on the well, not SoC.
+        let mut input = base();
+        input.min_discharging_soc = 0.5;
+        input.min_discharging_available = 0.05;
+        assert_eq!(decide(&input), TpmAction::EmergencyShutdown);
+    }
+
+    #[test]
+    fn boundary_current_exactly_at_cap_holds() {
+        let mut input = base();
+        input.discharge_current = Amps::new(35.0);
+        assert!(matches!(decide(&input), TpmAction::Hold { .. }));
+    }
+}

@@ -1,0 +1,43 @@
+//! # `ins-cost` — total-cost-of-ownership models
+//!
+//! Every dollar analysis in the paper's motivation and evaluation:
+//!
+//! * [`params`] — the published cost constants (Table 1, §2.1, §6.5),
+//! * [`transfer`] — bulk data-movement time and AWS pricing (Fig. 1),
+//! * [`tco`] — transmit-everything vs in-situ pre-processing (Fig. 3-a),
+//! * [`energy`] — solar+battery vs fuel cell vs diesel (Fig. 3-b),
+//! * [`system_cost`] — the Fig. 22 annual-depreciation breakdown,
+//! * [`scale`] — sunshine-fraction scale-out and the ≈ 0.9 GB/day
+//!   cloud/in-situ crossover (Fig. 23–24),
+//! * [`scenario`] — the five Fig. 25 application scenarios.
+//!
+//! # Examples
+//!
+//! ```
+//! use ins_cost::params::{CommsCosts, ItCosts, SystemSizing};
+//! use ins_cost::scale::{crossover_rate_gb_per_day, REFERENCE_SUNSHINE_FRACTION};
+//!
+//! let x = crossover_rate_gb_per_day(
+//!     REFERENCE_SUNSHINE_FRACTION,
+//!     &CommsCosts::paper(),
+//!     &ItCosts::paper(),
+//!     &SystemSizing::prototype(),
+//! )
+//! .unwrap();
+//! assert!((0.5..1.5).contains(&x)); // the paper's ≈ 0.9 GB/day
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod energy;
+pub mod params;
+pub mod scale;
+pub mod scenario;
+pub mod system_cost;
+pub mod tco;
+pub mod transfer;
+
+pub use energy::GenTech;
+pub use params::{CommsCosts, GenerationCosts, ItCosts, SystemSizing};
+pub use tco::Strategy;

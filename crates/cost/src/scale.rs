@@ -1,0 +1,235 @@
+//! Scale-out economics: sunshine fraction and data-rate crossover.
+//!
+//! * **Fig. 23** — amortized annual cost of scaling InSURE out to meet a
+//!   fixed processing demand as the local sunshine fraction drops, vs
+//!   relying on the cloud. Less sun ⇒ more panels *and* more storage per
+//!   delivered compute-hour, so cost grows super-linearly in `1/SF`.
+//! * **Fig. 24** — five-year TCO vs raw data rate. Cloud cost is linear
+//!   in the rate (metered transfer); in-situ cost is dominated by the
+//!   system and barely grows. The curves cross near **0.9 GB/day** for
+//!   the prototype, below which shipping data to the cloud stays cheaper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::{CommsCosts, ItCosts, SystemSizing};
+use crate::system_cost::insitu_annual_cost;
+
+/// Sunshine fraction the prototype's sizing assumes (≈ Gainesville, FL).
+pub const REFERENCE_SUNSHINE_FRACTION: f64 = 0.6;
+
+/// Exponent of the scale-out penalty in `1/SF`: capacity scales with the
+/// panel area (∝ 1/SF) and storage must also deepen to ride through the
+/// longer dark spells, giving a super-linear combined exponent.
+const SCALE_OUT_EXPONENT: f64 = 1.5;
+
+/// Cloud-side processing cost per raw GB (compute rental; transfer is
+/// charged separately through [`CommsCosts`]).
+const CLOUD_COMPUTE_PER_GB: f64 = 0.05;
+
+/// Amortized annual cost of meeting `demand_gb_per_day` with scaled-out
+/// InSURE systems at the given sunshine fraction (Fig. 23's bars).
+///
+/// # Panics
+///
+/// Panics if `sunshine_fraction` is not in `(0, 1]`.
+#[must_use]
+pub fn scale_out_annual_cost(
+    demand_gb_per_day: f64,
+    sunshine_fraction: f64,
+    it: &ItCosts,
+    sizing: &SystemSizing,
+) -> f64 {
+    assert!(
+        0.0 < sunshine_fraction && sunshine_fraction <= 1.0,
+        "sunshine fraction must lie in (0, 1]"
+    );
+    let base = insitu_annual_cost(it, sizing);
+    // Systems needed at full sun, then the 1/SF^1.5 penalty: every drop
+    // in sunshine fraction demands proportionally more panel area and
+    // super-linearly more storage to ride the longer dark spells.
+    let systems = (demand_gb_per_day / sizing.daily_data_gb).max(1.0);
+    let sun_penalty = (1.0 / sunshine_fraction).powf(SCALE_OUT_EXPONENT);
+    base * systems * sun_penalty
+}
+
+/// Amortized annual cost of shipping the same demand to the cloud
+/// (Fig. 23's comparison bar).
+#[must_use]
+pub fn cloud_annual_cost(demand_gb_per_day: f64, comms: &CommsCosts) -> f64 {
+    demand_gb_per_day * 365.0 * (comms.cellular_per_gb + CLOUD_COMPUTE_PER_GB)
+        + comms.cellular_hardware / 5.0
+}
+
+/// Five-year TCO of processing `rate_gb_per_day` in the cloud (Fig. 24's
+/// `cloud` curve).
+#[must_use]
+pub fn cloud_tco_5yr(rate_gb_per_day: f64, comms: &CommsCosts) -> f64 {
+    comms.cellular_hardware
+        + rate_gb_per_day * 365.0 * 5.0 * (comms.cellular_per_gb + CLOUD_COMPUTE_PER_GB)
+}
+
+/// Five-year TCO of processing `rate_gb_per_day` in situ at the given
+/// sunshine fraction (Fig. 24's `insitu-xx%` curves): system cost (scaled
+/// up only when the rate exceeds one system's capacity) plus cellular
+/// backhaul of the pre-processed residue.
+///
+/// # Panics
+///
+/// Panics if `sunshine_fraction` is not in `(0, 1]`.
+#[must_use]
+pub fn insitu_tco_5yr(
+    rate_gb_per_day: f64,
+    sunshine_fraction: f64,
+    comms: &CommsCosts,
+    it: &ItCosts,
+    sizing: &SystemSizing,
+) -> f64 {
+    assert!(
+        0.0 < sunshine_fraction && sunshine_fraction <= 1.0,
+        "sunshine fraction must lie in (0, 1]"
+    );
+    let capacity_per_system = sizing.daily_data_gb * sunshine_fraction
+        / REFERENCE_SUNSHINE_FRACTION;
+    let systems = (rate_gb_per_day / capacity_per_system).max(1.0);
+    let system_cost = insitu_annual_cost(it, sizing) * systems * 5.0;
+    let residue = rate_gb_per_day * (1.0 - sizing.preprocess_reduction);
+    let backhaul = residue * 365.0 * 5.0 * comms.cellular_per_gb;
+    comms.cellular_hardware + system_cost + backhaul
+}
+
+/// The data rate (GB/day) at which in-situ processing becomes cheaper
+/// than the cloud over five years, found by bisection. Returns `None` if
+/// the curves do not cross within `(lo, hi)`.
+#[must_use]
+pub fn crossover_rate_gb_per_day(
+    sunshine_fraction: f64,
+    comms: &CommsCosts,
+    it: &ItCosts,
+    sizing: &SystemSizing,
+) -> Option<f64> {
+    let diff = |r: f64| {
+        insitu_tco_5yr(r, sunshine_fraction, comms, it, sizing) - cloud_tco_5yr(r, comms)
+    };
+    let (mut lo, mut hi) = (0.01, 1_000.0);
+    if diff(lo) < 0.0 || diff(hi) > 0.0 {
+        return None;
+    }
+    for _ in 0..80 {
+        let mid = (lo + hi) / 2.0;
+        if diff(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo + hi) / 2.0)
+}
+
+/// A row of the Fig. 23 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig23Row {
+    /// Sunshine fraction.
+    pub sunshine_fraction: f64,
+    /// Scaled-out InSURE amortized annual cost.
+    pub scale_out: f64,
+    /// Cloud amortized annual cost.
+    pub cloud: f64,
+}
+
+/// Generates the Fig. 23 series for the standard 100/80/60/40 % sweep.
+#[must_use]
+pub fn fig23_series(
+    demand_gb_per_day: f64,
+    comms: &CommsCosts,
+    it: &ItCosts,
+    sizing: &SystemSizing,
+) -> Vec<Fig23Row> {
+    [1.0, 0.8, 0.6, 0.4]
+        .into_iter()
+        .map(|sf| Fig23Row {
+            sunshine_fraction: sf,
+            scale_out: scale_out_annual_cost(demand_gb_per_day, sf, it, sizing),
+            cloud: cloud_annual_cost(demand_gb_per_day, comms),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CommsCosts, ItCosts, SystemSizing) {
+        (
+            CommsCosts::paper(),
+            ItCosts::paper(),
+            SystemSizing::prototype(),
+        )
+    }
+
+    #[test]
+    fn crossover_lands_near_0_9_gb_per_day() {
+        // §6.5: "when the data generate rate is below this point (e.g.,
+        // 0.9 GB/day for our prototype), our system exhibits higher
+        // operating cost compared to conventional cloud-based remote
+        // processing".
+        let (c, it, s) = setup();
+        let x = crossover_rate_gb_per_day(REFERENCE_SUNSHINE_FRACTION, &c, &it, &s)
+            .expect("curves must cross");
+        assert!(
+            (0.6..1.3).contains(&x),
+            "crossover {x:.2} GB/day should be ≈ 0.9"
+        );
+    }
+
+    #[test]
+    fn half_tb_per_day_gives_order_of_magnitude_savings() {
+        // §6.5: "if the data rate … reaches 0.5 TB per day, our system
+        // could yield up to 96 % cost reduction".
+        let (c, it, s) = setup();
+        let cloud = cloud_tco_5yr(500.0, &c);
+        let insitu = insitu_tco_5yr(500.0, 1.0, &c, &it, &s);
+        let saving = 1.0 - insitu / cloud;
+        assert!(saving > 0.90, "saving {saving:.2}, paper says up to 96 %");
+    }
+
+    #[test]
+    fn below_crossover_cloud_wins() {
+        let (c, it, s) = setup();
+        let cloud = cloud_tco_5yr(0.3, &c);
+        let insitu = insitu_tco_5yr(0.3, REFERENCE_SUNSHINE_FRACTION, &c, &it, &s);
+        assert!(cloud < insitu);
+    }
+
+    #[test]
+    fn less_sun_costs_more() {
+        let (c, it, s) = setup();
+        let rows = fig23_series(5.5, &c, &it, &s);
+        assert!(rows.windows(2).all(|w| w[0].scale_out <= w[1].scale_out));
+        // Scale-out stays below the cloud at every sunshine fraction
+        // (Fig. 23's bars never exceed the cloud bar).
+        assert!(rows.iter().all(|r| r.scale_out < r.cloud));
+        // Savings reach the paper's "up to 60 %" at the sunny end.
+        let best = 1.0 - rows[0].scale_out / rows[0].cloud;
+        assert!(best > 0.5, "best saving {best:.2}");
+    }
+
+    #[test]
+    fn insitu_tco_is_flat_in_rate_until_capacity() {
+        let (c, it, s) = setup();
+        let at_1 = insitu_tco_5yr(1.0, 0.6, &c, &it, &s);
+        let at_100 = insitu_tco_5yr(100.0, 0.6, &c, &it, &s);
+        let cloud_1 = cloud_tco_5yr(1.0, &c);
+        let cloud_100 = cloud_tco_5yr(100.0, &c);
+        // Cloud grows ~100×; in-situ grows an order of magnitude slower
+        // (only the residue backhaul scales with the rate).
+        assert!(cloud_100 / cloud_1 > 50.0);
+        assert!(at_100 / at_1 < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sunshine fraction must lie in (0, 1]")]
+    fn rejects_zero_sunshine() {
+        let (_, it, s) = setup();
+        let _ = scale_out_annual_cost(10.0, 0.0, &it, &s);
+    }
+}

@@ -1,0 +1,201 @@
+//! Annual cost of a complete in-situ system (Fig. 22).
+//!
+//! Combines IT hardware depreciation, the energy subsystem for a chosen
+//! generation technology, communications gear and maintenance into the
+//! component breakdown Fig. 22 charts for InSURE, the diesel variant and
+//! the fuel-cell variant.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::{energy_depreciation, DepreciationLine, GenTech};
+use crate::params::{GenerationCosts, ItCosts, SystemSizing};
+
+/// Annual depreciation of the in-situ IT equipment alone (servers,
+/// cellular gateway, HVAC, PDU, switch) plus maintenance — the
+/// generation-independent part of Fig. 22.
+#[must_use]
+pub fn it_depreciation(it: &ItCosts) -> Vec<DepreciationLine> {
+    let server = it.servers / it.server_life_years;
+    let hvac = it.hvac / it.infra_life_years;
+    let pdu = it.pdu / it.infra_life_years;
+    let switch = it.switch / it.infra_life_years;
+    // The cellular gateway is carried under comms hardware in Fig. 22.
+    let cellular = 1_000.0 / it.infra_life_years;
+    let subtotal = server + hvac + pdu + switch + cellular;
+    let maintenance = subtotal * it.maintenance_fraction / (1.0 - it.maintenance_fraction);
+    vec![
+        DepreciationLine { component: "Server", annual: server },
+        DepreciationLine { component: "Cellular", annual: cellular },
+        DepreciationLine { component: "HVAC", annual: hvac },
+        DepreciationLine { component: "PDU", annual: pdu },
+        DepreciationLine { component: "Switch", annual: switch },
+        DepreciationLine { component: "Maintenance", annual: maintenance },
+    ]
+}
+
+/// The full Fig. 22 breakdown for one generation technology.
+#[must_use]
+pub fn full_breakdown(
+    tech: GenTech,
+    it: &ItCosts,
+    gen: &GenerationCosts,
+    sizing: &SystemSizing,
+) -> Vec<DepreciationLine> {
+    let mut lines = it_depreciation(it);
+    lines.extend(energy_depreciation(tech, gen, sizing));
+    lines
+}
+
+/// Total annual cost for one technology.
+#[must_use]
+pub fn annual_total(
+    tech: GenTech,
+    it: &ItCosts,
+    gen: &GenerationCosts,
+    sizing: &SystemSizing,
+) -> f64 {
+    full_breakdown(tech, it, gen, sizing)
+        .iter()
+        .map(|l| l.annual)
+        .sum()
+}
+
+/// Annual cost of the InSURE (solar + battery) configuration — the number
+/// the IT TCO and scale-out analyses amortize.
+#[must_use]
+pub fn insitu_annual_cost(it: &ItCosts, sizing: &SystemSizing) -> f64 {
+    annual_total(
+        GenTech::SolarBattery,
+        it,
+        &GenerationCosts::paper(),
+        sizing,
+    )
+}
+
+/// Summary row comparing the three Fig. 22 configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechComparison {
+    /// The generation technology.
+    pub tech: GenTech,
+    /// Total annual cost.
+    pub annual: f64,
+    /// Cost relative to InSURE (1.0 = equal).
+    pub vs_insure: f64,
+}
+
+/// Fig. 22's three bars, with relative costs.
+#[must_use]
+pub fn fig22_comparison(
+    it: &ItCosts,
+    gen: &GenerationCosts,
+    sizing: &SystemSizing,
+) -> Vec<TechComparison> {
+    let insure = annual_total(GenTech::SolarBattery, it, gen, sizing);
+    [GenTech::SolarBattery, GenTech::Diesel, GenTech::FuelCell]
+        .into_iter()
+        .map(|tech| {
+            let annual = annual_total(tech, it, gen, sizing);
+            TechComparison {
+                tech,
+                annual,
+                vs_insure: annual / insure,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ItCosts, GenerationCosts, SystemSizing) {
+        (
+            ItCosts::paper(),
+            GenerationCosts::paper(),
+            SystemSizing::prototype(),
+        )
+    }
+
+    #[test]
+    fn insure_annual_is_prototype_scale() {
+        let (it, _, s) = setup();
+        let annual = insitu_annual_cost(&it, &s);
+        // Fig. 22 charts the InSURE bar between $3K and $5K per year.
+        assert!(
+            (3_000.0..5_000.0).contains(&annual),
+            "InSURE annual {annual}"
+        );
+    }
+
+    #[test]
+    fn solar_subsystem_is_a_small_slice() {
+        // Paper: "the solar array and inverter only account for 8 % of the
+        // total annual depreciation cost" and the e-Buffer ≈ 9 %.
+        let (it, gen, s) = setup();
+        let lines = full_breakdown(GenTech::SolarBattery, &it, &gen, &s);
+        let total: f64 = lines.iter().map(|l| l.annual).sum();
+        let pv_inverter: f64 = lines
+            .iter()
+            .filter(|l| l.component == "PV Panels" || l.component == "Inverter")
+            .map(|l| l.annual)
+            .sum();
+        let battery: f64 = lines
+            .iter()
+            .filter(|l| l.component == "Battery")
+            .map(|l| l.annual)
+            .sum();
+        let pv_frac = pv_inverter / total;
+        let batt_frac = battery / total;
+        assert!((0.04..0.14).contains(&pv_frac), "PV+inverter {pv_frac:.2}");
+        assert!((0.02..0.14).contains(&batt_frac), "battery {batt_frac:.2}");
+    }
+
+    #[test]
+    fn diesel_and_fuel_cell_cost_more() {
+        // Fig. 22: DG ≈ +20 %, FC ≈ +24 % over InSURE.
+        let (it, gen, s) = setup();
+        let cmp = fig22_comparison(&it, &gen, &s);
+        assert_eq!(cmp[0].tech, GenTech::SolarBattery);
+        assert!((cmp[0].vs_insure - 1.0).abs() < 1e-12);
+        let dg = cmp.iter().find(|c| c.tech == GenTech::Diesel).unwrap();
+        let fc = cmp.iter().find(|c| c.tech == GenTech::FuelCell).unwrap();
+        assert!(
+            (1.1..1.45).contains(&dg.vs_insure),
+            "diesel {:.2}× InSURE (paper ≈ 1.20×)",
+            dg.vs_insure
+        );
+        assert!(
+            (1.1..1.5).contains(&fc.vs_insure),
+            "fuel cell {:.2}× InSURE (paper ≈ 1.24×)",
+            fc.vs_insure
+        );
+    }
+
+    #[test]
+    fn maintenance_fraction_matches_paper() {
+        // §6.5 estimates maintenance at ≈ 12 % of InSURE.
+        let (it, gen, s) = setup();
+        let lines = full_breakdown(GenTech::SolarBattery, &it, &gen, &s);
+        let total: f64 = lines.iter().map(|l| l.annual).sum();
+        let maint = lines
+            .iter()
+            .find(|l| l.component == "Maintenance")
+            .unwrap()
+            .annual;
+        let frac = maint / total;
+        assert!((0.08..0.16).contains(&frac), "maintenance {frac:.2}");
+    }
+
+    #[test]
+    fn breakdown_components_are_distinct_and_positive() {
+        let (it, gen, s) = setup();
+        for tech in [GenTech::SolarBattery, GenTech::Diesel, GenTech::FuelCell] {
+            let lines = full_breakdown(tech, &it, &gen, &s);
+            assert!(lines.iter().all(|l| l.annual > 0.0));
+            let mut names: Vec<&str> = lines.iter().map(|l| l.component).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), lines.len(), "duplicate component in {tech}");
+        }
+    }
+}

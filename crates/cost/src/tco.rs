@@ -1,0 +1,183 @@
+//! IT-related TCO: transmit-everything vs in-situ pre-processing (Fig. 3-a).
+//!
+//! Four strategies for a remote data-acquisition site generating
+//! `daily_data_gb` of raw data:
+//!
+//! * **Satellite** — ship every byte over a commercial satellite plan,
+//! * **Cellular** — ship every byte over metered 4G,
+//! * **In-situ + satellite** — pre-process on site, ship the reduced
+//!   volume over a (smaller) satellite plan as backup comms,
+//! * **In-situ + cellular** — pre-process, ship the residue over 4G.
+//!
+//! The paper reports the in-situ options cutting ≈ 55 % (satellite) and
+//! ≈ 95 % (cellular) of operating cost, "saving over a million dollars
+//! in 5 years".
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::{CommsCosts, ItCosts, SystemSizing};
+use crate::system_cost::insitu_annual_cost;
+
+/// Data-handling strategy of Fig. 3-a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Raw data over satellite.
+    Satellite,
+    /// Raw data over cellular.
+    Cellular,
+    /// In-situ pre-processing, satellite backhaul for the residue.
+    InSituSatellite,
+    /// In-situ pre-processing, cellular backhaul for the residue.
+    InSituCellular,
+}
+
+impl Strategy {
+    /// All four strategies in Fig. 3-a's legend order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Satellite,
+        Strategy::Cellular,
+        Strategy::InSituSatellite,
+        Strategy::InSituCellular,
+    ];
+}
+
+impl core::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Strategy::Satellite => "Satellite (SA)",
+            Strategy::Cellular => "Cellular (4G)",
+            Strategy::InSituSatellite => "In-Situ + SA",
+            Strategy::InSituCellular => "In-Situ + 4G",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Satellite service scales with committed volume: the paper's $30K/month
+/// plan carries the full raw stream; a plan for the pre-processed residue
+/// costs proportionally less but never below a minimum commitment.
+fn satellite_monthly_for(volume_gb_per_day: f64, full_volume: f64, comms: &CommsCosts) -> f64 {
+    let min_plan = 1_000.0;
+    if full_volume <= 0.0 {
+        return min_plan;
+    }
+    (comms.satellite_monthly * (volume_gb_per_day / full_volume)).max(min_plan)
+}
+
+/// Cumulative IT TCO after `years` (Fig. 3-a's bars), in dollars.
+#[must_use]
+pub fn cumulative_cost(
+    strategy: Strategy,
+    years: f64,
+    comms: &CommsCosts,
+    it: &ItCosts,
+    sizing: &SystemSizing,
+) -> f64 {
+    let years = years.max(0.0);
+    let raw = sizing.daily_data_gb;
+    let residue = raw * (1.0 - sizing.preprocess_reduction);
+    match strategy {
+        Strategy::Satellite => {
+            comms.satellite_hardware + comms.satellite_monthly * 12.0 * years
+        }
+        Strategy::Cellular => {
+            comms.cellular_hardware + raw * 365.0 * comms.cellular_per_gb * years
+        }
+        Strategy::InSituSatellite => {
+            let monthly = satellite_monthly_for(residue, raw, comms);
+            comms.satellite_hardware
+                + insitu_annual_cost(it, sizing) * years
+                + monthly * 12.0 * years
+        }
+        Strategy::InSituCellular => {
+            comms.cellular_hardware
+                + insitu_annual_cost(it, sizing) * years
+                + residue * 365.0 * comms.cellular_per_gb * years
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CommsCosts, ItCosts, SystemSizing};
+
+    fn setup() -> (CommsCosts, ItCosts, SystemSizing) {
+        (
+            CommsCosts::paper(),
+            ItCosts::paper(),
+            SystemSizing::prototype(),
+        )
+    }
+
+    #[test]
+    fn in_situ_saves_over_a_million_in_five_years() {
+        let (c, it, s) = setup();
+        let sat = cumulative_cost(Strategy::Satellite, 5.0, &c, &it, &s);
+        let insitu_4g = cumulative_cost(Strategy::InSituCellular, 5.0, &c, &it, &s);
+        assert!(
+            sat - insitu_4g > 1_000_000.0,
+            "saving {} over 5 years",
+            sat - insitu_4g
+        );
+    }
+
+    #[test]
+    fn in_situ_cuts_55_percent_of_satellite_cost() {
+        let (c, it, s) = setup();
+        let sat = cumulative_cost(Strategy::Satellite, 5.0, &c, &it, &s);
+        let insitu_sat = cumulative_cost(Strategy::InSituSatellite, 5.0, &c, &it, &s);
+        let saving = 1.0 - insitu_sat / sat;
+        assert!(
+            saving > 0.55,
+            "in-situ + satellite saves {saving:.2}, paper says > 55 %"
+        );
+    }
+
+    #[test]
+    fn in_situ_cuts_95_percent_of_cellular_cost() {
+        let (c, it, s) = setup();
+        let cell = cumulative_cost(Strategy::Cellular, 5.0, &c, &it, &s);
+        let insitu_cell = cumulative_cost(Strategy::InSituCellular, 5.0, &c, &it, &s);
+        let saving = 1.0 - insitu_cell / cell;
+        assert!(
+            saving > 0.70,
+            "in-situ + 4G saves {saving:.2}, paper says ≈ 95 % of OpEx"
+        );
+    }
+
+    #[test]
+    fn all_strategies_grow_monotonically() {
+        let (c, it, s) = setup();
+        for strategy in Strategy::ALL {
+            let mut prev = 0.0;
+            for y in 1..=5 {
+                let v = cumulative_cost(strategy, f64::from(y), &c, &it, &s);
+                assert!(v > prev, "{strategy} must grow");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn fig3a_ordering_at_year_five() {
+        // Both pure-transfer strategies dwarf both in-situ strategies; at
+        // 228 GB/day, metered 4G is even pricier than the flat satellite
+        // plan. (Fig. 3-a's bars: transfer-only in the millions, in-situ
+        // in the low hundreds of thousands.)
+        let (c, it, s) = setup();
+        let v: Vec<f64> = Strategy::ALL
+            .iter()
+            .map(|&st| cumulative_cost(st, 5.0, &c, &it, &s))
+            .collect();
+        let (sat, cell, insitu_sa, insitu_4g) = (v[0], v[1], v[2], v[3]);
+        assert!(cell > sat, "metered 4G {cell} > satellite plan {sat}");
+        assert!(sat > 4.0 * insitu_sa, "satellite {sat} must dwarf in-situ+SA {insitu_sa}");
+        assert!(cell > 4.0 * insitu_4g, "cellular {cell} must dwarf in-situ+4G {insitu_4g}");
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Strategy::InSituCellular.to_string(), "In-Situ + 4G");
+    }
+}

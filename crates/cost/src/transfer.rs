@@ -1,0 +1,139 @@
+//! Bulk data movement overhead (Fig. 1).
+//!
+//! Fig. 1-a: wall-clock time to move 1 TB over typical links. Fig. 1-b:
+//! the January-2014 AWS data-transfer-out price tiers, expressed as the
+//! *average* dollars per TB for a given monthly volume.
+
+use serde::{Deserialize, Serialize};
+
+/// A network link class from Fig. 1-a.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkClass {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Usable bandwidth in megabits per second.
+    pub mbps: f64,
+}
+
+/// The link classes of Fig. 1-a, slowest first.
+#[must_use]
+pub fn link_classes() -> Vec<LinkClass> {
+    vec![
+        LinkClass { name: "T1 (1.5 Mbps)", mbps: 1.5 },
+        LinkClass { name: "3G cellular (4 Mbps)", mbps: 4.0 },
+        LinkClass { name: "4G LTE (20 Mbps)", mbps: 20.0 },
+        LinkClass { name: "100 Mbps Ethernet", mbps: 100.0 },
+        LinkClass { name: "1 GbE", mbps: 1_000.0 },
+        LinkClass { name: "10 GbE", mbps: 10_000.0 },
+    ]
+}
+
+/// Hours to transfer `gigabytes` over a `mbps` link (Fig. 1-a).
+///
+/// # Panics
+///
+/// Panics if `mbps` is not positive.
+#[must_use]
+pub fn transfer_hours(gigabytes: f64, mbps: f64) -> f64 {
+    assert!(mbps > 0.0, "link speed must be positive");
+    let bits = gigabytes.max(0.0) * 8.0 * 1024.0 * 1024.0 * 1024.0;
+    bits / (mbps * 1e6) / 3600.0
+}
+
+/// One AWS data-transfer-out price tier (January 2014).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct AwsTier {
+    /// Upper bound of the tier, TB/month.
+    up_to_tb: f64,
+    /// Price per GB within the tier.
+    per_gb: f64,
+}
+
+/// The January-2014 AWS transfer-out tiers behind Fig. 1-b.
+const AWS_TIERS: [AwsTier; 4] = [
+    AwsTier { up_to_tb: 10.0, per_gb: 0.12 },
+    AwsTier { up_to_tb: 50.0, per_gb: 0.09 },
+    AwsTier { up_to_tb: 150.0, per_gb: 0.07 },
+    AwsTier { up_to_tb: f64::INFINITY, per_gb: 0.05 },
+];
+
+/// Total dollars to move `tb` terabytes out of AWS in one month.
+#[must_use]
+pub fn aws_transfer_out_cost(tb: f64) -> f64 {
+    let mut remaining = tb.max(0.0);
+    let mut paid_to = 0.0;
+    let mut total = 0.0;
+    for tier in AWS_TIERS {
+        let span = (tier.up_to_tb - paid_to).min(remaining);
+        if span <= 0.0 {
+            break;
+        }
+        total += span * 1024.0 * tier.per_gb;
+        remaining -= span;
+        paid_to = tier.up_to_tb;
+        if remaining <= 0.0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Average dollars per TB at the given volume (the Fig. 1-b series).
+#[must_use]
+pub fn aws_avg_cost_per_tb(tb: f64) -> f64 {
+    if tb <= 0.0 {
+        return 0.0;
+    }
+    aws_transfer_out_cost(tb) / tb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_links_take_weeks_per_tb() {
+        // Fig. 1-a's headline: days-to-weeks for 1 TB at the edge.
+        let t1 = transfer_hours(1024.0, 1.5);
+        assert!(t1 > 1000.0, "T1 {t1} h");
+        let lte = transfer_hours(1024.0, 20.0);
+        assert!((100.0..200.0).contains(&lte), "LTE {lte} h");
+        let tengig = transfer_hours(1024.0, 10_000.0);
+        assert!(tengig < 1.0, "10 GbE {tengig} h");
+    }
+
+    #[test]
+    fn link_classes_are_ordered() {
+        let links = link_classes();
+        assert!(links.windows(2).all(|w| w[0].mbps < w[1].mbps));
+        assert_eq!(links.len(), 6);
+    }
+
+    #[test]
+    fn aws_average_matches_fig1b_shape() {
+        // Paper: "over $60 for every 1 TB" at large volumes, ≈ $120/TB at
+        // small volumes, monotonically decreasing.
+        let at_10 = aws_avg_cost_per_tb(10.0);
+        assert!((at_10 - 122.88).abs() < 0.1, "10 TB: {at_10}");
+        let at_500 = aws_avg_cost_per_tb(500.0);
+        assert!(at_500 > 60.0 && at_500 < 75.0, "500 TB: {at_500}");
+        for pair in [10.0, 50.0, 150.0, 250.0, 500.0].windows(2) {
+            assert!(aws_avg_cost_per_tb(pair[0]) >= aws_avg_cost_per_tb(pair[1]));
+        }
+    }
+
+    #[test]
+    fn aws_total_is_piecewise_linear() {
+        // 60 TB = 10 TB @ 0.12 + 40 TB @ 0.09 + 10 TB @ 0.07.
+        let expected = 1024.0 * (10.0 * 0.12 + 40.0 * 0.09 + 10.0 * 0.07);
+        assert!((aws_transfer_out_cost(60.0) - expected).abs() < 1e-6);
+        assert_eq!(aws_transfer_out_cost(0.0), 0.0);
+        assert_eq!(aws_avg_cost_per_tb(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "link speed must be positive")]
+    fn rejects_zero_speed() {
+        let _ = transfer_hours(1.0, 0.0);
+    }
+}

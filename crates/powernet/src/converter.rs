@@ -1,0 +1,156 @@
+//! Power conversion stages.
+//!
+//! Two properties of the prototype's power path matter to the paper's
+//! results:
+//!
+//! * every DC/DC stage has a **fixed overhead** plus a proportional loss,
+//!   so running a charger channel at light load is disproportionately
+//!   wasteful — together with the battery's gassing taper this is why
+//!   concentrating the solar budget on fewer cabinets (SPM, Fig. 10)
+//!   charges the e-Buffer faster than batch charging (Fig. 4-a);
+//! * the server-facing **PDU/inverter chain** takes its own cut of every
+//!   delivered watt.
+
+use ins_sim::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// A DC/DC converter stage with fixed overhead and proportional loss.
+///
+/// Output power for input `p` is `(p − overhead) × efficiency`, floored at
+/// zero: inputs below the overhead produce nothing.
+///
+/// # Examples
+///
+/// ```
+/// use ins_powernet::converter::Converter;
+/// use ins_sim::units::Watts;
+///
+/// let chan = Converter::charger_channel();
+/// let out = chan.output(Watts::new(200.0));
+/// assert!(out.value() > 160.0 && out.value() < 200.0);
+/// assert_eq!(chan.output(Watts::new(5.0)), Watts::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Converter {
+    overhead: Watts,
+    efficiency: f64,
+}
+
+impl Converter {
+    /// Creates a converter stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overhead` is negative or `efficiency` outside `(0, 1]`.
+    #[must_use]
+    pub fn new(overhead: Watts, efficiency: f64) -> Self {
+        assert!(overhead.value() >= 0.0, "overhead must be non-negative");
+        assert!(
+            0.0 < efficiency && efficiency <= 1.0,
+            "efficiency must lie in (0, 1]"
+        );
+        Self { overhead, efficiency }
+    }
+
+    /// One battery-charger channel: ≈ 18 W standing overhead (control,
+    /// magnetics, relay coil) and 95 % proportional efficiency.
+    #[must_use]
+    pub fn charger_channel() -> Self {
+        Self::new(Watts::new(18.0), 0.95)
+    }
+
+    /// The server-facing PDU + conversion chain: ≈ 25 W overhead, 93 %.
+    #[must_use]
+    pub fn server_pdu() -> Self {
+        Self::new(Watts::new(25.0), 0.93)
+    }
+
+    /// Fixed overhead.
+    #[must_use]
+    pub fn overhead(&self) -> Watts {
+        self.overhead
+    }
+
+    /// Proportional efficiency.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Output power for the given input.
+    #[must_use]
+    pub fn output(&self, input: Watts) -> Watts {
+        ((input - self.overhead).max(Watts::ZERO)) * self.efficiency
+    }
+
+    /// Input power required to produce the given output.
+    #[must_use]
+    pub fn input_for(&self, output: Watts) -> Watts {
+        if output.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        output / self.efficiency + self.overhead
+    }
+
+    /// Overall efficiency (output/input) at the given input — useful to
+    /// see the light-load penalty.
+    #[must_use]
+    pub fn overall_efficiency(&self, input: Watts) -> f64 {
+        if input.value() <= 0.0 {
+            return 0.0;
+        }
+        self.output(input) / input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_and_input_round_trip() {
+        let c = Converter::charger_channel();
+        let out = c.output(Watts::new(220.0));
+        let back = c.input_for(out);
+        assert!((back.value() - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_overhead_input_yields_nothing() {
+        let c = Converter::charger_channel();
+        assert_eq!(c.output(Watts::new(10.0)), Watts::ZERO);
+        assert_eq!(c.output(Watts::ZERO), Watts::ZERO);
+        assert_eq!(c.input_for(Watts::ZERO), Watts::ZERO);
+    }
+
+    #[test]
+    fn light_load_is_disproportionately_inefficient() {
+        let c = Converter::charger_channel();
+        let light = c.overall_efficiency(Watts::new(60.0));
+        let heavy = c.overall_efficiency(Watts::new(400.0));
+        assert!(heavy > 0.9, "heavy-load efficiency {heavy}");
+        assert!(light < 0.7, "light-load efficiency {light}");
+    }
+
+    #[test]
+    fn splitting_a_budget_across_channels_wastes_power() {
+        // The SPM rationale in miniature: 300 W through one channel beats
+        // 100 W through each of three channels.
+        let c = Converter::charger_channel();
+        let concentrated = c.output(Watts::new(300.0));
+        let spread = c.output(Watts::new(100.0)) * 3.0;
+        assert!(concentrated > spread);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must lie in (0, 1]")]
+    fn rejects_bad_efficiency() {
+        let _ = Converter::new(Watts::ZERO, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead must be non-negative")]
+    fn rejects_negative_overhead() {
+        let _ = Converter::new(Watts::new(-1.0), 0.9);
+    }
+}

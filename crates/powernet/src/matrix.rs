@@ -1,0 +1,259 @@
+//! The reconfigurable battery switch matrix.
+//!
+//! Each battery cabinet in the prototype "is managed independently using a
+//! pair of two relays (charging and discharging switch)" driven by the
+//! Siemens PLC (§4). [`SwitchMatrix`] models that relay network and
+//! enforces its safety invariant: a unit's charge and discharge paths are
+//! never closed at the same time.
+
+use core::fmt;
+
+use ins_battery::BatteryId;
+use serde::{Deserialize, Serialize};
+
+use crate::relay::Relay;
+
+/// Electrical attachment of one battery unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attachment {
+    /// Both relays open: the unit floats disconnected.
+    Isolated,
+    /// Charge relay closed: the unit hangs on the charging bus.
+    ChargeBus,
+    /// Discharge relay closed: the unit feeds the load bus.
+    DischargeBus,
+}
+
+impl fmt::Display for Attachment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Attachment::Isolated => "isolated",
+            Attachment::ChargeBus => "charge-bus",
+            Attachment::DischargeBus => "discharge-bus",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned for an unknown battery id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownUnitError(pub BatteryId);
+
+impl fmt::Display for UnknownUnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no such battery unit in the switch matrix: {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownUnitError {}
+
+/// One unit's relay pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+struct RelayPair {
+    charge: Relay,
+    discharge: Relay,
+}
+
+/// The PLC-driven relay network attaching each unit to the charge bus, the
+/// discharge (load) bus, or neither.
+///
+/// # Examples
+///
+/// ```
+/// use ins_powernet::matrix::{Attachment, SwitchMatrix};
+/// use ins_battery::BatteryId;
+///
+/// let mut m = SwitchMatrix::new(3);
+/// m.attach(BatteryId(0), Attachment::ChargeBus)?;
+/// m.attach(BatteryId(1), Attachment::DischargeBus)?;
+/// assert_eq!(m.charging_units(), vec![BatteryId(0)]);
+/// assert_eq!(m.discharging_units(), vec![BatteryId(1)]);
+/// # Ok::<(), ins_powernet::matrix::UnknownUnitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchMatrix {
+    pairs: Vec<RelayPair>,
+}
+
+impl SwitchMatrix {
+    /// Creates a matrix for `units` battery units, all isolated.
+    #[must_use]
+    pub fn new(units: usize) -> Self {
+        Self {
+            pairs: vec![RelayPair::default(); units],
+        }
+    }
+
+    /// Number of units managed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when the matrix manages no units.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Current attachment of a unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownUnitError`] if `id` is out of range.
+    pub fn attachment(&self, id: BatteryId) -> Result<Attachment, UnknownUnitError> {
+        let pair = self.pairs.get(id.0).ok_or(UnknownUnitError(id))?;
+        Ok(match (pair.charge.is_closed(), pair.discharge.is_closed()) {
+            (false, false) => Attachment::Isolated,
+            (true, false) => Attachment::ChargeBus,
+            (false, true) => Attachment::DischargeBus,
+            (true, true) => unreachable!("matrix invariant violated: both relays closed"),
+        })
+    }
+
+    /// Moves a unit to the requested attachment, sequencing the relay pair
+    /// break-before-make so both are never closed together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownUnitError`] if `id` is out of range.
+    pub fn attach(&mut self, id: BatteryId, to: Attachment) -> Result<(), UnknownUnitError> {
+        let pair = self.pairs.get_mut(id.0).ok_or(UnknownUnitError(id))?;
+        match to {
+            Attachment::Isolated => {
+                pair.charge.open();
+                pair.discharge.open();
+            }
+            Attachment::ChargeBus => {
+                pair.discharge.open();
+                pair.charge.close();
+            }
+            Attachment::DischargeBus => {
+                pair.charge.open();
+                pair.discharge.close();
+            }
+        }
+        debug_assert!(!(pair.charge.is_closed() && pair.discharge.is_closed()));
+        Ok(())
+    }
+
+    /// Units currently on the charge bus, in id order.
+    #[must_use]
+    pub fn charging_units(&self) -> Vec<BatteryId> {
+        self.units_where(|p| p.charge.is_closed())
+    }
+
+    /// Units currently on the discharge bus, in id order.
+    #[must_use]
+    pub fn discharging_units(&self) -> Vec<BatteryId> {
+        self.units_where(|p| p.discharge.is_closed())
+    }
+
+    /// Units currently isolated, in id order.
+    #[must_use]
+    pub fn isolated_units(&self) -> Vec<BatteryId> {
+        self.units_where(|p| !p.charge.is_closed() && !p.discharge.is_closed())
+    }
+
+    /// Total relay switching operations so far (both relays, all units) —
+    /// the paper's "Power Ctrl. Times" log statistic includes these.
+    #[must_use]
+    pub fn total_switch_operations(&self) -> u64 {
+        self.pairs
+            .iter()
+            .map(|p| p.charge.switch_count() + p.discharge.switch_count())
+            .sum()
+    }
+
+    /// Worst relay wear fraction across the matrix.
+    #[must_use]
+    pub fn max_relay_wear(&self) -> f64 {
+        self.pairs
+            .iter()
+            .flat_map(|p| [p.charge.wear_fraction(), p.discharge.wear_fraction()])
+            .fold(0.0, f64::max)
+    }
+
+    fn units_where(&self, pred: impl Fn(&RelayPair) -> bool) -> Vec<BatteryId> {
+        self.pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| pred(p))
+            .map(|(i, _)| BatteryId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_isolated() {
+        let m = SwitchMatrix::new(3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.isolated_units().len(), 3);
+        assert!(m.charging_units().is_empty());
+        assert!(m.discharging_units().is_empty());
+    }
+
+    #[test]
+    fn attach_moves_between_buses() {
+        let mut m = SwitchMatrix::new(2);
+        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        assert_eq!(m.attachment(BatteryId(0)).unwrap(), Attachment::ChargeBus);
+        m.attach(BatteryId(0), Attachment::DischargeBus).unwrap();
+        assert_eq!(m.attachment(BatteryId(0)).unwrap(), Attachment::DischargeBus);
+        m.attach(BatteryId(0), Attachment::Isolated).unwrap();
+        assert_eq!(m.attachment(BatteryId(0)).unwrap(), Attachment::Isolated);
+        // Unit 1 untouched throughout.
+        assert_eq!(m.attachment(BatteryId(1)).unwrap(), Attachment::Isolated);
+    }
+
+    #[test]
+    fn charge_and_discharge_never_overlap() {
+        let mut m = SwitchMatrix::new(1);
+        for to in [
+            Attachment::ChargeBus,
+            Attachment::DischargeBus,
+            Attachment::ChargeBus,
+            Attachment::Isolated,
+            Attachment::DischargeBus,
+        ] {
+            m.attach(BatteryId(0), to).unwrap();
+            let charging = m.charging_units().contains(&BatteryId(0));
+            let discharging = m.discharging_units().contains(&BatteryId(0));
+            assert!(!(charging && discharging), "invariant violated at {to}");
+        }
+    }
+
+    #[test]
+    fn unknown_unit_is_an_error() {
+        let mut m = SwitchMatrix::new(2);
+        let err = m.attach(BatteryId(5), Attachment::ChargeBus).unwrap_err();
+        assert_eq!(err, UnknownUnitError(BatteryId(5)));
+        assert!(err.to_string().contains("battery#5"));
+        assert!(m.attachment(BatteryId(2)).is_err());
+    }
+
+    #[test]
+    fn switch_operations_are_counted() {
+        let mut m = SwitchMatrix::new(1);
+        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap(); // +1
+        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap(); // no-op
+        m.attach(BatteryId(0), Attachment::DischargeBus).unwrap(); // +2
+        m.attach(BatteryId(0), Attachment::Isolated).unwrap(); // +1
+        assert_eq!(m.total_switch_operations(), 4);
+        assert!(m.max_relay_wear() > 0.0);
+    }
+
+    #[test]
+    fn id_ordering_of_group_queries() {
+        let mut m = SwitchMatrix::new(4);
+        m.attach(BatteryId(3), Attachment::ChargeBus).unwrap();
+        m.attach(BatteryId(1), Attachment::ChargeBus).unwrap();
+        assert_eq!(m.charging_units(), vec![BatteryId(1), BatteryId(3)]);
+        assert_eq!(m.isolated_units(), vec![BatteryId(0), BatteryId(2)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Battery-array topology: the P1/P2/P3 switch semantics of §3.1.
+//!
+//! "Three power switches (P1, P2, and P3) are used to manage the battery
+//! cabinets to provide different voltage outputs and ampere-hour ratings
+//! to servers. For example, if P1 and P3 are closed while P2 is open, the
+//! batteries are connected in parallel. If switches P1 and P3 are open
+//! while P2 is closed, the batteries are connected in serial." This module
+//! models that three-switch network and the electrical ratings each legal
+//! configuration presents to the load.
+
+use core::fmt;
+
+use ins_battery::BatteryParams;
+use ins_sim::units::{AmpHours, Volts, WattHours};
+use serde::{Deserialize, Serialize};
+
+/// State of the three array switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwitchStates {
+    /// P1: ties the units' positive terminals together.
+    pub p1_closed: bool,
+    /// P2: bridges one unit's negative terminal to the next unit's
+    /// positive terminal (the series link).
+    pub p2_closed: bool,
+    /// P3: ties the units' negative terminals together.
+    pub p3_closed: bool,
+}
+
+/// Electrical arrangement of the battery array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrayTopology {
+    /// All units in parallel: nominal voltage, summed ampere-hours.
+    Parallel,
+    /// All units in series: summed voltage, nominal ampere-hours.
+    Series,
+}
+
+impl ArrayTopology {
+    /// The switch states that realize this topology (§3.1's examples).
+    #[must_use]
+    pub fn switch_states(self) -> SwitchStates {
+        match self {
+            ArrayTopology::Parallel => SwitchStates {
+                p1_closed: true,
+                p2_closed: false,
+                p3_closed: true,
+            },
+            ArrayTopology::Series => SwitchStates {
+                p1_closed: false,
+                p2_closed: true,
+                p3_closed: false,
+            },
+        }
+    }
+
+    /// Decodes switch states back into a topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTopologyError`] for states that either
+    /// short-circuit the array (series link closed while a parallel tie
+    /// is closed) or leave it unconnected.
+    pub fn from_switch_states(s: SwitchStates) -> Result<Self, InvalidTopologyError> {
+        match (s.p1_closed, s.p2_closed, s.p3_closed) {
+            (true, false, true) => Ok(ArrayTopology::Parallel),
+            (false, true, false) => Ok(ArrayTopology::Series),
+            _ => Err(InvalidTopologyError(s)),
+        }
+    }
+
+    /// Output voltage of `n` identical units in this topology.
+    #[must_use]
+    pub fn output_voltage(self, params: &BatteryParams, n: usize) -> Volts {
+        match self {
+            ArrayTopology::Parallel => params.nominal_voltage,
+            ArrayTopology::Series => params.nominal_voltage * n as f64,
+        }
+    }
+
+    /// Ampere-hour rating of `n` identical units in this topology.
+    #[must_use]
+    pub fn capacity(self, params: &BatteryParams, n: usize) -> AmpHours {
+        match self {
+            ArrayTopology::Parallel => params.capacity * n as f64,
+            ArrayTopology::Series => params.capacity,
+        }
+    }
+
+    /// Total stored energy of `n` identical units — identical for both
+    /// topologies, which is the sanity check on the ratings above.
+    #[must_use]
+    pub fn energy(self, params: &BatteryParams, n: usize) -> WattHours {
+        self.capacity(params, n) * self.output_voltage(params, n)
+    }
+}
+
+impl fmt::Display for ArrayTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayTopology::Parallel => f.write_str("parallel"),
+            ArrayTopology::Series => f.write_str("series"),
+        }
+    }
+}
+
+/// Error for switch states that do not form a legal topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTopologyError(pub SwitchStates);
+
+impl fmt::Display for InvalidTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "switch states P1={} P2={} P3={} form no legal array topology",
+            self.0.p1_closed, self.0.p2_closed, self.0.p3_closed
+        )
+    }
+}
+
+impl std::error::Error for InvalidTopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_switch_examples_round_trip() {
+        // §3.1's two quoted configurations.
+        let parallel = ArrayTopology::Parallel.switch_states();
+        assert!(parallel.p1_closed && !parallel.p2_closed && parallel.p3_closed);
+        let series = ArrayTopology::Series.switch_states();
+        assert!(!series.p1_closed && series.p2_closed && !series.p3_closed);
+        for t in [ArrayTopology::Parallel, ArrayTopology::Series] {
+            assert_eq!(ArrayTopology::from_switch_states(t.switch_states()), Ok(t));
+        }
+    }
+
+    #[test]
+    fn illegal_states_are_rejected() {
+        // Series link + parallel tie = short circuit.
+        let short = SwitchStates {
+            p1_closed: true,
+            p2_closed: true,
+            p3_closed: true,
+        };
+        let err = ArrayTopology::from_switch_states(short).unwrap_err();
+        assert!(err.to_string().contains("no legal"));
+        // Nothing closed = floating.
+        let floating = SwitchStates {
+            p1_closed: false,
+            p2_closed: false,
+            p3_closed: false,
+        };
+        assert!(ArrayTopology::from_switch_states(floating).is_err());
+    }
+
+    #[test]
+    fn ratings_match_the_prototype() {
+        // Six 12 V / 35 Ah units: parallel ⇒ 12 V / 210 Ah (the paper's
+        // "e-Buffer (210 Ah)"), series ⇒ 72 V / 35 Ah.
+        let p = BatteryParams::ub1280();
+        assert_eq!(
+            ArrayTopology::Parallel.output_voltage(&p, 6),
+            Volts::new(12.0)
+        );
+        assert_eq!(
+            ArrayTopology::Parallel.capacity(&p, 6),
+            AmpHours::new(210.0)
+        );
+        assert_eq!(ArrayTopology::Series.output_voltage(&p, 6), Volts::new(72.0));
+        assert_eq!(ArrayTopology::Series.capacity(&p, 6), AmpHours::new(35.0));
+    }
+
+    #[test]
+    fn energy_is_topology_invariant() {
+        let p = BatteryParams::ub1280();
+        for n in 1..=6 {
+            let parallel = ArrayTopology::Parallel.energy(&p, n);
+            let series = ArrayTopology::Series.energy(&p, n);
+            assert!(
+                (parallel.value() - series.value()).abs() < 1e-9,
+                "stored energy must not depend on wiring ({n} units)"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ArrayTopology::Parallel.to_string(), "parallel");
+        assert_eq!(ArrayTopology::Series.to_string(), "series");
+    }
+}

@@ -1,0 +1,53 @@
+//! # `ins-sim` — simulation kernel for the InSURE reproduction
+//!
+//! This crate is the substrate every other crate in the workspace builds
+//! on. It provides:
+//!
+//! * [`units`] — compile-time-checked physical quantities ([`units::Watts`],
+//!   [`units::Volts`], [`units::AmpHours`], …),
+//! * [`time`] — integer-second simulated time ([`time::SimTime`],
+//!   [`time::SimDuration`], [`time::SimClock`]),
+//! * [`trace`] — time-series recording ([`trace::Trace`]),
+//! * [`stats`] — streaming statistics ([`stats::RunningStats`]),
+//! * [`rng`] — reproducible, forkable randomness ([`rng::SimRng`]),
+//! * [`log`] — typed event logs ([`log::EventLog`]).
+//!
+//! The InSURE paper (Li et al., ISCA 2015) evaluates a physical prototype
+//! by replaying recorded solar traces through a real battery array and
+//! server rack. This workspace replaces the hardware with a deterministic
+//! fixed-timestep co-simulation; the kernel here is deliberately tiny so
+//! the physics and policy crates stay testable in isolation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ins_sim::prelude::*;
+//!
+//! let mut clock = SimClock::new(SimDuration::from_secs(1));
+//! let mut trace = Trace::new("load W");
+//! for _ in 0..60 {
+//!     let t = clock.tick();
+//!     trace.record(t, 450.0);
+//! }
+//! assert_eq!(trace.stats().mean(), 450.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod log;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+/// Convenient re-exports of the types nearly every dependent crate needs.
+pub mod prelude {
+    pub use crate::log::EventLog;
+    pub use crate::rng::SimRng;
+    pub use crate::stats::RunningStats;
+    pub use crate::time::{SimClock, SimDuration, SimTime};
+    pub use crate::trace::{Sample, Trace};
+    pub use crate::units::{AmpHours, Amps, Hours, Ohms, Volts, WattHours, Watts};
+}

@@ -1,0 +1,227 @@
+//! Time-series recording for simulation outputs.
+//!
+//! A [`Trace`] is the in-memory analogue of the paper's data logger: every
+//! monitored quantity (solar budget, battery terminal voltage, server load)
+//! is a sequence of `(time, value)` samples that the experiment harness can
+//! summarize or print.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::RunningStats;
+use crate::time::SimTime;
+
+/// One timestamped observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Instant the observation was taken.
+    pub time: SimTime,
+    /// Observed value, in the unit the trace documents.
+    pub value: f64,
+}
+
+/// A named, append-only time series of `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use ins_sim::trace::Trace;
+/// use ins_sim::time::SimTime;
+///
+/// let mut t = Trace::new("solar W");
+/// t.record(SimTime::from_secs(0), 0.0);
+/// t.record(SimTime::from_secs(60), 850.0);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.stats().max(), 850.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    samples: Vec<Sample>,
+    stats: RunningStats,
+}
+
+impl Trace {
+    /// Creates an empty trace with a human-readable name (conventionally
+    /// including the unit, e.g. `"battery #1 V"`).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            samples: Vec::new(),
+            stats: RunningStats::new(),
+        }
+    }
+
+    /// The trace name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `time` is earlier than the last recorded
+    /// sample — traces must be recorded in chronological order.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        debug_assert!(
+            self.samples.last().is_none_or(|s| s.time <= time),
+            "trace '{}' recorded out of order",
+            self.name
+        );
+        self.samples.push(Sample { time, value });
+        self.stats.push(value);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded samples in chronological order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> core::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Summary statistics over all recorded values.
+    #[must_use]
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// The most recent sample, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Linearly interpolated value at `time`.
+    ///
+    /// Clamps to the first/last sample outside the recorded range. Returns
+    /// `None` for an empty trace.
+    #[must_use]
+    pub fn value_at(&self, time: SimTime) -> Option<f64> {
+        let samples = &self.samples;
+        if samples.is_empty() {
+            return None;
+        }
+        if time <= samples[0].time {
+            return Some(samples[0].value);
+        }
+        if time >= samples[samples.len() - 1].time {
+            return Some(samples[samples.len() - 1].value);
+        }
+        // Find the first sample at or after `time`.
+        let idx = samples.partition_point(|s| s.time < time);
+        let (a, b) = (samples[idx - 1], samples[idx]);
+        if a.time == b.time {
+            return Some(b.value);
+        }
+        let span = (b.time - a.time).as_secs() as f64;
+        let frac = (time - a.time).as_secs() as f64 / span;
+        Some(a.value + (b.value - a.value) * frac)
+    }
+
+    /// Downsamples to at most `max_points` evenly spaced samples, for
+    /// compact printing of day-long traces. Returns all samples when the
+    /// trace is already small enough.
+    #[must_use]
+    pub fn downsample(&self, max_points: usize) -> Vec<Sample> {
+        if max_points == 0 || self.samples.is_empty() {
+            return Vec::new();
+        }
+        if self.samples.len() <= max_points {
+            return self.samples.clone();
+        }
+        let stride = self.samples.len() as f64 / max_points as f64;
+        (0..max_points)
+            .map(|i| self.samples[(i as f64 * stride) as usize])
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Sample;
+    type IntoIter = core::slice::Iter<'a, Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trace {
+        let mut t = Trace::new("ramp");
+        for i in 0..=10u64 {
+            t.record(SimTime::from_secs(i * 10), i as f64);
+        }
+        t
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let t = ramp();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.stats().min(), 0.0);
+        assert_eq!(t.stats().max(), 10.0);
+        assert_eq!(t.stats().mean(), 5.0);
+        assert_eq!(t.last().unwrap().value, 10.0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn interpolation_midpoints_and_clamping() {
+        let t = ramp();
+        assert_eq!(t.value_at(SimTime::from_secs(25)), Some(2.5));
+        assert_eq!(t.value_at(SimTime::from_secs(0)), Some(0.0));
+        // Clamped outside range.
+        assert_eq!(t.value_at(SimTime::from_secs(1000)), Some(10.0));
+        assert_eq!(Trace::new("empty").value_at(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn downsample_preserves_bounds() {
+        let t = ramp();
+        let d = t.downsample(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0].value, 0.0);
+        // Small traces pass through unchanged.
+        assert_eq!(t.downsample(100).len(), 11);
+        assert!(t.downsample(0).is_empty());
+    }
+
+    #[test]
+    fn iteration() {
+        let t = ramp();
+        let total: f64 = t.iter().map(|s| s.value).sum();
+        assert_eq!(total, 55.0);
+        let count = (&t).into_iter().count();
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "recorded out of order")]
+    fn out_of_order_recording_panics_in_debug() {
+        use crate::time::SimDuration;
+        let mut t = Trace::new("bad");
+        t.record(SimTime::from_secs(10), 1.0);
+        t.record(SimTime::from_secs(10) - SimDuration::from_secs(5), 2.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use ins_sim::stats::RunningStats;
+use ins_sim::time::{SimDuration, SimTime};
+use ins_sim::trace::Trace;
+use ins_sim::units::{Amps, Hours, Volts, WattHours, Watts};
+
+proptest! {
+    /// Welford statistics agree with the naive two-pass computation.
+    #[test]
+    fn running_stats_match_naive(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let stats: RunningStats = values.iter().copied().collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((stats.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((stats.population_variance() - var).abs() <= 1e-4 * var.abs().max(1.0));
+        prop_assert_eq!(stats.count(), values.len() as u64);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(stats.min(), min);
+        prop_assert_eq!(stats.max(), max);
+    }
+
+    /// Merging partitioned stats equals computing them in one pass.
+    #[test]
+    fn stats_merge_associative(
+        a in proptest::collection::vec(-1e3f64..1e3, 0..50),
+        b in proptest::collection::vec(-1e3f64..1e3, 0..50)
+    ) {
+        let mut merged: RunningStats = a.iter().copied().collect();
+        let right: RunningStats = b.iter().copied().collect();
+        merged.merge(&right);
+        let whole: RunningStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((merged.population_variance() - whole.population_variance()).abs() < 1e-6);
+    }
+
+    /// Trace interpolation always lies within the sample value range.
+    #[test]
+    fn trace_interpolation_bounded(
+        values in proptest::collection::vec(-100f64..100.0, 2..100),
+        query_s in 0u64..20_000
+    ) {
+        let mut t = Trace::new("p");
+        for (i, v) in values.iter().enumerate() {
+            t.record(SimTime::from_secs(i as u64 * 60), *v);
+        }
+        let v = t.value_at(SimTime::from_secs(query_s)).expect("non-empty trace");
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// Downsampling never invents samples and keeps chronological order.
+    #[test]
+    fn downsample_is_a_subsequence(
+        n in 1usize..300,
+        max_points in 1usize..50
+    ) {
+        let mut t = Trace::new("d");
+        for i in 0..n {
+            t.record(SimTime::from_secs(i as u64), i as f64);
+        }
+        let d = t.downsample(max_points);
+        prop_assert!(d.len() <= max_points.max(n));
+        prop_assert!(d.windows(2).all(|w| w[0].time < w[1].time));
+        for s in &d {
+            prop_assert_eq!(s.value, s.time.as_secs() as f64);
+        }
+    }
+
+    /// Unit arithmetic: P = V·I and E = P·t round-trip.
+    #[test]
+    fn unit_round_trips(v in 0.1f64..1000.0, i in 0.1f64..1000.0, h in 0.1f64..1000.0) {
+        let p: Watts = Volts::new(v) * Amps::new(i);
+        prop_assert!(((p / Volts::new(v)).value() - i).abs() < 1e-9 * i);
+        let e: WattHours = p * Hours::new(h);
+        prop_assert!(((e / Hours::new(h)).value() - p.value()).abs() < 1e-6 * p.value());
+    }
+
+    /// Time arithmetic is consistent: (t + d) - t == d.
+    #[test]
+    fn time_addition_inverts(secs in 0u64..1_000_000, d in 0u64..1_000_000) {
+        let t = SimTime::from_secs(secs);
+        let dur = SimDuration::from_secs(d);
+        prop_assert_eq!((t + dur) - t, dur);
+        prop_assert_eq!((t + dur).since(t), dur);
+    }
+}

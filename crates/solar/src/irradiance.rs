@@ -1,0 +1,146 @@
+//! Clear-sky irradiance envelope.
+//!
+//! The diurnal envelope is the standard half-sine clear-sky approximation,
+//! anchored at the prototype's observed generation window: the paper's
+//! Fig. 16 trace starts generating at 06:54 and dies at 19:59. The envelope
+//! exponent is calibrated so a sunny day over the 1.6 kW array averages
+//! ≈ 1.1 kW across the daytime window, matching the paper's
+//! "high solar generation" trace (Fig. 15-a).
+
+use serde::{Deserialize, Serialize};
+
+/// Shape exponent of the half-sine envelope. Lower values flatten the
+/// midday plateau; 0.8 reproduces the paper's daytime average.
+const ENVELOPE_EXPONENT: f64 = 0.8;
+
+/// Sunrise/sunset description of one simulated day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DaylightWindow {
+    /// Sunrise as fractional hours of day.
+    pub sunrise_h: f64,
+    /// Sunset as fractional hours of day.
+    pub sunset_h: f64,
+}
+
+impl DaylightWindow {
+    /// The prototype's observed window: 06:54 – 19:59 (Fig. 16).
+    #[must_use]
+    pub fn prototype() -> Self {
+        Self {
+            sunrise_h: 6.9,
+            sunset_h: 19.98,
+        }
+    }
+
+    /// Creates a window from sunrise and sunset hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ sunrise < sunset ≤ 24`.
+    #[must_use]
+    pub fn new(sunrise_h: f64, sunset_h: f64) -> Self {
+        assert!(
+            0.0 <= sunrise_h && sunrise_h < sunset_h && sunset_h <= 24.0,
+            "daylight window must satisfy 0 <= sunrise < sunset <= 24"
+        );
+        Self { sunrise_h, sunset_h }
+    }
+
+    /// Day length in hours.
+    #[must_use]
+    pub fn day_length_h(&self) -> f64 {
+        self.sunset_h - self.sunrise_h
+    }
+
+    /// `true` while the sun is up at `time_of_day_h`.
+    #[must_use]
+    pub fn is_daytime(&self, time_of_day_h: f64) -> bool {
+        (self.sunrise_h..self.sunset_h).contains(&time_of_day_h)
+    }
+}
+
+impl Default for DaylightWindow {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+/// Clear-sky irradiance as a fraction of peak, in `[0, 1]`, at the given
+/// time of day (fractional hours).
+///
+/// Zero outside the daylight window; a flattened half-sine inside it,
+/// peaking at solar noon.
+#[must_use]
+pub fn clear_sky_fraction(window: &DaylightWindow, time_of_day_h: f64) -> f64 {
+    if !window.is_daytime(time_of_day_h) {
+        return 0.0;
+    }
+    let phase = (time_of_day_h - window.sunrise_h) / window.day_length_h();
+    (core::f64::consts::PI * phase).sin().powf(ENVELOPE_EXPONENT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_at_night() {
+        let w = DaylightWindow::prototype();
+        assert_eq!(clear_sky_fraction(&w, 0.0), 0.0);
+        assert_eq!(clear_sky_fraction(&w, 6.0), 0.0);
+        assert_eq!(clear_sky_fraction(&w, 21.0), 0.0);
+        assert_eq!(clear_sky_fraction(&w, 23.9), 0.0);
+    }
+
+    #[test]
+    fn peaks_at_solar_noon() {
+        let w = DaylightWindow::prototype();
+        let noon = (w.sunrise_h + w.sunset_h) / 2.0;
+        let peak = clear_sky_fraction(&w, noon);
+        assert!((peak - 1.0).abs() < 1e-9);
+        assert!(clear_sky_fraction(&w, noon - 3.0) < peak);
+        assert!(clear_sky_fraction(&w, noon + 3.0) < peak);
+    }
+
+    #[test]
+    fn symmetric_about_noon() {
+        let w = DaylightWindow::prototype();
+        let noon = (w.sunrise_h + w.sunset_h) / 2.0;
+        for dh in [1.0, 2.0, 4.0, 6.0] {
+            let a = clear_sky_fraction(&w, noon - dh);
+            let b = clear_sky_fraction(&w, noon + dh);
+            assert!((a - b).abs() < 1e-9, "asymmetry at ±{dh} h");
+        }
+    }
+
+    #[test]
+    fn daytime_average_is_calibrated() {
+        // The flattened envelope should average ≈ 0.7 of peak over the day,
+        // which puts a 1.6 kW array at ≈ 1.1 kW daytime mean on sunny days.
+        let w = DaylightWindow::prototype();
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| {
+                let t = w.sunrise_h + w.day_length_h() * (i as f64 + 0.5) / n as f64;
+                clear_sky_fraction(&w, t)
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((0.66..0.74).contains(&mean), "daytime mean fraction {mean}");
+    }
+
+    #[test]
+    fn window_queries() {
+        let w = DaylightWindow::new(6.0, 18.0);
+        assert_eq!(w.day_length_h(), 12.0);
+        assert!(w.is_daytime(6.0));
+        assert!(!w.is_daytime(18.0));
+        assert!(!w.is_daytime(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "daylight window must satisfy")]
+    fn rejects_inverted_window() {
+        let _ = DaylightWindow::new(19.0, 7.0);
+    }
+}

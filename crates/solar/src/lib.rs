@@ -1,0 +1,37 @@
+//! # `ins-solar` — standalone solar supply model
+//!
+//! Models the renewable side of the InSURE prototype: a 1.6 kW Grape Solar
+//! array feeding a Perturb-and-Observe MPPT charge controller.
+//!
+//! * [`irradiance`] — clear-sky diurnal envelope anchored at the paper's
+//!   observed 06:54–19:59 generation window,
+//! * [`weather`] — sunny/cloudy/rainy day types with a Markov passing-cloud
+//!   process,
+//! * [`panel`] — PV array electrical output,
+//! * [`mppt`] — P&O tracker with its characteristic ripple,
+//! * [`trace`] — seeded day-trace generation, including synthetic stand-ins
+//!   for the paper's high-generation (≈ 1114 W) and low-generation
+//!   (≈ 427 W) evaluation days.
+//!
+//! # Examples
+//!
+//! ```
+//! use ins_solar::trace::{high_generation_day, low_generation_day};
+//!
+//! let high = high_generation_day(1);
+//! let low = low_generation_day(1);
+//! assert!(high.total_energy() > low.total_energy());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod irradiance;
+pub mod mppt;
+pub mod panel;
+pub mod trace;
+pub mod weather;
+
+pub use panel::SolarPanel;
+pub use trace::{high_generation_day, low_generation_day, SolarTrace, SolarTraceBuilder};
+pub use weather::DayWeather;

@@ -1,0 +1,127 @@
+//! PV array electrical model.
+//!
+//! The prototype uses Grape Solar panels with 1.6 kW installed capacity
+//! (Table 4). The array converts the product of the clear-sky envelope and
+//! sky transmission into DC power, with a flat derate for soiling, wiring
+//! and temperature.
+
+use ins_sim::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// A photovoltaic array.
+///
+/// # Examples
+///
+/// ```
+/// use ins_solar::panel::SolarPanel;
+///
+/// let array = SolarPanel::prototype_1_6kw();
+/// let p = array.output(1.0, 1.0); // full sun, clear sky
+/// assert!(p.value() > 1500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolarPanel {
+    rated: Watts,
+    derate: f64,
+}
+
+impl SolarPanel {
+    /// Creates an array with the given nameplate rating and system derate
+    /// factor in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rated` is not positive or `derate` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(rated: Watts, derate: f64) -> Self {
+        assert!(rated.value() > 0.0, "panel rating must be positive");
+        assert!(
+            0.0 < derate && derate <= 1.0,
+            "derate factor must lie in (0, 1]"
+        );
+        Self { rated, derate }
+    }
+
+    /// The prototype's 1.6 kW Grape Solar array.
+    #[must_use]
+    pub fn prototype_1_6kw() -> Self {
+        Self::new(Watts::new(1600.0), 0.98)
+    }
+
+    /// Nameplate rating.
+    #[must_use]
+    pub fn rated(&self) -> Watts {
+        self.rated
+    }
+
+    /// System derate factor.
+    #[must_use]
+    pub fn derate(&self) -> f64 {
+        self.derate
+    }
+
+    /// Returns a copy scaled to a different nameplate rating, keeping the
+    /// derate — used by the scale-out cost analyses (Fig. 23).
+    #[must_use]
+    pub fn scaled_to(&self, rated: Watts) -> Self {
+        Self::new(rated, self.derate)
+    }
+
+    /// DC output for the given clear-sky fraction and sky transmission
+    /// (both in `[0, 1]`).
+    #[must_use]
+    pub fn output(&self, clear_sky_fraction: f64, transmission: f64) -> Watts {
+        let f = clear_sky_fraction.clamp(0.0, 1.0) * transmission.clamp(0.0, 1.0);
+        self.rated * (self.derate * f)
+    }
+}
+
+impl Default for SolarPanel {
+    fn default() -> Self {
+        Self::prototype_1_6kw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_scales_with_both_factors() {
+        let p = SolarPanel::prototype_1_6kw();
+        let full = p.output(1.0, 1.0);
+        assert!((full.value() - 1568.0).abs() < 1e-9);
+        let half_sky = p.output(0.5, 1.0);
+        let half_cloud = p.output(1.0, 0.5);
+        assert_eq!(half_sky, half_cloud);
+        assert!((half_sky.value() - 784.0).abs() < 1e-9);
+        assert_eq!(p.output(0.0, 1.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn output_clamps_inputs() {
+        let p = SolarPanel::prototype_1_6kw();
+        assert_eq!(p.output(2.0, 2.0), p.output(1.0, 1.0));
+        assert_eq!(p.output(-1.0, 0.5), Watts::ZERO);
+    }
+
+    #[test]
+    fn scaled_array_keeps_derate() {
+        let p = SolarPanel::prototype_1_6kw().scaled_to(Watts::new(3200.0));
+        assert_eq!(p.rated(), Watts::new(3200.0));
+        assert_eq!(p.derate(), 0.98);
+        assert!((p.output(1.0, 1.0).value() - 3136.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "derate factor must lie in (0, 1]")]
+    fn rejects_zero_derate() {
+        let _ = SolarPanel::new(Watts::new(100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "panel rating must be positive")]
+    fn rejects_non_positive_rating() {
+        let _ = SolarPanel::new(Watts::ZERO, 0.9);
+    }
+}

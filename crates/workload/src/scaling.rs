@@ -1,0 +1,149 @@
+//! Cluster-level throughput scaling models.
+//!
+//! Tables 2 and 3 of the paper measure how the two in-situ applications
+//! scale with VM count. [`ScalingModel`] fits those measurements with a
+//! power law `GB/h = a · VMs^b` (seismic shows strong contention, video is
+//! near-linear) so the simulator can evaluate any VM count the controller
+//! chooses.
+
+use serde::{Deserialize, Serialize};
+
+/// A power-law throughput model `rate = base · vms^exponent · duty`.
+///
+/// # Examples
+///
+/// ```
+/// use ins_workload::scaling::ScalingModel;
+///
+/// let seismic = ScalingModel::seismic_analysis();
+/// // Table 2: 4 VMs sustain ≈ 16.5 GB/h at full speed.
+/// let r = seismic.gb_per_hour(4, 1.0);
+/// assert!((r - 16.5).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// Throughput of a single VM at full duty, GB/hour.
+    base_gb_per_hour: f64,
+    /// Contention exponent: 1.0 = perfect scaling, < 1 = sub-linear.
+    exponent: f64,
+}
+
+impl ScalingModel {
+    /// Creates a scaling model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_gb_per_hour` is not positive or `exponent` is not
+    /// in `(0, 1.2]`.
+    #[must_use]
+    pub fn new(base_gb_per_hour: f64, exponent: f64) -> Self {
+        assert!(base_gb_per_hour > 0.0, "base rate must be positive");
+        assert!(
+            0.0 < exponent && exponent <= 1.2,
+            "exponent must lie in (0, 1.2]"
+        );
+        Self {
+            base_gb_per_hour,
+            exponent,
+        }
+    }
+
+    /// Seismic velocity analysis (Madagascar), fitted to Table 2:
+    /// raw capacity ≈ 16.5 GB/h at 4 VMs and ≈ 24.6 GB/h at 8 VMs
+    /// (14.0 GB/h delivered at 57 % availability). Heavy I/O contention
+    /// gives the sub-linear exponent.
+    #[must_use]
+    pub fn seismic_analysis() -> Self {
+        Self::new(7.45, 0.575)
+    }
+
+    /// Hadoop video pattern recognition, fitted to Table 3:
+    /// 0.07 / 0.10 / 0.17 / 0.21 GB/min at 2/4/6/8 VMs — mildly
+    /// sub-linear (exponent ≈ 0.85), full rate at 8 VMs.
+    #[must_use]
+    pub fn video_surveillance() -> Self {
+        // 0.21 GB/min = 12.6 GB/h at 8 VMs: base = 12.6 / 8^0.85.
+        Self::new(12.6 / 8f64.powf(0.85), 0.85)
+    }
+
+    /// Cluster throughput in GB/hour for the given active VM count and
+    /// duty-cycle fraction.
+    #[must_use]
+    pub fn gb_per_hour(&self, vms: u32, duty: f64) -> f64 {
+        if vms == 0 {
+            return 0.0;
+        }
+        self.base_gb_per_hour * f64::from(vms).powf(self.exponent) * duty.clamp(0.0, 1.0)
+    }
+
+    /// Single-VM full-duty rate.
+    #[must_use]
+    pub fn base_gb_per_hour(&self) -> f64 {
+        self.base_gb_per_hour
+    }
+
+    /// Contention exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seismic_fits_table2() {
+        let m = ScalingModel::seismic_analysis();
+        let at4 = m.gb_per_hour(4, 1.0);
+        let at8 = m.gb_per_hour(8, 1.0);
+        assert!((at4 - 16.5).abs() < 0.5, "4 VM rate {at4}");
+        // 8 VMs × 57 % availability ≈ the delivered 14.0 GB/h of Table 2.
+        assert!((at8 * 0.57 - 14.0).abs() < 0.5, "8 VM delivered {}", at8 * 0.57);
+    }
+
+    #[test]
+    fn video_fits_table3() {
+        let m = ScalingModel::video_surveillance();
+        let to_gb_min = |v| m.gb_per_hour(v, 1.0) / 60.0;
+        assert!((to_gb_min(8) - 0.21).abs() < 0.01);
+        assert!((to_gb_min(6) - 0.17).abs() < 0.015);
+        assert!((to_gb_min(4) - 0.10).abs() < 0.025);
+        assert!((to_gb_min(2) - 0.07).abs() < 0.015);
+    }
+
+    #[test]
+    fn zero_vms_zero_rate() {
+        assert_eq!(ScalingModel::seismic_analysis().gb_per_hour(0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn duty_scales_linearly_and_clamps() {
+        let m = ScalingModel::seismic_analysis();
+        let full = m.gb_per_hour(4, 1.0);
+        assert!((m.gb_per_hour(4, 0.5) - full * 0.5).abs() < 1e-9);
+        assert_eq!(m.gb_per_hour(4, 2.0), full);
+    }
+
+    #[test]
+    fn more_vms_diminishing_returns() {
+        let m = ScalingModel::seismic_analysis();
+        let g4 = m.gb_per_hour(4, 1.0);
+        let g8 = m.gb_per_hour(8, 1.0);
+        assert!(g8 > g4, "more VMs must help");
+        assert!(g8 < 2.0 * g4, "…but sub-linearly");
+    }
+
+    #[test]
+    #[should_panic(expected = "base rate must be positive")]
+    fn rejects_zero_base() {
+        let _ = ScalingModel::new(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must lie in (0, 1.2]")]
+    fn rejects_wild_exponent() {
+        let _ = ScalingModel::new(1.0, 2.0);
+    }
+}

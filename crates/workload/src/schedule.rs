@@ -1,0 +1,132 @@
+//! Seeded daily arrival-schedule generation.
+//!
+//! The paper's case study uses a fixed twice-a-day survey schedule, but
+//! §2.1's in-situ applications span "tens of thousands of micro-seismic
+//! tests" and irregular field campaigns. This module draws randomized
+//! daily schedules — jittered around a nominal cadence — so multi-day
+//! experiments can exercise arrival patterns beyond the fixed prototype
+//! timetable while staying reproducible.
+
+use ins_sim::rng::SimRng;
+
+use crate::batch::BatchSpec;
+
+/// Generates a daily schedule of `jobs_per_day` arrival hours, evenly
+/// spread across the working window `[start_h, end_h)` with ± `jitter_h`
+/// of uniform jitter per arrival (clamped so the hours stay strictly
+/// increasing and inside the window).
+///
+/// # Panics
+///
+/// Panics if `jobs_per_day` is zero, the window is empty or outside
+/// `[0, 24)`, or `jitter_h` is negative.
+#[must_use]
+pub fn daily_arrivals(
+    jobs_per_day: usize,
+    start_h: f64,
+    end_h: f64,
+    jitter_h: f64,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    assert!(jobs_per_day > 0, "at least one job per day required");
+    assert!(
+        0.0 <= start_h && start_h < end_h && end_h < 24.0,
+        "working window must satisfy 0 <= start < end < 24"
+    );
+    assert!(jitter_h >= 0.0, "jitter must be non-negative");
+    let span = end_h - start_h;
+    let stride = span / jobs_per_day as f64;
+    let mut hours: Vec<f64> = (0..jobs_per_day)
+        .map(|i| {
+            let nominal = start_h + stride * (i as f64 + 0.5);
+            let jitter = if jitter_h > 0.0 {
+                rng.uniform(-jitter_h, jitter_h)
+            } else {
+                0.0
+            };
+            // Keep each arrival inside its own stride slot so ordering
+            // and spacing survive any jitter amplitude.
+            let lo = start_h + stride * i as f64 + 1e-6;
+            let hi = start_h + stride * (i as f64 + 1.0) - 1e-6;
+            (nominal + jitter).clamp(lo, hi)
+        })
+        .collect();
+    // Floating clamps preserve order, but make it explicit.
+    hours.sort_by(f64::total_cmp);
+    hours
+}
+
+/// Builds a [`BatchSpec`] with a generated schedule: `daily_gb` of data
+/// split across `jobs_per_day` equal jobs at jittered times.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`daily_arrivals`], or if `daily_gb`
+/// is not positive.
+#[must_use]
+pub fn generated_batch_spec(
+    daily_gb: f64,
+    jobs_per_day: usize,
+    start_h: f64,
+    end_h: f64,
+    jitter_h: f64,
+    rng: &mut SimRng,
+) -> BatchSpec {
+    assert!(daily_gb > 0.0, "daily volume must be positive");
+    let arrivals = daily_arrivals(jobs_per_day, start_h, end_h, jitter_h, rng);
+    BatchSpec::with_arrivals(daily_gb / jobs_per_day as f64, arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_ordered_and_in_window() {
+        let mut rng = SimRng::seed(3);
+        for jobs in [1usize, 2, 5, 12] {
+            let hours = daily_arrivals(jobs, 6.0, 20.0, 1.5, &mut rng);
+            assert_eq!(hours.len(), jobs);
+            assert!(hours.windows(2).all(|w| w[0] < w[1]), "{hours:?}");
+            assert!(hours.iter().all(|&h| (6.0..20.0).contains(&h)));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic_midpoints() {
+        let mut rng = SimRng::seed(3);
+        let hours = daily_arrivals(2, 6.0, 18.0, 0.0, &mut rng);
+        assert!((hours[0] - 9.0).abs() < 1e-9);
+        assert!((hours[1] - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = daily_arrivals(4, 7.0, 19.0, 2.0, &mut SimRng::seed(9));
+        let b = daily_arrivals(4, 7.0, 19.0, 2.0, &mut SimRng::seed(9));
+        assert_eq!(a, b);
+        let c = daily_arrivals(4, 7.0, 19.0, 2.0, &mut SimRng::seed(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_spec_splits_volume() {
+        let mut rng = SimRng::seed(1);
+        let spec = generated_batch_spec(228.0, 4, 7.0, 19.0, 1.0, &mut rng);
+        assert_eq!(spec.arrivals.len(), 4);
+        assert!((spec.job_gb - 57.0).abs() < 1e-9);
+        assert!((spec.daily_gb() - 228.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "working window must satisfy")]
+    fn rejects_inverted_window() {
+        let _ = daily_arrivals(2, 18.0, 6.0, 0.0, &mut SimRng::seed(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job per day required")]
+    fn rejects_zero_jobs() {
+        let _ = daily_arrivals(0, 6.0, 18.0, 0.0, &mut SimRng::seed(0));
+    }
+}
