@@ -13,7 +13,6 @@
 //!   into the available well and usable capacity returns (Fig. 4-b).
 
 use ins_sim::units::{AmpHours, Amps, Hours};
-use serde::{Deserialize, Serialize};
 
 /// Charge state of a two-well KiBaM battery.
 ///
@@ -31,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// k.step(Amps::ZERO, Hours::new(1.0));
 /// assert!(k.available_fraction() > depleted);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KibamState {
     /// Charge in the available well.
     available: AmpHours,
@@ -126,6 +125,26 @@ impl KibamState {
     #[must_use]
     pub fn is_exhausted(&self) -> bool {
         self.available.value() <= 1e-9
+    }
+
+    /// Shrinks total capacity to `fraction` of its current value, clamping
+    /// any well contents that no longer fit. Models sudden capacity fade
+    /// (sulfation, a shorted cell): both wells shrink proportionally, so
+    /// the state of charge is preserved where possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn scale_capacity(&mut self, fraction: f64) {
+        assert!(
+            0.0 < fraction && fraction <= 1.0,
+            "capacity fraction must lie in (0, 1]"
+        );
+        self.capacity = AmpHours::new(self.capacity.value() * fraction);
+        let avail_cap = self.c * self.capacity.value();
+        let bound_cap = (1.0 - self.c) * self.capacity.value();
+        self.available = AmpHours::new(self.available.value().min(avail_cap));
+        self.bound = AmpHours::new(self.bound.value().min(bound_cap));
     }
 
     /// Advances the model by `dt` under a signed current
@@ -303,6 +322,28 @@ mod tests {
         }
         assert!((a.soc() - b.soc()).abs() < 1e-3);
         assert!((a.available_fraction() - b.available_fraction()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scale_capacity_preserves_soc_and_clamps_wells() {
+        let mut k = fresh();
+        k.scale_capacity(0.5);
+        assert_eq!(k.capacity(), AmpHours::new(17.5));
+        // Was full; both wells clamp to the shrunken sizes, so still full.
+        assert!((k.soc() - 1.0).abs() < 1e-12);
+        assert!((k.available_fraction() - 1.0).abs() < 1e-12);
+
+        let mut half = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, 0.5);
+        half.scale_capacity(0.8);
+        // Contents fit in the smaller wells: absolute charge unchanged.
+        assert!((half.stored_charge().value() - 17.5).abs() < 1e-9);
+        assert!((half.soc() - 0.5 / 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity fraction must lie in (0, 1]")]
+    fn scale_capacity_rejects_zero() {
+        fresh().scale_capacity(0.0);
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod unit;
 pub mod voltage;
 pub mod wear;
 
-pub use params::BatteryParams;
-pub use unit::{BatteryId, BatteryUnit, ChargeOutcome, DischargeOutcome};
+pub use params::{BatteryParams, ParamsError};
+pub use unit::{BatteryId, BatteryUnit, ChargeOutcome, DischargeOutcome, UnitHealth};

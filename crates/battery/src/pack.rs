@@ -29,8 +29,9 @@ pub fn split_discharge_current(units: &[&BatteryUnit], total: Amps) -> Vec<Amps>
     let weights: Vec<f64> = units
         .iter()
         .map(|u| {
-            let headroom =
-                (u.open_circuit_voltage() - u.params().cutoff_voltage).value().max(0.0);
+            let headroom = (u.open_circuit_voltage() - u.params().cutoff_voltage)
+                .value()
+                .max(0.0);
             if u.is_exhausted() {
                 0.0
             } else {
@@ -42,10 +43,7 @@ pub fn split_discharge_current(units: &[&BatteryUnit], total: Amps) -> Vec<Amps>
     if sum <= 0.0 {
         return vec![Amps::ZERO; units.len()];
     }
-    weights
-        .iter()
-        .map(|w| total * (w / sum))
-        .collect()
+    weights.iter().map(|w| total * (w / sum)).collect()
 }
 
 /// Summary of the e-Buffer's aggregate state.

@@ -6,15 +6,65 @@
 //! 210 Ah buffer). [`BatteryParams::ub1280`] models one 12 V unit and
 //! [`BatteryParams::cabinet_24v`] one cabinet.
 
+use std::fmt;
+
 use ins_sim::units::{AmpHours, Amps, Ohms, Volts};
-use serde::{Deserialize, Serialize};
+
+/// A physical-consistency constraint violated by a [`BatteryParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamsError {
+    /// The nameplate capacity is not positive.
+    NonPositiveCapacity,
+    /// The KiBaM capacity ratio `c` lies outside `(0, 1)`.
+    KibamRatioOutOfRange,
+    /// The KiBaM rate constant `k` is not positive.
+    NonPositiveKibamRate,
+    /// The full open-circuit voltage does not exceed the empty one.
+    OcvRangeInverted,
+    /// The open-circuit-voltage knee is negative.
+    NegativeOcvKnee,
+    /// The constant-voltage limit does not exceed the full OCV.
+    CvLimitBelowFullOcv,
+    /// The discharge cutoff voltage is not below the empty OCV.
+    CutoffAboveEmptyOcv,
+    /// The gassing-onset state of charge lies outside `[0, 1]`.
+    GassingOnsetOutOfRange,
+    /// The bulk-phase constant-current limit is not positive.
+    NonPositiveCcLimit,
+    /// The designated lifetime throughput is not positive.
+    NonPositiveLifetimeThroughput,
+    /// The float service life is not positive.
+    NonPositiveFloatLife,
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            Self::NonPositiveCapacity => "capacity must be positive",
+            Self::KibamRatioOutOfRange => "kibam_c must lie in (0, 1)",
+            Self::NonPositiveKibamRate => "kibam_k_per_hour must be positive",
+            Self::OcvRangeInverted => "ocv_full must exceed ocv_empty",
+            Self::NegativeOcvKnee => "ocv_knee must be non-negative",
+            Self::CvLimitBelowFullOcv => "cv_limit must exceed ocv_full",
+            Self::CutoffAboveEmptyOcv => "cutoff_voltage must lie below ocv_empty",
+            Self::GassingOnsetOutOfRange => "gassing_onset_soc must lie in [0, 1]",
+            Self::NonPositiveCcLimit => "cc_limit_c_rate must be positive",
+            Self::NonPositiveLifetimeThroughput => "lifetime_throughput must be positive",
+            Self::NonPositiveFloatLife => "float_life_days must be positive",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParamsError {}
 
 /// Electrochemical and lifetime parameters of one battery unit.
 ///
 /// The kinetic parameters (`kibam_c`, `kibam_k_per_hour`) follow the
 /// standard two-well Kinetic Battery Model for lead-acid chemistry; the
 /// remaining constants are engineering data for the UB1280 family.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatteryParams {
     /// Nameplate voltage (12 V per unit, 24 V per cabinet).
     pub nominal_voltage: Volts,
@@ -118,41 +168,41 @@ impl BatteryParams {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint, e.g. a
-    /// non-positive capacity or a KiBaM ratio outside `(0, 1)`.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ParamsError`],
+    /// e.g. a non-positive capacity or a KiBaM ratio outside `(0, 1)`.
+    pub fn validate(&self) -> Result<(), ParamsError> {
         if self.capacity.value() <= 0.0 {
-            return Err("capacity must be positive".into());
+            return Err(ParamsError::NonPositiveCapacity);
         }
         if !(0.0 < self.kibam_c && self.kibam_c < 1.0) {
-            return Err("kibam_c must lie in (0, 1)".into());
+            return Err(ParamsError::KibamRatioOutOfRange);
         }
         if self.kibam_k_per_hour <= 0.0 {
-            return Err("kibam_k_per_hour must be positive".into());
+            return Err(ParamsError::NonPositiveKibamRate);
         }
         if self.ocv_full <= self.ocv_empty {
-            return Err("ocv_full must exceed ocv_empty".into());
+            return Err(ParamsError::OcvRangeInverted);
         }
         if self.ocv_knee.value() < 0.0 {
-            return Err("ocv_knee must be non-negative".into());
+            return Err(ParamsError::NegativeOcvKnee);
         }
         if self.cv_limit <= self.ocv_full {
-            return Err("cv_limit must exceed ocv_full".into());
+            return Err(ParamsError::CvLimitBelowFullOcv);
         }
         if self.cutoff_voltage >= self.ocv_empty {
-            return Err("cutoff_voltage must lie below ocv_empty".into());
+            return Err(ParamsError::CutoffAboveEmptyOcv);
         }
         if !(0.0..=1.0).contains(&self.gassing_onset_soc) {
-            return Err("gassing_onset_soc must lie in [0, 1]".into());
+            return Err(ParamsError::GassingOnsetOutOfRange);
         }
         if self.cc_limit_c_rate <= 0.0 {
-            return Err("cc_limit_c_rate must be positive".into());
+            return Err(ParamsError::NonPositiveCcLimit);
         }
         if self.lifetime_throughput.value() <= 0.0 {
-            return Err("lifetime_throughput must be positive".into());
+            return Err(ParamsError::NonPositiveLifetimeThroughput);
         }
         if self.float_life_days <= 0.0 {
-            return Err("float_life_days must be positive".into());
+            return Err(ParamsError::NonPositiveFloatLife);
         }
         Ok(())
     }
@@ -202,22 +252,31 @@ mod tests {
     fn validation_catches_bad_params() {
         let mut p = BatteryParams::ub1280();
         p.kibam_c = 1.5;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamsError::KibamRatioOutOfRange));
 
         let mut p = BatteryParams::ub1280();
         p.capacity = AmpHours::ZERO;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamsError::NonPositiveCapacity));
 
         let mut p = BatteryParams::ub1280();
         p.cv_limit = Volts::new(12.0);
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamsError::CvLimitBelowFullOcv));
 
         let mut p = BatteryParams::ub1280();
         p.cutoff_voltage = Volts::new(13.0);
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamsError::CutoffAboveEmptyOcv));
 
         let mut p = BatteryParams::ub1280();
         p.ocv_full = p.ocv_empty;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamsError::OcvRangeInverted));
+    }
+
+    #[test]
+    fn params_errors_render_human_readable_messages() {
+        assert!(ParamsError::NonPositiveCapacity
+            .to_string()
+            .contains("capacity"));
+        let boxed: Box<dyn std::error::Error> = Box::new(ParamsError::KibamRatioOutOfRange);
+        assert!(boxed.to_string().contains("kibam_c"));
     }
 }

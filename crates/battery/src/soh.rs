@@ -9,11 +9,10 @@
 //! figures, use nameplate capacity throughout).
 
 use ins_sim::units::AmpHours;
-use serde::{Deserialize, Serialize};
 
 /// Capacity-fade model: linear from nameplate at zero wear to
 /// `eol_capacity_fraction` at a fully consumed throughput budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SohModel {
     /// Remaining capacity fraction at end of life. The industry
     /// convention retires lead-acid at 80 % of nameplate.

@@ -4,8 +4,7 @@
 //! one "battery cabinet" in the paper's terminology, individually switchable
 //! through the relay network.
 
-use ins_sim::units::{AmpHours, Amps, Hours, Volts, WattHours, Watts};
-use serde::{Deserialize, Serialize};
+use ins_sim::units::{AmpHours, Amps, Hours, Ohms, Volts, WattHours, Watts};
 
 use crate::charge::{acceptance_limit, split_applied_current};
 use crate::kibam::KibamState;
@@ -14,9 +13,7 @@ use crate::voltage;
 use crate::wear::{expected_service_life_days, WearLedger};
 
 /// Identifier of a battery unit within the e-Buffer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BatteryId(pub usize);
 
 impl core::fmt::Display for BatteryId {
@@ -27,11 +24,25 @@ impl core::fmt::Display for BatteryId {
 
 /// Direction of the last non-trivial current flow, used to detect
 /// discharge→charge cycle boundaries for wear accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FlowDirection {
     Idle,
     Charging,
     Discharging,
+}
+
+/// Electrical health of a battery unit.
+///
+/// Parameter-level degradation (capacity fade, elevated resistance) keeps
+/// the unit `Healthy` — it still sources and sinks current, just worse.
+/// `FailedOpen` is the terminal state: the internal connection is broken,
+/// no current flows in either direction, and the terminals read dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitHealth {
+    /// Operating (possibly with degraded parameters).
+    Healthy,
+    /// Open-circuit failure: electrically absent until replaced.
+    FailedOpen,
 }
 
 /// Result of one discharge step.
@@ -69,7 +80,7 @@ pub struct ChargeOutcome {
 /// assert!(out.delivered.value() > 7.0);
 /// assert!(b.soc() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatteryUnit {
     id: BatteryId,
     params: BatteryParams,
@@ -77,6 +88,7 @@ pub struct BatteryUnit {
     wear: WearLedger,
     direction: FlowDirection,
     time_in_service: Hours,
+    health: UnitHealth,
 }
 
 impl BatteryUnit {
@@ -112,6 +124,7 @@ impl BatteryUnit {
             wear: WearLedger::new(),
             direction: FlowDirection::Idle,
             time_in_service: Hours::ZERO,
+            health: UnitHealth::Healthy,
         }
     }
 
@@ -125,6 +138,48 @@ impl BatteryUnit {
     #[must_use]
     pub fn params(&self) -> &BatteryParams {
         &self.params
+    }
+
+    /// Electrical health of the unit.
+    #[must_use]
+    pub fn health(&self) -> UnitHealth {
+        self.health
+    }
+
+    /// `true` when the unit has failed open-circuit.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.health == UnitHealth::FailedOpen
+    }
+
+    /// Injects an open-circuit failure: the unit stops sourcing and
+    /// sinking current and its terminals read dead until replacement.
+    pub fn fail_open_circuit(&mut self) {
+        self.health = UnitHealth::FailedOpen;
+        self.direction = FlowDirection::Idle;
+    }
+
+    /// Injects sudden capacity fade: usable capacity drops to `fraction`
+    /// of its current value (see [`KibamState::scale_capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn apply_capacity_fade(&mut self, fraction: f64) {
+        self.kibam.scale_capacity(fraction);
+    }
+
+    /// Injects elevated internal resistance: both charge and discharge
+    /// resistance multiply by `factor`. Terminal voltage sags harder under
+    /// load, so cutoff arrives earlier and charging gets less efficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    pub fn degrade_resistance(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "resistance degradation factor must be >= 1");
+        self.params.r_discharge = Ohms::new(self.params.r_discharge.value() * factor);
+        self.params.r_charge = Ohms::new(self.params.r_charge.value() * factor);
     }
 
     /// Total state of charge in `[0, 1]`.
@@ -146,28 +201,43 @@ impl BatteryUnit {
     }
 
     /// Stored energy at nominal voltage — the "energy availability" unit
-    /// used by Fig. 18.
+    /// used by Fig. 18. A failed-open unit reports zero: its charge is
+    /// physically present but unreachable.
     #[must_use]
     pub fn stored_energy(&self) -> WattHours {
+        if self.is_failed() {
+            return WattHours::ZERO;
+        }
         self.kibam.stored_charge() * self.params.nominal_voltage
     }
 
-    /// Open-circuit (rest) terminal voltage.
+    /// Open-circuit (rest) terminal voltage. Dead (zero) when failed open:
+    /// this is the observable a health monitor keys on.
     #[must_use]
     pub fn open_circuit_voltage(&self) -> Volts {
+        if self.is_failed() {
+            return Volts::ZERO;
+        }
         voltage::open_circuit(&self.params, self.kibam.available_fraction())
     }
 
     /// Terminal voltage under a signed current (positive = discharge).
+    /// Dead (zero) when failed open.
     #[must_use]
     pub fn terminal_voltage(&self, current: Amps) -> Volts {
+        if self.is_failed() {
+            return Volts::ZERO;
+        }
         voltage::terminal(&self.params, self.kibam.available_fraction(), current)
     }
 
     /// `true` when the unit cannot sustain `current` without dropping to
-    /// the protection cutoff voltage.
+    /// the protection cutoff voltage. Always `true` once failed open.
     #[must_use]
     pub fn at_cutoff(&self, current: Amps) -> bool {
+        if self.is_failed() {
+            return true;
+        }
         voltage::at_cutoff(&self.params, self.kibam.available_fraction(), current)
     }
 
@@ -221,8 +291,20 @@ impl BatteryUnit {
     ///
     /// Panics if `current` is negative — use [`BatteryUnit::charge`].
     pub fn discharge(&mut self, current: Amps, dt: Hours) -> DischargeOutcome {
-        assert!(current.value() >= 0.0, "discharge current must be non-negative");
+        assert!(
+            current.value() >= 0.0,
+            "discharge current must be non-negative"
+        );
         self.time_in_service += dt;
+        if self.is_failed() {
+            // Open circuit: no current flows; internal kinetics still relax.
+            self.kibam.step(Amps::ZERO, dt);
+            return DischargeOutcome {
+                delivered: AmpHours::ZERO,
+                voltage: Volts::ZERO,
+                exhausted: false,
+            };
+        }
         if current.value() > 0.0 {
             self.direction = FlowDirection::Discharging;
         }
@@ -245,8 +327,19 @@ impl BatteryUnit {
     ///
     /// Panics if `applied` is negative — use [`BatteryUnit::discharge`].
     pub fn charge(&mut self, applied: Amps, dt: Hours) -> ChargeOutcome {
-        assert!(applied.value() >= 0.0, "charge current must be non-negative");
+        assert!(
+            applied.value() >= 0.0,
+            "charge current must be non-negative"
+        );
         self.time_in_service += dt;
+        if self.is_failed() {
+            self.kibam.step(Amps::ZERO, dt);
+            return ChargeOutcome {
+                accepted: Amps::ZERO,
+                gassed: Amps::ZERO,
+                voltage: Volts::ZERO,
+            };
+        }
         if applied.value() > 0.0 {
             if self.direction == FlowDirection::Discharging {
                 self.wear.record_cycle();
@@ -279,8 +372,12 @@ impl BatteryUnit {
     }
 
     /// Maximum charging current the unit will currently accept.
+    /// Zero once failed open.
     #[must_use]
     pub fn acceptance_limit(&self) -> Amps {
+        if self.is_failed() {
+            return Amps::ZERO;
+        }
         acceptance_limit(&self.params, self.kibam.soc())
     }
 
@@ -384,6 +481,59 @@ mod tests {
         // ~8.75 A × ~25 V ≈ 220 W for the 24 V cabinet in bulk phase.
         assert!(empty.peak_charge_power().value() > 180.0);
         assert!(empty.peak_charge_power().value() < 260.0);
+    }
+
+    #[test]
+    fn open_circuit_failure_makes_unit_electrically_absent() {
+        let mut b = unit_at(0.8);
+        assert_eq!(b.health(), UnitHealth::Healthy);
+        b.fail_open_circuit();
+        assert!(b.is_failed());
+
+        let out = b.discharge(Amps::new(20.0), Hours::new(0.5));
+        assert_eq!(out.delivered, AmpHours::ZERO);
+        assert_eq!(out.voltage, Volts::ZERO);
+        let out = b.charge(Amps::new(5.0), Hours::new(0.5));
+        assert_eq!(out.accepted, Amps::ZERO);
+        assert_eq!(out.gassed, Amps::ZERO);
+
+        assert_eq!(b.terminal_voltage(Amps::new(10.0)), Volts::ZERO);
+        assert_eq!(b.open_circuit_voltage(), Volts::ZERO);
+        assert!(b.at_cutoff(Amps::new(1.0)));
+        assert_eq!(b.acceptance_limit(), Amps::ZERO);
+        assert_eq!(b.peak_charge_power(), Watts::ZERO);
+        assert_eq!(b.stored_energy(), WattHours::ZERO);
+        // Internal state survives (for post-mortem inspection).
+        assert!(b.soc() > 0.7);
+    }
+
+    #[test]
+    fn capacity_fade_shrinks_deliverable_charge() {
+        let mut faded = unit_at(1.0);
+        let healthy = unit_at(1.0);
+        faded.apply_capacity_fade(0.5);
+        assert!(faded.stored_energy().value() < 0.6 * healthy.stored_energy().value());
+        assert!((faded.soc() - 1.0).abs() < 1e-9, "full stays full");
+    }
+
+    #[test]
+    fn resistance_degradation_sags_voltage_harder() {
+        let mut degraded = unit_at(0.6);
+        let healthy = unit_at(0.6);
+        degraded.degrade_resistance(3.0);
+        let i = Amps::new(20.0);
+        assert!(degraded.terminal_voltage(i) < healthy.terminal_voltage(i));
+        // Open-circuit voltage is unaffected — only loaded behaviour is.
+        assert_eq!(
+            degraded.open_circuit_voltage(),
+            healthy.open_circuit_voltage()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance degradation factor must be >= 1")]
+    fn resistance_degradation_rejects_improvement() {
+        unit_at(0.5).degrade_resistance(0.5);
     }
 
     #[test]

@@ -70,7 +70,10 @@ mod tests {
         let p = BatteryParams::ub1280();
         let at_30 = open_circuit(&p, 0.3).value();
         let linear_at_30 = p.ocv_empty.value() + 0.3 * (p.ocv_full - p.ocv_empty).value();
-        assert!((at_30 - linear_at_30).abs() < 0.01, "knee must be invisible at 30 %");
+        assert!(
+            (at_30 - linear_at_30).abs() < 0.01,
+            "knee must be invisible at 30 %"
+        );
         let at_2 = open_circuit(&p, 0.02).value();
         let linear_at_2 = p.ocv_empty.value() + 0.02 * (p.ocv_full - p.ocv_empty).value();
         assert!(linear_at_2 - at_2 > 1.0, "knee must bite hard at 2 %");

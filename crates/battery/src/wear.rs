@@ -9,10 +9,9 @@
 //! bookkeeping.
 
 use ins_sim::units::AmpHours;
-use serde::{Deserialize, Serialize};
 
 /// Lifetime wear ledger of one battery unit.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WearLedger {
     discharge_throughput: AmpHours,
     charge_throughput: AmpHours,
@@ -137,23 +136,15 @@ mod tests {
     #[test]
     fn service_life_extrapolates_daily_usage() {
         // 10 Ah/day against a 1000 Ah budget with 100 Ah used → 90 days.
-        let d = expected_service_life_days(
-            AmpHours::new(1000.0),
-            AmpHours::new(100.0),
-            10.0,
-            10_000.0,
-        );
+        let d =
+            expected_service_life_days(AmpHours::new(1000.0), AmpHours::new(100.0), 10.0, 10_000.0);
         assert!((d - 90.0).abs() < 1e-9);
     }
 
     #[test]
     fn service_life_capped_by_float_life() {
-        let d = expected_service_life_days(
-            AmpHours::new(1_000_000.0),
-            AmpHours::new(1.0),
-            10.0,
-            100.0,
-        );
+        let d =
+            expected_service_life_days(AmpHours::new(1_000_000.0), AmpHours::new(1.0), 10.0, 100.0);
         assert_eq!(d, 90.0);
     }
 
@@ -165,18 +156,10 @@ mod tests {
 
     #[test]
     fn gentler_usage_lives_longer() {
-        let heavy = expected_service_life_days(
-            AmpHours::new(8750.0),
-            AmpHours::new(70.0),
-            1.0,
-            1825.0,
-        );
-        let gentle = expected_service_life_days(
-            AmpHours::new(8750.0),
-            AmpHours::new(35.0),
-            1.0,
-            1825.0,
-        );
+        let heavy =
+            expected_service_life_days(AmpHours::new(8750.0), AmpHours::new(70.0), 1.0, 1825.0);
+        let gentle =
+            expected_service_life_days(AmpHours::new(8750.0), AmpHours::new(35.0), 1.0, 1825.0);
         assert!(gentle > heavy);
     }
 }

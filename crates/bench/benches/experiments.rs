@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ins_bench::experiments::{buffer, costs, logs, sizing, traces};
+use ins_bench::experiments::{buffer, costs, faults, logs, sizing, traces};
 use ins_sim::units::WattHours;
 
 fn bench_cost_experiments(c: &mut Criterion) {
@@ -70,12 +70,41 @@ fn bench_log_experiment(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fault_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10);
+    group.bench_function("exp_fault_day_insure_1h_rate", |b| {
+        use ins_core::controller::InsureController;
+        use ins_sim::fault::{FaultSchedule, FaultTargets};
+        use ins_sim::time::SimDuration;
+        b.iter(|| {
+            // One faulty InSURE day rather than the full rate × controller grid.
+            let schedule = FaultSchedule::stochastic(
+                11,
+                SimDuration::from_hours(24),
+                SimDuration::from_hours(1),
+                FaultTargets {
+                    units: 3,
+                    servers: 4,
+                },
+            );
+            black_box(faults::run_day(
+                Box::new(InsureController::default()),
+                schedule,
+                11,
+            ))
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cost_experiments,
     bench_sizing_experiments,
     bench_buffer_experiments,
     bench_trace_experiments,
-    bench_log_experiment
+    bench_log_experiment,
+    bench_fault_experiment
 );
 criterion_main!(benches);

@@ -23,8 +23,7 @@ fn bench_battery(c: &mut Criterion) {
         });
     });
     c.bench_function("battery_charge_step_10s", |b| {
-        let mut unit =
-            BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), 0.5);
+        let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), 0.5);
         b.iter(|| {
             let out = unit.charge(black_box(Amps::new(8.0)), Hours::new(10.0 / 3600.0));
             if unit.soc() > 0.95 {
@@ -105,6 +104,8 @@ fn bench_controller_decision(c: &mut Criterion) {
                 available_fraction: 0.5 + i as f64 * 0.15,
                 discharge_throughput: AmpHours::new(i as f64 * 4.0),
                 at_cutoff: false,
+                terminal_voltage: Volts::new(24.0),
+                telemetry_age: ins_sim::time::SimDuration::ZERO,
             })
             .collect(),
         attachments: vec![Attachment::Isolated; 3],

@@ -4,7 +4,9 @@
 //! cargo run -p ins-bench --release --bin all_experiments
 //! ```
 
-use ins_bench::experiments::{buffer, costs, endurance, fullsys, hetero, logs, micro, sizing, traces};
+use ins_bench::experiments::{
+    buffer, costs, endurance, faults, fullsys, hetero, logs, micro, sizing, traces,
+};
 use ins_bench::table::{dollars, TextTable};
 use ins_sim::units::WattHours;
 
@@ -36,7 +38,10 @@ fn main() {
     println!("{}", t.render());
     let mut t = TextTable::new(vec!["technology", "11-yr TCO"]);
     for (tech, series) in costs::fig3b() {
-        t.row(vec![tech.to_string(), dollars(*series.last().expect("non-empty"))]);
+        t.row(vec![
+            tech.to_string(),
+            dollars(*series.last().expect("non-empty")),
+        ]);
     }
     println!("{}", t.render());
 
@@ -71,7 +76,10 @@ fn main() {
 
     heading("Fig. 14 — InSURE power behaviour");
     let p = buffer::fig14a();
-    println!("charging completion order (start SoC {:?}): {:?}", p.start_soc, p.completion_order);
+    println!(
+        "charging completion order (start SoC {:?}): {:?}",
+        p.start_soc, p.completion_order
+    );
     let b = buffer::fig14b(240);
     println!("discharge balance imbalance: {:.2}×", b.imbalance);
 
@@ -108,7 +116,12 @@ fn main() {
     heading("Fig. 22 — annual depreciation");
     let (cmp, _) = costs::fig22();
     for c in cmp {
-        println!("{:<28} {:>9}  ({:.2}×)", c.tech.to_string(), dollars(c.annual), c.vs_insure);
+        println!(
+            "{:<28} {:>9}  ({:.2}×)",
+            c.tech.to_string(),
+            dollars(c.annual),
+            c.vs_insure
+        );
     }
 
     heading("Fig. 23 — scale-out vs cloud by sunshine fraction");
@@ -138,6 +151,9 @@ fn main() {
         i7.gb_per_kwh,
         i7.gb_per_kwh / xeon.gb_per_kwh
     );
+
+    heading("Robustness extension — fault-rate sweep");
+    println!("{}", faults::render(&faults::sweep(11)));
 
     heading("Extension — two-week endurance and sunshine sweep");
     let run = endurance::endurance(14, 9);

@@ -5,10 +5,15 @@ use ins_bench::table::TextTable;
 fn main() {
     println!("Endurance — two weeks of mixed weather under InSURE");
     let run = endurance(14, 9);
-    println!("  {:.1} GB/day, wear imbalance {:.2}×, per-unit Ah {:?}",
+    println!(
+        "  {:.1} GB/day, wear imbalance {:.2}×, per-unit Ah {:?}",
         run.gb_per_day,
         run.wear_imbalance,
-        run.unit_throughput_ah.iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>());
+        run.unit_throughput_ah
+            .iter()
+            .map(|t| (t * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
     println!("{}", run.metrics);
     println!();
 

@@ -1,0 +1,8 @@
+//! Fault-rate sweep: graceful degradation under injected faults.
+use ins_bench::experiments::faults::{render, sweep};
+
+fn main() {
+    println!("Fault sweep — one day, stochastic fault schedule per rate");
+    println!("{}", render(&sweep(11)));
+    println!("(same seed per rate: both controllers face identical fault arrivals)");
+}

@@ -13,7 +13,15 @@ fn main() {
     println!("{}", t.render());
 
     println!("Fig. 3-b — energy-related TCO (cumulative, years 1–11)");
-    let mut t = TextTable::new(vec!["technology", "1 yr", "3 yr", "5 yr", "7 yr", "9 yr", "11 yr"]);
+    let mut t = TextTable::new(vec![
+        "technology",
+        "1 yr",
+        "3 yr",
+        "5 yr",
+        "7 yr",
+        "9 yr",
+        "11 yr",
+    ]);
     for (tech, series) in fig3b() {
         let mut row = vec![tech.to_string()];
         row.extend(series.iter().map(|&v| dollars(v)));

@@ -5,11 +5,23 @@ fn main() {
     println!("Fig. 14-a — fast-charging priority (lowest SoC first)");
     let run = fig14a();
     println!("  starting SoC per unit : {:?}", run.start_soc);
-    println!("  completion order      : {:?} (unit indices)", run.completion_order);
+    println!(
+        "  completion order      : {:?} (unit indices)",
+        run.completion_order
+    );
     println!();
 
     println!("Fig. 14-b — discharge balancing across cabinets");
     let run = fig14b(240);
-    println!("  lifetime Ah per unit  : {:?}", run.throughput_ah.iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>());
-    println!("  max/min imbalance     : {:.2}× (1.0 = perfectly balanced)", run.imbalance);
+    println!(
+        "  lifetime Ah per unit  : {:?}",
+        run.throughput_ah
+            .iter()
+            .map(|t| (t * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  max/min imbalance     : {:.2}× (1.0 = perfectly balanced)",
+        run.imbalance
+    );
 }

@@ -11,7 +11,10 @@ fn main() {
         .zip(&run.load_series)
         .zip(&run.voltage_series)
     {
-        println!("{}   {:7.0}   {:7.0}   {:6.2}", s.time, s.value, l.value, v.value);
+        println!(
+            "{}   {:7.0}   {:7.0}   {:6.2}",
+            s.time, s.value, l.value, v.value
+        );
     }
     println!();
     println!(

@@ -4,7 +4,11 @@ use ins_bench::table::{dollars, TextTable};
 
 fn main() {
     println!("Fig. 23 — amortized annual cost vs average sunshine fraction");
-    let mut t = TextTable::new(vec!["sunshine fraction", "scaling out InSURE", "relying on cloud"]);
+    let mut t = TextTable::new(vec![
+        "sunshine fraction",
+        "scaling out InSURE",
+        "relying on cloud",
+    ]);
     for row in fig23() {
         t.row(vec![
             format!("{:.0}%", row.sunshine_fraction * 100.0),

@@ -6,7 +6,12 @@ fn main() {
     println!("Fig. 24 — 5-year TCO vs data generation rate");
     let (rows, crossover) = fig24();
     let mut t = TextTable::new(vec![
-        "GB/day", "cloud", "insitu-40%", "insitu-60%", "insitu-80%", "insitu-100%",
+        "GB/day",
+        "cloud",
+        "insitu-40%",
+        "insitu-60%",
+        "insitu-80%",
+        "insitu-100%",
     ]);
     for (rate, cloud, insitu) in rows {
         let mut row = vec![format!("{rate}"), dollars(cloud)];

@@ -138,7 +138,11 @@ pub fn batch_size_ablation(budget: Watts) -> Vec<BatchSizePoint> {
             }
         }
         BatchSizePoint {
-            strategy: if adaptive { "adaptive N = PG/PPC" } else { "fixed N = all units" },
+            strategy: if adaptive {
+                "adaptive N = PG/PPC"
+            } else {
+                "fixed N = all units"
+            },
             hours_to_first_ready: first_ready,
             hours_to_all_ready: if units.iter().all(|u| u.soc() >= target) {
                 hours
@@ -175,9 +179,7 @@ mod tests {
         );
         // The two caps genuinely steer the system differently.
         assert!(
-            (tight.metrics.discharge_throughput_ah
-                - loose.metrics.discharge_throughput_ah)
-                .abs()
+            (tight.metrics.discharge_throughput_ah - loose.metrics.discharge_throughput_ah).abs()
                 > 1.0
                 || tight.metrics.power_ctrl_times != loose.metrics.power_ctrl_times,
             "sweep had no effect"

@@ -75,7 +75,11 @@ pub fn charging_run(
     }
     let done = units.iter().all(|u| u.soc() >= target_soc - 1e-9);
     ChargingRun {
-        strategy: if sequential { "sequential (SPM)" } else { "batch (all at once)" },
+        strategy: if sequential {
+            "sequential (SPM)"
+        } else {
+            "batch (all at once)"
+        },
         hours_to_target: if done { hours } else { f64::INFINITY },
         final_soc: units.iter().map(BatteryUnit::soc).collect(),
         voltage_series: series,
@@ -161,9 +165,7 @@ pub fn fig14a() -> PriorityRun {
     let mut units: Vec<BatteryUnit> = start
         .iter()
         .enumerate()
-        .map(|(i, &soc)| {
-            BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), soc)
-        })
+        .map(|(i, &soc)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), soc))
         .collect();
     let ctrl = ChargeController::prototype();
     let dt = Hours::new(1.0 / 60.0);

@@ -61,9 +61,7 @@ pub fn fig3b() -> Vec<(GenTech, Vec<f64>)> {
         .into_iter()
         .map(|tech| {
             let series = (0..6)
-                .map(|i| {
-                    ins_cost::energy::cumulative_cost(tech, f64::from(i * 2 + 1), &g, &s)
-                })
+                .map(|i| ins_cost::energy::cumulative_cost(tech, f64::from(i * 2 + 1), &g, &s))
                 .collect();
             (tech, series)
         })
@@ -124,8 +122,8 @@ pub fn fig24() -> (Vec<(f64, f64, Vec<f64>)>, f64) {
             (rate, cloud, insitu)
         })
         .collect();
-    let crossover = crossover_rate_gb_per_day(REFERENCE_SUNSHINE_FRACTION, &c, &it, &s)
-        .unwrap_or(f64::NAN);
+    let crossover =
+        crossover_rate_gb_per_day(REFERENCE_SUNSHINE_FRACTION, &c, &it, &s).unwrap_or(f64::NAN);
     (rows, crossover)
 }
 
@@ -177,7 +175,10 @@ mod tests {
     fn fig1_series_are_sane() {
         let a = fig1a();
         assert_eq!(a.len(), 6);
-        assert!(a.windows(2).all(|w| w[0].1 > w[1].1), "faster links take less time");
+        assert!(
+            a.windows(2).all(|w| w[0].1 > w[1].1),
+            "faster links take less time"
+        );
         let b = fig1b();
         assert!(b.windows(2).all(|w| w[0].1 >= w[1].1), "bulk discounts");
     }

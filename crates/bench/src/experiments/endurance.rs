@@ -81,11 +81,10 @@ pub fn sunshine_sweep(fractions: &[f64], days: usize, seed: u64) -> Vec<Sunshine
             let mut rng = SimRng::seed(seed);
             let weather = DayWeather::mix_for_sunshine_fraction(sf, days, &mut rng);
             let solar = SolarTraceBuilder::new().seed(seed).build_days(&weather);
-            let mut sys =
-                InSituSystem::builder(solar, Box::new(InsureController::default()))
-                    .workload(WorkloadModel::seismic())
-                    .time_step(SimDuration::from_secs(60))
-                    .build();
+            let mut sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
+                .workload(WorkloadModel::seismic())
+                .time_step(SimDuration::from_secs(60))
+                .build();
             sys.run_until(SimTime::from_secs(days as u64 * 86_400));
             let m = RunMetrics::collect(&sys);
             SunshinePoint {
@@ -104,7 +103,11 @@ mod tests {
     #[test]
     fn two_weeks_stays_healthy_and_balanced() {
         let run = endurance(14, 9);
-        assert!(run.gb_per_day > 30.0, "processed {:.1} GB/day", run.gb_per_day);
+        assert!(
+            run.gb_per_day > 30.0,
+            "processed {:.1} GB/day",
+            run.gb_per_day
+        );
         // Eq. 1's balancing: no cabinet may carry wildly more lifetime Ah.
         assert!(
             run.wear_imbalance < 1.5,

@@ -1,0 +1,255 @@
+//! Robustness evaluation: fault-rate sweep.
+//!
+//! Not a figure from the paper — the paper's prototype ran fault-free —
+//! but the natural stress test of its §3 claim that a reconfigurable,
+//! per-unit-managed e-Buffer degrades gracefully where a unified buffer
+//! fails as a block. A seeded stochastic [`FaultSchedule`] throws
+//! battery, relay, charger, sensor and server faults at the system at a
+//! swept mean rate, and the sweep reports uptime, delivered throughput
+//! and energy availability for InSURE vs the unified-buffer baseline.
+//!
+//! Determinism: every row at the same `seed` replays the same weather
+//! and the same fault arrivals, so controller columns differ only by
+//! policy.
+
+use ins_core::controller::{BaselineController, InsureController, PowerController};
+use ins_core::metrics::RunMetrics;
+use ins_core::system::{InSituSystem, SystemEvent};
+use ins_sim::fault::{FaultSchedule, FaultTargets};
+use ins_sim::time::{SimDuration, SimTime};
+use ins_solar::trace::high_generation_day;
+
+use crate::table::TextTable;
+
+/// Shape of the prototype system the schedules target.
+const TARGETS: FaultTargets = FaultTargets {
+    units: 3,
+    servers: 4,
+};
+
+/// One controller × fault-rate cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepRow {
+    /// Mean fault inter-arrival time in hours; `f64::INFINITY` for the
+    /// fault-free reference row.
+    pub mean_interarrival_hours: f64,
+    /// Controller short name (`insure` / `baseline`).
+    pub controller: &'static str,
+    /// Faults actually injected during the day.
+    pub faults_injected: usize,
+    /// Rack availability over the day.
+    pub uptime: f64,
+    /// Delivered throughput, GB/hour.
+    pub gb_per_hour: f64,
+    /// Time-average stored energy, Wh (§6.3's energy availability).
+    pub energy_availability_wh: f64,
+    /// Brown-out events.
+    pub brownouts: usize,
+}
+
+/// The swept mean inter-arrival times (hours). `None` is the fault-free
+/// reference column.
+pub const RATES_HOURS: [Option<f64>; 5] = [None, Some(8.0), Some(4.0), Some(2.0), Some(1.0)];
+
+fn schedule_for(seed: u64, mean_hours: Option<f64>) -> FaultSchedule {
+    match mean_hours {
+        None => FaultSchedule::empty(),
+        Some(h) => FaultSchedule::stochastic(
+            seed,
+            SimDuration::from_hours(24),
+            SimDuration::from_secs((h * 3600.0) as u64),
+            TARGETS,
+        ),
+    }
+}
+
+/// Runs one full day under the given controller and fault schedule.
+#[must_use]
+pub fn run_day(
+    controller: Box<dyn PowerController>,
+    schedule: FaultSchedule,
+    seed: u64,
+) -> (RunMetrics, usize) {
+    let mut sys = InSituSystem::builder(high_generation_day(seed), controller)
+        .unit_count(TARGETS.units)
+        .time_step(SimDuration::from_secs(30))
+        .fault_schedule(schedule)
+        .build();
+    sys.run_until(SimTime::from_hms(23, 59, 30));
+    let injected = sys
+        .events()
+        .count(|e| matches!(e, SystemEvent::FaultInjected(_)));
+    (RunMetrics::collect(&sys), injected)
+}
+
+/// Sweeps fault rate × {InSURE, baseline}; two rows per rate.
+#[must_use]
+pub fn sweep(seed: u64) -> Vec<FaultSweepRow> {
+    let mut rows = Vec::new();
+    for rate in RATES_HOURS {
+        let lineup: [(&'static str, Box<dyn PowerController>); 2] = [
+            ("insure", Box::new(InsureController::default())),
+            ("baseline", Box::new(BaselineController::new())),
+        ];
+        for (name, controller) in lineup {
+            let (metrics, injected) = run_day(controller, schedule_for(seed, rate), seed);
+            rows.push(FaultSweepRow {
+                mean_interarrival_hours: rate.unwrap_or(f64::INFINITY),
+                controller: name,
+                faults_injected: injected,
+                uptime: metrics.uptime,
+                gb_per_hour: metrics.throughput_gb_per_hour,
+                energy_availability_wh: metrics.mean_stored_energy_wh,
+                brownouts: metrics.brownouts,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the sweep as a fault-rate table.
+#[must_use]
+pub fn render(rows: &[FaultSweepRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "mean interarrival",
+        "controller",
+        "faults",
+        "uptime",
+        "GB/h",
+        "buffer Wh",
+        "brownouts",
+    ]);
+    for r in rows {
+        let rate = if r.mean_interarrival_hours.is_infinite() {
+            "no faults".to_string()
+        } else {
+            format!("{:.0} h", r.mean_interarrival_hours)
+        };
+        t.row(vec![
+            rate,
+            r.controller.to_string(),
+            r.faults_injected.to_string(),
+            format!("{:.1} %", r.uptime * 100.0),
+            format!("{:.2}", r.gb_per_hour),
+            format!("{:.0}", r.energy_availability_wh),
+            r.brownouts.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(
+        rows: &'a [FaultSweepRow],
+        controller: &str,
+        rate: Option<f64>,
+    ) -> &'a FaultSweepRow {
+        let want = rate.unwrap_or(f64::INFINITY);
+        rows.iter()
+            .find(|r| r.controller == controller && r.mean_interarrival_hours == want)
+            .expect("sweep covers every cell")
+    }
+
+    #[test]
+    fn sweep_covers_every_rate_and_controller() {
+        let rows = sweep(11);
+        assert_eq!(rows.len(), RATES_HOURS.len() * 2);
+        // Fault-free rows inject nothing; faulty rows inject something at
+        // the aggressive end.
+        assert_eq!(row(&rows, "insure", None).faults_injected, 0);
+        assert!(row(&rows, "insure", Some(1.0)).faults_injected > 0);
+        // Same seed + rate ⇒ both controllers faced identical schedules.
+        for rate in RATES_HOURS {
+            assert_eq!(
+                row(&rows, "insure", rate).faults_injected,
+                row(&rows, "baseline", rate).faults_injected
+            );
+        }
+    }
+
+    #[test]
+    fn insure_outperforms_baseline_under_faults() {
+        let rows = sweep(11);
+        for rate in RATES_HOURS {
+            let i = row(&rows, "insure", rate);
+            let b = row(&rows, "baseline", rate);
+            // Strictly more work delivered and strictly fewer brown-outs
+            // at every fault rate. (Under the heaviest schedules InSURE's
+            // degraded mode deliberately sheds VMs — so raw uptime can
+            // dip near the baseline's — but it converts the energy it
+            // does have into far more service, far more smoothly.)
+            assert!(
+                i.gb_per_hour > b.gb_per_hour,
+                "rate {:?}: insure {:.2} GB/h ≤ baseline {:.2}",
+                rate,
+                i.gb_per_hour,
+                b.gb_per_hour
+            );
+            assert!(
+                i.brownouts < b.brownouts,
+                "rate {:?}: insure {} brownouts ≥ baseline {}",
+                rate,
+                i.brownouts,
+                b.brownouts
+            );
+            assert!(
+                i.energy_availability_wh > b.energy_availability_wh,
+                "rate {:?}: insure buffer {:.0} Wh ≤ baseline {:.0}",
+                rate,
+                i.energy_availability_wh,
+                b.energy_availability_wh
+            );
+        }
+        // Uptime: better on average across the sweep.
+        let mean = |name: &str| -> f64 {
+            let picked: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.controller == name)
+                .map(|r| r.uptime)
+                .collect();
+            picked.iter().sum::<f64>() / picked.len() as f64
+        };
+        assert!(
+            mean("insure") > mean("baseline"),
+            "insure mean uptime {:.3} ≤ baseline {:.3}",
+            mean("insure"),
+            mean("baseline")
+        );
+    }
+
+    #[test]
+    fn insure_degrades_gracefully_not_catastrophically() {
+        let rows = sweep(11);
+        let clean = row(&rows, "insure", None);
+        let worst = row(&rows, "insure", Some(1.0));
+        // Faults cost performance (they should: this is a fault sweep)…
+        assert!(worst.gb_per_hour <= clean.gb_per_hour * 1.05);
+        // …but the system keeps serving rather than collapsing.
+        assert!(
+            worst.uptime > 0.05,
+            "uptime collapsed to {:.3} under 1 h mean faults",
+            worst.uptime
+        );
+        assert!(worst.gb_per_hour > 0.0, "no work done under faults");
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_the_seed() {
+        let a = sweep(5);
+        let b = sweep(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_mentions_every_rate() {
+        let rows = sweep(3);
+        let text = render(&rows);
+        assert!(text.contains("no faults"));
+        assert!(text.contains("1 h"));
+        assert!(text.contains("insure"));
+        assert!(text.contains("baseline"));
+    }
+}

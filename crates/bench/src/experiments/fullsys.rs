@@ -70,8 +70,18 @@ pub fn compare(workload: &'static str, high_solar: bool, seed: u64) -> FullSyste
             other => panic!("unknown workload {other}"),
         }
     };
-    let insure = run_day(make(), high_solar, Box::new(InsureController::default()), seed);
-    let baseline = run_day(make(), high_solar, Box::new(BaselineController::new()), seed);
+    let insure = run_day(
+        make(),
+        high_solar,
+        Box::new(InsureController::default()),
+        seed,
+    );
+    let baseline = run_day(
+        make(),
+        high_solar,
+        Box::new(BaselineController::new()),
+        seed,
+    );
     let rel = |a: f64, b: f64| if b.abs() < 1e-12 { 0.0 } else { (a - b) / b };
     // Latency: improvement is the reduction relative to the baseline.
     let latency_improvement = if baseline.mean_latency_minutes > 1e-9 {
@@ -85,7 +95,10 @@ pub fn compare(workload: &'static str, high_solar: bool, seed: u64) -> FullSyste
         high_solar,
         improvements: [
             rel(insure.uptime, baseline.uptime),
-            rel(insure.throughput_gb_per_hour, baseline.throughput_gb_per_hour),
+            rel(
+                insure.throughput_gb_per_hour,
+                baseline.throughput_gb_per_hour,
+            ),
             latency_improvement,
             rel(insure.mean_stored_energy_wh, baseline.mean_stored_energy_wh),
             rel(
@@ -102,7 +115,10 @@ pub fn compare(workload: &'static str, high_solar: bool, seed: u64) -> FullSyste
 /// Runs the full Fig. 20 (seismic) or Fig. 21 (video) pair of bars.
 #[must_use]
 pub fn figure(workload: &'static str, seed: u64) -> Vec<FullSystemImprovement> {
-    vec![compare(workload, true, seed), compare(workload, false, seed)]
+    vec![
+        compare(workload, true, seed),
+        compare(workload, false, seed),
+    ]
 }
 
 /// Renders a Fig. 20/21-style improvement table.

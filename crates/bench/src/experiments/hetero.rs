@@ -35,8 +35,7 @@ pub struct HeteroRun {
 /// profile has its own measured node rate and utilization).
 fn workload_for(bench: &MicroBenchmark, profile: &ServerProfile) -> WorkloadModel {
     let point = bench.point_for(profile);
-    let per_vm_rate = bench.input_gb / (point.exec_time_s / 3600.0)
-        / f64::from(profile.vm_slots);
+    let per_vm_rate = bench.input_gb / (point.exec_time_s / 3600.0) / f64::from(profile.vm_slots);
     let peak_capacity = per_vm_rate * 8f64.powf(0.9);
     WorkloadModel::Stream {
         workload: StreamWorkload::new(StreamSpec {

@@ -56,8 +56,14 @@ pub fn table6(seed: u64) -> Vec<Table6Row> {
     let mut rows = Vec::new();
     for weather in DayWeather::ALL {
         for (scheme, make) in [
-            ("Non-Opt.", Box::new(NoOptController::new()) as Box<dyn PowerController>),
-            ("Opt.", Box::new(InsureController::default()) as Box<dyn PowerController>),
+            (
+                "Non-Opt.",
+                Box::new(NoOptController::new()) as Box<dyn PowerController>,
+            ),
+            (
+                "Opt.",
+                Box::new(InsureController::default()) as Box<dyn PowerController>,
+            ),
         ] {
             let metrics = run_one(weather, seed, make);
             rows.push(Table6Row {
@@ -122,9 +128,18 @@ mod tests {
     #[test]
     fn budgets_match_the_papers_days() {
         let rows = table6(2);
-        let sunny = rows.iter().find(|r| r.weather == DayWeather::Sunny).unwrap();
-        let cloudy = rows.iter().find(|r| r.weather == DayWeather::Cloudy).unwrap();
-        let rainy = rows.iter().find(|r| r.weather == DayWeather::Rainy).unwrap();
+        let sunny = rows
+            .iter()
+            .find(|r| r.weather == DayWeather::Sunny)
+            .unwrap();
+        let cloudy = rows
+            .iter()
+            .find(|r| r.weather == DayWeather::Cloudy)
+            .unwrap();
+        let rainy = rows
+            .iter()
+            .find(|r| r.weather == DayWeather::Rainy)
+            .unwrap();
         assert!(
             (6.0..9.5).contains(&sunny.solar_kwh),
             "sunny {:.1} kWh (paper 7.9)",

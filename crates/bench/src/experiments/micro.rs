@@ -79,17 +79,24 @@ fn run_day(
 #[must_use]
 pub fn compare(benchmark: &'static str, high_solar: bool, seed: u64) -> MicroImprovement {
     let bench = by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
-    let insure = run_day(&bench, high_solar, Box::new(InsureController::default()), seed);
-    let baseline = run_day(&bench, high_solar, Box::new(BaselineController::new()), seed);
+    let insure = run_day(
+        &bench,
+        high_solar,
+        Box::new(InsureController::default()),
+        seed,
+    );
+    let baseline = run_day(
+        &bench,
+        high_solar,
+        Box::new(BaselineController::new()),
+        seed,
+    );
     let rel = |a: f64, b: f64| if b.abs() < 1e-12 { 0.0 } else { (a - b) / b };
     MicroImprovement {
         benchmark,
         high_solar,
         service_availability: rel(insure.uptime, baseline.uptime),
-        energy_availability: rel(
-            insure.mean_stored_energy_wh,
-            baseline.mean_stored_energy_wh,
-        ),
+        energy_availability: rel(insure.mean_stored_energy_wh, baseline.mean_stored_energy_wh),
         service_life: rel(
             insure.expected_service_life_days,
             baseline.expected_service_life_days,
@@ -128,10 +135,7 @@ pub fn averages(rows: &[MicroImprovement], high_solar: bool) -> (f64, f64, f64) 
 pub fn render(rows: &[MicroImprovement]) -> String {
     let mut out = String::new();
     for (title, metric) in [
-        (
-            "Fig. 17 — in-situ service availability improvement",
-            0usize,
-        ),
+        ("Fig. 17 — in-situ service availability improvement", 0usize),
         ("Fig. 18 — e-Buffer energy availability improvement", 1),
         ("Fig. 19 — expected e-Buffer service life improvement", 2),
     ] {

@@ -12,11 +12,13 @@
 //! | [`hetero`] | §6.2's system-level low-power-node comparison |
 //! | [`endurance`] | multi-day Eq. 1 screening + sunshine-fraction sweep |
 //! | [`ablation`] | DESIGN.md's design-choice ablations |
+//! | [`faults`] | fault-rate sweep: graceful degradation under injected faults |
 
 pub mod ablation;
 pub mod buffer;
-pub mod endurance;
 pub mod costs;
+pub mod endurance;
+pub mod faults;
 pub mod fullsys;
 pub mod hetero;
 pub mod logs;

@@ -90,8 +90,7 @@ pub fn table3(observation_hours: u64) -> Vec<Table3Row> {
                 vms,
                 avg_power: power,
                 delay_minutes: stream.mean_delay_minutes(),
-                throughput_gb_per_min: stream.processed_gb()
-                    / (observation_hours as f64 * 60.0),
+                throughput_gb_per_min: stream.processed_gb() / (observation_hours as f64 * 60.0),
             }
         })
         .collect()
@@ -225,7 +224,11 @@ mod tests {
         let eight = &rows[0];
         let four = &rows[1];
         assert_eq!(eight.vms, 8);
-        assert!(eight.availability < 0.75, "8 VM availability {:.2}", eight.availability);
+        assert!(
+            eight.availability < 0.75,
+            "8 VM availability {:.2}",
+            eight.availability
+        );
         assert!((four.availability - 1.0).abs() < 1e-9, "4 VM must stay up");
         assert!(
             four.throughput_gb_per_hour > eight.throughput_gb_per_hour,
@@ -251,9 +254,9 @@ mod tests {
         assert!((rows[0].avg_power.value() - 1400.0).abs() < 60.0);
         assert!((rows[3].avg_power.value() - 350.0).abs() < 30.0);
         // Throughput decreases with VM count.
-        assert!(rows.windows(2).all(|w| {
-            w[0].throughput_gb_per_min >= w[1].throughput_gb_per_min - 1e-9
-        }));
+        assert!(rows
+            .windows(2)
+            .all(|w| { w[0].throughput_gb_per_min >= w[1].throughput_gb_per_min - 1e-9 }));
     }
 
     #[test]

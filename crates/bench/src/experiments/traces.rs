@@ -193,7 +193,11 @@ mod tests {
             run.stored_mid_morning_wh
         );
         // Region D: the day processes a meaningful amount of data.
-        assert!(run.processed_gb > 20.0, "processed {:.1} GB", run.processed_gb);
+        assert!(
+            run.processed_gb > 20.0,
+            "processed {:.1} GB",
+            run.processed_gb
+        );
         // The solar series must peak near noon.
         let peak = run
             .solar_series

@@ -44,7 +44,11 @@ pub fn system_traces_to_csv(system: &InSituSystem) -> String {
     let load = system.trace_load().samples();
     let stored = system.trace_stored().samples();
     let volts = system.trace_pack_voltage().samples();
-    let n = solar.len().min(load.len()).min(stored.len()).min(volts.len());
+    let n = solar
+        .len()
+        .min(load.len())
+        .min(stored.len())
+        .min(volts.len());
     for i in 0..n {
         out.push_str(&format!(
             "{},{:.1},{:.1},{:.1},{:.3}\n",

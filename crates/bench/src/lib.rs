@@ -26,6 +26,7 @@
 //! | `fig24_crossover` | Fig. 24 |
 //! | `fig25_scenarios` | Fig. 25 |
 //! | `endurance_weeks` | multi-day Eq. 1 screening + sunshine sweep |
+//! | `fault_sweep` | fault-rate sweep: degradation under injected faults |
 //! | `all_experiments` | everything above, in order |
 //!
 //! `cargo bench -p ins-bench` additionally measures the simulator's hot

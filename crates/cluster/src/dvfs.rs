@@ -7,8 +7,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A clock duty cycle in `[0, 1]`: the fraction of time the rack may run
 /// at full speed.
 ///
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let lowered = half.lowered();
 /// assert!(lowered < half);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct DutyCycle(f64);
 
 /// Step used by [`DutyCycle::lowered`]/[`DutyCycle::raised`] — one notch of

@@ -39,7 +39,7 @@ pub mod server;
 pub mod vm;
 
 pub use dvfs::DutyCycle;
-pub use profiles::ServerProfile;
+pub use profiles::{ProfileError, ServerProfile};
 pub use rack::Rack;
 pub use server::{PowerState, Server};
 pub use vm::{Vm, VmPool, VmState};

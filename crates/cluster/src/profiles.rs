@@ -8,12 +8,41 @@
 //! server on/off power cycle and ≈ 5 minutes of VM management (checkpoint)
 //! overhead.
 
+use std::fmt;
+
 use ins_sim::time::SimDuration;
 use ins_sim::units::Watts;
-use serde::{Deserialize, Serialize};
+
+/// A physical-consistency constraint violated by a [`ServerProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// The idle power draw is negative.
+    NegativeIdlePower,
+    /// The peak power draw is below the idle draw.
+    PeakBelowIdle,
+    /// The profile hosts zero VM slots.
+    NoVmSlots,
+    /// The relative compute speed is not positive.
+    NonPositiveSpeed,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            Self::NegativeIdlePower => "idle power must be non-negative",
+            Self::PeakBelowIdle => "peak power must be at least idle power",
+            Self::NoVmSlots => "server must host at least one VM slot",
+            Self::NonPositiveSpeed => "relative speed must be positive",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ProfileError {}
 
 /// Static description of one server model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerProfile {
     /// Human-readable model name.
     pub name: String,
@@ -84,19 +113,19 @@ impl ServerProfile {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ProfileError`].
+    pub fn validate(&self) -> Result<(), ProfileError> {
         if self.idle_power.value() < 0.0 {
-            return Err("idle power must be non-negative".into());
+            return Err(ProfileError::NegativeIdlePower);
         }
         if self.peak_power < self.idle_power {
-            return Err("peak power must be at least idle power".into());
+            return Err(ProfileError::PeakBelowIdle);
         }
         if self.vm_slots == 0 {
-            return Err("server must host at least one VM slot".into());
+            return Err(ProfileError::NoVmSlots);
         }
         if self.relative_speed <= 0.0 {
-            return Err("relative speed must be positive".into());
+            return Err(ProfileError::NonPositiveSpeed);
         }
         Ok(())
     }
@@ -148,12 +177,19 @@ mod tests {
     fn validation_catches_nonsense() {
         let mut p = ServerProfile::xeon_proliant();
         p.peak_power = Watts::new(100.0);
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ProfileError::PeakBelowIdle));
         let mut p = ServerProfile::xeon_proliant();
         p.vm_slots = 0;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ProfileError::NoVmSlots));
         let mut p = ServerProfile::xeon_proliant();
         p.relative_speed = 0.0;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ProfileError::NonPositiveSpeed));
+    }
+
+    #[test]
+    fn profile_errors_render_human_readable_messages() {
+        assert!(ProfileError::NoVmSlots.to_string().contains("VM slot"));
+        let boxed: Box<dyn std::error::Error> = Box::new(ProfileError::PeakBelowIdle);
+        assert!(boxed.to_string().contains("peak power"));
     }
 }

@@ -9,11 +9,10 @@
 
 use ins_sim::time::SimDuration;
 use ins_sim::units::{WattHours, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::dvfs::DutyCycle;
 use crate::profiles::ServerProfile;
-use crate::server::Server;
+use crate::server::{PowerState, Server};
 use crate::vm::VmPool;
 
 /// A homogeneous rack of physical machines with a VM target.
@@ -32,7 +31,7 @@ use crate::vm::VmPool;
 /// }
 /// assert_eq!(rack.active_vms(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rack {
     servers: Vec<Server>,
     vm_pool: VmPool,
@@ -78,10 +77,7 @@ impl Rack {
     /// Total VM slots across all machines.
     #[must_use]
     pub fn total_vm_slots(&self) -> u32 {
-        self.servers
-            .iter()
-            .map(|s| s.profile().vm_slots)
-            .sum()
+        self.servers.iter().map(|s| s.profile().vm_slots).sum()
     }
 
     /// The VM count currently requested.
@@ -119,25 +115,95 @@ impl Rack {
 
     /// Sets the target VM count, clamped to the rack's slots. Powers
     /// machines on/off as needed (fewest machines that fit the target);
-    /// counts one VM control action if the target changed.
+    /// counts one VM control action if the target changed. Machines in a
+    /// crash cooldown are routed around: healthy machines substitute for
+    /// them, so a crash degrades capacity only when none are spare.
     pub fn set_target_vms(&mut self, vms: u32) {
         let vms = vms.min(self.total_vm_slots());
         if vms != self.target_vms {
             self.target_vms = vms;
             self.vm_control_actions += 1;
         }
+        self.apply_power_targets();
+    }
+
+    /// Maps the VM target onto machine power states, skipping machines in
+    /// a crash cooldown and preferring machines that are already live so a
+    /// recovered machine does not evict its substitute.
+    fn apply_power_targets(&mut self) {
         // Machines needed assuming uniform slot counts.
         let slots_per = self.servers[0].profile().vm_slots.max(1);
-        let needed = vms.div_ceil(slots_per) as usize;
-        // Keep the first `needed` machines on (stable assignment avoids
-        // needless churn), power the rest down.
+        let needed = self.target_vms.div_ceil(slots_per) as usize;
+        let mut grant = vec![false; self.servers.len()];
+        let mut granted = 0;
+        // First pass: keep already-live machines (serving or booting).
+        for (i, s) in self.servers.iter().enumerate() {
+            if granted >= needed {
+                break;
+            }
+            if matches!(s.state(), PowerState::On | PowerState::Booting { .. }) {
+                grant[i] = true;
+                granted += 1;
+            }
+        }
+        // Second pass: bring up healthy spares, lowest index first.
+        for (i, s) in self.servers.iter().enumerate() {
+            if granted >= needed {
+                break;
+            }
+            if !grant[i] && !s.is_crash_cooling() {
+                grant[i] = true;
+                granted += 1;
+            }
+        }
         for (i, server) in self.servers.iter_mut().enumerate() {
-            if i < needed {
+            if grant[i] {
                 server.power_on();
             } else {
                 server.power_off();
             }
         }
+    }
+
+    /// Crashes one machine (see [`Server::crash`]) and immediately
+    /// re-maps the VM target onto the survivors so a healthy spare boots
+    /// as a substitute. Returns `false` if the index is out of range.
+    pub fn crash_server(&mut self, index: usize) -> bool {
+        let Some(server) = self.servers.get_mut(index) else {
+            return false;
+        };
+        server.crash();
+        self.apply_power_targets();
+        true
+    }
+
+    /// Marks one machine's checkpoint path broken or repaired (see
+    /// [`Server::set_checkpoint_broken`]). Returns `false` if the index is
+    /// out of range.
+    pub fn set_checkpoint_broken(&mut self, index: usize, broken: bool) -> bool {
+        let Some(server) = self.servers.get_mut(index) else {
+            return false;
+        };
+        server.set_checkpoint_broken(broken);
+        true
+    }
+
+    /// Machines currently in a crash cooldown.
+    #[must_use]
+    pub fn crash_cooling_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_crash_cooling()).count()
+    }
+
+    /// Total crashes across the rack.
+    #[must_use]
+    pub fn total_crashes(&self) -> u64 {
+        self.servers.iter().map(Server::crash_count).sum()
+    }
+
+    /// Total checkpoints lost to crashes or broken checkpoint paths.
+    #[must_use]
+    pub fn total_lost_checkpoints(&self) -> u64 {
+        self.servers.iter().map(Server::lost_checkpoints).sum()
     }
 
     /// Immediately checkpoints and powers off every machine (the TPM's
@@ -305,10 +371,16 @@ mod tests {
         rack.set_target_vms(8);
         settle(&mut rack, 15);
         let full = rack.power_demand(1.0);
-        assert!((full.value() - 1800.0).abs() < 1e-9, "4 × 450 W at full tilt");
+        assert!(
+            (full.value() - 1800.0).abs() < 1e-9,
+            "4 × 450 W at full tilt"
+        );
         rack.set_duty(DutyCycle::new(0.5));
         let halved = rack.power_demand(1.0);
-        assert!((halved.value() - 1460.0).abs() < 1e-9, "4 × 365 W at 50 % duty");
+        assert!(
+            (halved.value() - 1460.0).abs() < 1e-9,
+            "4 × 365 W at 50 % duty"
+        );
     }
 
     #[test]
@@ -351,6 +423,62 @@ mod tests {
         rack.force_shutdown_all();
         settle(&mut rack, 1);
         assert_eq!(rack.vm_pool().running(), 0);
+    }
+
+    #[test]
+    fn crash_routes_vms_to_a_spare_machine() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(4); // machines 0 and 1 carry the load
+        settle(&mut rack, 15);
+        assert!(rack.crash_server(0));
+        assert_eq!(rack.crash_cooling_count(), 1);
+        assert_eq!(rack.total_crashes(), 1);
+        // Machine 2 boots as the substitute; after its boot the rack is
+        // back to 4 active VMs despite the crash.
+        settle(&mut rack, 15);
+        assert_eq!(rack.active_vms(), 4);
+        assert!(rack.servers()[2].is_on());
+        assert!(rack.total_lost_checkpoints() >= 1);
+    }
+
+    #[test]
+    fn crash_with_no_spares_degrades_capacity() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(8); // all four machines needed
+        settle(&mut rack, 15);
+        rack.crash_server(3);
+        settle(&mut rack, 5);
+        // No spare exists: capacity drops until the cooldown expires.
+        assert_eq!(rack.active_vms(), 6);
+        // After the 2-minute cooldown plus reboot, capacity returns.
+        rack.set_target_vms(8);
+        settle(&mut rack, 20);
+        rack.set_target_vms(8);
+        settle(&mut rack, 15);
+        assert_eq!(rack.active_vms(), 8);
+    }
+
+    #[test]
+    fn crash_of_unknown_server_is_rejected() {
+        let mut rack = Rack::prototype();
+        assert!(!rack.crash_server(99));
+        assert!(!rack.set_checkpoint_broken(99, true));
+    }
+
+    #[test]
+    fn recovered_machine_does_not_evict_substitute() {
+        let mut rack = Rack::prototype();
+        rack.set_target_vms(2);
+        settle(&mut rack, 15);
+        rack.crash_server(0);
+        settle(&mut rack, 15); // machine 1 took over
+        assert!(rack.servers()[1].is_on());
+        // Machine 0's cooldown is long over; re-asserting the target must
+        // keep the live substitute rather than flap back to machine 0.
+        rack.set_target_vms(2);
+        settle(&mut rack, 2);
+        assert!(rack.servers()[1].is_on());
+        assert!(rack.servers()[0].is_off());
     }
 
     #[test]

@@ -9,13 +9,12 @@
 
 use ins_sim::time::SimDuration;
 use ins_sim::units::{Hours, WattHours, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::dvfs::DutyCycle;
 use crate::profiles::ServerProfile;
 
 /// Power state of one physical machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PowerState {
     /// Powered down, drawing nothing.
     Off,
@@ -32,7 +31,22 @@ pub enum PowerState {
         /// Time left until fully off.
         remaining: SimDuration,
     },
+    /// Crashed hard and cooling down before a restart is allowed; becomes
+    /// [`PowerState::Off`] when the timer expires. Power-on requests are
+    /// ignored until then (bounded restart with exponential backoff).
+    CrashedCoolingDown {
+        /// Time left until the machine may boot again.
+        remaining: SimDuration,
+    },
 }
+
+/// Base crash-restart cooldown; doubles per consecutive crash, bounded by
+/// [`MAX_CRASH_BACKOFF_DOUBLINGS`].
+const BASE_CRASH_COOLDOWN: SimDuration = SimDuration::from_secs(120);
+
+/// Cap on backoff doublings, bounding the cooldown at 2^5 × the base
+/// (64 minutes) no matter how often a machine crash-loops.
+const MAX_CRASH_BACKOFF_DOUBLINGS: u32 = 5;
 
 /// One physical machine.
 ///
@@ -51,7 +65,7 @@ pub enum PowerState {
 /// }
 /// assert_eq!(s.state(), PowerState::On);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Server {
     profile: ServerProfile,
     state: PowerState,
@@ -60,6 +74,9 @@ pub struct Server {
     effective_energy: WattHours,
     on_time: Hours,
     elapsed: Hours,
+    crash_count: u64,
+    lost_checkpoints: u64,
+    checkpoint_broken: bool,
 }
 
 impl Server {
@@ -81,6 +98,9 @@ impl Server {
             effective_energy: WattHours::ZERO,
             on_time: Hours::ZERO,
             elapsed: Hours::ZERO,
+            crash_count: 0,
+            lost_checkpoints: 0,
+            checkpoint_broken: false,
         }
     }
 
@@ -161,22 +181,89 @@ impl Server {
     /// Hard power loss: the machine drops to [`PowerState::Off`]
     /// immediately from any state, with no checkpoint (in-flight VM state
     /// is lost; the subsequent boot pays the full restart cost). Counts an
-    /// on/off cycle unless the machine was already off.
+    /// on/off cycle unless the machine was already off. A crash cooldown
+    /// is unaffected — the machine is already down and must still wait.
     pub fn force_off(&mut self) {
-        if self.state != PowerState::Off {
-            self.state = PowerState::Off;
-            self.on_off_cycles += 1;
+        if matches!(
+            self.state,
+            PowerState::Off | PowerState::CrashedCoolingDown { .. }
+        ) {
+            return;
         }
+        self.state = PowerState::Off;
+        self.on_off_cycles += 1;
     }
 
     /// Requests checkpoint-and-power-off. No-op unless currently on.
+    ///
+    /// If the checkpoint path is broken
+    /// ([`Server::set_checkpoint_broken`]), the orderly save cannot
+    /// happen: the machine drops straight to off, the in-flight state is
+    /// lost, and [`Server::lost_checkpoints`] counts the loss.
     pub fn power_off(&mut self) {
-        if self.state == PowerState::On {
+        if self.state != PowerState::On {
+            return;
+        }
+        if self.checkpoint_broken {
+            self.lost_checkpoints += 1;
+            self.state = PowerState::Off;
+        } else {
             self.state = PowerState::SavingAndShuttingDown {
                 remaining: self.profile.shutdown_time,
             };
-            self.on_off_cycles += 1;
         }
+        self.on_off_cycles += 1;
+    }
+
+    /// Hard crash: the machine drops off the bus immediately from any
+    /// live state, losing un-checkpointed VM state, and must cool down
+    /// before it will accept a power-on. The cooldown doubles with each
+    /// crash (bounded), so a crash-looping machine backs off instead of
+    /// flapping. Crashing an off or already-cooling machine is a no-op.
+    pub fn crash(&mut self) {
+        if matches!(
+            self.state,
+            PowerState::Off | PowerState::CrashedCoolingDown { .. }
+        ) {
+            return;
+        }
+        self.crash_count += 1;
+        self.lost_checkpoints += 1;
+        self.on_off_cycles += 1;
+        let doublings = (self.crash_count - 1).min(u64::from(MAX_CRASH_BACKOFF_DOUBLINGS));
+        let cooldown = SimDuration::from_secs(BASE_CRASH_COOLDOWN.as_secs() << doublings);
+        self.state = PowerState::CrashedCoolingDown {
+            remaining: cooldown,
+        };
+    }
+
+    /// Times this machine has crashed.
+    #[must_use]
+    pub fn crash_count(&self) -> u64 {
+        self.crash_count
+    }
+
+    /// Checkpoints lost to crashes or a broken checkpoint path.
+    #[must_use]
+    pub fn lost_checkpoints(&self) -> u64 {
+        self.lost_checkpoints
+    }
+
+    /// `true` while the crash-restart cooldown is running.
+    #[must_use]
+    pub fn is_crash_cooling(&self) -> bool {
+        matches!(self.state, PowerState::CrashedCoolingDown { .. })
+    }
+
+    /// `true` when orderly shutdowns cannot save state.
+    #[must_use]
+    pub fn checkpoint_broken(&self) -> bool {
+        self.checkpoint_broken
+    }
+
+    /// Marks the checkpoint path broken or repaired.
+    pub fn set_checkpoint_broken(&mut self, broken: bool) {
+        self.checkpoint_broken = broken;
     }
 
     /// Instantaneous power draw at the given utilization and duty cycle.
@@ -186,7 +273,7 @@ impl Server {
     #[must_use]
     pub fn power_draw(&self, utilization: f64, duty: DutyCycle) -> Watts {
         match self.state {
-            PowerState::Off => Watts::ZERO,
+            PowerState::Off | PowerState::CrashedCoolingDown { .. } => Watts::ZERO,
             PowerState::Booting { .. } | PowerState::SavingAndShuttingDown { .. } => {
                 self.profile.idle_power
             }
@@ -220,6 +307,14 @@ impl Server {
                     PowerState::Off
                 } else {
                     PowerState::SavingAndShuttingDown { remaining: left }
+                };
+            }
+            PowerState::CrashedCoolingDown { remaining } => {
+                let left = remaining.saturating_sub(dt);
+                self.state = if left.is_zero() {
+                    PowerState::Off
+                } else {
+                    PowerState::CrashedCoolingDown { remaining: left }
                 };
             }
             PowerState::Off => {}
@@ -306,6 +401,101 @@ mod tests {
         assert!(matches!(s.state(), PowerState::Booting { .. }));
     }
 
+    fn boot_up(s: &mut Server) {
+        s.power_on();
+        for _ in 0..10 {
+            s.step(minutes(1), 0.0, DutyCycle::FULL);
+        }
+        assert!(s.is_on());
+    }
+
+    #[test]
+    fn crash_drops_power_and_blocks_restart() {
+        let mut s = Server::new(ServerProfile::xeon_proliant());
+        boot_up(&mut s);
+        s.crash();
+        assert!(s.is_crash_cooling());
+        assert_eq!(s.crash_count(), 1);
+        assert_eq!(s.lost_checkpoints(), 1);
+        assert_eq!(s.power_draw(1.0, DutyCycle::FULL), Watts::ZERO);
+        // Power-on is ignored during the 2-minute cooldown.
+        s.power_on();
+        assert!(s.is_crash_cooling());
+        s.step(minutes(1), 0.0, DutyCycle::FULL);
+        s.power_on();
+        assert!(!s.is_on() && !s.is_off());
+        s.step(minutes(1), 0.0, DutyCycle::FULL);
+        assert!(s.is_off(), "cooldown expired");
+        s.power_on();
+        assert!(matches!(s.state(), PowerState::Booting { .. }));
+    }
+
+    #[test]
+    fn crash_backoff_doubles_and_is_bounded() {
+        let mut s = Server::new(ServerProfile::xeon_proliant());
+        let mut cooldowns = Vec::new();
+        for _ in 0..8 {
+            boot_up(&mut s);
+            s.crash();
+            let PowerState::CrashedCoolingDown { remaining } = s.state() else {
+                panic!("expected cooldown");
+            };
+            cooldowns.push(remaining.as_secs());
+            // Wait out the cooldown.
+            while !s.is_off() {
+                s.step(minutes(1), 0.0, DutyCycle::FULL);
+            }
+        }
+        assert_eq!(cooldowns[0], 120);
+        assert_eq!(cooldowns[1], 240);
+        assert_eq!(*cooldowns.last().unwrap(), 120 << 5, "backoff is capped");
+        for pair in cooldowns.windows(2) {
+            assert!(pair[1] >= pair[0], "backoff never shrinks");
+        }
+    }
+
+    #[test]
+    fn crash_of_down_machine_is_a_noop() {
+        let mut s = Server::new(ServerProfile::xeon_proliant());
+        s.crash();
+        assert!(s.is_off());
+        assert_eq!(s.crash_count(), 0);
+    }
+
+    #[test]
+    fn broken_checkpoint_path_makes_power_off_abrupt() {
+        let mut s = Server::new(ServerProfile::xeon_proliant());
+        boot_up(&mut s);
+        s.set_checkpoint_broken(true);
+        assert!(s.checkpoint_broken());
+        s.power_off();
+        // No orderly SavingAndShuttingDown phase: state was unsaveable.
+        assert!(s.is_off());
+        assert_eq!(s.lost_checkpoints(), 1);
+        assert_eq!(s.on_off_cycles(), 1);
+
+        // Repaired: orderly shutdown returns.
+        boot_up(&mut s);
+        s.set_checkpoint_broken(false);
+        s.power_off();
+        assert!(matches!(
+            s.state(),
+            PowerState::SavingAndShuttingDown { .. }
+        ));
+        assert_eq!(s.lost_checkpoints(), 1);
+    }
+
+    #[test]
+    fn force_off_does_not_cancel_crash_cooldown() {
+        let mut s = Server::new(ServerProfile::xeon_proliant());
+        boot_up(&mut s);
+        s.crash();
+        let cycles = s.on_off_cycles();
+        s.force_off();
+        assert!(s.is_crash_cooling(), "cooldown survives power loss");
+        assert_eq!(s.on_off_cycles(), cycles);
+    }
+
     #[test]
     fn effective_energy_only_accrues_while_on() {
         let mut s = Server::new(ServerProfile::xeon_proliant());
@@ -318,8 +508,6 @@ mod tests {
             s.step(minutes(1), 1.0, DutyCycle::FULL);
         }
         assert!((s.effective_energy().value() - 450.0).abs() < 1e-6);
-        assert!(
-            (s.total_energy().value() - (boot_energy.value() + 450.0)).abs() < 1e-6
-        );
+        assert!((s.total_energy().value() - (boot_energy.value() + 450.0)).abs() < 1e-6);
     }
 }

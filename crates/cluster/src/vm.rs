@@ -8,10 +8,8 @@
 //! migration operations the control plane has performed — the activity
 //! behind Table 6's "VM Ctrl. Times" and the 5-minute management overhead.
 
-use serde::{Deserialize, Serialize};
-
 /// Lifecycle state of one VM instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VmState {
     /// Running on the machine with the given index.
     Running {
@@ -23,7 +21,7 @@ pub enum VmState {
 }
 
 /// One VM instance with its operation counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Vm {
     state: VmState,
     checkpoints: u64,
@@ -81,7 +79,7 @@ impl Vm {
 /// pool.reconcile(6, &[false, true, true, true]);
 /// assert_eq!(pool.running(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmPool {
     vms: Vec<Vm>,
     slots_per_machine: u32,

@@ -1,11 +1,61 @@
 //! InSURE controller configuration.
 
+use std::fmt;
+
 use ins_sim::time::SimDuration;
 use ins_sim::units::{AmpHours, Amps, Watts};
-use serde::{Deserialize, Serialize};
+
+/// A constraint violated by an [`InsureConfig`].
+///
+/// Each variant names the specific invariant so callers can match on it;
+/// the [`fmt::Display`] form is the human-readable description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The TPM control period is zero.
+    ZeroControlPeriod,
+    /// The SPM screening interval is zero.
+    ZeroScreeningInterval,
+    /// The charge target lies outside `(0, 1]`.
+    ChargeTargetOutOfRange,
+    /// The low-SoC threshold lies outside `[0, 1)`.
+    LowSocThresholdOutOfRange,
+    /// The low-SoC threshold is not below the charge target.
+    ThresholdsInverted,
+    /// The discharge current cap is not positive.
+    NonPositiveDischargeCap,
+    /// The peak charging power is not positive.
+    NonPositiveChargePower,
+    /// The designated lifetime discharge is not positive.
+    NonPositiveLifetimeDischarge,
+    /// The desired battery lifetime is not positive.
+    NonPositiveLifetime,
+    /// The raise headroom lies outside `[0, 1)`.
+    RaiseHeadroomOutOfRange,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            Self::ZeroControlPeriod => "control period must be non-zero",
+            Self::ZeroScreeningInterval => "screening interval must be non-zero",
+            Self::ChargeTargetOutOfRange => "charge target must lie in (0, 1]",
+            Self::LowSocThresholdOutOfRange => "low-SoC threshold must lie in [0, 1)",
+            Self::ThresholdsInverted => "low-SoC threshold must be below the charge target",
+            Self::NonPositiveDischargeCap => "discharge current cap must be positive",
+            Self::NonPositiveChargePower => "peak charge power must be positive",
+            Self::NonPositiveLifetimeDischarge => "lifetime discharge must be positive",
+            Self::NonPositiveLifetime => "desired lifetime must be positive",
+            Self::RaiseHeadroomOutOfRange => "raise headroom must lie in [0, 1)",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Tunables of the spatio-temporal power manager.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InsureConfig {
     /// Fine-grained control period (TPM current check, Fig. 11).
     pub control_period: SimDuration,
@@ -58,37 +108,37 @@ impl InsureConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.control_period.is_zero() {
-            return Err("control period must be non-zero".into());
+            return Err(ConfigError::ZeroControlPeriod);
         }
         if self.screening_interval.is_zero() {
-            return Err("screening interval must be non-zero".into());
+            return Err(ConfigError::ZeroScreeningInterval);
         }
         if !(0.0 < self.charge_target_soc && self.charge_target_soc <= 1.0) {
-            return Err("charge target must lie in (0, 1]".into());
+            return Err(ConfigError::ChargeTargetOutOfRange);
         }
         if !(0.0..1.0).contains(&self.soc_low_threshold) {
-            return Err("low-SoC threshold must lie in [0, 1)".into());
+            return Err(ConfigError::LowSocThresholdOutOfRange);
         }
         if self.soc_low_threshold >= self.charge_target_soc {
-            return Err("low-SoC threshold must be below the charge target".into());
+            return Err(ConfigError::ThresholdsInverted);
         }
         if self.discharge_current_cap.value() <= 0.0 {
-            return Err("discharge current cap must be positive".into());
+            return Err(ConfigError::NonPositiveDischargeCap);
         }
         if self.peak_charge_power.value() <= 0.0 {
-            return Err("peak charge power must be positive".into());
+            return Err(ConfigError::NonPositiveChargePower);
         }
         if self.lifetime_discharge.value() <= 0.0 {
-            return Err("lifetime discharge must be positive".into());
+            return Err(ConfigError::NonPositiveLifetimeDischarge);
         }
         if self.desired_lifetime_days <= 0.0 {
-            return Err("desired lifetime must be positive".into());
+            return Err(ConfigError::NonPositiveLifetime);
         }
         if !(0.0..1.0).contains(&self.raise_headroom) {
-            return Err("raise headroom must lie in [0, 1)".into());
+            return Err(ConfigError::RaiseHeadroomOutOfRange);
         }
         Ok(())
     }
@@ -114,7 +164,26 @@ mod tests {
     fn validation_rejects_inverted_thresholds() {
         let mut c = InsureConfig::prototype();
         c.soc_low_threshold = 0.95;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ThresholdsInverted));
+    }
+
+    #[test]
+    fn errors_identify_the_violated_constraint() {
+        let mut c = InsureConfig::prototype();
+        c.discharge_current_cap = Amps::ZERO;
+        assert_eq!(c.validate(), Err(ConfigError::NonPositiveDischargeCap));
+        let mut c = InsureConfig::prototype();
+        c.raise_headroom = 1.0;
+        assert_eq!(c.validate(), Err(ConfigError::RaiseHeadroomOutOfRange));
+    }
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let text = ConfigError::ZeroControlPeriod.to_string();
+        assert!(text.contains("control period"), "got {text:?}");
+        // And they interoperate with the std error machinery.
+        let boxed: Box<dyn std::error::Error> = Box::new(ConfigError::ThresholdsInverted);
+        assert!(boxed.to_string().contains("charge target"));
     }
 
     #[test]

@@ -16,19 +16,19 @@
 use ins_battery::BatteryId;
 use ins_cluster::dvfs::DutyCycle;
 use ins_powernet::matrix::Attachment;
-use ins_sim::time::{SimTime, SimDuration};
+use ins_sim::time::{SimDuration, SimTime};
 use ins_sim::units::{AmpHours, Amps, Volts, Watts};
-use serde::{Deserialize, Serialize};
 
-use crate::config::InsureConfig;
+use crate::config::{ConfigError, InsureConfig};
+use crate::health::HealthMonitor;
 use crate::spm::{
-    charge_batch_size, discharge_threshold, screen, select_for_charging,
-    select_for_discharge, UnitView,
+    charge_batch_size, discharge_threshold, screen, select_for_charging, select_for_discharge,
+    UnitView,
 };
 use crate::tpm::{decide, LoadKnob, TpmAction, TpmInput};
 
 /// Everything a controller may observe in one control period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemObservation {
     /// Current simulated instant.
     pub now: SimTime,
@@ -66,7 +66,7 @@ pub struct SystemObservation {
 }
 
 /// A controller's orders for the coming period.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ControlAction {
     /// Desired attachment per unit (omitted units keep their attachment).
     pub attachments: Vec<(BatteryId, Attachment)>,
@@ -106,6 +106,9 @@ pub struct InsureController {
     /// ~10-minute boot, so they key off the sustained surplus, not one
     /// bright control period between clouds.
     smoothed_surplus: f64,
+    /// Detects failed/suspect units from observable signals and
+    /// quarantines them out of SPM selection.
+    health: HealthMonitor,
 }
 
 impl InsureController {
@@ -113,26 +116,42 @@ impl InsureController {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`InsureConfig::validate`].
+    /// Panics if the configuration fails [`InsureConfig::validate`]. Use
+    /// [`InsureController::try_new`] to handle invalid configurations
+    /// gracefully.
     #[must_use]
     pub fn new(config: InsureConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid InSURE config: {e}"));
-        Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid InSURE config: {e}"))
+    }
+
+    /// Creates the controller, rejecting invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the configuration violates.
+    pub fn try_new(config: InsureConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self {
             config,
             eligible: Vec::new(),
             last_screening: None,
             unused_budget: AmpHours::ZERO,
             raise_blocked_until: None,
             smoothed_surplus: 0.0,
-        }
+            health: HealthMonitor::prototype(),
+        })
     }
 
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &InsureConfig {
         &self.config
+    }
+
+    /// The controller's health monitor (quarantine state).
+    #[must_use]
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     fn maybe_screen(&mut self, obs: &SystemObservation) {
@@ -157,7 +176,11 @@ impl InsureController {
             let leftover: f64 = obs
                 .units
                 .iter()
-                .map(|u| (s.applied_threshold - u.discharge_throughput).value().max(0.0))
+                .map(|u| {
+                    (s.applied_threshold - u.discharge_throughput)
+                        .value()
+                        .max(0.0)
+                })
                 .sum::<f64>()
                 / obs.units.len() as f64;
             self.unused_budget = AmpHours::new(leftover);
@@ -173,7 +196,27 @@ impl PowerController for InsureController {
 
     fn control(&mut self, obs: &SystemObservation) -> ControlAction {
         self.maybe_screen(obs);
+        // Health before everything: quarantine gates every selection
+        // below, so a failed-open unit drops out of SPM's world the same
+        // period its strikes run out.
+        self.health.assess(&obs.units, obs.pack_voltage);
+        let survivors: Vec<BatteryId> = self
+            .eligible
+            .iter()
+            .copied()
+            .filter(|id| !self.health.is_quarantined(*id))
+            .collect();
+        let total_units = obs.units.len();
+        let usable_units = self.health.usable_count(total_units);
+        let degraded = usable_units < total_units;
         let cfg = &self.config;
+        // Degraded mode: fewer survivors each carry more of the load, so
+        // keep extra recovery headroom under the per-unit current cap.
+        let discharge_cap = if degraded {
+            cfg.discharge_current_cap * 0.85
+        } else {
+            cfg.discharge_current_cap
+        };
         let mut action = ControlAction::default();
 
         // --- Temporal decision first: it may force a shutdown. ---------
@@ -187,11 +230,8 @@ impl PowerController for InsureController {
         let n_discharging = discharging_now.len().max(1);
         let tpm_input = TpmInput {
             discharge_current: obs.discharge_current,
-            current_threshold: cfg.discharge_current_cap * n_discharging as f64,
-            min_discharging_soc: discharging_now
-                .iter()
-                .map(|u| u.soc)
-                .fold(1.0, f64::min),
+            current_threshold: discharge_cap * n_discharging as f64,
+            min_discharging_soc: discharging_now.iter().map(|u| u.soc).fold(1.0, f64::min),
             min_discharging_available: discharging_now
                 .iter()
                 .map(|u| u.available_fraction)
@@ -200,16 +240,14 @@ impl PowerController for InsureController {
             available_threshold: 0.15,
             knob: obs.knob,
             raise_headroom: cfg.raise_headroom,
-            discharging: !discharging_now.is_empty()
-                && obs.discharge_current.value() > 0.0,
+            discharging: !discharging_now.is_empty() && obs.discharge_current.value() > 0.0,
         };
         let mut allow_raise = false;
         match decide(&tpm_input) {
             TpmAction::EmergencyShutdown => {
                 action.emergency_shutdown = true;
                 action.target_vms = Some(0);
-                self.raise_blocked_until =
-                    Some(obs.now + SimDuration::from_minutes(20));
+                self.raise_blocked_until = Some(obs.now + SimDuration::from_minutes(20));
             }
             TpmAction::CapPower(LoadKnob::DutyCycle) => {
                 if obs.duty.at_floor() {
@@ -218,17 +256,14 @@ impl PowerController for InsureController {
                 } else {
                     action.duty = Some(obs.duty.lowered());
                 }
-                self.raise_blocked_until =
-                    Some(obs.now + SimDuration::from_minutes(5));
+                self.raise_blocked_until = Some(obs.now + SimDuration::from_minutes(5));
             }
             TpmAction::CapPower(LoadKnob::VmCount) => {
                 action.target_vms = Some(obs.target_vms.saturating_sub(1));
-                self.raise_blocked_until =
-                    Some(obs.now + SimDuration::from_minutes(5));
+                self.raise_blocked_until = Some(obs.now + SimDuration::from_minutes(5));
             }
             TpmAction::Hold { headroom } => {
-                allow_raise = headroom
-                    && self.raise_blocked_until.is_none_or(|t| obs.now >= t);
+                allow_raise = headroom && self.raise_blocked_until.is_none_or(|t| obs.now >= t);
             }
         }
 
@@ -258,28 +293,22 @@ impl PowerController for InsureController {
         let needed_current = Amps::new(deficit.value() / obs.pack_voltage.value().max(1.0));
         let dischargers = select_for_discharge(
             &obs.units,
-            &self.eligible,
+            &survivors,
             needed_current,
-            cfg.discharge_current_cap,
+            discharge_cap,
             cfg.soc_low_threshold,
         );
         for id in &dischargers {
             assigned.push((*id, Attachment::DischargeBus));
         }
-        // Charge selection from the remaining eligible units.
-        let charge_eligible: Vec<BatteryId> = self
-            .eligible
+        // Charge selection from the remaining eligible survivors.
+        let charge_eligible: Vec<BatteryId> = survivors
             .iter()
             .copied()
             .filter(|id| !dischargers.contains(id))
             .collect();
         let n = charge_batch_size(surplus, cfg.peak_charge_power);
-        let chargers = select_for_charging(
-            &obs.units,
-            &charge_eligible,
-            n,
-            cfg.charge_target_soc,
-        );
+        let chargers = select_for_charging(&obs.units, &charge_eligible, n, cfg.charge_target_soc);
         for id in &chargers {
             assigned.push((*id, Attachment::ChargeBus));
         }
@@ -291,7 +320,7 @@ impl PowerController for InsureController {
         for u in &obs.units {
             if !assigned.iter().any(|(id, _)| *id == u.id) {
                 let hot_standby = serving
-                    && self.eligible.contains(&u.id)
+                    && survivors.contains(&u.id)
                     && u.soc > cfg.soc_low_threshold + 0.1
                     && !u.at_cutoff;
                 let to = if hot_standby {
@@ -315,7 +344,11 @@ impl PowerController for InsureController {
             obs.units.iter().map(|u| u.soc).sum::<f64>() / obs.units.len() as f64
         };
         let night = obs.solar_power.value() < 5.0;
-        let night_cap = if night { obs.total_vm_slots / 2 } else { obs.total_vm_slots };
+        let night_cap = if night {
+            obs.total_vm_slots / 2
+        } else {
+            obs.total_vm_slots
+        };
         let backlog = obs.pending_gb > 25.0;
         if night
             && !action.emergency_shutdown
@@ -351,6 +384,20 @@ impl PowerController for InsureController {
                 // show up in the measured demand.
                 action.target_vms = Some(target_vms + 1);
                 self.raise_blocked_until = Some(obs.now + SimDuration::from_minutes(6));
+            }
+        }
+
+        // --- Degraded-mode shedding. ------------------------------------
+        // The VM ceiling scales with the fraction of the e-Buffer still
+        // in service, so a shrunken buffer is never asked to back a full
+        // rack through the night. A fault changes performance, never
+        // correctness: this only ever lowers the target.
+        if degraded && !action.emergency_shutdown && total_units > 0 {
+            let ceiling =
+                ((u64::from(obs.total_vm_slots) * usable_units as u64) / total_units as u64) as u32;
+            let intended = action.target_vms.unwrap_or(obs.target_vms);
+            if intended > ceiling {
+                action.target_vms = Some(ceiling);
             }
         }
         action
@@ -432,9 +479,8 @@ impl PowerController for BaselineController {
             }
             // Solar-only operation needs a stability margin, or every
             // passing cloud browns the servers out.
-            let machines = (obs.solar_power.value()
-                / (self.watts_per_machine * 1.3))
-                .floor() as u32;
+            let machines =
+                (obs.solar_power.value() / (self.watts_per_machine * 1.3)).floor() as u32;
             let target = (machines * 2).min(obs.total_vm_slots);
             if target == 0 {
                 action.emergency_shutdown = true;
@@ -526,8 +572,7 @@ impl PowerController for NoOptController {
 
     fn control(&mut self, obs: &SystemObservation) -> ControlAction {
         let mut action = ControlAction::default();
-        let mut target =
-            Self::scheduled_vms(obs.now.time_of_day_hours()).min(obs.total_vm_slots);
+        let mut target = Self::scheduled_vms(obs.now.time_of_day_hours()).min(obs.total_vm_slots);
         // The operators' only concession to the power system: when the
         // pack sags they halve the schedule, and drop it entirely once it
         // is nearly flat. The trigger watches the *available well* (what
@@ -536,8 +581,7 @@ impl PowerController for NoOptController {
         let mean_available = if obs.units.is_empty() {
             0.0
         } else {
-            obs.units.iter().map(|u| u.available_fraction).sum::<f64>()
-                / obs.units.len() as f64
+            obs.units.iter().map(|u| u.available_fraction).sum::<f64>() / obs.units.len() as f64
         };
         self.degradation = match self.degradation {
             DegradationLevel::Full if mean_available < 0.35 => DegradationLevel::Half,
@@ -563,7 +607,11 @@ impl PowerController for NoOptController {
             Attachment::ChargeBus
         };
         for u in &obs.units {
-            let a = if u.at_cutoff { Attachment::ChargeBus } else { unified };
+            let a = if u.at_cutoff {
+                Attachment::ChargeBus
+            } else {
+                unified
+            };
             action.attachments.push((u.id, a));
         }
         action
@@ -609,6 +657,8 @@ mod tests {
                     available_fraction: 0.9,
                     discharge_throughput: AmpHours::new(5.0),
                     at_cutoff: false,
+                    terminal_voltage: Volts::new(25.0),
+                    telemetry_age: SimDuration::ZERO,
                 },
                 UnitView {
                     id: BatteryId(1),
@@ -616,6 +666,8 @@ mod tests {
                     available_fraction: 0.5,
                     discharge_throughput: AmpHours::new(8.0),
                     at_cutoff: false,
+                    terminal_voltage: Volts::new(24.2),
+                    telemetry_age: SimDuration::ZERO,
                 },
                 UnitView {
                     id: BatteryId(2),
@@ -623,6 +675,8 @@ mod tests {
                     available_fraction: 0.3,
                     discharge_throughput: AmpHours::new(2.0),
                     at_cutoff: false,
+                    terminal_voltage: Volts::new(23.5),
+                    telemetry_age: SimDuration::ZERO,
                 },
             ],
             attachments: vec![Attachment::Isolated; 3],
@@ -734,10 +788,10 @@ mod tests {
     fn insure_grows_vms_at_full_duty_once_surplus_is_sustained() {
         let mut c = InsureController::default();
         let mut o = obs(); // duty already full, 4 of 8 VMs, 300 W surplus
-        // The smoothed-surplus gate requires the surplus to persist
-        // across several control periods before committing a boot.
+                           // The smoothed-surplus gate requires the surplus to persist
+                           // across several control periods before committing a boot.
         let mut raised = None;
-        for minute in 0..15 {
+        for minute in 0u64..15 {
             o.now = SimTime::from_hms(12, minute, 0);
             let action = c.control(&o);
             if action.target_vms.is_some() {
@@ -757,6 +811,79 @@ mod tests {
             action.target_vms, None,
             "a single sunny minute must not boot a machine"
         );
+    }
+
+    #[test]
+    fn insure_quarantines_failed_unit_and_reselects_survivors() {
+        let mut c = InsureController::default();
+        let mut o = obs();
+        o.solar_power = Watts::new(100.0); // deficit: dischargers needed
+                                           // Light lifetime usage so screening keeps all three in play and
+                                           // quarantine alone decides who survives.
+        o.units[0].discharge_throughput = AmpHours::new(0.5);
+        o.units[1].discharge_throughput = AmpHours::new(1.0);
+        o.units[2].discharge_throughput = AmpHours::new(2.0);
+        // Unit 0 fails open: terminals collapse while SoC still claims 90 %.
+        o.units[0].terminal_voltage = Volts::ZERO;
+        o.units[0].at_cutoff = true;
+        let strikes = c.health().config().quarantine_strikes;
+        let mut last = ControlAction::default();
+        for minute in 0..=strikes {
+            o.now = SimTime::from_hms(12, u64::from(minute), 0);
+            last = c.control(&o);
+        }
+        assert!(c.health().is_quarantined(BatteryId(0)));
+        // The failed unit is isolated, never on a bus.
+        let unit0 = last
+            .attachments
+            .iter()
+            .find(|(id, _)| *id == BatteryId(0))
+            .map(|(_, a)| *a);
+        assert_eq!(unit0, Some(Attachment::Isolated));
+        // SPM re-selected over survivors: unit 1 (next fullest) carries
+        // the deficit now.
+        let dischargers: Vec<BatteryId> = last
+            .attachments
+            .iter()
+            .filter(|(_, a)| *a == Attachment::DischargeBus)
+            .map(|(id, _)| *id)
+            .collect();
+        assert!(dischargers.contains(&BatteryId(1)));
+        assert!(!dischargers.contains(&BatteryId(0)));
+    }
+
+    #[test]
+    fn insure_degraded_mode_sheds_vms_proportionally() {
+        let mut c = InsureController::default();
+        let mut o = obs();
+        o.target_vms = 8;
+        o.active_vms = 8;
+        o.units[0].terminal_voltage = Volts::ZERO;
+        let strikes = c.health().config().quarantine_strikes;
+        let mut last = ControlAction::default();
+        for minute in 0..=strikes {
+            o.now = SimTime::from_hms(12, u64::from(minute), 0);
+            last = c.control(&o);
+        }
+        // 1 of 3 units quarantined → ceiling = 8 · 2/3 = 5 VMs.
+        assert_eq!(last.target_vms, Some(5));
+        assert!(!last.emergency_shutdown, "degradation is not a shutdown");
+    }
+
+    #[test]
+    fn insure_transient_glitch_does_not_quarantine() {
+        let mut c = InsureController::default();
+        let mut o = obs();
+        // One noisy sample, then clean telemetry again.
+        o.units[0].terminal_voltage = Volts::ZERO;
+        o.now = SimTime::from_hms(12, 0, 0);
+        let _ = c.control(&o);
+        o.units[0].terminal_voltage = Volts::new(25.0);
+        for minute in 1u64..10 {
+            o.now = SimTime::from_hms(12, minute, 0);
+            let _ = c.control(&o);
+        }
+        assert!(!c.health().is_quarantined(BatteryId(0)));
     }
 
     #[test]

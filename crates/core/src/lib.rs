@@ -14,6 +14,9 @@
 //! * [`controller`] — the [`controller::InsureController`] plus the two
 //!   evaluation comparisons (grid-green-style baseline, non-optimized
 //!   fixed schedule),
+//! * [`health`] — health monitoring from observable signals (voltage
+//!   divergence, stale telemetry) and quarantine of failed e-Buffer
+//!   units, feeding SPM re-selection and degraded-mode operation,
 //! * [`system`] — the full co-simulation wiring solar, switch matrix,
 //!   batteries, charger, load bus, rack and workload together,
 //! * [`metrics`] — the paper's service- and system-related metrics and
@@ -45,6 +48,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod health;
 pub mod log;
 pub mod metrics;
 pub mod mode;
@@ -52,11 +56,12 @@ pub mod spm;
 pub mod system;
 pub mod tpm;
 
-pub use config::InsureConfig;
+pub use config::{ConfigError, InsureConfig};
 pub use controller::{
     BaselineController, ControlAction, InsureController, NoOptController, PowerController,
     SystemObservation,
 };
+pub use health::{HealthConfig, HealthMonitor, UnitCondition};
 pub use metrics::RunMetrics;
 pub use mode::{BufferMode, TransitionCause};
 pub use system::{InSituSystem, SystemBuilder, SystemEvent, WorkloadModel};

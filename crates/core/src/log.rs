@@ -7,12 +7,11 @@
 
 use ins_sim::stats::RunningStats;
 use ins_sim::time::{SimTime, SECONDS_PER_DAY};
-use serde::{Deserialize, Serialize};
 
 use crate::system::{InSituSystem, SystemEvent};
 
 /// One day's worth of Table 6-style statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DailyLog {
     /// Day index (0-based).
     pub day: u64,
@@ -37,12 +36,12 @@ pub struct DailyLog {
 #[must_use]
 pub fn daily_logs(system: &InSituSystem) -> Vec<DailyLog> {
     let solar = system.trace_solar().samples();
-    if solar.is_empty() {
+    let Some(last_sample) = solar.last() else {
         return Vec::new();
-    }
+    };
     let load = system.trace_load().samples();
     let volts = system.trace_pack_voltage().samples();
-    let last_day = solar.last().expect("checked non-empty").time.day();
+    let last_day = last_sample.time.day();
     let dt_h = if solar.len() >= 2 {
         (solar[1].time - solar[0].time).as_hours().value()
     } else {
@@ -50,8 +49,7 @@ pub fn daily_logs(system: &InSituSystem) -> Vec<DailyLog> {
     };
     (0..=last_day)
         .filter_map(|day| {
-            let in_day =
-                |t: SimTime| t.day() == day;
+            let in_day = |t: SimTime| t.day() == day;
             let day_solar: f64 = solar
                 .iter()
                 .filter(|s| in_day(s.time))
@@ -67,9 +65,7 @@ pub fn daily_logs(system: &InSituSystem) -> Vec<DailyLog> {
                 .filter(|s| in_day(s.time))
                 .map(|s| s.value)
                 .collect();
-            if day_volts.is_empty() {
-                return None;
-            }
+            let end_voltage = *day_volts.last()?;
             let stats: RunningStats = day_volts.iter().copied().collect();
             let from = SimTime::from_secs(day * SECONDS_PER_DAY);
             let to = SimTime::from_secs((day + 1) * SECONDS_PER_DAY);
@@ -88,7 +84,7 @@ pub fn daily_logs(system: &InSituSystem) -> Vec<DailyLog> {
                 solar_kwh: day_solar / 1000.0,
                 load_kwh: day_load / 1000.0,
                 min_voltage: stats.min(),
-                end_voltage: *day_volts.last().expect("checked non-empty"),
+                end_voltage,
                 voltage_sigma: stats.population_std_dev(),
                 brownouts,
                 emergency_shutdowns,
@@ -107,9 +103,11 @@ mod tests {
     use ins_solar::weather::DayWeather;
 
     fn three_day_run() -> InSituSystem {
-        let solar = SolarTraceBuilder::new()
-            .seed(6)
-            .build_days(&[DayWeather::Sunny, DayWeather::Rainy, DayWeather::Cloudy]);
+        let solar = SolarTraceBuilder::new().seed(6).build_days(&[
+            DayWeather::Sunny,
+            DayWeather::Rainy,
+            DayWeather::Cloudy,
+        ]);
         let mut sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
             .time_step(SimDuration::from_secs(60))
             .build();

@@ -10,12 +10,11 @@ use core::fmt;
 
 use ins_battery::BatteryUnit;
 use ins_sim::units::{AmpHours, WattHours};
-use serde::{Deserialize, Serialize};
 
 use crate::system::{InSituSystem, SystemEvent};
 
 /// Everything the paper reports about one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Which controller produced the run.
     pub controller: String,
@@ -99,10 +98,7 @@ impl RunMetrics {
             on_off_cycles: system.rack().on_off_cycles(),
             vm_ctrl_times: system.rack().vm_control_actions(),
             min_voltage: system.trace_pack_voltage().stats().min(),
-            end_voltage: system
-                .trace_pack_voltage()
-                .last()
-                .map_or(0.0, |s| s.value),
+            end_voltage: system.trace_pack_voltage().last().map_or(0.0, |s| s.value),
             voltage_sigma: system.voltage_stats().population_std_dev(),
             solar_kwh: system.solar_harvested().kilowatt_hours(),
             brownouts: system
@@ -129,7 +125,11 @@ impl RunMetrics {
 impl fmt::Display for RunMetrics {
     /// Renders the run as the compact report the examples print.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "run report — {} ({:.1} h)", self.controller, self.elapsed_hours)?;
+        writeln!(
+            f,
+            "run report — {} ({:.1} h)",
+            self.controller, self.elapsed_hours
+        )?;
         writeln!(
             f,
             "  service : uptime {:.1} %, power availability {:.1} %, {:.1} GB ({:.2} GB/h), latency {:.1} min",
@@ -216,9 +216,7 @@ mod tests {
         assert!(m.uptime >= 0.0 && m.uptime <= 1.0);
         assert!(m.service_availability >= 0.0 && m.service_availability <= 1.0);
         assert!(m.processed_gb >= 0.0);
-        assert!(
-            (m.throughput_gb_per_hour - m.processed_gb / m.elapsed_hours).abs() < 1e-9
-        );
+        assert!((m.throughput_gb_per_hour - m.processed_gb / m.elapsed_hours).abs() < 1e-9);
         assert!(m.effective_kwh <= m.load_kwh + 1e-9);
         assert!(m.mean_stored_energy_wh > 0.0);
         assert!(m.min_voltage > 0.0 && m.min_voltage <= m.end_voltage + 5.0);
@@ -232,9 +230,7 @@ mod tests {
         let sys = finished_run();
         let m = RunMetrics::collect(&sys);
         if m.discharge_throughput_ah > 1e-9 {
-            assert!(
-                (m.gb_per_amp_hour - m.processed_gb / m.discharge_throughput_ah).abs() < 1e-9
-            );
+            assert!((m.gb_per_amp_hour - m.processed_gb / m.discharge_throughput_ah).abs() < 1e-9);
         }
     }
 

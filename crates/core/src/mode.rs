@@ -8,10 +8,8 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Operating mode of one battery unit (Fig. 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BufferMode {
     /// Disconnected from the load for system protection.
     Offline,
@@ -46,7 +44,7 @@ impl fmt::Display for BufferMode {
 }
 
 /// The seven numbered transition causes of Fig. 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransitionCause {
     /// 1: both battery and green power are available → start charging.
     PowerAvailable,
@@ -65,6 +63,17 @@ pub enum TransitionCause {
 }
 
 impl TransitionCause {
+    /// All seven causes, in Fig. 8's numbering order.
+    pub const ALL: [TransitionCause; 7] = [
+        TransitionCause::PowerAvailable,
+        TransitionCause::CapacityGoalsMet,
+        TransitionCause::BudgetInadequate,
+        TransitionCause::SocBelowThreshold,
+        TransitionCause::BatchCharged,
+        TransitionCause::GreenUnavailable,
+        TransitionCause::SurplusGreen,
+    ];
+
     /// The `(from, to)` mode pair this cause drives (Fig. 8's arrows).
     #[must_use]
     pub fn edge(self) -> (BufferMode, BufferMode) {
@@ -124,16 +133,8 @@ mod tests {
 
     #[test]
     fn all_seven_causes_have_valid_edges() {
-        let causes = [
-            TransitionCause::PowerAvailable,
-            TransitionCause::CapacityGoalsMet,
-            TransitionCause::BudgetInadequate,
-            TransitionCause::SocBelowThreshold,
-            TransitionCause::BatchCharged,
-            TransitionCause::GreenUnavailable,
-            TransitionCause::SurplusGreen,
-        ];
-        for cause in causes {
+        assert_eq!(TransitionCause::ALL.len(), 7);
+        for cause in TransitionCause::ALL {
             let (from, to) = cause.edge();
             assert_eq!(transition(from, cause).unwrap(), to);
         }

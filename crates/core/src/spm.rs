@@ -15,11 +15,11 @@
 //!   units (discharge balancing).
 
 use ins_battery::BatteryId;
-use ins_sim::units::{AmpHours, Amps, Watts};
-use serde::{Deserialize, Serialize};
+use ins_sim::time::SimDuration;
+use ins_sim::units::{AmpHours, Amps, Volts, Watts};
 
 /// Controller-visible state of one battery unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UnitView {
     /// The unit's id.
     pub id: BatteryId,
@@ -32,6 +32,14 @@ pub struct UnitView {
     pub discharge_throughput: AmpHours,
     /// `true` when the unit's protection cutoff tripped this period.
     pub at_cutoff: bool,
+    /// Terminal voltage as the sense line reads it (at the reference
+    /// load current). An open-circuit failure reads 0 V here while the
+    /// coulomb-counted `soc` still claims charge — the divergence the
+    /// health monitor keys on.
+    pub terminal_voltage: Volts,
+    /// Age of this unit's telemetry: zero when fresh, growing while a
+    /// sense line is down and the controller sees frozen data.
+    pub telemetry_age: SimDuration,
 }
 
 /// The discharge budget threshold of Eq. 1: `δD = DU + DL · T / TL`.
@@ -52,7 +60,7 @@ pub fn discharge_threshold(
 }
 
 /// Result of the Fig. 9 screening pass.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Screening {
     /// Units under the threshold, usable in the coming cycle.
     pub eligible: Vec<BatteryId>,
@@ -201,6 +209,8 @@ mod tests {
             available_fraction: soc,
             discharge_throughput: AmpHours::new(throughput),
             at_cutoff: false,
+            terminal_voltage: Volts::new(24.0),
+            telemetry_age: SimDuration::ZERO,
         }
     }
 
@@ -228,7 +238,11 @@ mod tests {
     #[test]
     fn elastic_screening_relaxes_until_enough() {
         // All units above threshold; elastic mode must still find two.
-        let units = [view(0, 0.8, 150.0), view(1, 0.8, 120.0), view(2, 0.8, 180.0)];
+        let units = [
+            view(0, 0.8, 150.0),
+            view(1, 0.8, 120.0),
+            view(2, 0.8, 180.0),
+        ];
         let rigid = screen(&units, AmpHours::new(100.0), false, 2);
         assert!(rigid.eligible.is_empty());
         let elastic = screen(&units, AmpHours::new(100.0), true, 2);
@@ -287,12 +301,10 @@ mod tests {
         let units = [view(0, 0.9, 0.0), view(1, 0.85, 0.0), view(2, 0.8, 0.0)];
         let all = [BatteryId(0), BatteryId(1), BatteryId(2)];
         // 40 A needed at a 17.5 A cap → 3 units.
-        let picked =
-            select_for_discharge(&units, &all, Amps::new(40.0), Amps::new(17.5), 0.3);
+        let picked = select_for_discharge(&units, &all, Amps::new(40.0), Amps::new(17.5), 0.3);
         assert_eq!(picked.len(), 3);
         // 15 A needed → a single (fullest) unit suffices.
-        let picked =
-            select_for_discharge(&units, &all, Amps::new(15.0), Amps::new(17.5), 0.3);
+        let picked = select_for_discharge(&units, &all, Amps::new(15.0), Amps::new(17.5), 0.3);
         assert_eq!(picked, vec![BatteryId(0)]);
     }
 

@@ -12,7 +12,10 @@ use ins_cluster::rack::Rack;
 use ins_powernet::bus::LoadBus;
 use ins_powernet::charger::ChargeController;
 use ins_powernet::matrix::{Attachment, SwitchMatrix};
+use ins_powernet::relay::RelayFault;
+use ins_sim::fault::{FaultClass, FaultEvent, FaultKind, FaultSchedule};
 use ins_sim::log::EventLog;
+use ins_sim::rng::SimRng;
 use ins_sim::stats::RunningStats;
 use ins_sim::time::{SimClock, SimDuration, SimTime};
 use ins_sim::trace::Trace;
@@ -92,8 +95,9 @@ impl WorkloadModel {
     #[must_use]
     pub fn capacity_gb_per_hour(&self, vms: u32, duty: f64) -> f64 {
         match self {
-            WorkloadModel::Batch { scaling, .. }
-            | WorkloadModel::Stream { scaling, .. } => scaling.gb_per_hour(vms, duty),
+            WorkloadModel::Batch { scaling, .. } | WorkloadModel::Stream { scaling, .. } => {
+                scaling.gb_per_hour(vms, duty)
+            }
         }
     }
 
@@ -144,6 +148,21 @@ pub enum SystemEvent {
     BrownOut,
     /// A battery unit tripped its protection cutoff while discharging.
     CutoffTrip(BatteryId),
+    /// An injected fault of the given class struck the system.
+    FaultInjected(FaultClass),
+}
+
+/// Sense/reference current used when reading a unit's terminal voltage
+/// and protection-cutoff state (≈ one rack's share of the pack).
+const SENSE_CURRENT: Amps = Amps::new(10.0);
+
+/// An active stale-telemetry window on one unit: the controller sees the
+/// frozen snapshot (with a growing age) until the window expires.
+#[derive(Debug, Clone, Copy)]
+struct StaleWindow {
+    since: SimTime,
+    until: SimTime,
+    frozen: UnitView,
 }
 
 /// The assembled in-situ system.
@@ -161,6 +180,16 @@ pub struct InSituSystem {
     started: SimTime,
     last_control: Option<SimTime>,
     last_discharge_current: Amps,
+
+    // Fault-injection state.
+    faults: FaultSchedule,
+    sensor_rng: SimRng,
+    /// Active sensor-noise window: `(sigma, until)`.
+    sensor_noise: Option<(f64, SimTime)>,
+    charger_dropout_until: Option<SimTime>,
+    stale_windows: Vec<Option<StaleWindow>>,
+    /// Checkpoint-path faults pending repair: `(server index, until)`.
+    checkpoint_faults: Vec<(usize, SimTime)>,
 
     // Measurement state.
     trace_solar: Trace,
@@ -299,26 +328,44 @@ impl InSituSystem {
         (self.clock.now() - self.started).as_hours().value()
     }
 
-    /// Builds the controller-visible observation.
+    /// What the sense lines read for unit `i` right now.
+    fn fresh_view(&self, i: usize) -> UnitView {
+        let u = &self.units[i];
+        UnitView {
+            id: u.id(),
+            soc: u.soc(),
+            available_fraction: u.available_fraction(),
+            discharge_throughput: u.discharge_throughput(),
+            at_cutoff: u.at_cutoff(SENSE_CURRENT),
+            terminal_voltage: u.terminal_voltage(SENSE_CURRENT),
+            telemetry_age: SimDuration::ZERO,
+        }
+    }
+
+    /// Builds the controller-visible observation. Units under an active
+    /// stale-telemetry window report their frozen snapshot with a growing
+    /// age instead of live data.
     fn observe(&self, solar: Watts) -> SystemObservation {
-        let views: Vec<UnitView> = self
-            .units
-            .iter()
-            .map(|u| UnitView {
-                id: u.id(),
-                soc: u.soc(),
-                available_fraction: u.available_fraction(),
-                discharge_throughput: u.discharge_throughput(),
-                at_cutoff: u.at_cutoff(Amps::new(10.0)),
+        let now = self.clock.now();
+        let views: Vec<UnitView> = (0..self.units.len())
+            .map(|i| match self.stale_windows[i] {
+                Some(w) if now < w.until => {
+                    let mut frozen = w.frozen;
+                    frozen.telemetry_age = now.since(w.since);
+                    frozen
+                }
+                _ => self.fresh_view(i),
             })
             .collect();
         let attachments: Vec<Attachment> = self
             .units
             .iter()
             .map(|u| {
+                // Best effort: an untracked unit (impossible today, cheap
+                // to tolerate) reads as isolated rather than panicking.
                 self.matrix
                     .attachment(u.id())
-                    .expect("matrix tracks every unit")
+                    .unwrap_or(Attachment::Isolated)
             })
             .collect();
         let util = self.workload.utilization();
@@ -336,12 +383,8 @@ impl InSituSystem {
             rack_demand: self.rack.power_demand(util),
             rack_demand_target: {
                 let profile = self.rack.servers()[0].profile();
-                let machines = self
-                    .rack
-                    .target_vms()
-                    .div_ceil(profile.vm_slots.max(1));
-                profile.power_at(util, self.rack.duty().fraction())
-                    * f64::from(machines)
+                let machines = self.rack.target_vms().div_ceil(profile.vm_slots.max(1));
+                profile.power_at(util, self.rack.duty().fraction()) * f64::from(machines)
             },
             rack_demand_full: Watts::new(
                 self.rack.servers().len() as f64
@@ -360,12 +403,14 @@ impl InSituSystem {
     fn apply(&mut self, action: ControlAction) {
         if action.emergency_shutdown {
             self.rack.shutdown_all();
-            self.events.push(self.clock.now(), SystemEvent::EmergencyShutdown);
+            self.events
+                .push(self.clock.now(), SystemEvent::EmergencyShutdown);
         }
         for (id, attachment) in action.attachments {
-            self.matrix
-                .attach(id, attachment)
-                .expect("controller only names known units");
+            // Best effort on two axes: an unknown id is skipped rather
+            // than panicking, and a faulted relay yields whatever
+            // attachment the hardware could actually reach.
+            let _ = self.matrix.attach(id, attachment);
         }
         if let Some(vms) = action.target_vms {
             if !action.emergency_shutdown {
@@ -377,12 +422,124 @@ impl InSituSystem {
         }
     }
 
+    /// Strikes the system with one fault, immediately.
+    ///
+    /// Scheduled faults route through here too; the public entry point
+    /// exists so tests and chaos harnesses can inject without a schedule.
+    pub fn inject_fault(&mut self, kind: FaultKind) {
+        let now = self.clock.now();
+        self.apply_fault(now, kind);
+    }
+
+    /// The installed fault schedule.
+    #[must_use]
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    fn apply_fault(&mut self, now: SimTime, kind: FaultKind) {
+        self.events
+            .push(now, SystemEvent::FaultInjected(kind.class()));
+        match kind {
+            FaultKind::BatteryOpenCircuit { unit } => {
+                if let Some(u) = self.units.get_mut(unit) {
+                    u.fail_open_circuit();
+                }
+            }
+            FaultKind::BatteryCapacityFade { unit, fraction } => {
+                if let Some(u) = self.units.get_mut(unit) {
+                    u.apply_capacity_fade(fraction);
+                }
+            }
+            FaultKind::BatteryHighResistance { unit, factor } => {
+                if let Some(u) = self.units.get_mut(unit) {
+                    u.degrade_resistance(factor);
+                }
+            }
+            FaultKind::RelayStuckOpen { unit, role } => {
+                let _ =
+                    self.matrix
+                        .inject_relay_fault(BatteryId(unit), role, RelayFault::StuckOpen);
+            }
+            FaultKind::RelayStuckClosed { unit, role } => {
+                let _ =
+                    self.matrix
+                        .inject_relay_fault(BatteryId(unit), role, RelayFault::StuckClosed);
+            }
+            FaultKind::ChargerDropout { duration } => {
+                self.charger_dropout_until = Some(now + duration);
+            }
+            FaultKind::SensorNoise { sigma, duration } => {
+                self.sensor_noise = Some((sigma, now + duration));
+            }
+            FaultKind::StaleTelemetry { unit, duration } => {
+                if unit < self.units.len() {
+                    let frozen = self.fresh_view(unit);
+                    self.stale_windows[unit] = Some(StaleWindow {
+                        since: now,
+                        until: now + duration,
+                        frozen,
+                    });
+                }
+            }
+            FaultKind::ServerCrash { server } => {
+                let _ = self.rack.crash_server(server);
+            }
+            FaultKind::CheckpointWriteFailure { server, duration } => {
+                if self.rack.set_checkpoint_broken(server, true) {
+                    self.checkpoint_faults.push((server, now + duration));
+                }
+            }
+        }
+    }
+
+    /// Retires expired fault windows (checkpoint repairs, telemetry
+    /// recovery); the time comparisons in `observe`/`step` do the rest.
+    fn expire_fault_windows(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.checkpoint_faults.len() {
+            if now >= self.checkpoint_faults[i].1 {
+                let (server, _) = self.checkpoint_faults.swap_remove(i);
+                let _ = self.rack.set_checkpoint_broken(server, false);
+            } else {
+                i += 1;
+            }
+        }
+        for window in &mut self.stale_windows {
+            if window.is_some_and(|w| now >= w.until) {
+                *window = None;
+            }
+        }
+    }
+
+    /// The solar reading the *controller* sees: the true harvest,
+    /// perturbed while a sensor-noise fault window is active. The power
+    /// settlement always uses the true value — noise corrupts decisions,
+    /// not physics.
+    fn observed_solar(&mut self, actual: Watts, now: SimTime) -> Watts {
+        match self.sensor_noise {
+            Some((sigma, until)) if now < until => {
+                let factor = 1.0 + self.sensor_rng.normal(0.0, sigma);
+                Watts::new((actual.value() * factor).max(0.0))
+            }
+            _ => actual,
+        }
+    }
+
     /// Advances the system one clock step.
     pub fn step(&mut self) {
         let now = self.clock.now();
         let dt = self.clock.dt();
         let dt_h = dt.as_hours();
         let solar = self.solar.power_at(now);
+
+        // Scheduled faults due this step strike the hardware first, and
+        // expired windows (repairs) retire.
+        let due: Vec<FaultEvent> = self.faults.due(now).to_vec();
+        for event in due {
+            self.apply_fault(now, event.kind);
+        }
+        self.expire_fault_windows(now);
 
         // Controller at its period boundary.
         let control_due = match self.last_control {
@@ -391,7 +548,8 @@ impl InSituSystem {
         };
         if control_due {
             self.last_control = Some(now);
-            let obs = self.observe(solar);
+            let observed = self.observed_solar(solar, now);
+            let obs = self.observe(observed);
             let action = self.controller.control(&obs);
             self.apply(action);
         }
@@ -437,9 +595,16 @@ impl InSituSystem {
             }
         }
 
-        // Charging from what solar remains.
+        // Charging from what solar remains. A charger dropout disconnects
+        // the PV input for its window: nothing charges, and charge-bus
+        // units simply rest through it.
         let solar_left = (solar - settlement.solar_used).max(Watts::ZERO);
-        let charging_ids = self.matrix.charging_units();
+        let charger_down = self.charger_dropout_until.is_some_and(|t| now < t);
+        let charging_ids = if charger_down {
+            Vec::new()
+        } else {
+            self.matrix.charging_units()
+        };
         let charge_step = {
             let mut refs: Vec<&mut BatteryUnit> = self
                 .units
@@ -506,7 +671,10 @@ impl InSituSystem {
     /// Total e-Buffer discharge throughput so far.
     #[must_use]
     pub fn total_discharge_throughput(&self) -> AmpHours {
-        self.units.iter().map(BatteryUnit::discharge_throughput).sum()
+        self.units
+            .iter()
+            .map(BatteryUnit::discharge_throughput)
+            .sum()
     }
 }
 
@@ -522,6 +690,7 @@ pub struct SystemBuilder {
     control_period: SimDuration,
     dt: SimDuration,
     start: SimTime,
+    faults: FaultSchedule,
 }
 
 impl SystemBuilder {
@@ -541,6 +710,7 @@ impl SystemBuilder {
             control_period: SimDuration::from_minutes(1),
             dt: SimDuration::from_secs(10),
             start: SimTime::ZERO,
+            faults: FaultSchedule::empty(),
         }
     }
 
@@ -610,16 +780,27 @@ impl SystemBuilder {
         self
     }
 
+    /// Installs a fault schedule to replay during the run. The schedule's
+    /// seed also derives the sensor-noise stream, so a `(seed, schedule)`
+    /// pair fully determines a faulty run.
+    #[must_use]
+    pub fn fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Assembles the system.
     #[must_use]
     pub fn build(self) -> InSituSystem {
         let units: Vec<BatteryUnit> = (0..self.unit_count)
             .map(|i| BatteryUnit::with_soc(BatteryId(i), self.unit_params, self.initial_soc))
             .collect();
+        let sensor_rng = SimRng::seed(self.faults.seed()).fork("sensor-noise");
         InSituSystem {
             clock: SimClock::starting_at(self.start, self.dt),
             solar: self.solar,
             matrix: SwitchMatrix::new(units.len()),
+            stale_windows: vec![None; units.len()],
             units,
             charger: ChargeController::prototype(),
             bus: LoadBus::prototype(),
@@ -630,6 +811,11 @@ impl SystemBuilder {
             started: self.start,
             last_control: None,
             last_discharge_current: Amps::ZERO,
+            faults: self.faults,
+            sensor_rng,
+            sensor_noise: None,
+            charger_dropout_until: None,
+            checkpoint_faults: Vec::new(),
             trace_solar: Trace::new("solar W"),
             trace_load: Trace::new("load W"),
             trace_stored: Trace::new("stored Wh"),
@@ -744,6 +930,118 @@ mod tests {
         assert_eq!(sys.units().len(), 6);
         assert!((sys.units()[0].soc() - 0.4).abs() < 1e-9);
         assert!(matches!(sys.workload(), WorkloadModel::Stream { .. }));
+    }
+
+    #[test]
+    fn scheduled_faults_fire_and_are_logged() {
+        use ins_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
+        let schedule = FaultSchedule::from_events(
+            7,
+            vec![
+                FaultEvent {
+                    at: SimTime::from_hms(1, 0, 0),
+                    kind: FaultKind::BatteryOpenCircuit { unit: 1 },
+                },
+                FaultEvent {
+                    // Midday: the server is actually running, so the
+                    // crash lands (crashing an off machine is a no-op).
+                    at: SimTime::from_hms(12, 0, 0),
+                    kind: FaultKind::ServerCrash { server: 0 },
+                },
+            ],
+        );
+        let mut sys = InSituSystem::builder(
+            high_generation_day(42),
+            Box::new(InsureController::default()),
+        )
+        .time_step(SimDuration::from_secs(30))
+        .fault_schedule(schedule)
+        .build();
+        sys.run_until(SimTime::from_hms(13, 0, 0));
+        assert!(sys.units()[1].is_failed());
+        assert_eq!(sys.rack().total_crashes(), 1);
+        let classes: Vec<FaultClass> = sys
+            .events()
+            .entries()
+            .iter()
+            .filter_map(|e| match e.event {
+                SystemEvent::FaultInjected(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            classes,
+            vec![FaultClass::BatteryOpenCircuit, FaultClass::ServerCrash]
+        );
+        assert_eq!(sys.fault_schedule().remaining(), 0);
+    }
+
+    #[test]
+    fn failed_unit_degrades_throughput_but_never_correctness() {
+        // Identical runs except one loses a battery unit at 10:00; the
+        // faulty run must still satisfy every physical invariant and can
+        // only do less work, not more (beyond solver noise).
+        let run = |fail: bool| {
+            let mut sys = day_system(Box::new(InsureController::default()));
+            sys.run_until(SimTime::from_hms(10, 0, 0));
+            if fail {
+                sys.inject_fault(ins_sim::fault::FaultKind::BatteryOpenCircuit { unit: 0 });
+            }
+            sys.run_until(SimTime::from_hms(23, 59, 0));
+            for u in sys.units() {
+                assert!((0.0..=1.0).contains(&u.soc()));
+            }
+            sys.workload().processed_gb()
+        };
+        let healthy = run(false);
+        let faulty = run(true);
+        assert!(faulty > 0.0, "faulty system still makes progress");
+        assert!(
+            faulty <= healthy * 1.05,
+            "losing a unit cannot add throughput: {faulty} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn charger_dropout_pauses_charging_for_its_window() {
+        let mut sys = day_system(Box::new(InsureController::default()));
+        sys.run_until(SimTime::from_hms(11, 0, 0));
+        let before = sys.solar_used().1;
+        sys.inject_fault(ins_sim::fault::FaultKind::ChargerDropout {
+            duration: SimDuration::from_hours(1),
+        });
+        sys.run_until(SimTime::from_hms(12, 0, 0));
+        let during = sys.solar_used().1 - before;
+        assert!(
+            during.value() < 1e-9,
+            "charged {} Wh during a charger dropout",
+            during.value()
+        );
+        // After the window the charger recovers.
+        sys.run_until(SimTime::from_hms(14, 0, 0));
+        assert!(sys.solar_used().1 > before);
+    }
+
+    #[test]
+    fn stale_telemetry_freezes_the_view_then_recovers() {
+        use ins_sim::fault::FaultKind;
+        let mut sys = day_system(Box::new(InsureController::default()));
+        sys.run_until(SimTime::from_hms(9, 0, 0));
+        sys.inject_fault(FaultKind::StaleTelemetry {
+            unit: 0,
+            duration: SimDuration::from_minutes(10),
+        });
+        sys.run_until(SimTime::from_hms(9, 5, 0));
+        let obs = sys.observe(Watts::ZERO);
+        assert!(
+            obs.units[0].telemetry_age >= SimDuration::from_minutes(4),
+            "age {:?}",
+            obs.units[0].telemetry_age
+        );
+        assert_eq!(obs.units[1].telemetry_age, SimDuration::ZERO);
+        sys.run_until(SimTime::from_hms(9, 30, 0));
+        let obs = sys.observe(Watts::ZERO);
+        assert_eq!(obs.units[0].telemetry_age, SimDuration::ZERO);
     }
 
     #[test]

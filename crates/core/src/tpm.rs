@@ -10,11 +10,10 @@
 //! of tripping the protection cutoff.
 
 use ins_sim::units::Amps;
-use serde::{Deserialize, Serialize};
 
 /// Which knob the TPM turns for the current workload (Fig. 11's two
 /// branches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoadKnob {
     /// Batch job: adjust the DVFS duty cycle.
     DutyCycle,
@@ -23,7 +22,7 @@ pub enum LoadKnob {
 }
 
 /// The TPM's verdict for one control period.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TpmAction {
     /// Discharge current and state of charge are healthy; if ample
     /// headroom exists the controller may raise capacity again.
@@ -39,7 +38,7 @@ pub enum TpmAction {
 }
 
 /// Inputs to one TPM decision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TpmInput {
     /// Measured total discharge current across online units.
     pub discharge_current: Amps,

@@ -10,7 +10,7 @@ use ins_core::controller::{
 use ins_core::spm::UnitView;
 use ins_core::tpm::LoadKnob;
 use ins_powernet::matrix::Attachment;
-use ins_sim::time::SimTime;
+use ins_sim::time::{SimDuration, SimTime};
 use ins_sim::units::{AmpHours, Amps, Volts, Watts};
 use proptest::prelude::*;
 
@@ -28,6 +28,8 @@ fn observation(seed: u64) -> SystemObservation {
                 available_fraction: f(11 + i as u64),
                 discharge_throughput: AmpHours::new(f(13 + i as u64) * 100.0),
                 at_cutoff: f(17 + i as u64) > 0.9,
+                terminal_voltage: Volts::new(f(41 + i as u64) * 28.0),
+                telemetry_age: SimDuration::from_secs(seed % 600),
             })
             .collect(),
         attachments: vec![
@@ -48,7 +50,11 @@ fn observation(seed: u64) -> SystemObservation {
         rack_demand_full: Watts::new(1800.0),
         pack_voltage: Volts::new(24.0),
         pending_gb: f(37) * 500.0,
-        knob: if seed.is_multiple_of(2) { LoadKnob::DutyCycle } else { LoadKnob::VmCount },
+        knob: if seed.is_multiple_of(2) {
+            LoadKnob::DutyCycle
+        } else {
+            LoadKnob::VmCount
+        },
     }
 }
 

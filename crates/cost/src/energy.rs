@@ -6,8 +6,6 @@
 //! OpEx and a short continuous-duty life, while solar+battery's only
 //! recurring cost is battery depreciation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::{GenerationCosts, SystemSizing};
 
 /// Fraction of nameplate life a diesel generator achieves under the
@@ -15,7 +13,7 @@ use crate::params::{GenerationCosts, SystemSizing};
 const DIESEL_CONTINUOUS_DUTY_DERATE: f64 = 0.5;
 
 /// Onsite generation technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GenTech {
     /// PV array + lead-acid e-Buffer (InSURE).
     SolarBattery,
@@ -54,9 +52,7 @@ pub fn cumulative_cost(
             let replacements_battery = (years / costs.battery_life_years).ceil().max(1.0);
             let replacements_inverter = (years / costs.inverter_life_years).ceil().max(1.0);
             // Panels outlive the horizon; batteries and inverter recur.
-            panel
-                + battery * replacements_battery
-                + costs.inverter_cost * replacements_inverter
+            panel + battery * replacements_battery + costs.inverter_cost * replacements_inverter
         }
         GenTech::FuelCell => {
             // Stack sized between the average and peak load (load-following
@@ -85,7 +81,7 @@ pub fn cumulative_cost(
 }
 
 /// One component line of the Fig. 22 annual-depreciation breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DepreciationLine {
     /// Component name as Fig. 22 labels it.
     pub component: &'static str,
@@ -217,8 +213,14 @@ mod tests {
             .sum();
         // Fig. 22: DG ≈ +20 %, FC ≈ +24 % on the total; on the energy
         // subsystem alone both must be substantially above solar.
-        assert!(dg_total > solar_total, "DG {dg_total} vs solar {solar_total}");
-        assert!(fc_total > solar_total, "FC {fc_total} vs solar {solar_total}");
+        assert!(
+            dg_total > solar_total,
+            "DG {dg_total} vs solar {solar_total}"
+        );
+        assert!(
+            fc_total > solar_total,
+            "FC {fc_total} vs solar {solar_total}"
+        );
     }
 
     #[test]

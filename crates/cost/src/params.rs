@@ -5,10 +5,8 @@
 //! §6.5 and Fig. 22 (component depreciation). All values are 2014 USD, as
 //! published.
 
-use serde::{Deserialize, Serialize};
-
 /// Communication cost constants (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommsCosts {
     /// Satellite dish receiver hardware.
     pub satellite_hardware: f64,
@@ -37,7 +35,7 @@ impl CommsCosts {
 }
 
 /// Onsite generation constants (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenerationCosts {
     /// Diesel generator CapEx per kW.
     pub diesel_capex_per_kw: f64,
@@ -92,7 +90,7 @@ impl GenerationCosts {
 
 /// IT and auxiliary hardware of the prototype-class in-situ system
 /// (Fig. 22's component breakdown).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ItCosts {
     /// Total server hardware (four ProLiant-class machines).
     pub servers: f64,
@@ -128,7 +126,7 @@ impl ItCosts {
 }
 
 /// The prototype's electrical sizing used throughout the cost analyses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemSizing {
     /// Solar array rating, W.
     pub solar_w: f64,

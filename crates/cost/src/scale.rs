@@ -9,8 +9,6 @@
 //!   system and barely grows. The curves cross near **0.9 GB/day** for
 //!   the prototype, below which shipping data to the cloud stays cheaper.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::{CommsCosts, ItCosts, SystemSizing};
 use crate::system_cost::insitu_annual_cost;
 
@@ -88,8 +86,8 @@ pub fn insitu_tco_5yr(
         0.0 < sunshine_fraction && sunshine_fraction <= 1.0,
         "sunshine fraction must lie in (0, 1]"
     );
-    let capacity_per_system = sizing.daily_data_gb * sunshine_fraction
-        / REFERENCE_SUNSHINE_FRACTION;
+    let capacity_per_system =
+        sizing.daily_data_gb * sunshine_fraction / REFERENCE_SUNSHINE_FRACTION;
     let systems = (rate_gb_per_day / capacity_per_system).max(1.0);
     let system_cost = insitu_annual_cost(it, sizing) * systems * 5.0;
     let residue = rate_gb_per_day * (1.0 - sizing.preprocess_reduction);
@@ -107,9 +105,8 @@ pub fn crossover_rate_gb_per_day(
     it: &ItCosts,
     sizing: &SystemSizing,
 ) -> Option<f64> {
-    let diff = |r: f64| {
-        insitu_tco_5yr(r, sunshine_fraction, comms, it, sizing) - cloud_tco_5yr(r, comms)
-    };
+    let diff =
+        |r: f64| insitu_tco_5yr(r, sunshine_fraction, comms, it, sizing) - cloud_tco_5yr(r, comms);
     let (mut lo, mut hi) = (0.01, 1_000.0);
     if diff(lo) < 0.0 || diff(hi) > 0.0 {
         return None;
@@ -126,7 +123,7 @@ pub fn crossover_rate_gb_per_day(
 }
 
 /// A row of the Fig. 23 comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig23Row {
     /// Sunshine fraction.
     pub sunshine_fraction: f64,

@@ -5,12 +5,10 @@
 //! deployment length, reporting per-application cost savings from 15 % to
 //! 97 % (the bubble sizes of Fig. 25).
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::{CommsCosts, ItCosts, SystemSizing};
 
 /// One deployment scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Scenario label (Fig. 25's A–E).
     pub label: &'static str,
@@ -104,8 +102,7 @@ fn sized_capex(rate_gb_per_day: f64, it: &ItCosts, sizing: &SystemSizing) -> f64
 /// every raw byte.
 #[must_use]
 pub fn cloud_cost(s: &Scenario, comms: &CommsCosts) -> f64 {
-    comms.cellular_hardware
-        + s.rate_gb_per_day * s.deployment_days * comms.cellular_per_gb
+    comms.cellular_hardware + s.rate_gb_per_day * s.deployment_days * comms.cellular_per_gb
 }
 
 /// In-situ cost of a scenario: amortized hardware charge, mobilization,
@@ -180,10 +177,7 @@ mod tests {
     #[test]
     fn long_deployments_pay_replacements() {
         let (c, it, s) = setup();
-        let mut long = scenarios()
-            .into_iter()
-            .find(|sc| sc.label == "E")
-            .unwrap();
+        let mut long = scenarios().into_iter().find(|sc| sc.label == "E").unwrap();
         let base = insitu_cost(&long, &c, &it, &s);
         long.deployment_days = 2_000.0; // past the 4-year hardware life
         let extended = insitu_cost(&long, &c, &it, &s);

@@ -5,8 +5,6 @@
 //! component breakdown Fig. 22 charts for InSURE, the diesel variant and
 //! the fuel-cell variant.
 
-use serde::{Deserialize, Serialize};
-
 use crate::energy::{energy_depreciation, DepreciationLine, GenTech};
 use crate::params::{GenerationCosts, ItCosts, SystemSizing};
 
@@ -24,12 +22,30 @@ pub fn it_depreciation(it: &ItCosts) -> Vec<DepreciationLine> {
     let subtotal = server + hvac + pdu + switch + cellular;
     let maintenance = subtotal * it.maintenance_fraction / (1.0 - it.maintenance_fraction);
     vec![
-        DepreciationLine { component: "Server", annual: server },
-        DepreciationLine { component: "Cellular", annual: cellular },
-        DepreciationLine { component: "HVAC", annual: hvac },
-        DepreciationLine { component: "PDU", annual: pdu },
-        DepreciationLine { component: "Switch", annual: switch },
-        DepreciationLine { component: "Maintenance", annual: maintenance },
+        DepreciationLine {
+            component: "Server",
+            annual: server,
+        },
+        DepreciationLine {
+            component: "Cellular",
+            annual: cellular,
+        },
+        DepreciationLine {
+            component: "HVAC",
+            annual: hvac,
+        },
+        DepreciationLine {
+            component: "PDU",
+            annual: pdu,
+        },
+        DepreciationLine {
+            component: "Switch",
+            annual: switch,
+        },
+        DepreciationLine {
+            component: "Maintenance",
+            annual: maintenance,
+        },
     ]
 }
 
@@ -64,16 +80,11 @@ pub fn annual_total(
 /// the IT TCO and scale-out analyses amortize.
 #[must_use]
 pub fn insitu_annual_cost(it: &ItCosts, sizing: &SystemSizing) -> f64 {
-    annual_total(
-        GenTech::SolarBattery,
-        it,
-        &GenerationCosts::paper(),
-        sizing,
-    )
+    annual_total(GenTech::SolarBattery, it, &GenerationCosts::paper(), sizing)
 }
 
 /// Summary row comparing the three Fig. 22 configurations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechComparison {
     /// The generation technology.
     pub tech: GenTech,

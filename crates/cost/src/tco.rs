@@ -13,13 +13,11 @@
 //! ≈ 95 % (cellular) of operating cost, "saving over a million dollars
 //! in 5 years".
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::{CommsCosts, ItCosts, SystemSizing};
 use crate::system_cost::insitu_annual_cost;
 
 /// Data-handling strategy of Fig. 3-a.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Raw data over satellite.
     Satellite,
@@ -77,12 +75,8 @@ pub fn cumulative_cost(
     let raw = sizing.daily_data_gb;
     let residue = raw * (1.0 - sizing.preprocess_reduction);
     match strategy {
-        Strategy::Satellite => {
-            comms.satellite_hardware + comms.satellite_monthly * 12.0 * years
-        }
-        Strategy::Cellular => {
-            comms.cellular_hardware + raw * 365.0 * comms.cellular_per_gb * years
-        }
+        Strategy::Satellite => comms.satellite_hardware + comms.satellite_monthly * 12.0 * years,
+        Strategy::Cellular => comms.cellular_hardware + raw * 365.0 * comms.cellular_per_gb * years,
         Strategy::InSituSatellite => {
             let monthly = satellite_monthly_for(residue, raw, comms);
             comms.satellite_hardware
@@ -172,8 +166,14 @@ mod tests {
             .collect();
         let (sat, cell, insitu_sa, insitu_4g) = (v[0], v[1], v[2], v[3]);
         assert!(cell > sat, "metered 4G {cell} > satellite plan {sat}");
-        assert!(sat > 4.0 * insitu_sa, "satellite {sat} must dwarf in-situ+SA {insitu_sa}");
-        assert!(cell > 4.0 * insitu_4g, "cellular {cell} must dwarf in-situ+4G {insitu_4g}");
+        assert!(
+            sat > 4.0 * insitu_sa,
+            "satellite {sat} must dwarf in-situ+SA {insitu_sa}"
+        );
+        assert!(
+            cell > 4.0 * insitu_4g,
+            "cellular {cell} must dwarf in-situ+4G {insitu_4g}"
+        );
     }
 
     #[test]

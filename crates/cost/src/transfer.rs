@@ -4,10 +4,8 @@
 //! the January-2014 AWS data-transfer-out price tiers, expressed as the
 //! *average* dollars per TB for a given monthly volume.
 
-use serde::{Deserialize, Serialize};
-
 /// A network link class from Fig. 1-a.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkClass {
     /// Human-readable name.
     pub name: &'static str,
@@ -19,12 +17,30 @@ pub struct LinkClass {
 #[must_use]
 pub fn link_classes() -> Vec<LinkClass> {
     vec![
-        LinkClass { name: "T1 (1.5 Mbps)", mbps: 1.5 },
-        LinkClass { name: "3G cellular (4 Mbps)", mbps: 4.0 },
-        LinkClass { name: "4G LTE (20 Mbps)", mbps: 20.0 },
-        LinkClass { name: "100 Mbps Ethernet", mbps: 100.0 },
-        LinkClass { name: "1 GbE", mbps: 1_000.0 },
-        LinkClass { name: "10 GbE", mbps: 10_000.0 },
+        LinkClass {
+            name: "T1 (1.5 Mbps)",
+            mbps: 1.5,
+        },
+        LinkClass {
+            name: "3G cellular (4 Mbps)",
+            mbps: 4.0,
+        },
+        LinkClass {
+            name: "4G LTE (20 Mbps)",
+            mbps: 20.0,
+        },
+        LinkClass {
+            name: "100 Mbps Ethernet",
+            mbps: 100.0,
+        },
+        LinkClass {
+            name: "1 GbE",
+            mbps: 1_000.0,
+        },
+        LinkClass {
+            name: "10 GbE",
+            mbps: 10_000.0,
+        },
     ]
 }
 
@@ -41,7 +57,7 @@ pub fn transfer_hours(gigabytes: f64, mbps: f64) -> f64 {
 }
 
 /// One AWS data-transfer-out price tier (January 2014).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct AwsTier {
     /// Upper bound of the tier, TB/month.
     up_to_tb: f64,
@@ -51,10 +67,22 @@ struct AwsTier {
 
 /// The January-2014 AWS transfer-out tiers behind Fig. 1-b.
 const AWS_TIERS: [AwsTier; 4] = [
-    AwsTier { up_to_tb: 10.0, per_gb: 0.12 },
-    AwsTier { up_to_tb: 50.0, per_gb: 0.09 },
-    AwsTier { up_to_tb: 150.0, per_gb: 0.07 },
-    AwsTier { up_to_tb: f64::INFINITY, per_gb: 0.05 },
+    AwsTier {
+        up_to_tb: 10.0,
+        per_gb: 0.12,
+    },
+    AwsTier {
+        up_to_tb: 50.0,
+        per_gb: 0.09,
+    },
+    AwsTier {
+        up_to_tb: 150.0,
+        per_gb: 0.07,
+    },
+    AwsTier {
+        up_to_tb: f64::INFINITY,
+        per_gb: 0.05,
+    },
 ];
 
 /// Total dollars to move `tb` terabytes out of AWS in one month.

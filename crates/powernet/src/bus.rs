@@ -8,12 +8,11 @@
 use ins_battery::pack::split_discharge_current;
 use ins_battery::BatteryUnit;
 use ins_sim::units::{Hours, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::converter::Converter;
 
 /// How one step's load demand was met.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSettlement {
     /// Demand presented by the server rack (at the rack inlet).
     pub demand: Watts,
@@ -55,7 +54,7 @@ impl LoadSettlement {
 /// assert!(s.fully_served());
 /// assert!(s.battery_used.value() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadBus {
     pdu: Converter,
 }
@@ -131,8 +130,7 @@ impl LoadBus {
                 / units.len() as f64;
             let i0 = battery_needed.value() / mean_v.max(1.0);
             let v_sag = (mean_v - i0 * r_parallel).max(1.0);
-            let total_current =
-                ins_sim::units::Amps::new(battery_needed.value() / v_sag * 1.02);
+            let total_current = ins_sim::units::Amps::new(battery_needed.value() / v_sag * 1.02);
             let shares = {
                 let views: Vec<&BatteryUnit> = units.iter().map(|u| &**u).collect();
                 split_discharge_current(&views, total_current)
@@ -180,7 +178,12 @@ mod tests {
         let bus = LoadBus::prototype();
         let mut u = unit_at(0, 0.9);
         let before = u.stored_charge();
-        let s = bus.settle(Watts::new(300.0), Watts::new(1000.0), &mut [&mut u], Hours::new(0.1));
+        let s = bus.settle(
+            Watts::new(300.0),
+            Watts::new(1000.0),
+            &mut [&mut u],
+            Hours::new(0.1),
+        );
         assert!(s.fully_served());
         assert_eq!(s.battery_used, Watts::ZERO);
         assert!(s.solar_used.value() > 300.0, "PDU losses must appear");
@@ -191,7 +194,12 @@ mod tests {
     fn battery_makes_up_solar_deficit() {
         let bus = LoadBus::prototype();
         let mut u = unit_at(0, 0.9);
-        let s = bus.settle(Watts::new(450.0), Watts::new(200.0), &mut [&mut u], Hours::new(0.1));
+        let s = bus.settle(
+            Watts::new(450.0),
+            Watts::new(200.0),
+            &mut [&mut u],
+            Hours::new(0.1),
+        );
         assert!(s.fully_served(), "shortfall {:?}", s.shortfall);
         assert!(s.battery_used.value() > 0.0);
         assert!(u.soc() < 0.9);
@@ -210,7 +218,12 @@ mod tests {
     fn zero_demand_touches_nothing() {
         let bus = LoadBus::prototype();
         let mut u = unit_at(0, 0.5);
-        let s = bus.settle(Watts::ZERO, Watts::new(500.0), &mut [&mut u], Hours::new(0.1));
+        let s = bus.settle(
+            Watts::ZERO,
+            Watts::new(500.0),
+            &mut [&mut u],
+            Hours::new(0.1),
+        );
         assert_eq!(s.solar_used, Watts::ZERO);
         assert_eq!(s.battery_used, Watts::ZERO);
         assert!(s.fully_served());
@@ -224,7 +237,12 @@ mod tests {
         while !u.is_exhausted() {
             u.discharge(ins_sim::units::Amps::new(40.0), Hours::new(1.0 / 60.0));
         }
-        let s = bus.settle(Watts::new(1400.0), Watts::ZERO, &mut [&mut u], Hours::new(0.05));
+        let s = bus.settle(
+            Watts::new(1400.0),
+            Watts::ZERO,
+            &mut [&mut u],
+            Hours::new(0.05),
+        );
         assert!(!s.fully_served());
         assert!(s.shortfall.value() > 0.0);
     }

@@ -9,7 +9,6 @@
 use ins_battery::unit::ChargeOutcome;
 use ins_battery::BatteryUnit;
 use ins_sim::units::{Hours, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::converter::Converter;
 
@@ -61,7 +60,7 @@ impl ChargeStep {
 /// assert!(step.stored.value() > 0.0);
 /// assert!(unit.soc() > 0.4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChargeController {
     channel: Converter,
 }
@@ -92,12 +91,7 @@ impl ChargeController {
     /// matching a fixed-allocation multi-channel charger. Pass the units
     /// the spatial manager selected — fewer units means less per-channel
     /// overhead and faster net charging.
-    pub fn charge(
-        &self,
-        units: &mut [&mut BatteryUnit],
-        budget: Watts,
-        dt: Hours,
-    ) -> ChargeStep {
+    pub fn charge(&self, units: &mut [&mut BatteryUnit], budget: Watts, dt: Hours) -> ChargeStep {
         if units.is_empty() || budget.value() <= 0.0 {
             return ChargeStep::idle();
         }
@@ -113,8 +107,8 @@ impl ChargeController {
             let applied = (channel_out / v).min(unit.acceptance_limit());
             let outcome = unit.charge(applied, dt);
             // The channel only draws what it delivers (plus overhead).
-            let used_output = outcome.accepted.max(ins_sim::units::Amps::ZERO) * v
-                + outcome.gassed * v;
+            let used_output =
+                outcome.accepted.max(ins_sim::units::Amps::ZERO) * v + outcome.gassed * v;
             drawn += self.channel.input_for(used_output).min(per_channel_input);
             stored += outcome.accepted * v;
             outcomes.push(outcome);

@@ -12,7 +12,6 @@
 //!   delivered watt.
 
 use ins_sim::units::Watts;
-use serde::{Deserialize, Serialize};
 
 /// A DC/DC converter stage with fixed overhead and proportional loss.
 ///
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(out.value() > 160.0 && out.value() < 200.0);
 /// assert_eq!(chan.output(Watts::new(5.0)), Watts::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Converter {
     overhead: Watts,
     efficiency: f64,
@@ -49,7 +48,10 @@ impl Converter {
             0.0 < efficiency && efficiency <= 1.0,
             "efficiency must lie in (0, 1]"
         );
-        Self { overhead, efficiency }
+        Self {
+            overhead,
+            efficiency,
+        }
     }
 
     /// One battery-charger channel: ≈ 18 W standing overhead (control,

@@ -40,5 +40,5 @@ pub use bus::{LoadBus, LoadSettlement};
 pub use charger::{ChargeController, ChargeStep};
 pub use converter::Converter;
 pub use matrix::{Attachment, SwitchMatrix, UnknownUnitError};
-pub use relay::Relay;
+pub use relay::{Relay, RelayFault};
 pub use topology::{ArrayTopology, SwitchStates};

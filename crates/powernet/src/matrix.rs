@@ -5,16 +5,23 @@
 //! Siemens PLC (§4). [`SwitchMatrix`] models that relay network and
 //! enforces its safety invariant: a unit's charge and discharge paths are
 //! never closed at the same time.
+//!
+//! With mechanical relay faults in play ([`RelayFault`]) that invariant
+//! becomes best-effort: the matrix never *commands* a cross-tie, but two
+//! welded contacts can force one. [`SwitchMatrix::attach`] therefore
+//! reports the attachment actually achieved instead of panicking, and the
+//! matrix exposes which units are cross-tied or unreachable so the
+//! control layer can route around them.
 
 use core::fmt;
 
 use ins_battery::BatteryId;
-use serde::{Deserialize, Serialize};
+use ins_sim::fault::RelayRole;
 
-use crate::relay::Relay;
+use crate::relay::{Relay, RelayFault};
 
 /// Electrical attachment of one battery unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Attachment {
     /// Both relays open: the unit floats disconnected.
     Isolated,
@@ -48,10 +55,38 @@ impl fmt::Display for UnknownUnitError {
 impl std::error::Error for UnknownUnitError {}
 
 /// One unit's relay pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 struct RelayPair {
     charge: Relay,
     discharge: Relay,
+}
+
+impl RelayPair {
+    /// The attachment this pair's contacts currently realise. Both closed
+    /// (possible only when both relays are welded) reads as the discharge
+    /// bus: the load path electrically dominates, and the unit is also
+    /// reported by [`SwitchMatrix::cross_tied_units`].
+    fn attachment(&self) -> Attachment {
+        match (self.charge.is_closed(), self.discharge.is_closed()) {
+            (false, false) => Attachment::Isolated,
+            (true, false) => Attachment::ChargeBus,
+            (_, true) => Attachment::DischargeBus,
+        }
+    }
+
+    fn relay_mut(&mut self, role: RelayRole) -> &mut Relay {
+        match role {
+            RelayRole::Charge => &mut self.charge,
+            RelayRole::Discharge => &mut self.discharge,
+        }
+    }
+
+    fn relay(&self, role: RelayRole) -> &Relay {
+        match role {
+            RelayRole::Charge => &self.charge,
+            RelayRole::Discharge => &self.discharge,
+        }
+    }
 }
 
 /// The PLC-driven relay network attaching each unit to the charge bus, the
@@ -70,7 +105,7 @@ struct RelayPair {
 /// assert_eq!(m.discharging_units(), vec![BatteryId(1)]);
 /// # Ok::<(), ins_powernet::matrix::UnknownUnitError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwitchMatrix {
     pairs: Vec<RelayPair>,
 }
@@ -103,21 +138,23 @@ impl SwitchMatrix {
     /// Returns [`UnknownUnitError`] if `id` is out of range.
     pub fn attachment(&self, id: BatteryId) -> Result<Attachment, UnknownUnitError> {
         let pair = self.pairs.get(id.0).ok_or(UnknownUnitError(id))?;
-        Ok(match (pair.charge.is_closed(), pair.discharge.is_closed()) {
-            (false, false) => Attachment::Isolated,
-            (true, false) => Attachment::ChargeBus,
-            (false, true) => Attachment::DischargeBus,
-            (true, true) => unreachable!("matrix invariant violated: both relays closed"),
-        })
+        Ok(pair.attachment())
     }
 
-    /// Moves a unit to the requested attachment, sequencing the relay pair
-    /// break-before-make so both are never closed together.
+    /// Moves a unit toward the requested attachment, sequencing the relay
+    /// pair break-before-make so a cross-tie is never *commanded*: if the
+    /// relay that must open is welded closed, the opposite relay is not
+    /// closed. Returns the attachment actually achieved, which under
+    /// relay faults may differ from the request.
     ///
     /// # Errors
     ///
     /// Returns [`UnknownUnitError`] if `id` is out of range.
-    pub fn attach(&mut self, id: BatteryId, to: Attachment) -> Result<(), UnknownUnitError> {
+    pub fn attach(
+        &mut self,
+        id: BatteryId,
+        to: Attachment,
+    ) -> Result<Attachment, UnknownUnitError> {
         let pair = self.pairs.get_mut(id.0).ok_or(UnknownUnitError(id))?;
         match to {
             Attachment::Isolated => {
@@ -126,21 +163,86 @@ impl SwitchMatrix {
             }
             Attachment::ChargeBus => {
                 pair.discharge.open();
-                pair.charge.close();
+                if !pair.discharge.is_closed() {
+                    pair.charge.close();
+                }
             }
             Attachment::DischargeBus => {
                 pair.charge.open();
-                pair.discharge.close();
+                if !pair.charge.is_closed() {
+                    pair.discharge.close();
+                }
             }
         }
-        debug_assert!(!(pair.charge.is_closed() && pair.discharge.is_closed()));
+        // Only two welded contacts can leave both paths closed.
+        debug_assert!(
+            !(pair.charge.is_closed() && pair.discharge.is_closed())
+                || (pair.charge.is_faulted() && pair.discharge.is_faulted())
+        );
+        Ok(pair.attachment())
+    }
+
+    /// Injects a mechanical fault into one relay of a unit's pair. If
+    /// welding a contact closed would cross-tie the unit, the matrix trips
+    /// the opposite relay open first (PLC protection) — unless that relay
+    /// is itself welded, in which case the unit becomes cross-tied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownUnitError`] if `id` is out of range.
+    pub fn inject_relay_fault(
+        &mut self,
+        id: BatteryId,
+        role: RelayRole,
+        fault: RelayFault,
+    ) -> Result<(), UnknownUnitError> {
+        let pair = self.pairs.get_mut(id.0).ok_or(UnknownUnitError(id))?;
+        pair.relay_mut(role).inject_fault(fault);
+        if fault == RelayFault::StuckClosed {
+            let other = match role {
+                RelayRole::Charge => RelayRole::Discharge,
+                RelayRole::Discharge => RelayRole::Charge,
+            };
+            pair.relay_mut(other).open();
+        }
         Ok(())
     }
 
-    /// Units currently on the charge bus, in id order.
+    /// Clears any fault on one relay of a unit's pair (field service).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownUnitError`] if `id` is out of range.
+    pub fn clear_relay_fault(
+        &mut self,
+        id: BatteryId,
+        role: RelayRole,
+    ) -> Result<(), UnknownUnitError> {
+        let pair = self.pairs.get_mut(id.0).ok_or(UnknownUnitError(id))?;
+        pair.relay_mut(role).clear_fault();
+        Ok(())
+    }
+
+    /// The fault on one relay of a unit's pair, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownUnitError`] if `id` is out of range.
+    pub fn relay_fault(
+        &self,
+        id: BatteryId,
+        role: RelayRole,
+    ) -> Result<Option<RelayFault>, UnknownUnitError> {
+        let pair = self.pairs.get(id.0).ok_or(UnknownUnitError(id))?;
+        Ok(pair.relay(role).fault())
+    }
+
+    /// Units currently on the charge bus, in id order. A cross-tied unit
+    /// is *not* listed here (it reads as discharge-bus), so a unit never
+    /// appears to charge and discharge at once.
     #[must_use]
     pub fn charging_units(&self) -> Vec<BatteryId> {
-        self.units_where(|p| p.charge.is_closed())
+        self.units_where(|p| p.charge.is_closed() && !p.discharge.is_closed())
     }
 
     /// Units currently on the discharge bus, in id order.
@@ -153,6 +255,29 @@ impl SwitchMatrix {
     #[must_use]
     pub fn isolated_units(&self) -> Vec<BatteryId> {
         self.units_where(|p| !p.charge.is_closed() && !p.discharge.is_closed())
+    }
+
+    /// Units whose welded relay pair ties both buses together, in id
+    /// order. These are reported (and treated) as discharge-bus units.
+    #[must_use]
+    pub fn cross_tied_units(&self) -> Vec<BatteryId> {
+        self.units_where(|p| p.charge.is_closed() && p.discharge.is_closed())
+    }
+
+    /// Units that can no longer reach *any* bus — both relays stuck open —
+    /// in id order. They stay electrically absent until serviced.
+    #[must_use]
+    pub fn unreachable_units(&self) -> Vec<BatteryId> {
+        self.units_where(|p| {
+            p.charge.fault() == Some(RelayFault::StuckOpen)
+                && p.discharge.fault() == Some(RelayFault::StuckOpen)
+        })
+    }
+
+    /// Units with at least one faulted relay, in id order.
+    #[must_use]
+    pub fn faulted_units(&self) -> Vec<BatteryId> {
+        self.units_where(|p| p.charge.is_faulted() || p.discharge.is_faulted())
     }
 
     /// Total relay switching operations so far (both relays, all units) —
@@ -204,7 +329,10 @@ mod tests {
         m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
         assert_eq!(m.attachment(BatteryId(0)).unwrap(), Attachment::ChargeBus);
         m.attach(BatteryId(0), Attachment::DischargeBus).unwrap();
-        assert_eq!(m.attachment(BatteryId(0)).unwrap(), Attachment::DischargeBus);
+        assert_eq!(
+            m.attachment(BatteryId(0)).unwrap(),
+            Attachment::DischargeBus
+        );
         m.attach(BatteryId(0), Attachment::Isolated).unwrap();
         assert_eq!(m.attachment(BatteryId(0)).unwrap(), Attachment::Isolated);
         // Unit 1 untouched throughout.
@@ -246,6 +374,115 @@ mod tests {
         m.attach(BatteryId(0), Attachment::Isolated).unwrap(); // +1
         assert_eq!(m.total_switch_operations(), 4);
         assert!(m.max_relay_wear() > 0.0);
+    }
+
+    #[test]
+    fn attach_reports_achieved_attachment() {
+        let mut m = SwitchMatrix::new(1);
+        let got = m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        assert_eq!(got, Attachment::ChargeBus);
+    }
+
+    #[test]
+    fn stuck_open_relay_blocks_that_bus() {
+        let mut m = SwitchMatrix::new(2);
+        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckOpen)
+            .unwrap();
+        let got = m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        assert_eq!(got, Attachment::Isolated, "charge path is unreachable");
+        // The discharge path still works.
+        let got = m.attach(BatteryId(0), Attachment::DischargeBus).unwrap();
+        assert_eq!(got, Attachment::DischargeBus);
+        assert_eq!(m.faulted_units(), vec![BatteryId(0)]);
+        assert!(m.unreachable_units().is_empty());
+    }
+
+    #[test]
+    fn stuck_closed_relay_pins_the_unit_and_blocks_the_other_bus() {
+        let mut m = SwitchMatrix::new(1);
+        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)
+            .unwrap();
+        assert_eq!(
+            m.attachment(BatteryId(0)).unwrap(),
+            Attachment::DischargeBus
+        );
+        // Requesting the charge bus must NOT cross-tie: the weld keeps the
+        // discharge path closed, so the charge relay stays open.
+        let got = m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        assert_eq!(got, Attachment::DischargeBus);
+        assert!(m.cross_tied_units().is_empty());
+        assert!(m.charging_units().is_empty());
+    }
+
+    #[test]
+    fn double_weld_cross_ties_without_panicking() {
+        let mut m = SwitchMatrix::new(1);
+        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckClosed)
+            .unwrap();
+        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)
+            .unwrap();
+        // attachment() must not panic; cross-tie reads as discharge bus.
+        assert_eq!(
+            m.attachment(BatteryId(0)).unwrap(),
+            Attachment::DischargeBus
+        );
+        assert_eq!(m.cross_tied_units(), vec![BatteryId(0)]);
+        assert!(m.charging_units().is_empty());
+        assert_eq!(m.discharging_units(), vec![BatteryId(0)]);
+    }
+
+    #[test]
+    fn weld_on_one_relay_trips_the_other_open_first() {
+        let mut m = SwitchMatrix::new(1);
+        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)
+            .unwrap();
+        // Protection opened the (healthy) charge relay: no cross-tie.
+        assert!(m.cross_tied_units().is_empty());
+        assert_eq!(
+            m.attachment(BatteryId(0)).unwrap(),
+            Attachment::DischargeBus
+        );
+    }
+
+    #[test]
+    fn both_stuck_open_is_unreachable() {
+        let mut m = SwitchMatrix::new(2);
+        m.inject_relay_fault(BatteryId(1), RelayRole::Charge, RelayFault::StuckOpen)
+            .unwrap();
+        m.inject_relay_fault(BatteryId(1), RelayRole::Discharge, RelayFault::StuckOpen)
+            .unwrap();
+        assert_eq!(m.unreachable_units(), vec![BatteryId(1)]);
+        for to in [Attachment::ChargeBus, Attachment::DischargeBus] {
+            assert_eq!(m.attach(BatteryId(1), to).unwrap(), Attachment::Isolated);
+        }
+    }
+
+    #[test]
+    fn clearing_relay_fault_restores_control() {
+        let mut m = SwitchMatrix::new(1);
+        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckOpen)
+            .unwrap();
+        assert_eq!(
+            m.relay_fault(BatteryId(0), RelayRole::Charge).unwrap(),
+            Some(RelayFault::StuckOpen)
+        );
+        m.clear_relay_fault(BatteryId(0), RelayRole::Charge)
+            .unwrap();
+        let got = m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        assert_eq!(got, Attachment::ChargeBus);
+    }
+
+    #[test]
+    fn fault_api_rejects_unknown_units() {
+        let mut m = SwitchMatrix::new(1);
+        assert!(m
+            .inject_relay_fault(BatteryId(9), RelayRole::Charge, RelayFault::StuckOpen)
+            .is_err());
+        assert!(m
+            .clear_relay_fault(BatteryId(9), RelayRole::Charge)
+            .is_err());
+        assert!(m.relay_fault(BatteryId(9), RelayRole::Charge).is_err());
     }
 
     #[test]

@@ -4,8 +4,21 @@
 //! relays: 10 million mechanical cycles, 25 ms switching time (Table 4 and
 //! §4). Switching is far faster than the 1 s simulation step, so [`Relay`]
 //! treats it as instantaneous and tracks state plus cycle wear.
+//!
+//! Relays are also where the matrix's mechanical faults live: a contact
+//! can weld shut ([`RelayFault::StuckClosed`]) or the armature can jam
+//! ([`RelayFault::StuckOpen`]). A faulted relay ignores drive commands —
+//! the PLC can energise the coil all it wants — until the fault is
+//! cleared (field service).
 
-use serde::{Deserialize, Serialize};
+/// A mechanical failure mode of a relay contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelayFault {
+    /// The contact can no longer close (broken armature, open coil).
+    StuckOpen,
+    /// The contact has welded and can no longer open.
+    StuckClosed,
+}
 
 /// One electromechanical relay.
 ///
@@ -20,11 +33,12 @@ use serde::{Deserialize, Serialize};
 /// assert!(r.is_closed());
 /// assert_eq!(r.switch_count(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Relay {
     closed: bool,
     switch_count: u64,
     mechanical_life: u64,
+    fault: Option<RelayFault>,
 }
 
 impl Relay {
@@ -35,6 +49,7 @@ impl Relay {
             closed: false,
             switch_count: 0,
             mechanical_life: 10_000_000,
+            fault: None,
         }
     }
 
@@ -56,34 +71,66 @@ impl Relay {
         (self.switch_count as f64 / self.mechanical_life as f64).clamp(0.0, 1.0)
     }
 
+    /// The relay's current mechanical fault, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<RelayFault> {
+        self.fault
+    }
+
+    /// `true` when the relay no longer responds to drive commands.
+    #[must_use]
+    pub fn is_faulted(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Injects a mechanical fault. The contact snaps to the position the
+    /// fault pins it in; this is a failure, not a commanded switch, so it
+    /// does not count toward mechanical wear.
+    pub fn inject_fault(&mut self, fault: RelayFault) {
+        self.fault = Some(fault);
+        self.closed = matches!(fault, RelayFault::StuckClosed);
+    }
+
+    /// Clears the fault (field replacement); the contact keeps whatever
+    /// position the fault left it in until the next command.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
     /// Closes the contact. Idempotent: closing a closed relay neither
-    /// switches nor wears it.
+    /// switches nor wears it. A faulted relay ignores the command.
     pub fn close(&mut self) {
+        if self.is_faulted() {
+            return;
+        }
         if !self.closed {
             self.closed = true;
             self.switch_count += 1;
         }
     }
 
-    /// Opens the contact. Idempotent like [`Relay::close`].
+    /// Opens the contact. Idempotent like [`Relay::close`]; a faulted
+    /// relay ignores the command.
     pub fn open(&mut self) {
+        if self.is_faulted() {
+            return;
+        }
         if self.closed {
             self.closed = false;
             self.switch_count += 1;
         }
     }
 
-    /// Sets the contact to `closed`; returns `true` if the state changed.
+    /// Sets the contact to `closed`; returns `true` if the state actually
+    /// changed (a faulted relay never changes).
     pub fn set(&mut self, closed: bool) -> bool {
-        if self.closed == closed {
-            return false;
-        }
+        let before = self.closed;
         if closed {
             self.close();
         } else {
             self.open();
         }
-        true
+        self.closed != before
     }
 }
 
@@ -126,6 +173,40 @@ mod tests {
         assert!(!r.set(true));
         assert!(r.set(false));
         assert_eq!(r.switch_count(), 2);
+    }
+
+    #[test]
+    fn stuck_open_relay_ignores_close() {
+        let mut r = Relay::idec_rr2p();
+        r.close();
+        r.inject_fault(RelayFault::StuckOpen);
+        assert!(!r.is_closed(), "fault forces the contact open");
+        let wear_before = r.switch_count();
+        r.close();
+        r.set(true);
+        assert!(!r.is_closed());
+        assert_eq!(r.switch_count(), wear_before, "no wear while jammed");
+    }
+
+    #[test]
+    fn stuck_closed_relay_ignores_open() {
+        let mut r = Relay::idec_rr2p();
+        r.inject_fault(RelayFault::StuckClosed);
+        assert!(r.is_closed(), "weld pins the contact closed");
+        r.open();
+        r.set(false);
+        assert!(r.is_closed());
+        assert_eq!(r.fault(), Some(RelayFault::StuckClosed));
+    }
+
+    #[test]
+    fn clearing_a_fault_restores_control() {
+        let mut r = Relay::idec_rr2p();
+        r.inject_fault(RelayFault::StuckOpen);
+        r.clear_fault();
+        assert!(!r.is_faulted());
+        r.close();
+        assert!(r.is_closed());
     }
 
     #[test]

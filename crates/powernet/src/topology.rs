@@ -12,10 +12,9 @@ use core::fmt;
 
 use ins_battery::BatteryParams;
 use ins_sim::units::{AmpHours, Volts, WattHours};
-use serde::{Deserialize, Serialize};
 
 /// State of the three array switches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SwitchStates {
     /// P1: ties the units' positive terminals together.
     pub p1_closed: bool,
@@ -27,7 +26,7 @@ pub struct SwitchStates {
 }
 
 /// Electrical arrangement of the battery array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArrayTopology {
     /// All units in parallel: nominal voltage, summed ampere-hours.
     Parallel,
@@ -167,7 +166,10 @@ mod tests {
             ArrayTopology::Parallel.capacity(&p, 6),
             AmpHours::new(210.0)
         );
-        assert_eq!(ArrayTopology::Series.output_voltage(&p, 6), Volts::new(72.0));
+        assert_eq!(
+            ArrayTopology::Series.output_voltage(&p, 6),
+            Volts::new(72.0)
+        );
         assert_eq!(ArrayTopology::Series.capacity(&p, 6), AmpHours::new(35.0));
     }
 

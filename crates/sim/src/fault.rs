@@ -1,0 +1,617 @@
+//! Seeded, deterministic fault injection.
+//!
+//! The ISCA'15 prototype is an unattended in-situ system: "in-situ server
+//! systems are often deployed in remote areas" where "maintenance is
+//! costly and infrequent" (§1–2). A sustainable design therefore has to
+//! *degrade*, not collapse, when batteries age out, relays weld, sensors
+//! drift, or servers crash. This module provides the vocabulary for those
+//! events ([`FaultKind`]) and a reproducible arrival process
+//! ([`FaultSchedule`]) so that every fault experiment is bit-replayable:
+//! the same seed always yields the same faults at the same simulated
+//! instants.
+//!
+//! The schedule is pure data — it never touches the component being
+//! broken. The system layer drains [`FaultSchedule::due`] each step and
+//! applies the events to the battery array, switch matrix, charge
+//! controller, telemetry path, or server rack.
+//!
+//! # Examples
+//!
+//! ```
+//! use ins_sim::fault::{FaultKind, FaultSchedule, FaultTargets};
+//! use ins_sim::time::{SimDuration, SimTime};
+//!
+//! let mut schedule = FaultSchedule::stochastic(
+//!     42,
+//!     SimDuration::from_days(1),
+//!     SimDuration::from_hours(4),
+//!     FaultTargets { units: 3, servers: 4 },
+//! );
+//! let total = schedule.len();
+//! let early = schedule.due(SimTime::from_hms(12, 0, 0)).len();
+//! assert!(early <= total);
+//! // Same seed, same shape: the process is deterministic.
+//! let again = FaultSchedule::stochastic(
+//!     42,
+//!     SimDuration::from_days(1),
+//!     SimDuration::from_hours(4),
+//!     FaultTargets { units: 3, servers: 4 },
+//! );
+//! assert_eq!(again.events(), schedule.events());
+//! ```
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Which relay of a unit's break-before-make pair a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelayRole {
+    /// The relay tying the unit to the charge bus.
+    Charge,
+    /// The relay tying the unit to the discharge bus.
+    Discharge,
+}
+
+/// One injectable fault, with its severity parameters.
+///
+/// Unit and server targets are plain indices so the simulation kernel
+/// stays independent of the battery/cluster crates; the system layer maps
+/// them onto its own identifiers (and ignores out-of-range targets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A battery unit's internal connection breaks: it can neither source
+    /// nor sink current and its terminals read dead.
+    BatteryOpenCircuit {
+        /// Index of the affected unit.
+        unit: usize,
+    },
+    /// Sudden capacity fade (e.g. sulfation, cell short): usable capacity
+    /// drops to `fraction` of its current value.
+    BatteryCapacityFade {
+        /// Index of the affected unit.
+        unit: usize,
+        /// Remaining fraction of capacity, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Elevated internal resistance (corroded terminals, dry-out):
+    /// both charge and discharge resistance multiply by `factor`.
+    BatteryHighResistance {
+        /// Index of the affected unit.
+        unit: usize,
+        /// Resistance multiplier, `>= 1`.
+        factor: f64,
+    },
+    /// A matrix relay fails stuck-open: it can no longer close, so the
+    /// unit cannot reach that bus.
+    RelayStuckOpen {
+        /// Index of the affected unit.
+        unit: usize,
+        /// Which relay of the pair failed.
+        role: RelayRole,
+    },
+    /// A matrix relay welds stuck-closed: it can no longer open, pinning
+    /// the unit to that bus.
+    RelayStuckClosed {
+        /// Index of the affected unit.
+        unit: usize,
+        /// Which relay of the pair failed.
+        role: RelayRole,
+    },
+    /// The charge controller drops out (MPPT brown-out, firmware hang):
+    /// no charge current flows for the given duration.
+    ChargerDropout {
+        /// How long charging is unavailable.
+        duration: SimDuration,
+    },
+    /// The solar irradiance sensor goes noisy: the controller's view of
+    /// generation gets zero-mean Gaussian noise of relative magnitude
+    /// `sigma` for the given duration. Physics is unaffected.
+    SensorNoise {
+        /// Relative standard deviation of the observed solar power.
+        sigma: f64,
+        /// How long the sensor stays noisy.
+        duration: SimDuration,
+    },
+    /// A unit's telemetry channel freezes: the controller keeps seeing the
+    /// last reading (with an advancing age stamp) for the duration.
+    StaleTelemetry {
+        /// Index of the affected unit.
+        unit: usize,
+        /// How long the channel stays frozen.
+        duration: SimDuration,
+    },
+    /// A server crashes hard: it drops off the bus immediately, losing any
+    /// un-checkpointed VM state, and needs a cool-down before restart.
+    ServerCrash {
+        /// Index of the affected server.
+        server: usize,
+    },
+    /// The server's checkpoint path fails (full/corrupt stable storage):
+    /// orderly shutdowns can no longer save state for the duration.
+    CheckpointWriteFailure {
+        /// Index of the affected server.
+        server: usize,
+        /// How long checkpoint writes keep failing.
+        duration: SimDuration,
+    },
+}
+
+/// Field-less discriminant of a [`FaultKind`], for event logs and tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// [`FaultKind::BatteryOpenCircuit`].
+    BatteryOpenCircuit,
+    /// [`FaultKind::BatteryCapacityFade`].
+    BatteryCapacityFade,
+    /// [`FaultKind::BatteryHighResistance`].
+    BatteryHighResistance,
+    /// [`FaultKind::RelayStuckOpen`].
+    RelayStuckOpen,
+    /// [`FaultKind::RelayStuckClosed`].
+    RelayStuckClosed,
+    /// [`FaultKind::ChargerDropout`].
+    ChargerDropout,
+    /// [`FaultKind::SensorNoise`].
+    SensorNoise,
+    /// [`FaultKind::StaleTelemetry`].
+    StaleTelemetry,
+    /// [`FaultKind::ServerCrash`].
+    ServerCrash,
+    /// [`FaultKind::CheckpointWriteFailure`].
+    CheckpointWriteFailure,
+}
+
+impl FaultKind {
+    /// The field-less class of this fault.
+    #[must_use]
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::BatteryOpenCircuit { .. } => FaultClass::BatteryOpenCircuit,
+            FaultKind::BatteryCapacityFade { .. } => FaultClass::BatteryCapacityFade,
+            FaultKind::BatteryHighResistance { .. } => FaultClass::BatteryHighResistance,
+            FaultKind::RelayStuckOpen { .. } => FaultClass::RelayStuckOpen,
+            FaultKind::RelayStuckClosed { .. } => FaultClass::RelayStuckClosed,
+            FaultKind::ChargerDropout { .. } => FaultClass::ChargerDropout,
+            FaultKind::SensorNoise { .. } => FaultClass::SensorNoise,
+            FaultKind::StaleTelemetry { .. } => FaultClass::StaleTelemetry,
+            FaultKind::ServerCrash { .. } => FaultClass::ServerCrash,
+            FaultKind::CheckpointWriteFailure { .. } => FaultClass::CheckpointWriteFailure,
+        }
+    }
+}
+
+impl FaultClass {
+    /// Short human-readable name, for tables and logs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::BatteryOpenCircuit => "battery-open-circuit",
+            FaultClass::BatteryCapacityFade => "battery-capacity-fade",
+            FaultClass::BatteryHighResistance => "battery-high-resistance",
+            FaultClass::RelayStuckOpen => "relay-stuck-open",
+            FaultClass::RelayStuckClosed => "relay-stuck-closed",
+            FaultClass::ChargerDropout => "charger-dropout",
+            FaultClass::SensorNoise => "sensor-noise",
+            FaultClass::StaleTelemetry => "stale-telemetry",
+            FaultClass::ServerCrash => "server-crash",
+            FaultClass::CheckpointWriteFailure => "checkpoint-write-failure",
+        }
+    }
+}
+
+/// One scheduled fault: a kind and the instant it strikes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated instant at which the fault is applied.
+    pub at: SimTime,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// Shape of the system the stochastic process draws targets from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultTargets {
+    /// Number of battery units (and relay pairs).
+    pub units: usize,
+    /// Number of servers in the rack.
+    pub servers: usize,
+}
+
+/// A time-ordered, replayable sequence of fault events.
+///
+/// Construction is either explicit ([`FaultSchedule::from_events`], for
+/// fixed scripted scenarios) or stochastic
+/// ([`FaultSchedule::stochastic`], a Poisson-like arrival process driven
+/// by [`SimRng`]). Either way the result is a sorted event list with a
+/// drain cursor; the consumer calls [`FaultSchedule::due`] once per step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    seed: u64,
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultSchedule {
+    /// A schedule that never fires (seed 0, no events).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            seed: 0,
+            events: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// A fixed scripted schedule. Events are stably sorted by time, so
+    /// same-instant faults keep their authored order.
+    #[must_use]
+    pub fn from_events(seed: u64, mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self {
+            seed,
+            events,
+            cursor: 0,
+        }
+    }
+
+    /// Generates a stochastic schedule: exponential inter-arrival times
+    /// with the given mean, each arrival drawing a fault kind and severity
+    /// uniformly from what `targets` makes meaningful. Deterministic in
+    /// `(seed, horizon, mean_interarrival, targets)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is zero.
+    #[must_use]
+    pub fn stochastic(
+        seed: u64,
+        horizon: SimDuration,
+        mean_interarrival: SimDuration,
+        targets: FaultTargets,
+    ) -> Self {
+        assert!(
+            !mean_interarrival.is_zero(),
+            "mean inter-arrival time must be positive"
+        );
+        let mut rng = SimRng::seed(seed).fork("fault-arrivals");
+        let mean_secs = mean_interarrival.as_secs() as f64;
+        let horizon_secs = horizon.as_secs() as f64;
+        let mut events = Vec::new();
+        let mut t = 0.0_f64;
+        loop {
+            t += rng.exponential(mean_secs);
+            if t >= horizon_secs {
+                break;
+            }
+            let at = SimTime::from_secs(t as u64);
+            if let Some(kind) = draw_kind(&mut rng, targets) {
+                events.push(FaultEvent { at, kind });
+            }
+        }
+        Self::from_events(seed, events)
+    }
+
+    /// The seed this schedule (and any derived noise stream) is keyed by.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Inserts an extra event, keeping the un-drained tail sorted.
+    ///
+    /// Events earlier than the drain cursor's current position fire on the
+    /// very next [`FaultSchedule::due`] call rather than being lost.
+    pub fn push(&mut self, event: FaultEvent) {
+        let tail = &self.events[self.cursor..];
+        let offset = tail.partition_point(|e| e.at <= event.at);
+        self.events.insert(self.cursor + offset, event);
+    }
+
+    /// All events, in firing order (including already-drained ones).
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Total number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule holds no events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events not yet drained.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Drains and returns every event due at or before `now`.
+    ///
+    /// Successive calls with non-decreasing `now` return each event exactly
+    /// once, in time order.
+    pub fn due(&mut self, now: SimTime) -> &[FaultEvent] {
+        let start = self.cursor;
+        let fired = self.events[start..].partition_point(|e| e.at <= now);
+        self.cursor = start + fired;
+        &self.events[start..self.cursor]
+    }
+}
+
+/// Draws one fault kind with severity parameters; `None` when `targets`
+/// offers nothing for the drawn class (e.g. server fault with no servers).
+fn draw_kind(rng: &mut SimRng, targets: FaultTargets) -> Option<FaultKind> {
+    // The menu is fixed so the stream layout never shifts: a draw always
+    // consumes the same number of RNG values regardless of targets.
+    let class = rng.next_index(10);
+    let unit = if targets.units > 0 {
+        rng.next_index(targets.units)
+    } else {
+        0
+    };
+    let server = if targets.servers > 0 {
+        rng.next_index(targets.servers)
+    } else {
+        0
+    };
+    let severity = rng.next_f64();
+    let minutes = 5 + rng.next_index(56) as u64; // 5–60 min outages
+    let duration = SimDuration::from_minutes(minutes);
+    let role = if rng.chance(0.5) {
+        RelayRole::Charge
+    } else {
+        RelayRole::Discharge
+    };
+
+    let needs_unit = matches!(class, 0..=4 | 7);
+    let needs_server = matches!(class, 8 | 9);
+    if (needs_unit && targets.units == 0) || (needs_server && targets.servers == 0) {
+        return None;
+    }
+    Some(match class {
+        0 => FaultKind::BatteryOpenCircuit { unit },
+        1 => FaultKind::BatteryCapacityFade {
+            unit,
+            // Keep 30–80 % of capacity: severe but not an open circuit.
+            fraction: 0.3 + 0.5 * severity,
+        },
+        2 => FaultKind::BatteryHighResistance {
+            unit,
+            factor: 1.5 + 2.5 * severity,
+        },
+        3 => FaultKind::RelayStuckOpen { unit, role },
+        4 => FaultKind::RelayStuckClosed { unit, role },
+        5 => FaultKind::ChargerDropout { duration },
+        6 => FaultKind::SensorNoise {
+            sigma: 0.05 + 0.25 * severity,
+            duration,
+        },
+        7 => FaultKind::StaleTelemetry { unit, duration },
+        8 => FaultKind::ServerCrash { server },
+        _ => FaultKind::CheckpointWriteFailure { server, duration },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TARGETS: FaultTargets = FaultTargets {
+        units: 3,
+        servers: 4,
+    };
+
+    #[test]
+    fn stochastic_is_deterministic_in_seed() {
+        let a = FaultSchedule::stochastic(
+            7,
+            SimDuration::from_days(2),
+            SimDuration::from_hours(2),
+            TARGETS,
+        );
+        let b = FaultSchedule::stochastic(
+            7,
+            SimDuration::from_days(2),
+            SimDuration::from_hours(2),
+            TARGETS,
+        );
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "2 days at 2 h mean should yield arrivals");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultSchedule::stochastic(
+            7,
+            SimDuration::from_days(2),
+            SimDuration::from_hours(2),
+            TARGETS,
+        );
+        let b = FaultSchedule::stochastic(
+            8,
+            SimDuration::from_days(2),
+            SimDuration::from_hours(2),
+            TARGETS,
+        );
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_inside_horizon() {
+        let s = FaultSchedule::stochastic(
+            123,
+            SimDuration::from_days(3),
+            SimDuration::from_hours(1),
+            TARGETS,
+        );
+        let horizon = SimTime::from_secs(SimDuration::from_days(3).as_secs());
+        for pair in s.events().windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        for e in s.events() {
+            assert!(e.at < horizon);
+        }
+    }
+
+    #[test]
+    fn targets_bound_indices() {
+        let s = FaultSchedule::stochastic(
+            99,
+            SimDuration::from_days(10),
+            SimDuration::from_hours(1),
+            TARGETS,
+        );
+        for e in s.events() {
+            match e.kind {
+                FaultKind::BatteryOpenCircuit { unit }
+                | FaultKind::BatteryCapacityFade { unit, .. }
+                | FaultKind::BatteryHighResistance { unit, .. }
+                | FaultKind::RelayStuckOpen { unit, .. }
+                | FaultKind::RelayStuckClosed { unit, .. }
+                | FaultKind::StaleTelemetry { unit, .. } => {
+                    assert!(unit < TARGETS.units);
+                }
+                FaultKind::ServerCrash { server }
+                | FaultKind::CheckpointWriteFailure { server, .. } => {
+                    assert!(server < TARGETS.servers);
+                }
+                FaultKind::ChargerDropout { .. } | FaultKind::SensorNoise { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_targets_never_produce_targeted_faults() {
+        let s = FaultSchedule::stochastic(
+            5,
+            SimDuration::from_days(20),
+            SimDuration::from_hours(1),
+            FaultTargets {
+                units: 0,
+                servers: 0,
+            },
+        );
+        for e in s.events() {
+            assert!(
+                matches!(
+                    e.kind,
+                    FaultKind::ChargerDropout { .. } | FaultKind::SensorNoise { .. }
+                ),
+                "untargetable fault {:?}",
+                e.kind
+            );
+        }
+    }
+
+    #[test]
+    fn due_drains_each_event_exactly_once() {
+        let kind = FaultKind::ServerCrash { server: 0 };
+        let mut s = FaultSchedule::from_events(
+            1,
+            vec![
+                FaultEvent {
+                    at: SimTime::from_secs(30),
+                    kind,
+                },
+                FaultEvent {
+                    at: SimTime::from_secs(10),
+                    kind,
+                },
+                FaultEvent {
+                    at: SimTime::from_secs(20),
+                    kind,
+                },
+            ],
+        );
+        assert_eq!(s.due(SimTime::from_secs(5)).len(), 0);
+        let first = s.due(SimTime::from_secs(15));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].at, SimTime::from_secs(10));
+        assert_eq!(s.due(SimTime::from_secs(100)).len(), 2);
+        assert_eq!(s.due(SimTime::from_secs(200)).len(), 0);
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn push_keeps_tail_sorted() {
+        let kind = FaultKind::ChargerDropout {
+            duration: SimDuration::from_minutes(10),
+        };
+        let mut s = FaultSchedule::empty();
+        s.push(FaultEvent {
+            at: SimTime::from_secs(100),
+            kind,
+        });
+        s.push(FaultEvent {
+            at: SimTime::from_secs(50),
+            kind,
+        });
+        s.push(FaultEvent {
+            at: SimTime::from_secs(75),
+            kind,
+        });
+        let ats: Vec<u64> = s.events().iter().map(|e| e.at.as_secs()).collect();
+        assert_eq!(ats, vec![50, 75, 100]);
+    }
+
+    #[test]
+    fn class_labels_are_distinct() {
+        let kinds = [
+            FaultKind::BatteryOpenCircuit { unit: 0 },
+            FaultKind::BatteryCapacityFade {
+                unit: 0,
+                fraction: 0.5,
+            },
+            FaultKind::BatteryHighResistance {
+                unit: 0,
+                factor: 2.0,
+            },
+            FaultKind::RelayStuckOpen {
+                unit: 0,
+                role: RelayRole::Charge,
+            },
+            FaultKind::RelayStuckClosed {
+                unit: 0,
+                role: RelayRole::Discharge,
+            },
+            FaultKind::ChargerDropout {
+                duration: SimDuration::from_minutes(1),
+            },
+            FaultKind::SensorNoise {
+                sigma: 0.1,
+                duration: SimDuration::from_minutes(1),
+            },
+            FaultKind::StaleTelemetry {
+                unit: 0,
+                duration: SimDuration::from_minutes(1),
+            },
+            FaultKind::ServerCrash { server: 0 },
+            FaultKind::CheckpointWriteFailure {
+                server: 0,
+                duration: SimDuration::from_minutes(1),
+            },
+        ];
+        let labels: Vec<&str> = kinds.iter().map(|k| k.class().label()).collect();
+        let mut unique = labels.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "mean inter-arrival time must be positive")]
+    fn stochastic_rejects_zero_mean() {
+        let _ = FaultSchedule::stochastic(
+            0,
+            SimDuration::from_days(1),
+            SimDuration::from_secs(0),
+            TARGETS,
+        );
+    }
+}

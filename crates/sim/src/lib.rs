@@ -10,7 +10,9 @@
 //! * [`trace`] — time-series recording ([`trace::Trace`]),
 //! * [`stats`] — streaming statistics ([`stats::RunningStats`]),
 //! * [`rng`] — reproducible, forkable randomness ([`rng::SimRng`]),
-//! * [`log`] — typed event logs ([`log::EventLog`]).
+//! * [`log`] — typed event logs ([`log::EventLog`]),
+//! * [`fault`] — seeded, deterministic fault injection
+//!   ([`fault::FaultSchedule`], [`fault::FaultKind`]).
 //!
 //! The InSURE paper (Li et al., ISCA 2015) evaluates a physical prototype
 //! by replaying recorded solar traces through a real battery array and
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod fault;
 pub mod log;
 pub mod rng;
 pub mod stats;
@@ -44,6 +47,7 @@ pub mod units;
 
 /// Convenient re-exports of the types nearly every dependent crate needs.
 pub mod prelude {
+    pub use crate::fault::{FaultClass, FaultEvent, FaultKind, FaultSchedule, FaultTargets};
     pub use crate::log::EventLog;
     pub use crate::rng::SimRng;
     pub use crate::stats::RunningStats;

@@ -7,12 +7,10 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// A timestamped event record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogEntry<E> {
     /// When the event occurred.
     pub time: SimTime,
@@ -36,7 +34,7 @@ pub struct LogEntry<E> {
 /// log.push(SimTime::from_secs(20), Ev::ServerOff);
 /// assert_eq!(log.count(|e| matches!(e, Ev::RelayClosed(_))), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventLog<E> {
     entries: Vec<LogEntry<E>>,
 }
@@ -45,7 +43,9 @@ impl<E> EventLog<E> {
     /// Creates an empty log.
     #[must_use]
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Appends an event.
@@ -133,7 +133,7 @@ impl<E: fmt::Display> fmt::Display for EventLog<E> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     enum Ev {
         A,
         B(u32),
@@ -166,8 +166,14 @@ mod tests {
     fn extend_appends_in_order() {
         let mut log = EventLog::new();
         log.extend([
-            LogEntry { time: SimTime::from_secs(1), event: Ev::A },
-            LogEntry { time: SimTime::from_secs(2), event: Ev::B(1) },
+            LogEntry {
+                time: SimTime::from_secs(1),
+                event: Ev::A,
+            },
+            LogEntry {
+                time: SimTime::from_secs(2),
+                event: Ev::B(1),
+            },
         ]);
         assert_eq!(log.len(), 2);
         assert_eq!((&log).into_iter().count(), 2);

@@ -4,9 +4,12 @@
 //! runs see identical conditions (§5). We get the same property by deriving
 //! every stochastic component's generator from a single experiment seed:
 //! two runs with the same seed see bit-identical weather and workload noise.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna)
+//! seeded through SplitMix64, so the simulation kernel carries no external
+//! dependency and the stream for a given seed is stable forever — a
+//! property the fault-injection layer ([`crate::fault`]) and the
+//! deterministic-replay regression tests rely on.
 
 /// A seeded random source that can deterministically *fork* child
 /// generators for sub-components.
@@ -26,17 +29,30 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// One round of SplitMix64: the recommended seeder for xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from an experiment seed.
     #[must_use]
     pub fn seed(seed: u64) -> Self {
-        Self {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { seed, state }
     }
 
     /// Derives an independent child generator for the named component.
@@ -54,9 +70,36 @@ impl SimRng {
         SimRng::seed(h)
     }
 
-    /// Uniform value in `[0, 1)`.
+    /// Next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit value (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -66,38 +109,44 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.next_f64()
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+        self.next_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Standard normal draw via Box–Muller (no extra dependency).
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen();
+        let u1: f64 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
         mean + std_dev * z
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+    /// Exponential inter-arrival draw with the given mean (hours, seconds —
+    /// any unit; the result carries the same unit as `mean`).
+    ///
+    /// Used by the fault layer's stochastic arrival process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
     }
 
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn next_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        (self.next_u64() % n as u64) as usize
     }
 }
 
@@ -174,5 +223,29 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = SimRng::seed(17);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SimRng::seed(2);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn next_index_stays_in_range() {
+        let mut rng = SimRng::seed(4);
+        for _ in 0..1000 {
+            assert!(rng.next_index(7) < 7);
+        }
     }
 }

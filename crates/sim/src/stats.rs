@@ -1,7 +1,5 @@
 //! Streaming statistics used by the metrics and trace machinery.
 
-use serde::{Deserialize, Serialize};
-
 /// Online accumulator of mean, variance, minimum and maximum using
 /// Welford's algorithm, so day-long second-resolution traces can be
 /// summarized without storing every sample.
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.population_std_dev(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -115,8 +113,8 @@ impl RunningStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -164,7 +162,9 @@ mod tests {
 
     #[test]
     fn textbook_std_dev() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);

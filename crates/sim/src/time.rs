@@ -18,8 +18,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::Hours;
 
 /// Number of seconds in a simulated day.
@@ -27,9 +25,7 @@ pub const SECONDS_PER_DAY: u64 = 24 * 3600;
 
 /// An instant of simulated time, counted in whole seconds since the start
 /// of the simulation (midnight of day 0).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -105,9 +101,7 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of simulated time in whole seconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -239,7 +233,7 @@ impl fmt::Display for SimDuration {
 /// clock.tick();
 /// assert_eq!(clock.now(), SimTime::from_secs(2));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimClock {
     now: SimTime,
     dt: SimDuration,

@@ -5,13 +5,11 @@
 //! is a sequence of `(time, value)` samples that the experiment harness can
 //! summarize or print.
 
-use serde::{Deserialize, Serialize};
-
 use crate::stats::RunningStats;
 use crate::time::SimTime;
 
 /// One timestamped observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Instant the observation was taken.
     pub time: SimTime,
@@ -33,7 +31,7 @@ pub struct Sample {
 /// assert_eq!(t.len(), 2);
 /// assert_eq!(t.stats().max(), 850.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     name: String,
     samples: Vec<Sample>,

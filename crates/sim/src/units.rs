@@ -22,14 +22,12 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Defines an `f64`-backed physical quantity newtype with the standard
 /// arithmetic (same-unit add/sub, scalar mul/div, ratio of same units).
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit:literal) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {
@@ -367,7 +365,10 @@ mod tests {
         assert_eq!(w.abs(), Watts::new(5.0));
         assert_eq!(w.max(Watts::ZERO), Watts::ZERO);
         assert_eq!(w.min(Watts::ZERO), w);
-        assert_eq!(Watts::new(7.0).clamp(Watts::ZERO, Watts::new(5.0)), Watts::new(5.0));
+        assert_eq!(
+            Watts::new(7.0).clamp(Watts::ZERO, Watts::new(5.0)),
+            Watts::new(5.0)
+        );
     }
 
     #[test]

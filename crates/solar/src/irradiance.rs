@@ -7,14 +7,12 @@
 //! ≈ 1.1 kW across the daytime window, matching the paper's
 //! "high solar generation" trace (Fig. 15-a).
 
-use serde::{Deserialize, Serialize};
-
 /// Shape exponent of the half-sine envelope. Lower values flatten the
 /// midday plateau; 0.8 reproduces the paper's daytime average.
 const ENVELOPE_EXPONENT: f64 = 0.8;
 
 /// Sunrise/sunset description of one simulated day.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DaylightWindow {
     /// Sunrise as fractional hours of day.
     pub sunrise_h: f64,
@@ -43,7 +41,10 @@ impl DaylightWindow {
             0.0 <= sunrise_h && sunrise_h < sunset_h && sunset_h <= 24.0,
             "daylight window must satisfy 0 <= sunrise < sunset <= 24"
         );
-        Self { sunrise_h, sunset_h }
+        Self {
+            sunrise_h,
+            sunset_h,
+        }
     }
 
     /// Day length in hours.
@@ -76,7 +77,9 @@ pub fn clear_sky_fraction(window: &DaylightWindow, time_of_day_h: f64) -> f64 {
         return 0.0;
     }
     let phase = (time_of_day_h - window.sunrise_h) / window.day_length_h();
-    (core::f64::consts::PI * phase).sin().powf(ENVELOPE_EXPONENT)
+    (core::f64::consts::PI * phase)
+        .sin()
+        .powf(ENVELOPE_EXPONENT)
 }
 
 #[cfg(test)]

@@ -9,7 +9,6 @@
 //! ripple and its confusion under fast-changing irradiance.
 
 use ins_sim::units::Watts;
-use serde::{Deserialize, Serialize};
 
 /// P&O tracker state.
 ///
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// // After settling, the tracker extracts nearly all available power.
 /// assert!(harvested.value() > 950.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MpptTracker {
     /// Operating point as a fraction of the true maximum power voltage;
     /// 1.0 is optimal and extraction falls off quadratically around it.
@@ -83,8 +82,8 @@ impl MpptTracker {
         // Perturb for the next cycle. The excursion range is bounded the
         // way a real controller bounds its duty cycle, so the tracker can
         // never wander onto the flat far side of the hill.
-        self.operating_point = (self.operating_point + self.direction * self.step_size)
-            .clamp(0.82, 1.18);
+        self.operating_point =
+            (self.operating_point + self.direction * self.step_size).clamp(0.82, 1.18);
         extracted
     }
 }
@@ -115,7 +114,9 @@ mod tests {
             m.step(Watts::new(1000.0));
         }
         // Once settled, P&O oscillates: consecutive outputs differ.
-        let outputs: Vec<f64> = (0..20).map(|_| m.step(Watts::new(1000.0)).value()).collect();
+        let outputs: Vec<f64> = (0..20)
+            .map(|_| m.step(Watts::new(1000.0)).value())
+            .collect();
         let distinct = outputs
             .windows(2)
             .filter(|w| (w[0] - w[1]).abs() > 1e-9)

@@ -6,7 +6,6 @@
 //! and temperature.
 
 use ins_sim::units::Watts;
-use serde::{Deserialize, Serialize};
 
 /// A photovoltaic array.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// let p = array.output(1.0, 1.0); // full sun, clear sky
 /// assert!(p.value() > 1500.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolarPanel {
     rated: Watts,
     derate: f64,

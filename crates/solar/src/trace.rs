@@ -11,7 +11,6 @@ use ins_sim::rng::SimRng;
 use ins_sim::time::{SimDuration, SimTime, SECONDS_PER_DAY};
 use ins_sim::trace::Trace;
 use ins_sim::units::{WattHours, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::irradiance::{clear_sky_fraction, DaylightWindow};
 use crate::mppt::MpptTracker;
@@ -19,7 +18,7 @@ use crate::panel::SolarPanel;
 use crate::weather::{CloudField, DayWeather};
 
 /// A generated solar power time series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolarTrace {
     trace: Trace,
     dt: SimDuration,
@@ -48,10 +47,7 @@ impl SolarTrace {
     #[must_use]
     pub fn total_energy(&self) -> WattHours {
         let dt_h = self.dt.as_hours();
-        self.trace
-            .iter()
-            .map(|s| Watts::new(s.value) * dt_h)
-            .sum()
+        self.trace.iter().map(|s| Watts::new(s.value) * dt_h).sum()
     }
 
     /// Mean power over a wall-clock window of the day, e.g. the paper's
@@ -180,10 +176,8 @@ impl SolarTraceBuilder {
         let rng_root = SimRng::seed(self.seed);
         let mut mppt = MpptTracker::new();
         for (day_idx, &weather) in days.iter().enumerate() {
-            let mut clouds = CloudField::new(
-                weather,
-                rng_root.fork(&format!("clouds-day{day_idx}")),
-            );
+            let mut clouds =
+                CloudField::new(weather, rng_root.fork(&format!("clouds-day{day_idx}")));
             let day_start = day_idx as u64 * SECONDS_PER_DAY;
             let steps = SECONDS_PER_DAY / self.dt.as_secs();
             for i in 0..steps {
@@ -291,9 +285,18 @@ mod tests {
     fn table6_daily_energies_are_in_band() {
         // Table 6 reports ≈ 7.9 / 5.9 / 3.0 kWh for sunny/cloudy/rainy days.
         // Our synthetic days must land in the same ballpark.
-        let sunny = SolarTraceBuilder::new().weather(DayWeather::Sunny).seed(11).build_day();
-        let cloudy = SolarTraceBuilder::new().weather(DayWeather::Cloudy).seed(11).build_day();
-        let rainy = SolarTraceBuilder::new().weather(DayWeather::Rainy).seed(11).build_day();
+        let sunny = SolarTraceBuilder::new()
+            .weather(DayWeather::Sunny)
+            .seed(11)
+            .build_day();
+        let cloudy = SolarTraceBuilder::new()
+            .weather(DayWeather::Cloudy)
+            .seed(11)
+            .build_day();
+        let rainy = SolarTraceBuilder::new()
+            .weather(DayWeather::Rainy)
+            .seed(11)
+            .build_day();
         let (es, ec, er) = (
             sunny.total_energy().kilowatt_hours(),
             cloudy.total_energy().kilowatt_hours(),
@@ -311,6 +314,9 @@ mod tests {
         let tracked = SolarTraceBuilder::new().seed(5).mppt(true).build_day();
         let (ei, et) = (ideal.total_energy().value(), tracked.total_energy().value());
         assert!(et < ei, "MPPT output must be below the ideal array output");
-        assert!(et > 0.93 * ei, "MPPT should still capture > 93 % ({et} vs {ei})");
+        assert!(
+            et > 0.93 * ei,
+            "MPPT should still capture > 93 % ({et} vs {ei})"
+        );
     }
 }

@@ -8,10 +8,9 @@
 //! rapid attenuation swings while sunny days stay calm.
 
 use ins_sim::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// The synoptic weather of one simulated day.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DayWeather {
     /// Clear day: full envelope, rare shallow clouds (Table 6's 7.9 kWh day).
     Sunny,
@@ -168,11 +167,17 @@ impl CloudField {
     pub fn step(&mut self, dt_s: f64) -> f64 {
         let minutes = dt_s / 60.0;
         if self.in_cloud {
-            if self.rng.chance(self.weather.cloud_clear_per_minute() * minutes) {
+            if self
+                .rng
+                .chance(self.weather.cloud_clear_per_minute() * minutes)
+            {
                 self.in_cloud = false;
                 self.target = self.weather.base_transmission();
             }
-        } else if self.rng.chance(self.weather.cloud_onset_per_minute() * minutes) {
+        } else if self
+            .rng
+            .chance(self.weather.cloud_onset_per_minute() * minutes)
+        {
             self.in_cloud = true;
             let (lo, hi) = self.weather.cloud_transmission_range();
             self.target = self.rng.uniform(lo, hi);

@@ -7,12 +7,11 @@
 //! waiting time is the latency metric of Fig. 20.
 
 use ins_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use std::collections::VecDeque;
 
 /// Arrival schedule and size of a recurring batch job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchSpec {
     /// Data volume per job, GB.
     pub job_gb: f64,
@@ -61,14 +60,14 @@ impl BatchSpec {
 }
 
 /// One queued or running job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Job {
     arrived: SimTime,
     remaining_gb: f64,
 }
 
 /// A completed job's statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompletedJob {
     /// When the job's data arrived.
     pub arrived: SimTime,
@@ -101,7 +100,7 @@ impl CompletedJob {
 /// }
 /// assert!(w.processed_gb() > 30.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchWorkload {
     spec: BatchSpec,
     queue: VecDeque<Job>,
@@ -146,9 +145,10 @@ impl BatchWorkload {
             }
             self.processed_gb += job.remaining_gb;
             budget_gb -= job.remaining_gb;
-            let done = self.queue.pop_front().expect("front checked above");
+            let arrived = job.arrived;
+            self.queue.pop_front();
             self.completed.push(CompletedJob {
-                arrived: done.arrived,
+                arrived,
                 finished: end,
             });
         }
@@ -263,7 +263,10 @@ mod tests {
         assert_eq!(w.completed().len(), 1);
         assert!((w.processed_gb() - 114.0).abs() < 1e-6);
         let turnaround = w.completed()[0].turnaround().as_minutes();
-        assert!((turnaround - 120.0).abs() < 2.0, "turnaround {turnaround} min");
+        assert!(
+            (turnaround - 120.0).abs() < 2.0,
+            "turnaround {turnaround} min"
+        );
     }
 
     #[test]

@@ -7,13 +7,12 @@
 //! benchmarks with throughput figures consistent with their workload class
 //! (each is documented on its entry).
 
-use ins_sim::units::{Watts, WattHours};
-use serde::{Deserialize, Serialize};
+use ins_sim::units::{WattHours, Watts};
 
 use ins_cluster::profiles::ServerProfile;
 
 /// One measured (time, power) operating point for a benchmark on a node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfPoint {
     /// Wall-clock execution time for the benchmark's input, in seconds.
     pub exec_time_s: f64,
@@ -44,7 +43,7 @@ impl PerfPoint {
 }
 
 /// One benchmark from the evaluation suite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MicroBenchmark {
     /// Benchmark name as the paper uses it.
     pub name: &'static str,

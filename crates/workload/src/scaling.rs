@@ -6,8 +6,6 @@
 //! near-linear) so the simulator can evaluate any VM count the controller
 //! chooses.
 
-use serde::{Deserialize, Serialize};
-
 /// A power-law throughput model `rate = base · vms^exponent · duty`.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// let r = seismic.gb_per_hour(4, 1.0);
 /// assert!((r - 16.5).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingModel {
     /// Throughput of a single VM at full duty, GB/hour.
     base_gb_per_hour: f64,
@@ -100,7 +98,11 @@ mod tests {
         let at8 = m.gb_per_hour(8, 1.0);
         assert!((at4 - 16.5).abs() < 0.5, "4 VM rate {at4}");
         // 8 VMs × 57 % availability ≈ the delivered 14.0 GB/h of Table 2.
-        assert!((at8 * 0.57 - 14.0).abs() < 0.5, "8 VM delivered {}", at8 * 0.57);
+        assert!(
+            (at8 * 0.57 - 14.0).abs() < 0.5,
+            "8 VM delivered {}",
+            at8 * 0.57
+        );
     }
 
     #[test]

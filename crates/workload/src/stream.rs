@@ -8,10 +8,9 @@
 
 use ins_sim::stats::RunningStats;
 use ins_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Arrival process of a continuous stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamSpec {
     /// Arrival rate in GB per minute.
     pub rate_gb_per_min: f64,
@@ -48,7 +47,7 @@ impl StreamSpec {
 /// }
 /// assert!(w.backlog_gb() < 0.1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamWorkload {
     spec: StreamSpec,
     backlog_gb: f64,

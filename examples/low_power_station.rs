@@ -50,7 +50,12 @@ fn run_rack(profile: ServerProfile) -> (String, RunMetrics, String) {
             .iter()
             .zip(sys.trace_load().downsample(5))
         {
-            out.push_str(&format!("{},{:.0},{:.0}\n", s.time.as_secs(), s.value, l.value));
+            out.push_str(&format!(
+                "{},{:.0},{:.0}\n",
+                s.time.as_secs(),
+                s.value,
+                l.value
+            ));
         }
         out
     };
@@ -72,8 +77,7 @@ fn main() {
     }
     println!(
         "low-power rack advantage: {:.1}× GB/kWh, {:+.0} GB total",
-        (i7.processed_gb / i7.load_kwh.max(1e-9))
-            / (xeon.processed_gb / xeon.load_kwh.max(1e-9)),
+        (i7.processed_gb / i7.load_kwh.max(1e-9)) / (xeon.processed_gb / xeon.load_kwh.max(1e-9)),
         i7.processed_gb - xeon.processed_gb
     );
     println!("\nsample of the exported trace CSV (see ins_bench::export):");

@@ -22,7 +22,10 @@ fn main() {
         .time_step(SimDuration::from_secs(10))
         .build();
 
-    println!("Running one simulated day under {} ...", system.controller_name());
+    println!(
+        "Running one simulated day under {} ...",
+        system.controller_name()
+    );
     system.run_until(SimTime::from_hms(23, 59, 50));
 
     let m = RunMetrics::collect(&system);
@@ -38,11 +41,23 @@ fn main() {
         m.processed_gb, m.throughput_gb_per_hour
     );
     println!("cluster uptime         : {:8.1} %", m.uptime * 100.0);
-    println!("power availability     : {:8.1} %", m.service_availability * 100.0);
-    println!("mean job turnaround    : {:8.1} min", m.mean_latency_minutes);
-    println!("e-Buffer mean energy   : {:8.0} Wh", m.mean_stored_energy_wh);
+    println!(
+        "power availability     : {:8.1} %",
+        m.service_availability * 100.0
+    );
+    println!(
+        "mean job turnaround    : {:8.1} min",
+        m.mean_latency_minutes
+    );
+    println!(
+        "e-Buffer mean energy   : {:8.0} Wh",
+        m.mean_stored_energy_wh
+    );
     println!("e-Buffer voltage σ     : {:8.3} V", m.voltage_sigma);
-    println!("expected battery life  : {:8.0} days", m.expected_service_life_days);
+    println!(
+        "expected battery life  : {:8.0} days",
+        m.expected_service_life_days
+    );
     println!("perf per Ah            : {:8.2} GB/Ah", m.gb_per_amp_hour);
     println!(
         "control activity       : {} relay/duty ops, {} on/off cycles, {} VM ops",

@@ -45,7 +45,10 @@ fn print_row(m: &RunMetrics) {
 }
 
 fn main() {
-    for (label, high) in [("HIGH solar generation", true), ("LOW solar generation", false)] {
+    for (label, high) in [
+        ("HIGH solar generation", true),
+        ("LOW solar generation", false),
+    ] {
         println!("=== Seismic field deployment — {label} ===");
         println!(
             "{:<36} {:>8} {:>9} {:>9} {:>10} {:>8} {:>6} {:>6}",

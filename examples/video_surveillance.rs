@@ -21,7 +21,10 @@ use insure::workload::stream::{StreamSpec, StreamWorkload};
 fn main() {
     // --- Part 1: Table 3's VM sweep at fixed capacity. -----------------
     println!("=== Table 3-style sweep: VM instances vs stream health ===");
-    println!("{:>4} {:>12} {:>12} {:>12}", "VMs", "GB/min", "delay(min)", "backlog(GB)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "VMs", "GB/min", "delay(min)", "backlog(GB)"
+    );
     let model = ScalingModel::video_surveillance();
     for vms in [8u32, 6, 4, 2] {
         let capacity = model.gb_per_hour(vms, 1.0);
@@ -51,8 +54,11 @@ fn main() {
     .build();
     system.run_until(SimTime::from_hms(23, 59, 50));
     let m = RunMetrics::collect(&system);
-    println!("video data processed : {:8.1} GB of {:.1} GB generated",
-        m.processed_gb, 0.21 * 60.0 * 24.0);
+    println!(
+        "video data processed : {:8.1} GB of {:.1} GB generated",
+        m.processed_gb,
+        0.21 * 60.0 * 24.0
+    );
     println!("mean service delay   : {:8.1} min", m.mean_latency_minutes);
     println!("cluster uptime       : {:8.1} %", m.uptime * 100.0);
     println!("e-Buffer mean energy : {:8.0} Wh", m.mean_stored_energy_wh);

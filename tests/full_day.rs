@@ -194,9 +194,11 @@ fn multi_day_run_survives_and_accumulates() {
     use insure::solar::trace::SolarTraceBuilder;
     use insure::solar::weather::DayWeather;
 
-    let solar = SolarTraceBuilder::new()
-        .seed(21)
-        .build_days(&[DayWeather::Sunny, DayWeather::Rainy, DayWeather::Sunny]);
+    let solar = SolarTraceBuilder::new().seed(21).build_days(&[
+        DayWeather::Sunny,
+        DayWeather::Rainy,
+        DayWeather::Sunny,
+    ]);
     let mut sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
         .time_step(SimDuration::from_secs(60))
         .build();

@@ -78,9 +78,18 @@ fn claim_scenario_savings_span_15_to_97_percent() {
     // 15 % to 97 %".
     let rows = costs::fig25();
     let savings: Vec<f64> = rows.iter().map(|(_, _, _, s)| *s).collect();
-    assert!(savings.iter().any(|&s| s < 0.5), "some scenario saves modestly");
-    assert!(savings.iter().any(|&s| s > 0.9), "some scenario saves ≈ 95 %");
-    assert!(savings.iter().all(|&s| s > 0.0), "every scenario saves something");
+    assert!(
+        savings.iter().any(|&s| s < 0.5),
+        "some scenario saves modestly"
+    );
+    assert!(
+        savings.iter().any(|&s| s > 0.9),
+        "some scenario saves ≈ 95 %"
+    );
+    assert!(
+        savings.iter().all(|&s| s > 0.0),
+        "every scenario saves something"
+    );
 }
 
 #[test]
@@ -132,11 +141,7 @@ fn claim_energy_tco_ordering() {
     let (cmp, _) = costs::fig22();
     let insure = cmp[0].annual;
     for c in &cmp[1..] {
-        assert!(
-            c.annual > insure,
-            "{} must cost more than InSURE",
-            c.tech
-        );
+        assert!(c.annual > insure, "{} must cost more than InSURE", c.tech);
         assert!(
             c.vs_insure < 1.6,
             "{} premium {:.2}× should be tens of percent, not multiples",
