@@ -14,7 +14,7 @@
 //!   small solar budget across many units wastes most of it — the physical
 //!   basis for the paper's sequential-beats-batch charging result.
 
-use ins_sim::units::Amps;
+use ins_sim::units::{Amps, Soc};
 
 use crate::params::BatteryParams;
 
@@ -32,8 +32,8 @@ const TAPER_FLOOR: f64 = 0.35;
 /// Constant at [`BatteryParams::cc_limit`] through the bulk phase, then
 /// linearly tapering to `TAPER_FLOOR × cc_limit` at full charge.
 #[must_use]
-pub fn acceptance_limit(params: &BatteryParams, soc: f64) -> Amps {
-    let soc = soc.clamp(0.0, 1.0);
+pub fn acceptance_limit(params: &BatteryParams, soc: Soc) -> Amps {
+    let soc = soc.value();
     let cc = params.cc_limit();
     if soc <= CV_KNEE_SOC {
         cc
@@ -49,8 +49,8 @@ pub fn acceptance_limit(params: &BatteryParams, soc: f64) -> Amps {
 ///
 /// Gassing charge is *lost* — it never enters the KiBaM wells.
 #[must_use]
-pub fn gassing_current(params: &BatteryParams, soc: f64) -> Amps {
-    let soc = soc.clamp(0.0, 1.0);
+pub fn gassing_current(params: &BatteryParams, soc: Soc) -> Amps {
+    let soc = soc.value();
     if soc <= params.gassing_onset_soc {
         return Amps::ZERO;
     }
@@ -75,7 +75,7 @@ pub struct ChargeSplit {
 /// the SoC-dependent gassing current is deducted; the remainder (never
 /// negative) charges the cells.
 #[must_use]
-pub fn split_applied_current(params: &BatteryParams, soc: f64, applied: Amps) -> ChargeSplit {
+pub fn split_applied_current(params: &BatteryParams, soc: Soc, applied: Amps) -> ChargeSplit {
     let applied = applied.max(Amps::ZERO);
     let within_envelope = applied.min(acceptance_limit(params, soc));
     let gas = gassing_current(params, soc).min(within_envelope);
@@ -92,16 +92,16 @@ mod tests {
     #[test]
     fn bulk_phase_accepts_cc_limit() {
         let p = BatteryParams::ub1280();
-        assert_eq!(acceptance_limit(&p, 0.0), p.cc_limit());
-        assert_eq!(acceptance_limit(&p, 0.5), p.cc_limit());
-        assert_eq!(acceptance_limit(&p, CV_KNEE_SOC), p.cc_limit());
+        assert_eq!(acceptance_limit(&p, Soc::new(0.0)), p.cc_limit());
+        assert_eq!(acceptance_limit(&p, Soc::new(0.5)), p.cc_limit());
+        assert_eq!(acceptance_limit(&p, Soc::new(CV_KNEE_SOC)), p.cc_limit());
     }
 
     #[test]
     fn taper_declines_to_floor() {
         let p = BatteryParams::ub1280();
-        let at_90 = acceptance_limit(&p, 0.9);
-        let at_full = acceptance_limit(&p, 1.0);
+        let at_90 = acceptance_limit(&p, Soc::new(0.9));
+        let at_full = acceptance_limit(&p, Soc::new(1.0));
         assert!(at_90 < p.cc_limit());
         assert!(at_full < at_90);
         assert!((at_full.value() - TAPER_FLOOR * p.cc_limit().value()).abs() < 1e-9);
@@ -110,18 +110,24 @@ mod tests {
     #[test]
     fn gassing_zero_below_onset_and_max_at_full() {
         let p = BatteryParams::ub1280();
-        assert_eq!(gassing_current(&p, 0.5), Amps::ZERO);
-        assert_eq!(gassing_current(&p, p.gassing_onset_soc), Amps::ZERO);
-        assert_eq!(gassing_current(&p, 1.0), p.gassing_max);
+        assert_eq!(gassing_current(&p, Soc::new(0.5)), Amps::ZERO);
+        assert_eq!(
+            gassing_current(&p, Soc::new(p.gassing_onset_soc)),
+            Amps::ZERO
+        );
+        assert_eq!(gassing_current(&p, Soc::new(1.0)), p.gassing_max);
         // Quadratic: halfway through the band costs a quarter of max.
         let mid = p.gassing_onset_soc + 0.5 * (1.0 - p.gassing_onset_soc);
-        assert!((gassing_current(&p, mid).value() - p.gassing_max.value() * 0.25).abs() < 1e-9);
+        assert!(
+            (gassing_current(&p, Soc::new(mid)).value() - p.gassing_max.value() * 0.25).abs()
+                < 1e-9
+        );
     }
 
     #[test]
     fn split_low_soc_passes_everything() {
         let p = BatteryParams::ub1280();
-        let s = split_applied_current(&p, 0.3, Amps::new(5.0));
+        let s = split_applied_current(&p, Soc::new(0.3), Amps::new(5.0));
         assert_eq!(s.accepted, Amps::new(5.0));
         assert_eq!(s.gassed, Amps::ZERO);
     }
@@ -131,12 +137,12 @@ mod tests {
         let p = BatteryParams::ub1280();
         // At 95 % SoC gassing ≈ 4·(0.8)² = 2.56 A; a 3 A trickle is mostly
         // wasted, a concentrated 8 A charge mostly lands.
-        let trickle = split_applied_current(&p, 0.95, Amps::new(3.0));
+        let trickle = split_applied_current(&p, Soc::new(0.95), Amps::new(3.0));
         assert!(trickle.accepted.value() < 0.5);
         let ratio_trickle = trickle.accepted.value() / 3.0;
 
-        let concentrated = split_applied_current(&p, 0.95, Amps::new(8.0));
-        let envelope = acceptance_limit(&p, 0.95).value();
+        let concentrated = split_applied_current(&p, Soc::new(0.95), Amps::new(8.0));
+        let envelope = acceptance_limit(&p, Soc::new(0.95)).value();
         let applied = envelope.min(8.0);
         let ratio_concentrated = concentrated.accepted.value() / applied;
         assert!(
@@ -150,7 +156,7 @@ mod tests {
         let p = BatteryParams::ub1280();
         for soc in [0.0, 0.3, 0.76, 0.85, 0.99, 1.0] {
             for amps in [0.0, 0.5, 3.0, 8.75, 50.0] {
-                let s = split_applied_current(&p, soc, Amps::new(amps));
+                let s = split_applied_current(&p, Soc::new(soc), Amps::new(amps));
                 assert!(s.accepted.value() >= 0.0);
                 assert!(s.gassed.value() >= 0.0);
                 assert!(s.accepted.value() + s.gassed.value() <= amps + 1e-9);
@@ -161,7 +167,7 @@ mod tests {
     #[test]
     fn negative_applied_treated_as_zero() {
         let p = BatteryParams::ub1280();
-        let s = split_applied_current(&p, 0.5, Amps::new(-5.0));
+        let s = split_applied_current(&p, Soc::new(0.5), Amps::new(-5.0));
         assert_eq!(s.accepted, Amps::ZERO);
         assert_eq!(s.gassed, Amps::ZERO);
     }

@@ -12,7 +12,7 @@
 //! * **recovery effect** — at rest or low load, bound charge flows back
 //!   into the available well and usable capacity returns (Fig. 4-b).
 
-use ins_sim::units::{AmpHours, Amps, Hours};
+use ins_sim::units::{AmpHours, Amps, Hours, Soc};
 
 /// Charge state of a two-well KiBaM battery.
 ///
@@ -57,7 +57,7 @@ impl KibamState {
     /// `k_per_hour` is not positive.
     #[must_use]
     pub fn new_full(capacity: AmpHours, c: f64, k_per_hour: f64) -> Self {
-        Self::with_soc(capacity, c, k_per_hour, 1.0)
+        Self::with_soc(capacity, c, k_per_hour, Soc::FULL)
     }
 
     /// Creates a battery at the given state of charge, with the two wells
@@ -65,34 +65,33 @@ impl KibamState {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is not positive, `c` is outside `(0, 1)`,
-    /// `k_per_hour` is not positive, or `soc` is outside `[0, 1]`.
+    /// Panics if `capacity` is not positive, `c` is outside `(0, 1)` or
+    /// `k_per_hour` is not positive.
     #[must_use]
-    pub fn with_soc(capacity: AmpHours, c: f64, k_per_hour: f64, soc: f64) -> Self {
+    pub fn with_soc(capacity: AmpHours, c: f64, k_per_hour: f64, soc: Soc) -> Self {
         assert!(capacity.value() > 0.0, "capacity must be positive");
         assert!(0.0 < c && c < 1.0, "capacity ratio must lie in (0, 1)");
         assert!(k_per_hour > 0.0, "rate constant must be positive");
-        assert!((0.0..=1.0).contains(&soc), "soc must lie in [0, 1]");
         Self {
-            available: AmpHours::new(capacity.value() * c * soc),
-            bound: AmpHours::new(capacity.value() * (1.0 - c) * soc),
+            available: AmpHours::new(capacity.value() * c * soc.value()),
+            bound: AmpHours::new(capacity.value() * (1.0 - c) * soc.value()),
             capacity,
             c,
             k: k_per_hour,
         }
     }
 
-    /// Total state of charge in `[0, 1]`.
+    /// Total state of charge.
     #[must_use]
-    pub fn soc(&self) -> f64 {
-        ((self.available + self.bound) / self.capacity).clamp(0.0, 1.0)
+    pub fn soc(&self) -> Soc {
+        Soc::new((self.available + self.bound) / self.capacity)
     }
 
-    /// Fill level of the available well in `[0, 1]` — the head `h1` that
-    /// terminal voltage and exhaustion depend on.
+    /// Fill level of the available well — the head `h1` that terminal
+    /// voltage and exhaustion depend on.
     #[must_use]
-    pub fn available_fraction(&self) -> f64 {
-        (self.available.value() / (self.c * self.capacity.value())).clamp(0.0, 1.0)
+    pub fn available_fraction(&self) -> Soc {
+        Soc::new(self.available.value() / (self.c * self.capacity.value()))
     }
 
     /// Charge currently in the available well.
@@ -205,17 +204,17 @@ mod tests {
     #[test]
     fn full_battery_has_unit_soc() {
         let k = fresh();
-        assert!((k.soc() - 1.0).abs() < 1e-12);
-        assert!((k.available_fraction() - 1.0).abs() < 1e-12);
+        assert!((k.soc().value() - 1.0).abs() < 1e-12);
+        assert!((k.available_fraction().value() - 1.0).abs() < 1e-12);
         assert!(!k.is_exhausted());
         assert_eq!(k.capacity(), AmpHours::new(35.0));
     }
 
     #[test]
     fn with_soc_partitions_wells_in_equilibrium() {
-        let k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, 0.5);
-        assert!((k.soc() - 0.5).abs() < 1e-12);
-        assert!((k.available_fraction() - 0.5).abs() < 1e-12);
+        let k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, Soc::new(0.5));
+        assert!((k.soc().value() - 0.5).abs() < 1e-12);
+        assert!((k.available_fraction().value() - 0.5).abs() < 1e-12);
         assert!((k.available_charge().value() - 0.62 * 35.0 * 0.5).abs() < 1e-9);
         assert!((k.bound_charge().value() - 0.38 * 35.0 * 0.5).abs() < 1e-9);
     }
@@ -232,7 +231,7 @@ mod tests {
 
     #[test]
     fn charge_conserves_charge() {
-        let mut k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, 0.3);
+        let mut k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, Soc::new(0.3));
         let before = k.stored_charge();
         let moved = k.step(Amps::new(-5.0), Hours::new(1.0));
         assert!(moved.value() < 0.0);
@@ -281,10 +280,10 @@ mod tests {
         while !k.is_exhausted() {
             k.step(Amps::new(35.0), Hours::new(1.0 / 120.0));
         }
-        let at_exhaustion = k.available_fraction();
+        let at_exhaustion = k.available_fraction().value();
         k.step(Amps::ZERO, Hours::new(0.5));
         assert!(
-            k.available_fraction() > at_exhaustion + 0.05,
+            k.available_fraction().value() > at_exhaustion + 0.05,
             "rest should visibly recover the available well"
         );
     }
@@ -303,7 +302,7 @@ mod tests {
 
     #[test]
     fn charge_clamps_at_full() {
-        let mut k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, 0.95);
+        let mut k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, Soc::new(0.95));
         // Try to stuff far more charge than fits.
         for _ in 0..200 {
             k.step(Amps::new(-20.0), Hours::new(0.05));
@@ -320,8 +319,8 @@ mod tests {
         for _ in 0..60 {
             b.step(Amps::new(20.0), Hours::new(0.5 / 60.0));
         }
-        assert!((a.soc() - b.soc()).abs() < 1e-3);
-        assert!((a.available_fraction() - b.available_fraction()).abs() < 1e-3);
+        assert!((a.soc().value() - b.soc().value()).abs() < 1e-3);
+        assert!((a.available_fraction().value() - b.available_fraction().value()).abs() < 1e-3);
     }
 
     #[test]
@@ -330,14 +329,14 @@ mod tests {
         k.scale_capacity(0.5);
         assert_eq!(k.capacity(), AmpHours::new(17.5));
         // Was full; both wells clamp to the shrunken sizes, so still full.
-        assert!((k.soc() - 1.0).abs() < 1e-12);
-        assert!((k.available_fraction() - 1.0).abs() < 1e-12);
+        assert!((k.soc().value() - 1.0).abs() < 1e-12);
+        assert!((k.available_fraction().value() - 1.0).abs() < 1e-12);
 
-        let mut half = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, 0.5);
+        let mut half = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, Soc::new(0.5));
         half.scale_capacity(0.8);
         // Contents fit in the smaller wells: absolute charge unchanged.
         assert!((half.stored_charge().value() - 17.5).abs() < 1e-9);
-        assert!((half.soc() - 0.5 / 0.8).abs() < 1e-9);
+        assert!((half.soc().value() - 0.5 / 0.8).abs() < 1e-9);
     }
 
     #[test]
@@ -347,9 +346,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "soc must lie in [0, 1]")]
-    fn with_soc_rejects_out_of_range() {
-        let _ = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, 1.2);
+    fn soc_type_clamps_out_of_range_construction() {
+        let k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, Soc::new(1.2));
+        assert!((k.soc().value() - 1.0).abs() < 1e-12, "clamped to full");
     }
 
     #[test]

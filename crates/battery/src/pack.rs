@@ -81,7 +81,7 @@ pub fn summarize(units: &[BatteryUnit]) -> PackSummary {
         .iter()
         .map(|u| u.open_circuit_voltage().value())
         .collect();
-    let soc_stats: RunningStats = units.iter().map(BatteryUnit::soc).collect();
+    let soc_stats: RunningStats = units.iter().map(|u| u.soc().value()).collect();
     PackSummary {
         stored_energy,
         mean_voltage: Volts::new(volt_stats.mean()),
@@ -96,10 +96,10 @@ mod tests {
     use super::*;
     use crate::params::BatteryParams;
     use crate::unit::BatteryId;
-    use ins_sim::units::Hours;
+    use ins_sim::units::{Hours, Soc};
 
     fn unit_at(id: usize, soc: f64) -> BatteryUnit {
-        BatteryUnit::with_soc(BatteryId(id), BatteryParams::cabinet_24v(), soc)
+        BatteryUnit::with_soc(BatteryId(id), BatteryParams::cabinet_24v(), Soc::new(soc))
     }
 
     #[test]

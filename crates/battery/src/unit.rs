@@ -4,7 +4,7 @@
 //! one "battery cabinet" in the paper's terminology, individually switchable
 //! through the relay network.
 
-use ins_sim::units::{AmpHours, Amps, Hours, Ohms, Volts, WattHours, Watts};
+use ins_sim::units::{AmpHours, Amps, Hours, Ohms, Soc, Volts, WattHours, Watts};
 
 use crate::charge::{acceptance_limit, split_applied_current};
 use crate::kibam::KibamState;
@@ -99,16 +99,16 @@ impl BatteryUnit {
     /// Panics if `params` fails [`BatteryParams::validate`].
     #[must_use]
     pub fn new(id: BatteryId, params: BatteryParams) -> Self {
-        Self::with_soc(id, params, 1.0)
+        Self::with_soc(id, params, Soc::FULL)
     }
 
     /// Creates a unit at the given rested state of charge.
     ///
     /// # Panics
     ///
-    /// Panics if `params` is invalid or `soc` is outside `[0, 1]`.
+    /// Panics if `params` fails [`BatteryParams::validate`].
     #[must_use]
-    pub fn with_soc(id: BatteryId, params: BatteryParams, soc: f64) -> Self {
+    pub fn with_soc(id: BatteryId, params: BatteryParams, soc: Soc) -> Self {
         params
             .validate()
             .unwrap_or_else(|e| panic!("invalid battery parameters: {e}"));
@@ -182,15 +182,15 @@ impl BatteryUnit {
         self.params.r_charge = Ohms::new(self.params.r_charge.value() * factor);
     }
 
-    /// Total state of charge in `[0, 1]`.
+    /// Total state of charge.
     #[must_use]
-    pub fn soc(&self) -> f64 {
+    pub fn soc(&self) -> Soc {
         self.kibam.soc()
     }
 
-    /// Fill level of the KiBaM available well in `[0, 1]`.
+    /// Fill level of the KiBaM available well.
     #[must_use]
-    pub fn available_fraction(&self) -> f64 {
+    pub fn available_fraction(&self) -> Soc {
         self.kibam.available_fraction()
     }
 
@@ -218,7 +218,7 @@ impl BatteryUnit {
         if self.is_failed() {
             return Volts::ZERO;
         }
-        voltage::open_circuit(&self.params, self.kibam.available_fraction())
+        voltage::open_circuit(&self.params, self.kibam.available_fraction().value())
     }
 
     /// Terminal voltage under a signed current (positive = discharge).
@@ -228,7 +228,11 @@ impl BatteryUnit {
         if self.is_failed() {
             return Volts::ZERO;
         }
-        voltage::terminal(&self.params, self.kibam.available_fraction(), current)
+        voltage::terminal(
+            &self.params,
+            self.kibam.available_fraction().value(),
+            current,
+        )
     }
 
     /// `true` when the unit cannot sustain `current` without dropping to
@@ -238,7 +242,11 @@ impl BatteryUnit {
         if self.is_failed() {
             return true;
         }
-        voltage::at_cutoff(&self.params, self.kibam.available_fraction(), current)
+        voltage::at_cutoff(
+            &self.params,
+            self.kibam.available_fraction().value(),
+            current,
+        )
     }
 
     /// `true` when the available well is exhausted.
@@ -396,14 +404,14 @@ mod tests {
     use super::*;
 
     fn unit_at(soc: f64) -> BatteryUnit {
-        BatteryUnit::with_soc(BatteryId(1), BatteryParams::cabinet_24v(), soc)
+        BatteryUnit::with_soc(BatteryId(1), BatteryParams::cabinet_24v(), Soc::new(soc))
     }
 
     #[test]
     fn new_unit_is_full_and_healthy() {
         let b = BatteryUnit::new(BatteryId(3), BatteryParams::cabinet_24v());
         assert_eq!(b.id(), BatteryId(3));
-        assert!((b.soc() - 1.0).abs() < 1e-12);
+        assert!((b.soc().value() - 1.0).abs() < 1e-12);
         assert_eq!(b.wear_fraction(), 0.0);
         assert!(!b.is_exhausted());
         assert_eq!(b.id().to_string(), "battery#3");
@@ -513,7 +521,7 @@ mod tests {
         let healthy = unit_at(1.0);
         faded.apply_capacity_fade(0.5);
         assert!(faded.stored_energy().value() < 0.6 * healthy.stored_energy().value());
-        assert!((faded.soc() - 1.0).abs() < 1e-9, "full stays full");
+        assert!((faded.soc().value() - 1.0).abs() < 1e-9, "full stays full");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use ins_battery::kibam::KibamState;
 use ins_battery::pack::{split_discharge_current, summarize};
 use ins_battery::voltage::{open_circuit, terminal};
 use ins_battery::{BatteryId, BatteryParams, BatteryUnit};
-use ins_sim::units::{AmpHours, Amps, Hours};
+use ins_sim::units::{AmpHours, Amps, Hours, Soc};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -18,7 +18,7 @@ proptest! {
         soc in 0.0f64..=1.0,
         currents in proptest::collection::vec(-20.0f64..40.0, 1..50)
     ) {
-        let mut k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, soc);
+        let mut k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, Soc::new(soc));
         let initial = k.stored_charge().value();
         let mut net_out = 0.0;
         for i in currents {
@@ -35,14 +35,14 @@ proptest! {
         soc in 0.0f64..=1.0,
         currents in proptest::collection::vec(-60.0f64..80.0, 1..80)
     ) {
-        let mut k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, soc);
+        let mut k = KibamState::with_soc(AmpHours::new(35.0), 0.62, 0.5, Soc::new(soc));
         for i in currents {
             k.step(Amps::new(i), Hours::new(0.1));
             prop_assert!(k.available_charge().value() >= -1e-9);
             prop_assert!(k.available_charge().value() <= 0.62 * 35.0 + 1e-9);
             prop_assert!(k.bound_charge().value() >= -1e-9);
             prop_assert!(k.bound_charge().value() <= 0.38 * 35.0 + 1e-9);
-            prop_assert!((0.0..=1.0).contains(&k.soc()));
+            prop_assert!((0.0..=1.0).contains(&k.soc().value()));
         }
     }
 
@@ -69,10 +69,10 @@ proptest! {
     #[test]
     fn charge_curves_bounded(soc in 0.0f64..=1.0) {
         let p = BatteryParams::ub1280();
-        let acc = acceptance_limit(&p, soc);
+        let acc = acceptance_limit(&p, Soc::new(soc));
         prop_assert!(acc.value() > 0.0);
         prop_assert!(acc <= p.cc_limit());
-        let gas = gassing_current(&p, soc);
+        let gas = gassing_current(&p, Soc::new(soc));
         prop_assert!(gas.value() >= 0.0);
         prop_assert!(gas <= p.gassing_max);
     }
@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn charge_split_partitions(soc in 0.0f64..=1.0, applied in 0.0f64..60.0) {
         let p = BatteryParams::ub1280();
-        let s = split_applied_current(&p, soc, Amps::new(applied));
+        let s = split_applied_current(&p, Soc::new(soc), Amps::new(applied));
         prop_assert!(s.accepted.value() >= 0.0);
         prop_assert!(s.gassed.value() >= 0.0);
         prop_assert!(s.accepted.value() + s.gassed.value() <= applied + 1e-9);
@@ -97,7 +97,7 @@ proptest! {
         let units: Vec<BatteryUnit> = socs
             .iter()
             .enumerate()
-            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), s))
+            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), Soc::new(s)))
             .collect();
         let refs: Vec<&BatteryUnit> = units.iter().collect();
         let shares = split_discharge_current(&refs, Amps::new(total));
@@ -115,7 +115,7 @@ proptest! {
         let units: Vec<BatteryUnit> = socs
             .iter()
             .enumerate()
-            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), s))
+            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), Soc::new(s)))
             .collect();
         let sum = summarize(&units);
         let min = socs.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -131,7 +131,7 @@ proptest! {
     /// gassing is active near full.
     #[test]
     fn no_free_charge_near_full(hours in 1u64..6) {
-        let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), 0.92);
+        let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), Soc::new(0.92));
         let before = unit.stored_charge().value();
         // Trickle-charge near full: gassing burns some of everything fed.
         let fed = 2.0 * hours as f64; // 2 A × hours

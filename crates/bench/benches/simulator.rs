@@ -7,7 +7,7 @@ use ins_battery::{BatteryId, BatteryParams, BatteryUnit};
 use ins_core::controller::{InsureController, PowerController};
 use ins_core::system::InSituSystem;
 use ins_sim::time::{SimDuration, SimTime};
-use ins_sim::units::{Amps, Hours};
+use ins_sim::units::{Amps, Hours, Soc};
 use ins_solar::trace::{high_generation_day, SolarTraceBuilder};
 use ins_solar::weather::DayWeather;
 
@@ -23,7 +23,8 @@ fn bench_battery(c: &mut Criterion) {
         });
     });
     c.bench_function("battery_charge_step_10s", |b| {
-        let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), 0.5);
+        let mut unit =
+            BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), Soc::new(0.5));
         b.iter(|| {
             let out = unit.charge(black_box(Amps::new(8.0)), Hours::new(10.0 / 3600.0));
             if unit.soc() > 0.95 {
@@ -100,7 +101,7 @@ fn bench_controller_decision(c: &mut Criterion) {
         units: (0..3)
             .map(|i| UnitView {
                 id: BatteryId(i),
-                soc: 0.5 + i as f64 * 0.15,
+                soc: Soc::new(0.5 + i as f64 * 0.15),
                 available_fraction: 0.5 + i as f64 * 0.15,
                 discharge_throughput: AmpHours::new(i as f64 * 4.0),
                 at_cutoff: false,

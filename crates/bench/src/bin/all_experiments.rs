@@ -40,7 +40,9 @@ fn main() {
     for (tech, series) in costs::fig3b() {
         t.row(vec![
             tech.to_string(),
-            dollars(*series.last().expect("non-empty")),
+            series
+                .last()
+                .map_or_else(|| "n/a".to_string(), |v| dollars(*v)),
         ]);
     }
     println!("{}", t.render());

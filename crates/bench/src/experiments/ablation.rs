@@ -11,7 +11,7 @@ use ins_core::metrics::RunMetrics;
 use ins_core::system::{InSituSystem, WorkloadModel};
 use ins_powernet::charger::ChargeController;
 use ins_sim::time::{SimDuration, SimTime};
-use ins_sim::units::{Amps, Hours, Watts};
+use ins_sim::units::{Amps, Hours, Soc, Watts};
 use ins_solar::trace::low_generation_day;
 
 /// One point of the discharge-cap sweep.
@@ -105,7 +105,9 @@ pub fn batch_size_ablation(budget: Watts) -> Vec<BatchSizePoint> {
     let run = |adaptive: bool| -> BatchSizePoint {
         let ctrl = ChargeController::prototype();
         let mut units: Vec<BatteryUnit> = (0..3)
-            .map(|i| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), 0.3))
+            .map(|i| {
+                BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), Soc::new(0.3))
+            })
             .collect();
         let dt = Hours::new(1.0 / 60.0);
         let target = 0.9;

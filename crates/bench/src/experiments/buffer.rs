@@ -9,7 +9,7 @@
 
 use ins_battery::{BatteryId, BatteryParams, BatteryUnit};
 use ins_powernet::charger::ChargeController;
-use ins_sim::units::{Amps, Hours, Watts};
+use ins_sim::units::{Amps, Hours, Soc, Watts};
 
 /// Result of one Fig. 4-a charging strategy run.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +27,7 @@ pub struct ChargingRun {
 
 fn fresh_units(n: usize, soc: f64) -> Vec<BatteryUnit> {
     (0..n)
-        .map(|i| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), soc))
+        .map(|i| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), Soc::new(soc)))
         .collect()
 }
 
@@ -51,13 +51,13 @@ pub fn charging_run(
     let mut series = Vec::new();
     while units.iter().any(|u| u.soc() < target_soc) && hours < max_hours {
         if sequential {
-            let idx = units
+            let needy = units
                 .iter()
                 .enumerate()
                 .filter(|(_, u)| u.soc() < target_soc)
                 .min_by(|a, b| a.1.soc().total_cmp(&b.1.soc()))
-                .map(|(i, _)| i)
-                .expect("loop condition guarantees a candidate");
+                .map(|(i, _)| i);
+            let Some(idx) = needy else { break };
             ctrl.charge(&mut [&mut units[idx]], budget, dt);
         } else {
             let mut refs: Vec<&mut BatteryUnit> = units.iter_mut().collect();
@@ -81,7 +81,7 @@ pub fn charging_run(
             "batch (all at once)"
         },
         hours_to_target: if done { hours } else { f64::INFINITY },
-        final_soc: units.iter().map(BatteryUnit::soc).collect(),
+        final_soc: units.iter().map(|u| u.soc().value()).collect(),
         voltage_series: series,
     }
 }
@@ -165,7 +165,9 @@ pub fn fig14a() -> PriorityRun {
     let mut units: Vec<BatteryUnit> = start
         .iter()
         .enumerate()
-        .map(|(i, &soc)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), soc))
+        .map(|(i, &soc)| {
+            BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), Soc::new(soc))
+        })
         .collect();
     let ctrl = ChargeController::prototype();
     let dt = Hours::new(1.0 / 60.0);
@@ -235,12 +237,12 @@ pub fn fig14b(cycles: usize) -> BalanceRun {
             units[i].discharge(Amps::new(14.0), dt);
         }
         // Recharge the lowest-SoC unit.
-        let low = units
+        let lowest = units
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.soc().total_cmp(&b.1.soc()))
-            .map(|(i, _)| i)
-            .expect("non-empty");
+            .map(|(i, _)| i);
+        let Some(low) = lowest else { break };
         ctrl.charge(&mut [&mut units[low]], Watts::new(230.0), dt);
     }
     let throughput: Vec<f64> = units

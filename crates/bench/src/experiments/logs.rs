@@ -10,7 +10,7 @@ use ins_core::controller::{InsureController, NoOptController, PowerController};
 use ins_core::metrics::RunMetrics;
 use ins_core::system::{InSituSystem, WorkloadModel};
 use ins_sim::time::{SimDuration, SimTime};
-use ins_sim::units::Watts;
+use ins_sim::units::{Soc, Watts};
 use ins_solar::panel::SolarPanel;
 use ins_solar::trace::SolarTraceBuilder;
 use ins_solar::weather::DayWeather;
@@ -41,7 +41,7 @@ fn run_one(weather: DayWeather, seed: u64, controller: Box<dyn PowerController>)
     // sunrise (06:54) to 17:54.
     let mut sys = InSituSystem::builder(solar, controller)
         .workload(WorkloadModel::seismic())
-        .initial_soc(0.8)
+        .initial_soc(Soc::new(0.8))
         .time_step(SimDuration::from_secs(10))
         .start_at(SimTime::from_hms(6, 54, 0))
         .build();

@@ -10,6 +10,7 @@ use ins_core::controller::{BaselineController, InsureController};
 use ins_core::system::{InSituSystem, SystemEvent, WorkloadModel};
 use ins_sim::time::{SimDuration, SimTime};
 use ins_sim::trace::Sample;
+use ins_sim::units::Soc;
 use ins_solar::trace::{high_generation_day, low_generation_day, SolarTrace};
 
 /// Summary of one generated solar evaluation day (Fig. 15).
@@ -64,7 +65,7 @@ pub fn fig05(seed: u64) -> SwitchOutRun {
         Box::new(BaselineController::new()),
     )
     .workload(WorkloadModel::seismic())
-    .initial_soc(0.45)
+    .initial_soc(Soc::new(0.45))
     .time_step(SimDuration::from_secs(10))
     .start_at(SimTime::from_hms(13, 30, 0))
     .build();
@@ -131,7 +132,7 @@ pub fn fig16(seed: u64) -> DayLongRun {
         Box::new(InsureController::default()),
     )
     .workload(WorkloadModel::seismic())
-    .initial_soc(0.35)
+    .initial_soc(Soc::new(0.35))
     .time_step(SimDuration::from_secs(10))
     .build();
     sys.run_until(SimTime::from_hms(6, 54, 0));

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use ins_sim::time::SimDuration;
-use ins_sim::units::{AmpHours, Amps, Watts};
+use ins_sim::units::{AmpHours, Amps, Soc, Watts};
 
 /// A constraint violated by an [`InsureConfig`].
 ///
@@ -63,10 +63,10 @@ pub struct InsureConfig {
     pub screening_interval: SimDuration,
     /// State of charge at which a charging unit is considered charged and
     /// brought online ("pre-determined capacity (90 %)", §3.2).
-    pub charge_target_soc: f64,
+    pub charge_target_soc: Soc,
     /// State of charge below which a discharging unit is pulled offline
     /// and servers are checkpointed (Fig. 11's `SOCσ`).
-    pub soc_low_threshold: f64,
+    pub soc_low_threshold: Soc,
     /// Per-unit discharge current cap (Fig. 11's `Iσ`): above it the TPM
     /// sheds load so the recovery effect can act.
     pub discharge_current_cap: Amps,
@@ -93,8 +93,8 @@ impl InsureConfig {
         Self {
             control_period: SimDuration::from_minutes(1),
             screening_interval: SimDuration::from_hours(1),
-            charge_target_soc: 0.90,
-            soc_low_threshold: 0.30,
+            charge_target_soc: Soc::new(0.90),
+            soc_low_threshold: Soc::new(0.30),
             discharge_current_cap: Amps::new(17.5),
             peak_charge_power: Watts::new(230.0),
             lifetime_discharge: AmpHours::new(250.0 * 35.0),
@@ -116,10 +116,12 @@ impl InsureConfig {
         if self.screening_interval.is_zero() {
             return Err(ConfigError::ZeroScreeningInterval);
         }
-        if !(0.0 < self.charge_target_soc && self.charge_target_soc <= 1.0) {
+        // The `Soc` type already pins both thresholds into [0, 1]; what is
+        // left to check here are the open ends of the intervals.
+        if self.charge_target_soc == Soc::EMPTY {
             return Err(ConfigError::ChargeTargetOutOfRange);
         }
-        if !(0.0..1.0).contains(&self.soc_low_threshold) {
+        if self.soc_low_threshold == Soc::FULL {
             return Err(ConfigError::LowSocThresholdOutOfRange);
         }
         if self.soc_low_threshold >= self.charge_target_soc {
@@ -163,7 +165,7 @@ mod tests {
     #[test]
     fn validation_rejects_inverted_thresholds() {
         let mut c = InsureConfig::prototype();
-        c.soc_low_threshold = 0.95;
+        c.soc_low_threshold = Soc::new(0.95);
         assert_eq!(c.validate(), Err(ConfigError::ThresholdsInverted));
     }
 
@@ -203,7 +205,7 @@ mod tests {
             |c: &mut InsureConfig| c.peak_charge_power = Watts::ZERO,
             |c: &mut InsureConfig| c.lifetime_discharge = AmpHours::ZERO,
             |c: &mut InsureConfig| c.desired_lifetime_days = 0.0,
-            |c: &mut InsureConfig| c.charge_target_soc = 0.0,
+            |c: &mut InsureConfig| c.charge_target_soc = Soc::EMPTY,
             |c: &mut InsureConfig| c.raise_headroom = 1.0,
         ] {
             let mut c = InsureConfig::prototype();

@@ -17,7 +17,7 @@ use ins_battery::BatteryId;
 use ins_cluster::dvfs::DutyCycle;
 use ins_powernet::matrix::Attachment;
 use ins_sim::time::{SimDuration, SimTime};
-use ins_sim::units::{AmpHours, Amps, Volts, Watts};
+use ins_sim::units::{AmpHours, Amps, Soc, Volts, Watts};
 
 use crate::config::{ConfigError, InsureConfig};
 use crate::health::HealthMonitor;
@@ -231,7 +231,10 @@ impl PowerController for InsureController {
         let tpm_input = TpmInput {
             discharge_current: obs.discharge_current,
             current_threshold: discharge_cap * n_discharging as f64,
-            min_discharging_soc: discharging_now.iter().map(|u| u.soc).fold(1.0, f64::min),
+            min_discharging_soc: discharging_now
+                .iter()
+                .map(|u| u.soc)
+                .fold(Soc::FULL, Soc::min),
             min_discharging_available: discharging_now
                 .iter()
                 .map(|u| u.available_fraction)
@@ -321,7 +324,7 @@ impl PowerController for InsureController {
             if !assigned.iter().any(|(id, _)| *id == u.id) {
                 let hot_standby = serving
                     && survivors.contains(&u.id)
-                    && u.soc > cfg.soc_low_threshold + 0.1
+                    && u.soc.value() > cfg.soc_low_threshold.value() + 0.1
                     && !u.at_cutoff;
                 let to = if hot_standby {
                     Attachment::DischargeBus
@@ -341,7 +344,7 @@ impl PowerController for InsureController {
         let mean_soc = if obs.units.is_empty() {
             0.0
         } else {
-            obs.units.iter().map(|u| u.soc).sum::<f64>() / obs.units.len() as f64
+            obs.units.iter().map(|u| u.soc.value()).sum::<f64>() / obs.units.len() as f64
         };
         let night = obs.solar_power.value() < 5.0;
         let night_cap = if night {
@@ -364,7 +367,7 @@ impl PowerController for InsureController {
             let charged_buffer = obs
                 .units
                 .iter()
-                .filter(|u| u.soc >= cfg.charge_target_soc * 0.8)
+                .filter(|u| u.soc.value() >= cfg.charge_target_soc.value() * 0.8)
                 .count();
             // Raising the duty cycle is cheap; adding a VM may power a
             // machine on, so it needs either a solar surplus covering the
@@ -422,12 +425,12 @@ pub struct BaselineController {
     /// ProLiant at the workloads' utilization).
     watts_per_machine: f64,
     /// Protection threshold: unified buffer disconnects below this SoC.
-    protection_soc: f64,
+    protection_soc: Soc,
     /// `true` while the buffer is locked out charging after a protection
     /// event (it must recharge to the release level before reuse).
     locked_out: bool,
     /// SoC at which a locked-out buffer is released back to the load.
-    release_soc: f64,
+    release_soc: Soc,
 }
 
 impl BaselineController {
@@ -437,9 +440,9 @@ impl BaselineController {
     pub fn new() -> Self {
         Self {
             watts_per_machine: 360.0,
-            protection_soc: 0.25,
+            protection_soc: Soc::new(0.25),
             locked_out: false,
-            release_soc: 0.60,
+            release_soc: Soc::new(0.60),
         }
     }
 }
@@ -460,7 +463,7 @@ impl PowerController for BaselineController {
         let mean_soc = if obs.units.is_empty() {
             0.0
         } else {
-            obs.units.iter().map(|u| u.soc).sum::<f64>() / obs.units.len() as f64
+            obs.units.iter().map(|u| u.soc.value()).sum::<f64>() / obs.units.len() as f64
         };
         let any_cutoff = obs.units.iter().any(|u| u.at_cutoff);
 
@@ -653,7 +656,7 @@ mod tests {
             units: vec![
                 UnitView {
                     id: BatteryId(0),
-                    soc: 0.9,
+                    soc: Soc::new(0.9),
                     available_fraction: 0.9,
                     discharge_throughput: AmpHours::new(5.0),
                     at_cutoff: false,
@@ -662,7 +665,7 @@ mod tests {
                 },
                 UnitView {
                     id: BatteryId(1),
-                    soc: 0.5,
+                    soc: Soc::new(0.5),
                     available_fraction: 0.5,
                     discharge_throughput: AmpHours::new(8.0),
                     at_cutoff: false,
@@ -671,7 +674,7 @@ mod tests {
                 },
                 UnitView {
                     id: BatteryId(2),
-                    soc: 0.3,
+                    soc: Soc::new(0.3),
                     available_fraction: 0.3,
                     discharge_throughput: AmpHours::new(2.0),
                     at_cutoff: false,
@@ -763,7 +766,7 @@ mod tests {
     fn insure_shuts_down_on_low_soc_discharge() {
         let mut c = InsureController::default();
         let mut o = obs();
-        o.units[0].soc = 0.2;
+        o.units[0].soc = Soc::new(0.2);
         o.attachments = vec![
             Attachment::DischargeBus,
             Attachment::Isolated,
@@ -913,7 +916,7 @@ mod tests {
         let mut c = BaselineController::new();
         let mut o = obs();
         for u in &mut o.units {
-            u.soc = 0.2;
+            u.soc = Soc::new(0.2);
         }
         o.solar_power = Watts::new(100.0);
         let action = c.control(&o);
@@ -925,7 +928,7 @@ mod tests {
         assert!(action.emergency_shutdown);
         // Recharged: lockout releases.
         for u in &mut o.units {
-            u.soc = 0.95;
+            u.soc = Soc::new(0.95);
         }
         o.solar_power = Watts::new(1200.0);
         let action = c.control(&o);

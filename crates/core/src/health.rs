@@ -27,7 +27,7 @@
 
 use ins_battery::BatteryId;
 use ins_sim::time::SimDuration;
-use ins_sim::units::Volts;
+use ins_sim::units::{Soc, Volts};
 
 use crate::spm::UnitView;
 
@@ -39,7 +39,7 @@ pub struct HealthConfig {
     pub collapse_fraction: f64,
     /// Voltage collapse is only *suspicious* while the unit still claims
     /// at least this state of charge (a genuinely empty unit sags too).
-    pub min_plausible_soc: f64,
+    pub min_plausible_soc: Soc,
     /// Telemetry older than this is stale: the unit cannot be trusted.
     pub stale_limit: SimDuration,
     /// Consecutive-ish suspicious observations before quarantine (strikes
@@ -59,7 +59,7 @@ impl HealthConfig {
     pub fn prototype() -> Self {
         Self {
             collapse_fraction: 0.5,
-            min_plausible_soc: 0.15,
+            min_plausible_soc: Soc::new(0.15),
             stale_limit: SimDuration::from_minutes(5),
             quarantine_strikes: 3,
             release_streak: 30,
@@ -103,12 +103,12 @@ struct UnitRecord {
 /// use ins_core::health::{HealthMonitor, UnitCondition};
 /// use ins_core::spm::UnitView;
 /// use ins_sim::time::SimDuration;
-/// use ins_sim::units::{AmpHours, Volts};
+/// use ins_sim::units::{AmpHours, Soc, Volts};
 ///
 /// let mut monitor = HealthMonitor::prototype();
 /// let failed = UnitView {
 ///     id: BatteryId(0),
-///     soc: 0.8,                       // claims charge…
+///     soc: Soc::new(0.8),             // claims charge…
 ///     available_fraction: 0.8,
 ///     discharge_throughput: AmpHours::ZERO,
 ///     at_cutoff: true,
@@ -227,12 +227,12 @@ impl HealthMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ins_sim::units::{AmpHours, Volts};
+    use ins_sim::units::{AmpHours, Soc, Volts};
 
     fn healthy(id: usize) -> UnitView {
         UnitView {
             id: BatteryId(id),
-            soc: 0.7,
+            soc: Soc::new(0.7),
             available_fraction: 0.7,
             discharge_throughput: AmpHours::ZERO,
             at_cutoff: false,
@@ -287,7 +287,7 @@ mod tests {
         // A genuinely depleted unit reads low volts AND low soc: the
         // protection cutoff handles it; health must not quarantine it.
         let mut depleted = healthy(0);
-        depleted.soc = 0.05;
+        depleted.soc = Soc::new(0.05);
         depleted.available_fraction = 0.01;
         depleted.terminal_voltage = Volts::new(10.0);
         depleted.at_cutoff = true;

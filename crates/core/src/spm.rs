@@ -16,15 +16,15 @@
 
 use ins_battery::BatteryId;
 use ins_sim::time::SimDuration;
-use ins_sim::units::{AmpHours, Amps, Volts, Watts};
+use ins_sim::units::{AmpHours, Amps, Soc, Volts, Watts};
 
 /// Controller-visible state of one battery unit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UnitView {
     /// The unit's id.
     pub id: BatteryId,
-    /// Total state of charge in `[0, 1]`.
-    pub soc: f64,
+    /// Total state of charge.
+    pub soc: Soc,
     /// Fill level of the KiBaM available well in `[0, 1]` — the early
     /// warning of an imminent terminal-voltage collapse.
     pub available_fraction: f64,
@@ -135,7 +135,7 @@ pub fn select_for_charging(
     units: &[UnitView],
     eligible: &[BatteryId],
     n: usize,
-    target_soc: f64,
+    target_soc: Soc,
 ) -> Vec<BatteryId> {
     let mut candidates: Vec<&UnitView> = units
         .iter()
@@ -166,7 +166,7 @@ pub fn select_for_discharge(
     eligible: &[BatteryId],
     needed: Amps,
     per_unit_cap: Amps,
-    min_usable_soc: f64,
+    min_usable_soc: Soc,
 ) -> Vec<BatteryId> {
     if needed.value() <= 0.0 {
         return Vec::new();
@@ -205,7 +205,7 @@ mod tests {
     fn view(id: usize, soc: f64, throughput: f64) -> UnitView {
         UnitView {
             id: BatteryId(id),
-            soc,
+            soc: Soc::new(soc),
             available_fraction: soc,
             discharge_throughput: AmpHours::new(throughput),
             at_cutoff: false,
@@ -269,7 +269,7 @@ mod tests {
     fn charging_selection_prefers_low_soc() {
         let units = [view(0, 0.9, 0.0), view(1, 0.2, 0.0), view(2, 0.5, 0.0)];
         let all = [BatteryId(0), BatteryId(1), BatteryId(2)];
-        let picked = select_for_charging(&units, &all, 2, 0.9);
+        let picked = select_for_charging(&units, &all, 2, Soc::new(0.9));
         assert_eq!(picked, vec![BatteryId(1), BatteryId(2)]);
     }
 
@@ -277,14 +277,14 @@ mod tests {
     fn charging_selection_ignores_already_charged() {
         let units = [view(0, 0.95, 0.0), view(1, 0.92, 0.0)];
         let all = [BatteryId(0), BatteryId(1)];
-        assert!(select_for_charging(&units, &all, 2, 0.9).is_empty());
+        assert!(select_for_charging(&units, &all, 2, Soc::new(0.9)).is_empty());
     }
 
     #[test]
     fn charging_selection_breaks_ties_by_usage() {
         let units = [view(0, 0.5, 500.0), view(1, 0.5, 10.0)];
         let all = [BatteryId(0), BatteryId(1)];
-        let picked = select_for_charging(&units, &all, 1, 0.9);
+        let picked = select_for_charging(&units, &all, 1, Soc::new(0.9));
         assert_eq!(picked, vec![BatteryId(1)]);
     }
 
@@ -292,7 +292,7 @@ mod tests {
     fn charging_selection_respects_eligibility() {
         let units = [view(0, 0.1, 0.0), view(1, 0.2, 0.0)];
         let only_one = [BatteryId(1)];
-        let picked = select_for_charging(&units, &only_one, 2, 0.9);
+        let picked = select_for_charging(&units, &only_one, 2, Soc::new(0.9));
         assert_eq!(picked, vec![BatteryId(1)]);
     }
 
@@ -301,10 +301,22 @@ mod tests {
         let units = [view(0, 0.9, 0.0), view(1, 0.85, 0.0), view(2, 0.8, 0.0)];
         let all = [BatteryId(0), BatteryId(1), BatteryId(2)];
         // 40 A needed at a 17.5 A cap → 3 units.
-        let picked = select_for_discharge(&units, &all, Amps::new(40.0), Amps::new(17.5), 0.3);
+        let picked = select_for_discharge(
+            &units,
+            &all,
+            Amps::new(40.0),
+            Amps::new(17.5),
+            Soc::new(0.3),
+        );
         assert_eq!(picked.len(), 3);
         // 15 A needed → a single (fullest) unit suffices.
-        let picked = select_for_discharge(&units, &all, Amps::new(15.0), Amps::new(17.5), 0.3);
+        let picked = select_for_discharge(
+            &units,
+            &all,
+            Amps::new(15.0),
+            Amps::new(17.5),
+            Soc::new(0.3),
+        );
         assert_eq!(picked, vec![BatteryId(0)]);
     }
 
@@ -321,7 +333,7 @@ mod tests {
             &all,
             Amps::new(10.0),
             Amps::new(17.5),
-            0.3,
+            Soc::new(0.3),
         );
         assert_eq!(picked, vec![BatteryId(2)]);
     }
@@ -330,6 +342,9 @@ mod tests {
     fn discharge_selection_zero_need_is_empty() {
         let units = [view(0, 0.9, 0.0)];
         let all = [BatteryId(0)];
-        assert!(select_for_discharge(&units, &all, Amps::ZERO, Amps::new(17.5), 0.3).is_empty());
+        assert!(
+            select_for_discharge(&units, &all, Amps::ZERO, Amps::new(17.5), Soc::new(0.3))
+                .is_empty()
+        );
     }
 }

@@ -19,7 +19,7 @@ use ins_sim::rng::SimRng;
 use ins_sim::stats::RunningStats;
 use ins_sim::time::{SimClock, SimDuration, SimTime};
 use ins_sim::trace::Trace;
-use ins_sim::units::{AmpHours, Amps, Volts, WattHours, Watts};
+use ins_sim::units::{AmpHours, Amps, Soc, Volts, WattHours, Watts};
 use ins_solar::SolarTrace;
 use ins_workload::batch::{BatchSpec, BatchWorkload};
 use ins_workload::scaling::ScalingModel;
@@ -334,7 +334,7 @@ impl InSituSystem {
         UnitView {
             id: u.id(),
             soc: u.soc(),
-            available_fraction: u.available_fraction(),
+            available_fraction: u.available_fraction().value(),
             discharge_throughput: u.discharge_throughput(),
             at_cutoff: u.at_cutoff(SENSE_CURRENT),
             terminal_voltage: u.terminal_voltage(SENSE_CURRENT),
@@ -684,7 +684,7 @@ pub struct SystemBuilder {
     controller: Box<dyn PowerController>,
     unit_params: BatteryParams,
     unit_count: usize,
-    initial_soc: f64,
+    initial_soc: Soc,
     rack: Rack,
     workload: WorkloadModel,
     control_period: SimDuration,
@@ -704,7 +704,7 @@ impl SystemBuilder {
             controller,
             unit_params: BatteryParams::cabinet_24v(),
             unit_count: 3,
-            initial_soc: 0.6,
+            initial_soc: Soc::new(0.6),
             rack: Rack::prototype(),
             workload: WorkloadModel::seismic(),
             control_period: SimDuration::from_minutes(1),
@@ -734,13 +734,8 @@ impl SystemBuilder {
     }
 
     /// Sets the initial (rested) state of charge of every cabinet.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `soc` is outside `[0, 1]`.
     #[must_use]
-    pub fn initial_soc(mut self, soc: f64) -> Self {
-        assert!((0.0..=1.0).contains(&soc), "soc must lie in [0, 1]");
+    pub fn initial_soc(mut self, soc: Soc) -> Self {
         self.initial_soc = soc;
         self
     }
@@ -868,7 +863,7 @@ mod tests {
             sys.run_until(SimTime::from_hms(23, 59, 0));
             // Physical sanity regardless of policy quality.
             for u in sys.units() {
-                assert!((0.0..=1.0).contains(&u.soc()));
+                assert!((0.0..=1.0).contains(&u.soc().value()));
             }
             let (load, charge) = sys.solar_used();
             assert!(load + charge <= sys.solar_harvested() + WattHours::new(1.0));
@@ -924,11 +919,11 @@ mod tests {
             Box::new(InsureController::default()),
         )
         .unit_count(6)
-        .initial_soc(0.4)
+        .initial_soc(Soc::new(0.4))
         .workload(WorkloadModel::video())
         .build();
         assert_eq!(sys.units().len(), 6);
-        assert!((sys.units()[0].soc() - 0.4).abs() < 1e-9);
+        assert!((sys.units()[0].soc().value() - 0.4).abs() < 1e-9);
         assert!(matches!(sys.workload(), WorkloadModel::Stream { .. }));
     }
 
@@ -989,7 +984,7 @@ mod tests {
             }
             sys.run_until(SimTime::from_hms(23, 59, 0));
             for u in sys.units() {
-                assert!((0.0..=1.0).contains(&u.soc()));
+                assert!((0.0..=1.0).contains(&u.soc().value()));
             }
             sys.workload().processed_gb()
         };

@@ -9,7 +9,7 @@
 //! demand lets the KiBaM recovery effect restore usable capacity instead
 //! of tripping the protection cutoff.
 
-use ins_sim::units::Amps;
+use ins_sim::units::{Amps, Soc};
 
 /// Which knob the TPM turns for the current workload (Fig. 11's two
 /// branches).
@@ -44,14 +44,14 @@ pub struct TpmInput {
     pub discharge_current: Amps,
     /// Discharge current threshold (`Iσ`): per-unit cap × online units.
     pub current_threshold: Amps,
-    /// Lowest state of charge among discharging units (`[0, 1]`).
-    pub min_discharging_soc: f64,
+    /// Lowest state of charge among discharging units.
+    pub min_discharging_soc: Soc,
     /// Lowest KiBaM available-well fill among discharging units: the
     /// terminal voltage collapses when this empties, long before total
     /// SoC runs out under heavy current.
     pub min_discharging_available: f64,
     /// Emergency SoC threshold (`SOCσ`).
-    pub soc_threshold: f64,
+    pub soc_threshold: Soc,
     /// Emergency available-well threshold: below this the pack is about
     /// to brown the servers out regardless of total SoC.
     pub available_threshold: f64,
@@ -90,9 +90,9 @@ mod tests {
         TpmInput {
             discharge_current: Amps::new(10.0),
             current_threshold: Amps::new(35.0),
-            min_discharging_soc: 0.7,
+            min_discharging_soc: Soc::new(0.7),
             min_discharging_available: 0.7,
-            soc_threshold: 0.3,
+            soc_threshold: Soc::new(0.3),
             available_threshold: 0.15,
             knob: LoadKnob::DutyCycle,
             raise_headroom: 0.25,
@@ -126,14 +126,14 @@ mod tests {
     fn low_soc_wins_over_everything() {
         let mut input = base();
         input.discharge_current = Amps::new(100.0);
-        input.min_discharging_soc = 0.2;
+        input.min_discharging_soc = Soc::new(0.2);
         assert_eq!(decide(&input), TpmAction::EmergencyShutdown);
     }
 
     #[test]
     fn soc_check_only_applies_while_discharging() {
         let mut input = base();
-        input.min_discharging_soc = 0.1;
+        input.min_discharging_soc = Soc::new(0.1);
         input.discharging = false;
         // Solar-only operation with empty batteries is fine.
         assert_eq!(decide(&input), TpmAction::Hold { headroom: true });
@@ -144,7 +144,7 @@ mod tests {
         // Heavy current can empty the available well while half the total
         // charge remains bound — the TPM must act on the well, not SoC.
         let mut input = base();
-        input.min_discharging_soc = 0.5;
+        input.min_discharging_soc = Soc::new(0.5);
         input.min_discharging_available = 0.05;
         assert_eq!(decide(&input), TpmAction::EmergencyShutdown);
     }

@@ -114,7 +114,10 @@ fn full_day_replay_is_bit_identical() {
     assert_eq!(RunMetrics::collect(&a), RunMetrics::collect(&b));
     assert_eq!(a.events().entries(), b.events().entries());
     assert_eq!(a.now(), b.now());
-    assert_eq!(a.fault_schedule().remaining(), b.fault_schedule().remaining());
+    assert_eq!(
+        a.fault_schedule().remaining(),
+        b.fault_schedule().remaining()
+    );
     for (ua, ub) in a.units().iter().zip(b.units()) {
         assert_eq!(ua.soc().to_bits(), ub.soc().to_bits(), "unit {}", ua.id());
     }

@@ -11,7 +11,7 @@ use ins_core::spm::UnitView;
 use ins_core::tpm::LoadKnob;
 use ins_powernet::matrix::Attachment;
 use ins_sim::time::{SimDuration, SimTime};
-use ins_sim::units::{AmpHours, Amps, Volts, Watts};
+use ins_sim::units::{AmpHours, Amps, Soc, Volts, Watts};
 use proptest::prelude::*;
 
 fn observation(seed: u64) -> SystemObservation {
@@ -24,7 +24,7 @@ fn observation(seed: u64) -> SystemObservation {
         units: (0..3)
             .map(|i| UnitView {
                 id: BatteryId(i),
-                soc: f(7 + i as u64),
+                soc: Soc::new(f(7 + i as u64)),
                 available_fraction: f(11 + i as u64),
                 discharge_throughput: AmpHours::new(f(13 + i as u64) * 100.0),
                 at_cutoff: f(17 + i as u64) > 0.9,
@@ -116,7 +116,7 @@ proptest! {
 #[test]
 fn insure_config_accessor_round_trips() {
     let mut config = InsureConfig::prototype();
-    config.charge_target_soc = 0.85;
+    config.charge_target_soc = Soc::new(0.85);
     let c = InsureController::new(config);
     assert_eq!(c.config().charge_target_soc, 0.85);
 }

@@ -1,0 +1,1009 @@
+//! Line/token-level static analysis for the InSURE workspace.
+//!
+//! A deliberately dependency-free analyzer: it does not parse Rust, it
+//! scans *sanitized* source text (string literals and comments blanked
+//! out, line structure preserved) with a handful of token-level rules
+//! that encode repository conventions the type system cannot:
+//!
+//! | Rule | Checks |
+//! |------|--------|
+//! | L001 | raw `f64` parameters named like physical quantities in `pub fn` signatures of physics crates — use the `ins-units` newtypes |
+//! | L002 | `.unwrap()` / `.expect(` outside test code — propagate typed errors instead |
+//! | L003 | nondeterminism (`SystemTime`, `Instant::now`, `thread_rng`) — simulations must be reproducible from a seed |
+//! | L004 | direct `==` / `!=` against float literals — compare with a tolerance |
+//! | L005 | unreferenced task markers (todo/fixme with no `#123` issue link) |
+//!
+//! A finding on any line can be suppressed with an inline comment on the
+//! same line or the line directly above:
+//!
+//! ```text
+//! // ins-lint: allow(L004) -- definitional forwarding
+//! ```
+//!
+//! Test code (a `#[cfg(test)]` region, or any file under a `tests/`
+//! directory) is exempt from L002 and L004: tests intentionally unwrap
+//! and compare exactly-constructed values.
+//!
+//! The crate doubles as a library so rules can be unit-tested against
+//! fixture snippets, and as a binary (`cargo run -p ins-lint -- <paths>`)
+//! that exits non-zero when unsuppressed findings remain.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The rule catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Raw `f64` physical-quantity parameter in a public signature.
+    UntypedQuantity,
+    /// `unwrap`/`expect` outside test code.
+    UnwrapInProduction,
+    /// Wall-clock or OS randomness in simulation code.
+    Nondeterminism,
+    /// Exact float comparison.
+    FloatEquality,
+    /// Unreferenced task marker.
+    UntrackedTodo,
+}
+
+impl Rule {
+    /// All rules, in id order.
+    pub const ALL: [Rule; 5] = [
+        Rule::UntypedQuantity,
+        Rule::UnwrapInProduction,
+        Rule::Nondeterminism,
+        Rule::FloatEquality,
+        Rule::UntrackedTodo,
+    ];
+
+    /// The stable rule id (`L001`…`L005`).
+    #[must_use]
+    pub const fn id(self) -> &'static str {
+        match self {
+            Rule::UntypedQuantity => "L001",
+            Rule::UnwrapInProduction => "L002",
+            Rule::Nondeterminism => "L003",
+            Rule::FloatEquality => "L004",
+            Rule::UntrackedTodo => "L005",
+        }
+    }
+
+    /// Parses a rule id (`"L001"`), case-insensitively.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL
+            .into_iter()
+            .find(|r| r.id().eq_ignore_ascii_case(id.trim()))
+    }
+
+    /// One-line description used in reports.
+    #[must_use]
+    pub const fn description(self) -> &'static str {
+        match self {
+            Rule::UntypedQuantity => {
+                "raw f64 parameter named like a physical quantity; use an ins-units newtype"
+            }
+            Rule::UnwrapInProduction => {
+                "unwrap/expect outside test code; propagate a typed error instead"
+            }
+            Rule::Nondeterminism => {
+                "wall-clock or OS randomness; derive all variation from the run seed"
+            }
+            Rule::FloatEquality => {
+                "exact float comparison against a literal; compare with a tolerance"
+            }
+            Rule::UntrackedTodo => "task marker without an issue reference (expected `#<digits>`)",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path of the offending file, as given to the analyzer.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable detail (includes the offending token or name).
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+impl Finding {
+    /// The finding as one JSON object (hand-rolled; no serializer dep).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            escape_json(&self.path),
+            self.line,
+            self.rule.id(),
+            escape_json(&self.message)
+        )
+    }
+}
+
+/// Renders a full report as a JSON array.
+#[must_use]
+pub fn report_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings.iter().map(Finding::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Enabled rules.
+    pub rules: Vec<Rule>,
+    /// Path fragments that mark a file as belonging to a *physics* crate
+    /// (L001 only applies there — conversions and plumbing crates may
+    /// legitimately traffic in raw numbers).
+    pub physics_dirs: Vec<String>,
+}
+
+impl Config {
+    /// Every rule enabled, with the workspace's physics crates.
+    #[must_use]
+    pub fn default_workspace() -> Self {
+        Self {
+            rules: Rule::ALL.to_vec(),
+            physics_dirs: [
+                "crates/battery",
+                "crates/powernet",
+                "crates/solar",
+                "crates/core",
+                "crates/sim",
+                "crates/units",
+            ]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::default_workspace()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sanitization
+// ---------------------------------------------------------------------
+
+/// Two space-padded views of a source file, each exactly as long as the
+/// original so offsets and line numbers line up:
+///
+/// * `code` — string/char literals *and* comments blanked,
+/// * `no_strings` — only string/char literals blanked (comments kept,
+///   for the rules that inspect them).
+struct Sanitized {
+    code: String,
+    no_strings: String,
+}
+
+fn sanitize(src: &str) -> Sanitized {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes = src.as_bytes();
+    let mut code = Vec::with_capacity(bytes.len());
+    let mut no_strings = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied().unwrap_or(0);
+        match state {
+            State::Code => match b {
+                b'/' if next == b'/' => {
+                    state = State::LineComment;
+                    code.push(b' ');
+                    no_strings.push(b'/');
+                }
+                b'/' if next == b'*' => {
+                    state = State::BlockComment(1);
+                    code.push(b' ');
+                    no_strings.push(b'/');
+                }
+                b'"' => {
+                    state = State::Str;
+                    code.push(b' ');
+                    no_strings.push(b' ');
+                }
+                b'r' if next == b'"' || next == b'#' => {
+                    // Possible raw string: r"…" or r#"…"#.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        for _ in i..=j {
+                            code.push(b' ');
+                            no_strings.push(b' ');
+                        }
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    code.push(b);
+                    no_strings.push(b);
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a lifetime is '<ident> not
+                    // followed by a closing quote.
+                    let is_char = matches!(
+                        (bytes.get(i + 1), bytes.get(i + 2)),
+                        (Some(b'\\'), _) | (Some(_), Some(b'\''))
+                    );
+                    if is_char {
+                        state = State::Char;
+                        code.push(b' ');
+                        no_strings.push(b' ');
+                    } else {
+                        code.push(b);
+                        no_strings.push(b);
+                    }
+                }
+                _ => {
+                    code.push(b);
+                    no_strings.push(b);
+                }
+            },
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                    code.push(b'\n');
+                    no_strings.push(b'\n');
+                } else {
+                    code.push(b' ');
+                    no_strings.push(b);
+                }
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && next == b'/' {
+                    let d = depth - 1;
+                    code.push(b' ');
+                    code.push(b' ');
+                    no_strings.push(b'*');
+                    no_strings.push(b'/');
+                    i += 2;
+                    state = if d == 0 {
+                        State::Code
+                    } else {
+                        State::BlockComment(d)
+                    };
+                    continue;
+                }
+                if b == b'/' && next == b'*' {
+                    state = State::BlockComment(depth + 1);
+                }
+                if b == b'\n' {
+                    code.push(b'\n');
+                    no_strings.push(b'\n');
+                } else {
+                    code.push(b' ');
+                    no_strings.push(b);
+                }
+            }
+            State::Str => match b {
+                b'\\' => {
+                    code.push(b' ');
+                    code.push(b' ');
+                    no_strings.push(b' ');
+                    no_strings.push(b' ');
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    state = State::Code;
+                    code.push(b' ');
+                    no_strings.push(b' ');
+                }
+                b'\n' => {
+                    code.push(b'\n');
+                    no_strings.push(b'\n');
+                }
+                _ => {
+                    code.push(b' ');
+                    no_strings.push(b' ');
+                }
+            },
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut h = 0;
+                    while h < hashes && bytes.get(j) == Some(&b'#') {
+                        h += 1;
+                        j += 1;
+                    }
+                    if h == hashes {
+                        for _ in i..j {
+                            code.push(b' ');
+                            no_strings.push(b' ');
+                        }
+                        i = j;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                if b == b'\n' {
+                    code.push(b'\n');
+                    no_strings.push(b'\n');
+                } else {
+                    code.push(b' ');
+                    no_strings.push(b' ');
+                }
+            }
+            State::Char => match b {
+                b'\\' => {
+                    code.push(b' ');
+                    code.push(b' ');
+                    no_strings.push(b' ');
+                    no_strings.push(b' ');
+                    i += 2;
+                    continue;
+                }
+                b'\'' => {
+                    state = State::Code;
+                    code.push(b' ');
+                    no_strings.push(b' ');
+                }
+                _ => {
+                    code.push(b' ');
+                    no_strings.push(b' ');
+                }
+            },
+        }
+        i += 1;
+    }
+    Sanitized {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        no_strings: String::from_utf8_lossy(&no_strings).into_owned(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------
+
+/// Marks each line that lies inside a `#[cfg(test)]` item (by brace
+/// tracking over the comment/string-free view).
+fn test_lines(code: &str) -> Vec<bool> {
+    let line_count = code.lines().count() + 1;
+    let mut marks = vec![false; line_count];
+    let mut depth: i64 = 0;
+    let mut region_stack: Vec<i64> = Vec::new();
+    let mut pending = false;
+    let mut line = 0;
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => line += 1,
+            b'{' => {
+                depth += 1;
+                if pending {
+                    region_stack.push(depth);
+                    pending = false;
+                }
+            }
+            b'}' => {
+                if region_stack.last() == Some(&depth) {
+                    region_stack.pop();
+                }
+                depth -= 1;
+            }
+            b'#' if code[i..].starts_with("#[cfg(test)]") => pending = true,
+            _ => {}
+        }
+        if (pending || !region_stack.is_empty()) && line < marks.len() {
+            marks[line] = true;
+        }
+        i += 1;
+    }
+    marks
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+/// Rules suppressed on each line by `ins-lint: allow(...)` markers (a
+/// marker covers its own line and the next line, so a standalone comment
+/// can precede the offending statement).
+fn suppressions(raw: &str) -> Vec<Vec<Rule>> {
+    let lines: Vec<&str> = raw.lines().collect();
+    let mut allowed: Vec<Vec<Rule>> = vec![Vec::new(); lines.len() + 1];
+    for (idx, line) in lines.iter().enumerate() {
+        if let Some(pos) = line.find("ins-lint: allow(") {
+            let rest = &line[pos + "ins-lint: allow(".len()..];
+            if let Some(end) = rest.find(')') {
+                let rules: Vec<Rule> = rest[..end].split(',').filter_map(Rule::from_id).collect();
+                allowed[idx].extend(rules.iter().copied());
+                if idx + 1 < allowed.len() {
+                    allowed[idx + 1].extend(rules.iter().copied());
+                }
+            }
+        }
+    }
+    allowed
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `name` reads like a physical quantity that should be typed.
+fn quantity_name(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    const EXACT: [&str; 5] = ["power", "energy", "current", "soc", "voltage"];
+    const SUFFIX: [&str; 9] = [
+        "_w", "_wh", "_a", "_v", "_soc", "_power", "_energy", "_current", "_voltage",
+    ];
+    EXACT.contains(&n.as_str()) || SUFFIX.iter().any(|s| n.ends_with(s))
+}
+
+/// L001: `pub fn` parameters typed `f64` but named like quantities.
+fn check_untyped_quantity(path: &str, code: &str, out: &mut Vec<Finding>) {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(rel) = code[search..].find("pub ") {
+        let start = search + rel;
+        search = start + 4;
+        // Accept `pub fn`, `pub const fn`, `pub unsafe fn`; skip
+        // restricted visibility (`pub(crate)` is not public API).
+        let after = &code[start + 4..];
+        let fn_off = ["fn ", "const fn ", "unsafe fn ", "const unsafe fn "]
+            .iter()
+            .find_map(|p| after.starts_with(p).then_some(p.len()));
+        let Some(fn_off) = fn_off else { continue };
+        let sig_start = start + 4 + fn_off;
+        // Find the parameter list: first '(' then its matching ')'.
+        let Some(open_rel) = code[sig_start..].find('(') else {
+            continue;
+        };
+        let open = sig_start + open_rel;
+        let mut depth = 0usize;
+        let mut close = None;
+        for (j, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { continue };
+        let params = &code[open + 1..close];
+        // Every `name: f64` inside the parameter list.
+        let mut p = 0;
+        while let Some(rel) = params[p..].find(':') {
+            let colon = p + rel;
+            p = colon + 1;
+            let after_colon = params[colon + 1..].trim_start();
+            let f64_here = after_colon.starts_with("f64")
+                && !after_colon
+                    .as_bytes()
+                    .get(3)
+                    .copied()
+                    .is_some_and(is_ident_char);
+            if !f64_here {
+                continue;
+            }
+            // Walk back to the parameter name.
+            let mut end = colon;
+            while end > 0 && params.as_bytes()[end - 1].is_ascii_whitespace() {
+                end -= 1;
+            }
+            let mut begin = end;
+            while begin > 0 && is_ident_char(params.as_bytes()[begin - 1]) {
+                begin -= 1;
+            }
+            let name = &params[begin..end];
+            if quantity_name(name) {
+                let line = code[..open + 1 + colon].matches('\n').count() + 1;
+                out.push(Finding {
+                    path: path.to_string(),
+                    line,
+                    rule: Rule::UntypedQuantity,
+                    message: format!(
+                        "parameter `{name}: f64` in a public signature; {}",
+                        Rule::UntypedQuantity.description()
+                    ),
+                });
+            }
+        }
+        search = close;
+    }
+}
+
+/// L002: `.unwrap()` / `.expect(` on non-test lines.
+fn check_unwrap(path: &str, code: &str, tests: &[bool], out: &mut Vec<Finding>) {
+    for (idx, line) in code.lines().enumerate() {
+        if tests.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for token in [".unwrap()", ".expect("] {
+            if line.contains(token) {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::UnwrapInProduction,
+                    message: format!("`{token}` — {}", Rule::UnwrapInProduction.description()),
+                });
+            }
+        }
+    }
+}
+
+/// L003: nondeterministic sources.
+fn check_nondeterminism(path: &str, code: &str, out: &mut Vec<Finding>) {
+    for (idx, line) in code.lines().enumerate() {
+        for token in ["SystemTime", "Instant::now", "thread_rng"] {
+            if line.contains(token) {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::Nondeterminism,
+                    message: format!("`{token}` — {}", Rule::Nondeterminism.description()),
+                });
+            }
+        }
+    }
+}
+
+/// Is there a float literal (contains a `.`) ending at `end` (exclusive)?
+fn float_literal_ends_at(line: &[u8], end: usize) -> bool {
+    let mut i = end;
+    let mut digits = false;
+    let mut dot = false;
+    while i > 0 {
+        let b = line[i - 1];
+        if b.is_ascii_digit() {
+            digits = true;
+        } else if b == b'.' && !dot {
+            dot = true;
+        } else if b == b'_' {
+            // digit separator
+        } else {
+            break;
+        }
+        i -= 1;
+    }
+    // Reject identifiers glued on (e.g. `x1.0` is not a float literal).
+    let glued = i > 0 && is_ident_char(line[i - 1]) && line[i - 1] != b'_';
+    digits && dot && !glued && i < end
+}
+
+/// Is there a float literal starting at `start` (after optional `-`)?
+fn float_literal_starts_at(line: &[u8], mut start: usize) -> bool {
+    while start < line.len() && line[start].is_ascii_whitespace() {
+        start += 1;
+    }
+    if start < line.len() && line[start] == b'-' {
+        start += 1;
+    }
+    let mut digits = false;
+    let mut dot = false;
+    let mut i = start;
+    while i < line.len() {
+        let b = line[i];
+        if b.is_ascii_digit() {
+            digits = true;
+        } else if b == b'.' && !dot {
+            // `..` is a range, not a float dot.
+            if line.get(i + 1) == Some(&b'.') {
+                break;
+            }
+            dot = true;
+        } else if b == b'_' {
+        } else {
+            break;
+        }
+        i += 1;
+    }
+    digits && dot
+}
+
+/// L004: `==` / `!=` against a float literal on non-test lines.
+fn check_float_eq(path: &str, code: &str, tests: &[bool], out: &mut Vec<Finding>) {
+    for (idx, line) in code.lines().enumerate() {
+        if tests.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut reported = false;
+        for i in 0..bytes.len().saturating_sub(1) {
+            if reported {
+                break;
+            }
+            let op = (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'=';
+            if !op {
+                continue;
+            }
+            // Not `<=`, `>=`, `===`-like sequences.
+            if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
+                continue;
+            }
+            if bytes.get(i + 2) == Some(&b'=') {
+                continue;
+            }
+            let mut left_end = i;
+            while left_end > 0 && bytes[left_end - 1].is_ascii_whitespace() {
+                left_end -= 1;
+            }
+            if float_literal_ends_at(bytes, left_end) || float_literal_starts_at(bytes, i + 2) {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::FloatEquality,
+                    message: Rule::FloatEquality.description().to_string(),
+                });
+                reported = true;
+            }
+        }
+    }
+}
+
+/// L005: task markers without an issue reference. Runs over the
+/// comment-preserving view so markers in comments are seen, while markers
+/// inside string literals are not.
+fn check_todo(path: &str, no_strings: &str, out: &mut Vec<Finding>) {
+    for (idx, line) in no_strings.lines().enumerate() {
+        let marker = ["TODO", "FIXME"].iter().find(|m| line.contains(*m));
+        let Some(marker) = marker else { continue };
+        // `#123` anywhere on the line counts as a reference.
+        let referenced = line
+            .as_bytes()
+            .windows(2)
+            .any(|w| w[0] == b'#' && w[1].is_ascii_digit());
+        if !referenced {
+            out.push(Finding {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: Rule::UntrackedTodo,
+                message: format!("`{marker}` — {}", Rule::UntrackedTodo.description()),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Whether `path` lies in a `tests/` directory (integration tests).
+fn in_tests_dir(path: &str) -> bool {
+    let normalized = path.replace('\\', "/");
+    normalized.starts_with("tests/") || normalized.contains("/tests/")
+}
+
+/// Analyzes one source text as if it lived at `path`, returning the
+/// unsuppressed findings sorted by line.
+#[must_use]
+pub fn analyze_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
+    let sanitized = sanitize(src);
+    let mut tests = test_lines(&sanitized.code);
+    if in_tests_dir(path) {
+        tests.iter_mut().for_each(|t| *t = true);
+    }
+    let allowed = suppressions(src);
+    let mut findings = Vec::new();
+    for rule in &config.rules {
+        match rule {
+            Rule::UntypedQuantity => {
+                let physics = config
+                    .physics_dirs
+                    .iter()
+                    .any(|d| path.replace('\\', "/").contains(d.as_str()));
+                if physics && !in_tests_dir(path) {
+                    check_untyped_quantity(path, &sanitized.code, &mut findings);
+                }
+            }
+            Rule::UnwrapInProduction => {
+                check_unwrap(path, &sanitized.code, &tests, &mut findings);
+            }
+            Rule::Nondeterminism => check_nondeterminism(path, &sanitized.code, &mut findings),
+            Rule::FloatEquality => check_float_eq(path, &sanitized.code, &tests, &mut findings),
+            Rule::UntrackedTodo => check_todo(path, &sanitized.no_strings, &mut findings),
+        }
+    }
+    findings.retain(|f| {
+        !allowed
+            .get(f.line.saturating_sub(1))
+            .is_some_and(|rules| rules.contains(&f.rule))
+    });
+    findings.sort_by_key(|f| (f.line, f.rule.id()));
+    findings
+}
+
+/// Recursively collects `.rs` files under each path (files pass through).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory walks.
+pub fn collect_rust_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+        let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if entry.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                walk(&entry, out)?;
+            } else if name.ends_with(".rs") {
+                out.push(entry);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_dir() {
+            walk(root, &mut files)?;
+        } else if root.extension().is_some_and(|e| e == "rs") {
+            files.push(root.clone());
+        }
+    }
+    Ok(files)
+}
+
+/// Analyzes every `.rs` file under the given roots.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable file or directory).
+pub fn analyze_paths(roots: &[PathBuf], config: &Config) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in collect_rust_files(roots)? {
+        let src = fs::read_to_string(&file)?;
+        let path = file.to_string_lossy().into_owned();
+        findings.extend(analyze_source(&path, &src, config));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        analyze_source(path, src, &Config::default_workspace())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn l001_fires_on_untyped_quantity_param() {
+        let src = "pub fn set_power(power: f64) {}\n";
+        let findings = run("crates/battery/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::UntypedQuantity]);
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("power"));
+    }
+
+    #[test]
+    fn l001_fires_on_suffixed_names_and_multiline_signatures() {
+        let src = "pub fn charge(\n    limit_a: f64,\n    hours: f64,\n) {}\n";
+        let findings = run("crates/powernet/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::UntypedQuantity]);
+        assert_eq!(findings[0].line, 2, "finding points at the parameter");
+    }
+
+    #[test]
+    fn l001_ignores_typed_params_private_fns_and_other_crates() {
+        // Typed quantity: fine.
+        assert!(run("crates/battery/src/x.rs", "pub fn f(power: Watts) {}\n").is_empty());
+        // Private fn: fine.
+        assert!(run("crates/battery/src/x.rs", "fn f(power: f64) {}\n").is_empty());
+        // Restricted visibility: not public API.
+        assert!(run(
+            "crates/battery/src/x.rs",
+            "pub(crate) fn f(power: f64) {}\n"
+        )
+        .is_empty());
+        // Non-physics crate: fine.
+        assert!(run("crates/workload/src/x.rs", "pub fn f(power: f64) {}\n").is_empty());
+        // Non-quantity name: fine.
+        assert!(run("crates/battery/src/x.rs", "pub fn f(fraction: f64) {}\n").is_empty());
+    }
+
+    #[test]
+    fn l002_fires_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g() { y.unwrap(); z.expect(\"boom\"); }\n\
+                   }\n";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::UnwrapInProduction]);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn l002_exempts_tests_directories() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(run("tests/full_day.rs", src).is_empty());
+        assert!(run("crates/core/tests/chaos.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l002_ignores_unwrap_or_variants() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_fires_on_nondeterminism_tokens() {
+        let src = "use std::time::SystemTime;\n\
+                   fn f() { let t = Instant::now(); let r = rand::thread_rng(); }\n";
+        let findings = run("crates/sim/src/x.rs", src);
+        assert_eq!(
+            rules_of(&findings),
+            vec![
+                Rule::Nondeterminism,
+                Rule::Nondeterminism,
+                Rule::Nondeterminism
+            ]
+        );
+    }
+
+    #[test]
+    fn l003_ignores_tokens_inside_strings_and_comments() {
+        let src = "fn f() { let s = \"Instant::now\"; }\n\
+                   // the phrase SystemTime in prose is fine\n";
+        assert!(run("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l004_fires_on_float_literal_comparison() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        let findings = run("crates/powernet/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::FloatEquality]);
+        let src = "fn f(x: f64) -> bool { 1.5 != x }\n";
+        assert_eq!(
+            rules_of(&run("crates/powernet/src/x.rs", src)),
+            vec![Rule::FloatEquality]
+        );
+    }
+
+    #[test]
+    fn l004_ignores_integer_comparison_ranges_and_tests() {
+        assert!(run("crates/core/src/x.rs", "fn f(x: u32) -> bool { x == 0 }\n").is_empty());
+        assert!(run(
+            "crates/core/src/x.rs",
+            "fn f(x: f64) -> bool { x <= 0.5 }\n"
+        )
+        .is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f(x: f64) -> bool { x == 0.25 }\n}\n";
+        assert!(run("crates/core/src/x.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn l005_fires_on_unreferenced_markers_only() {
+        let with_ref = "// TODO(#412): tighten the envelope\n";
+        assert!(run("crates/core/src/x.rs", with_ref).is_empty());
+        let bare = "// TODO tighten the envelope\nfn f() {}\n";
+        let findings = run("crates/core/src/x.rs", bare);
+        assert_eq!(rules_of(&findings), vec![Rule::UntrackedTodo]);
+        assert_eq!(findings[0].line, 1);
+        let fixme = "// FIXME this flaps\n";
+        assert_eq!(
+            rules_of(&run("crates/core/src/x.rs", fixme)),
+            vec![Rule::UntrackedTodo]
+        );
+    }
+
+    #[test]
+    fn suppression_covers_same_line_and_next_line() {
+        let same = "fn f(x: f64) -> bool { x == 0.0 } // ins-lint: allow(L004)\n";
+        assert!(run("crates/core/src/x.rs", same).is_empty());
+        let above =
+            "// ins-lint: allow(L004) -- sentinel compare\nfn f(x: f64) -> bool { x == 0.0 }\n";
+        assert!(run("crates/core/src/x.rs", above).is_empty());
+        // The wrong rule id does not suppress.
+        let wrong = "fn f(x: f64) -> bool { x == 0.0 } // ins-lint: allow(L002)\n";
+        assert_eq!(
+            rules_of(&run("crates/core/src/x.rs", wrong)),
+            vec![Rule::FloatEquality]
+        );
+        // Comma lists suppress several rules at once.
+        let multi =
+            "fn f(x: f64) -> bool { x.unwrap(); x == 0.0 } // ins-lint: allow(L002, L004)\n";
+        assert!(run("crates/core/src/x.rs", multi).is_empty());
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let findings = run(
+            "crates/core/src/x.rs",
+            "fn f(x: f64) -> bool { x == 0.0 }\n",
+        );
+        let json = report_json(&findings);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"rule\":\"L004\""));
+        assert!(json.contains("\"line\":1"));
+        assert_eq!(report_json(&[]), "[]");
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        }
+        assert_eq!(Rule::from_id("l003"), Some(Rule::Nondeterminism));
+        assert_eq!(Rule::from_id("L999"), None);
+    }
+
+    #[test]
+    fn raw_strings_are_sanitized() {
+        let src = "fn f() { let s = r#\"x.unwrap() == 0.0 Instant::now\"#; }\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

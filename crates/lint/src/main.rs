@@ -1,0 +1,83 @@
+//! CLI for the InSURE repository linter.
+//!
+//! ```text
+//! cargo run -p ins-lint -- [--json] [--rules L001,L004] <path>...
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ins_lint::{analyze_paths, report_json, Config, Rule};
+
+fn usage() -> &'static str {
+    "usage: ins-lint [--json] [--rules L001,L002,...] <path>...\n\
+     \n\
+     Scans .rs files under each path for InSURE convention violations.\n\
+     Rules:\n\
+       L001  untyped physical-quantity parameter in a public signature\n\
+       L002  unwrap/expect outside test code\n\
+       L003  nondeterminism (wall clock, OS randomness)\n\
+       L004  exact float comparison against a literal\n\
+       L005  task marker without an issue reference\n\
+     Suppress inline with `// ins-lint: allow(L00x)` on or above the line."
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut config = Config::default_workspace();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => {
+                let Some(list) = args.next() else {
+                    eprintln!("--rules needs a comma-separated id list\n\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                let rules: Vec<Rule> = list.split(',').filter_map(Rule::from_id).collect();
+                if rules.is_empty() {
+                    eprintln!("no valid rule ids in {list:?}\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+                config.rules = rules;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            _ => roots.push(PathBuf::from(arg)),
+        }
+    }
+    if roots.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let findings = match analyze_paths(&roots, &config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ins-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("ins-lint: clean");
+        } else {
+            eprintln!("ins-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

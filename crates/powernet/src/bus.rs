@@ -93,7 +93,7 @@ impl LoadBus {
         dt: Hours,
     ) -> LoadSettlement {
         let demand = demand.max(Watts::ZERO);
-        if demand.value() == 0.0 {
+        if demand.value() <= 0.0 {
             return LoadSettlement {
                 demand,
                 served: Watts::ZERO,
@@ -168,9 +168,10 @@ impl Default for LoadBus {
 mod tests {
     use super::*;
     use ins_battery::{BatteryId, BatteryParams};
+    use ins_sim::units::Soc;
 
     fn unit_at(id: usize, soc: f64) -> BatteryUnit {
-        BatteryUnit::with_soc(BatteryId(id), BatteryParams::cabinet_24v(), soc)
+        BatteryUnit::with_soc(BatteryId(id), BatteryParams::cabinet_24v(), Soc::new(soc))
     }
 
     #[test]

@@ -52,10 +52,10 @@ impl ChargeStep {
 /// ```
 /// use ins_powernet::charger::ChargeController;
 /// use ins_battery::{BatteryUnit, BatteryId, BatteryParams};
-/// use ins_sim::units::{Hours, Watts};
+/// use ins_sim::units::{Hours, Soc, Watts};
 ///
 /// let ctrl = ChargeController::prototype();
-/// let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), 0.4);
+/// let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), Soc::new(0.4));
 /// let step = ctrl.charge(&mut [&mut unit], Watts::new(250.0), Hours::new(0.5));
 /// assert!(step.stored.value() > 0.0);
 /// assert!(unit.soc() > 0.4);
@@ -131,9 +131,10 @@ impl Default for ChargeController {
 mod tests {
     use super::*;
     use ins_battery::{BatteryId, BatteryParams};
+    use ins_sim::units::Soc;
 
     fn unit_at(id: usize, soc: f64) -> BatteryUnit {
-        BatteryUnit::with_soc(BatteryId(id), BatteryParams::cabinet_24v(), soc)
+        BatteryUnit::with_soc(BatteryId(id), BatteryParams::cabinet_24v(), Soc::new(soc))
     }
 
     fn time_to_soc(

@@ -8,7 +8,7 @@ use ins_powernet::charger::ChargeController;
 use ins_powernet::converter::Converter;
 use ins_powernet::matrix::{Attachment, SwitchMatrix};
 use ins_powernet::relay::Relay;
-use ins_sim::units::{Hours, Watts};
+use ins_sim::units::{Hours, Soc, Watts};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -47,7 +47,7 @@ proptest! {
         let mut units: Vec<BatteryUnit> = socs
             .iter()
             .enumerate()
-            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), s))
+            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), Soc::new(s)))
             .collect();
         let mut refs: Vec<&mut BatteryUnit> = units.iter_mut().collect();
         let s = bus.settle(Watts::new(demand), Watts::new(solar), &mut refs, Hours::new(0.02));
@@ -68,7 +68,7 @@ proptest! {
         let mut units: Vec<BatteryUnit> = socs
             .iter()
             .enumerate()
-            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), s))
+            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), Soc::new(s)))
             .collect();
         let mut refs: Vec<&mut BatteryUnit> = units.iter_mut().collect();
         let step = ctrl.charge(&mut refs, Watts::new(budget), Hours::new(0.25));

@@ -1,11 +1,11 @@
 //! Physical quantity newtypes used across the InSURE simulation.
 //!
-//! Every electrical and energetic quantity in the workspace is carried by a
-//! dedicated newtype ([`Watts`], [`Volts`], [`Amps`], [`AmpHours`],
-//! [`WattHours`], [`Ohms`]) rather than a bare `f64`, so that the compiler
-//! rejects unit confusion such as adding a power to an energy. Cross-unit
-//! arithmetic is provided only where physics defines it (`V × A = W`,
-//! `W × h = Wh`, …).
+//! The types live in the dedicated, dependency-free [`ins_units`] crate so
+//! that every layer — including crates that do not depend on the simulation
+//! kernel — shares one compile-time unit system. This module re-exports the
+//! whole surface (`Watts`, `Volts`, `Amps`, `AmpHours`, `WattHours`,
+//! `Ohms`, `Hours`, `Soc`, …) for backward compatibility: existing
+//! `use ins_sim::units::…` imports keep working unchanged.
 //!
 //! # Examples
 //!
@@ -18,369 +18,4 @@
 //! assert_eq!(e.value(), 72.0); // watt-hours
 //! ```
 
-use core::fmt;
-use core::iter::Sum;
-use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
-
-/// Defines an `f64`-backed physical quantity newtype with the standard
-/// arithmetic (same-unit add/sub, scalar mul/div, ratio of same units).
-macro_rules! quantity {
-    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
-        $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-        pub struct $name(f64);
-
-        impl $name {
-            /// The zero quantity.
-            pub const ZERO: Self = Self(0.0);
-
-            /// Creates a new quantity from a raw value in base units.
-            #[must_use]
-            pub const fn new(value: f64) -> Self {
-                Self(value)
-            }
-
-            /// Returns the raw value in base units ($unit).
-            #[must_use]
-            pub const fn value(self) -> f64 {
-                self.0
-            }
-
-            /// Returns the absolute value of the quantity.
-            #[must_use]
-            pub fn abs(self) -> Self {
-                Self(self.0.abs())
-            }
-
-            /// Returns the smaller of `self` and `other`.
-            #[must_use]
-            pub fn min(self, other: Self) -> Self {
-                Self(self.0.min(other.0))
-            }
-
-            /// Returns the larger of `self` and `other`.
-            #[must_use]
-            pub fn max(self, other: Self) -> Self {
-                Self(self.0.max(other.0))
-            }
-
-            /// Clamps the quantity into `[lo, hi]`.
-            ///
-            /// # Panics
-            ///
-            /// Panics if `lo > hi`.
-            #[must_use]
-            pub fn clamp(self, lo: Self, hi: Self) -> Self {
-                Self(self.0.clamp(lo.0, hi.0))
-            }
-
-            /// Returns `true` when the value is finite (neither NaN nor ±∞).
-            #[must_use]
-            pub fn is_finite(self) -> bool {
-                self.0.is_finite()
-            }
-        }
-
-        impl Add for $name {
-            type Output = Self;
-            fn add(self, rhs: Self) -> Self {
-                Self(self.0 + rhs.0)
-            }
-        }
-
-        impl AddAssign for $name {
-            fn add_assign(&mut self, rhs: Self) {
-                self.0 += rhs.0;
-            }
-        }
-
-        impl Sub for $name {
-            type Output = Self;
-            fn sub(self, rhs: Self) -> Self {
-                Self(self.0 - rhs.0)
-            }
-        }
-
-        impl SubAssign for $name {
-            fn sub_assign(&mut self, rhs: Self) {
-                self.0 -= rhs.0;
-            }
-        }
-
-        impl Neg for $name {
-            type Output = Self;
-            fn neg(self) -> Self {
-                Self(-self.0)
-            }
-        }
-
-        impl Mul<f64> for $name {
-            type Output = Self;
-            fn mul(self, rhs: f64) -> Self {
-                Self(self.0 * rhs)
-            }
-        }
-
-        impl Mul<$name> for f64 {
-            type Output = $name;
-            fn mul(self, rhs: $name) -> $name {
-                $name(self * rhs.0)
-            }
-        }
-
-        impl Div<f64> for $name {
-            type Output = Self;
-            fn div(self, rhs: f64) -> Self {
-                Self(self.0 / rhs)
-            }
-        }
-
-        impl Div<$name> for $name {
-            /// The dimensionless ratio of two quantities of the same unit.
-            type Output = f64;
-            fn div(self, rhs: $name) -> f64 {
-                self.0 / rhs.0
-            }
-        }
-
-        impl Sum for $name {
-            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
-                Self(iter.map(|q| q.0).sum())
-            }
-        }
-
-        impl fmt::Display for $name {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                if let Some(prec) = f.precision() {
-                    write!(f, "{:.*} {}", prec, self.0, $unit)
-                } else {
-                    write!(f, "{} {}", self.0, $unit)
-                }
-            }
-        }
-    };
-}
-
-quantity!(
-    /// Electrical power in watts.
-    Watts,
-    "W"
-);
-quantity!(
-    /// Electrical potential in volts.
-    Volts,
-    "V"
-);
-quantity!(
-    /// Electrical current in amperes. Positive values denote discharge
-    /// (current flowing out of a source) throughout this workspace.
-    Amps,
-    "A"
-);
-quantity!(
-    /// Electric charge in ampere-hours, the paper's unit for battery
-    /// capacity and lifetime throughput.
-    AmpHours,
-    "Ah"
-);
-quantity!(
-    /// Energy in watt-hours.
-    WattHours,
-    "Wh"
-);
-quantity!(
-    /// Electrical resistance in ohms.
-    Ohms,
-    "Ω"
-);
-quantity!(
-    /// A span of wall-clock time expressed in hours, used for unit-safe
-    /// `power × time = energy` and `current × time = charge` arithmetic.
-    Hours,
-    "h"
-);
-
-impl Mul<Amps> for Volts {
-    type Output = Watts;
-    fn mul(self, rhs: Amps) -> Watts {
-        Watts::new(self.value() * rhs.value())
-    }
-}
-
-impl Mul<Volts> for Amps {
-    type Output = Watts;
-    fn mul(self, rhs: Volts) -> Watts {
-        rhs * self
-    }
-}
-
-impl Div<Volts> for Watts {
-    type Output = Amps;
-    fn div(self, rhs: Volts) -> Amps {
-        Amps::new(self.value() / rhs.value())
-    }
-}
-
-impl Div<Amps> for Watts {
-    type Output = Volts;
-    fn div(self, rhs: Amps) -> Volts {
-        Volts::new(self.value() / rhs.value())
-    }
-}
-
-impl Mul<Hours> for Watts {
-    type Output = WattHours;
-    fn mul(self, rhs: Hours) -> WattHours {
-        WattHours::new(self.value() * rhs.value())
-    }
-}
-
-impl Mul<Hours> for Amps {
-    type Output = AmpHours;
-    fn mul(self, rhs: Hours) -> AmpHours {
-        AmpHours::new(self.value() * rhs.value())
-    }
-}
-
-impl Div<Hours> for WattHours {
-    type Output = Watts;
-    fn div(self, rhs: Hours) -> Watts {
-        Watts::new(self.value() / rhs.value())
-    }
-}
-
-impl Div<Hours> for AmpHours {
-    type Output = Amps;
-    fn div(self, rhs: Hours) -> Amps {
-        Amps::new(self.value() / rhs.value())
-    }
-}
-
-impl Mul<Volts> for AmpHours {
-    type Output = WattHours;
-    fn mul(self, rhs: Volts) -> WattHours {
-        WattHours::new(self.value() * rhs.value())
-    }
-}
-
-impl Div<Volts> for WattHours {
-    type Output = AmpHours;
-    fn div(self, rhs: Volts) -> AmpHours {
-        AmpHours::new(self.value() / rhs.value())
-    }
-}
-
-impl Mul<Ohms> for Amps {
-    type Output = Volts;
-    fn mul(self, rhs: Ohms) -> Volts {
-        Volts::new(self.value() * rhs.value())
-    }
-}
-
-impl WattHours {
-    /// Converts to kilowatt-hours.
-    #[must_use]
-    pub fn kilowatt_hours(self) -> f64 {
-        self.value() / 1000.0
-    }
-
-    /// Creates an energy quantity from kilowatt-hours.
-    #[must_use]
-    pub fn from_kilowatt_hours(kwh: f64) -> Self {
-        Self::new(kwh * 1000.0)
-    }
-}
-
-impl Watts {
-    /// Converts to kilowatts.
-    #[must_use]
-    pub fn kilowatts(self) -> f64 {
-        self.value() / 1000.0
-    }
-
-    /// Creates a power quantity from kilowatts.
-    #[must_use]
-    pub fn from_kilowatts(kw: f64) -> Self {
-        Self::new(kw * 1000.0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn power_from_voltage_and_current() {
-        assert_eq!(Volts::new(12.0) * Amps::new(2.5), Watts::new(30.0));
-        assert_eq!(Amps::new(2.5) * Volts::new(12.0), Watts::new(30.0));
-    }
-
-    #[test]
-    fn current_from_power_and_voltage() {
-        assert_eq!(Watts::new(120.0) / Volts::new(24.0), Amps::new(5.0));
-    }
-
-    #[test]
-    fn energy_accumulation() {
-        let mut e = WattHours::ZERO;
-        e += Watts::new(450.0) * Hours::new(0.5);
-        assert!((e.value() - 225.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn charge_accumulation_and_back() {
-        let q = Amps::new(8.75) * Hours::new(4.0);
-        assert!((q.value() - 35.0).abs() < 1e-12);
-        assert_eq!(q / Hours::new(4.0), Amps::new(8.75));
-    }
-
-    #[test]
-    fn same_unit_ratio_is_dimensionless() {
-        let ratio = WattHours::new(50.0) / WattHours::new(200.0);
-        assert!((ratio - 0.25).abs() < 1e-12);
-    }
-
-    #[test]
-    fn ir_drop() {
-        assert_eq!(Amps::new(10.0) * Ohms::new(0.05), Volts::new(0.5));
-    }
-
-    #[test]
-    fn kilowatt_conversions_round_trip() {
-        assert_eq!(Watts::from_kilowatts(1.6).value(), 1600.0);
-        assert_eq!(Watts::new(1600.0).kilowatts(), 1.6);
-        assert_eq!(WattHours::from_kilowatt_hours(2.0).value(), 2000.0);
-        assert_eq!(WattHours::new(2000.0).kilowatt_hours(), 2.0);
-    }
-
-    #[test]
-    fn display_includes_unit_and_precision() {
-        assert_eq!(format!("{:.1}", Watts::new(3.16227)), "3.2 W");
-        assert_eq!(format!("{}", Volts::new(12.5)), "12.5 V");
-    }
-
-    #[test]
-    fn clamp_min_max_abs() {
-        let w = Watts::new(-5.0);
-        assert_eq!(w.abs(), Watts::new(5.0));
-        assert_eq!(w.max(Watts::ZERO), Watts::ZERO);
-        assert_eq!(w.min(Watts::ZERO), w);
-        assert_eq!(
-            Watts::new(7.0).clamp(Watts::ZERO, Watts::new(5.0)),
-            Watts::new(5.0)
-        );
-    }
-
-    #[test]
-    fn sum_over_iterator() {
-        let total: Watts = [1.0, 2.0, 3.5].iter().map(|&v| Watts::new(v)).sum();
-        assert_eq!(total, Watts::new(6.5));
-    }
-
-    #[test]
-    fn energy_charge_voltage_relations() {
-        let e = AmpHours::new(35.0) * Volts::new(12.0);
-        assert_eq!(e, WattHours::new(420.0));
-        assert_eq!(e / Volts::new(12.0), AmpHours::new(35.0));
-    }
-}
+pub use ins_units::*;

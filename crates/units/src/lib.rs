@@ -1,0 +1,622 @@
+//! # `ins-units` — compile-time units of measure
+//!
+//! Every electrical and energetic quantity in the InSURE workspace is
+//! carried by a dedicated `#[repr(transparent)]` newtype ([`Watts`],
+//! [`Volts`], [`Amps`], [`AmpHours`], [`WattHours`], [`Ohms`], [`Hours`],
+//! [`Soc`]) rather than a bare `f64`, so that the compiler rejects unit
+//! confusion such as adding a power to an energy or feeding watt-hours
+//! into the paper's `N = PG / PPC` batch-sizing rule where watts are
+//! expected. Cross-unit arithmetic is provided only where physics defines
+//! it (`V × A = W`, `W × h = Wh`, `Wh / V = Ah`, `V / Ω = A`, …).
+//!
+//! The crate is dependency-free and zero-cost: each quantity is a single
+//! `f64` at runtime and every operation inlines to the bare float op.
+//!
+//! # Examples
+//!
+//! ```
+//! use ins_units::{Volts, Amps, Watts, Hours};
+//!
+//! let p: Watts = Volts::new(12.0) * Amps::new(3.0);
+//! assert_eq!(p, Watts::new(36.0));
+//! let e = p * Hours::new(2.0);
+//! assert_eq!(e.value(), 72.0); // watt-hours
+//! ```
+//!
+//! Mixing dimensions is a compile error — there is no `Add` between
+//! distinct quantities:
+//!
+//! ```compile_fail
+//! use ins_units::{Watts, WattHours};
+//!
+//! // Power plus energy is dimensionally meaningless and does not compile.
+//! let _ = Watts::new(1.0) + WattHours::new(1.0);
+//! ```
+//!
+//! Likewise a power cannot stand in for an energy:
+//!
+//! ```compile_fail
+//! use ins_units::{Watts, WattHours};
+//!
+//! fn takes_energy(_e: WattHours) {}
+//! takes_energy(Watts::new(5.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Defines an `f64`-backed physical quantity newtype with the standard
+/// arithmetic (same-unit add/sub, scalar mul/div, ratio of same units).
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[repr(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a new quantity from a raw value in base units.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in base units ($unit).
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` when the value is finite (neither NaN nor ±∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// The dimensionless ratio of two quantities of the same unit.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Electrical potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electrical current in amperes. Positive values denote discharge
+    /// (current flowing out of a source) throughout this workspace.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Electric charge in ampere-hours, the paper's unit for battery
+    /// capacity and lifetime throughput.
+    AmpHours,
+    "Ah"
+);
+quantity!(
+    /// Energy in watt-hours.
+    WattHours,
+    "Wh"
+);
+quantity!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// A span of wall-clock time expressed in hours, used for unit-safe
+    /// `power × time = energy` and `current × time = charge` arithmetic.
+    Hours,
+    "h"
+);
+
+/// Long-form alias for [`Amps`].
+pub type Amperes = Amps;
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Amps> for Watts {
+    type Output = Volts;
+    fn div(self, rhs: Amps) -> Volts {
+        Volts::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Hours> for Watts {
+    type Output = WattHours;
+    fn mul(self, rhs: Hours) -> WattHours {
+        WattHours::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Hours> for Amps {
+    type Output = AmpHours;
+    fn mul(self, rhs: Hours) -> AmpHours {
+        AmpHours::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Hours> for WattHours {
+    type Output = Watts;
+    fn div(self, rhs: Hours) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Hours> for AmpHours {
+    type Output = Amps;
+    fn div(self, rhs: Hours) -> Amps {
+        Amps::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Volts> for AmpHours {
+    type Output = WattHours;
+    fn mul(self, rhs: Volts) -> WattHours {
+        WattHours::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Volts> for WattHours {
+    type Output = AmpHours;
+    fn div(self, rhs: Volts) -> AmpHours {
+        AmpHours::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms::new(self.value() / rhs.value())
+    }
+}
+
+impl WattHours {
+    /// Converts to kilowatt-hours.
+    #[must_use]
+    pub fn kilowatt_hours(self) -> f64 {
+        self.value() / 1000.0
+    }
+
+    /// Creates an energy quantity from kilowatt-hours.
+    #[must_use]
+    pub fn from_kilowatt_hours(kwh: f64) -> Self {
+        Self::new(kwh * 1000.0)
+    }
+}
+
+impl Watts {
+    /// Converts to kilowatts.
+    #[must_use]
+    pub fn kilowatts(self) -> f64 {
+        self.value() / 1000.0
+    }
+
+    /// Creates a power quantity from kilowatts.
+    #[must_use]
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Self::new(kw * 1000.0)
+    }
+}
+
+/// Error returned by [`Soc::try_new`] for values that carry no usable
+/// state-of-charge information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocError {
+    /// The supplied fraction was NaN or infinite.
+    NotFinite,
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotFinite => write!(f, "state of charge must be a finite number"),
+        }
+    }
+}
+
+impl std::error::Error for SocError {}
+
+/// Battery state of charge: a dimensionless fraction guaranteed to lie in
+/// `[0, 1]` and to be non-NaN by construction.
+///
+/// Unlike the electrical quantities above, `Soc` is an *invariant-carrying*
+/// newtype: every constructor clamps into the unit interval and rejects
+/// non-finite input, so code receiving a `Soc` never needs to re-validate.
+///
+/// # Examples
+///
+/// ```
+/// use ins_units::Soc;
+///
+/// let half = Soc::new(0.5);
+/// assert!(half > Soc::EMPTY && half < Soc::FULL);
+/// // Out-of-range values clamp; comparisons against bare f64 work both ways.
+/// assert_eq!(Soc::new(1.7), Soc::FULL);
+/// assert!(half < 0.75);
+/// assert!(Soc::try_new(f64::NAN).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[repr(transparent)]
+pub struct Soc(f64);
+
+impl Soc {
+    /// A fully depleted battery (0 %).
+    pub const EMPTY: Self = Self(0.0);
+
+    /// A fully charged battery (100 %).
+    pub const FULL: Self = Self(1.0);
+
+    /// Creates a state of charge from a fraction, clamping into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is NaN or infinite — a non-finite state of
+    /// charge is always an upstream arithmetic bug, never valid telemetry.
+    #[must_use]
+    pub fn new(fraction: f64) -> Self {
+        match Self::try_new(fraction) {
+            Ok(soc) => soc,
+            Err(e) => panic!("invalid state of charge {fraction}: {e}"),
+        }
+    }
+
+    /// Creates a state of charge from a fraction, clamping into `[0, 1]`,
+    /// or reports [`SocError::NotFinite`] for NaN / infinite input.
+    pub fn try_new(fraction: f64) -> Result<Self, SocError> {
+        if fraction.is_finite() {
+            Ok(Self(fraction.clamp(0.0, 1.0)))
+        } else {
+            Err(SocError::NotFinite)
+        }
+    }
+
+    /// The state of charge as a bare fraction in `[0, 1]`.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The state of charge in percent (`[0, 100]`).
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Total ordering, mirroring [`f64::total_cmp`]. Every `Soc` is finite
+    /// by construction, so this agrees with `partial_cmp` everywhere.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
+    /// Raw IEEE-754 bits of the underlying fraction, mirroring
+    /// [`f64::to_bits`] — for bit-exact determinism checks.
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        self.0.to_bits()
+    }
+}
+
+impl PartialEq<f64> for Soc {
+    fn eq(&self, other: &f64) -> bool {
+        self.0 == *other // ins-lint: allow(L004) -- definitional forwarding
+    }
+}
+
+impl PartialEq<Soc> for f64 {
+    fn eq(&self, other: &Soc) -> bool {
+        *self == other.0 // ins-lint: allow(L004) -- definitional forwarding
+    }
+}
+
+impl PartialOrd<f64> for Soc {
+    fn partial_cmp(&self, other: &f64) -> Option<core::cmp::Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl PartialOrd<Soc> for f64 {
+    fn partial_cmp(&self, other: &Soc) -> Option<core::cmp::Ordering> {
+        self.partial_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Soc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} %", prec, self.percent())
+        } else {
+            write!(f, "{} %", self.percent())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_from_voltage_and_current() {
+        assert_eq!(Volts::new(12.0) * Amps::new(2.5), Watts::new(30.0));
+        assert_eq!(Amps::new(2.5) * Volts::new(12.0), Watts::new(30.0));
+    }
+
+    #[test]
+    fn current_from_power_and_voltage() {
+        assert_eq!(Watts::new(120.0) / Volts::new(24.0), Amps::new(5.0));
+    }
+
+    #[test]
+    fn energy_accumulation() {
+        let mut e = WattHours::ZERO;
+        e += Watts::new(450.0) * Hours::new(0.5);
+        assert!((e.value() - 225.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_accumulation_and_back() {
+        let q = Amps::new(8.75) * Hours::new(4.0);
+        assert!((q.value() - 35.0).abs() < 1e-12);
+        assert_eq!(q / Hours::new(4.0), Amps::new(8.75));
+    }
+
+    #[test]
+    fn same_unit_ratio_is_dimensionless() {
+        let ratio = WattHours::new(50.0) / WattHours::new(200.0);
+        assert!((ratio - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ir_drop_and_ohms_law() {
+        assert_eq!(Amps::new(10.0) * Ohms::new(0.05), Volts::new(0.5));
+        assert_eq!(Volts::new(24.0) / Ohms::new(12.0), Amps::new(2.0));
+        assert_eq!(Volts::new(24.0) / Amps::new(2.0), Ohms::new(12.0));
+    }
+
+    #[test]
+    fn kilowatt_conversions_round_trip() {
+        assert_eq!(Watts::from_kilowatts(1.6).value(), 1600.0);
+        assert_eq!(Watts::new(1600.0).kilowatts(), 1.6);
+        assert_eq!(WattHours::from_kilowatt_hours(2.0).value(), 2000.0);
+        assert_eq!(WattHours::new(2000.0).kilowatt_hours(), 2.0);
+    }
+
+    #[test]
+    fn display_includes_unit_and_precision() {
+        assert_eq!(format!("{:.1}", Watts::new(3.16227)), "3.2 W");
+        assert_eq!(format!("{}", Volts::new(12.5)), "12.5 V");
+        assert_eq!(format!("{:.0}", Soc::new(0.85)), "85 %");
+    }
+
+    #[test]
+    fn clamp_min_max_abs() {
+        let w = Watts::new(-5.0);
+        assert_eq!(w.abs(), Watts::new(5.0));
+        assert_eq!(w.max(Watts::ZERO), Watts::ZERO);
+        assert_eq!(w.min(Watts::ZERO), w);
+        assert_eq!(
+            Watts::new(7.0).clamp(Watts::ZERO, Watts::new(5.0)),
+            Watts::new(5.0)
+        );
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Watts = [1.0, 2.0, 3.5].iter().map(|&v| Watts::new(v)).sum();
+        assert_eq!(total, Watts::new(6.5));
+    }
+
+    #[test]
+    fn energy_charge_voltage_relations() {
+        let e = AmpHours::new(35.0) * Volts::new(12.0);
+        assert_eq!(e, WattHours::new(420.0));
+        assert_eq!(e / Volts::new(12.0), AmpHours::new(35.0));
+    }
+
+    #[test]
+    fn soc_clamps_into_unit_interval() {
+        assert_eq!(Soc::new(-0.25), Soc::EMPTY);
+        assert_eq!(Soc::new(1.25), Soc::FULL);
+        assert!((Soc::new(0.4).value() - 0.4).abs() < 1e-15);
+        assert!((Soc::new(0.4).percent() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soc_rejects_non_finite() {
+        assert_eq!(Soc::try_new(f64::NAN), Err(SocError::NotFinite));
+        assert_eq!(Soc::try_new(f64::INFINITY), Err(SocError::NotFinite));
+        assert_eq!(Soc::try_new(f64::NEG_INFINITY), Err(SocError::NotFinite));
+        assert_eq!(
+            SocError::NotFinite.to_string(),
+            "state of charge must be a finite number"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid state of charge")]
+    fn soc_new_panics_on_nan() {
+        let _ = Soc::new(f64::NAN);
+    }
+
+    #[test]
+    fn soc_compares_with_bare_fractions() {
+        let s = Soc::new(0.5);
+        assert!(s > 0.3 && s < 0.7);
+        assert!(0.3 < s && 0.7 > s);
+        // Both directions of the cross-type `PartialEq` forwarding.
+        assert!(s == 0.5);
+        assert!(0.5 == s);
+        assert_eq!(Soc::new(0.2).max(Soc::new(0.6)), Soc::new(0.6));
+        assert_eq!(Soc::new(0.2).min(Soc::new(0.6)), Soc::new(0.2));
+    }
+
+    #[test]
+    fn quantities_are_pod_sized() {
+        assert_eq!(core::mem::size_of::<Watts>(), core::mem::size_of::<f64>());
+        assert_eq!(core::mem::size_of::<Soc>(), core::mem::size_of::<f64>());
+    }
+}

@@ -75,7 +75,7 @@ fn physical_invariants_hold_for_every_controller() {
             let (sys, m) = run_day(make(), WorkloadModel::seismic(), high, 5);
             // State-of-charge bounds.
             for u in sys.units() {
-                assert!((0.0..=1.0 + 1e-9).contains(&u.soc()));
+                assert!((0.0..=1.0 + 1e-9).contains(&u.soc().value()));
                 assert!(u.wear_fraction() >= 0.0 && u.wear_fraction() <= 1.0);
             }
             // Energy never created: the rack cannot consume more than

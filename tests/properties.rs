@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use insure::battery::{BatteryId, BatteryParams, BatteryUnit};
 use insure::powernet::charger::ChargeController;
 use insure::powernet::matrix::{Attachment, SwitchMatrix};
-use insure::sim::units::{Amps, Hours, Watts};
+use insure::sim::units::{Amps, Hours, Soc, Watts};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -17,7 +17,7 @@ proptest! {
         soc in 0.05f64..1.0,
         steps in proptest::collection::vec((0.0f64..40.0, 1u64..1800), 1..40)
     ) {
-        let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), soc);
+        let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), Soc::new(soc));
         let initially_stored = unit.stored_charge();
         let mut delivered = 0.0;
         for (amps, secs) in steps {
@@ -36,7 +36,7 @@ proptest! {
         soc in 0.0f64..=1.0,
         ops in proptest::collection::vec((0u8..3, 0.0f64..30.0, 1u64..3600), 1..60)
     ) {
-        let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), soc);
+        let mut unit = BatteryUnit::with_soc(BatteryId(0), BatteryParams::cabinet_24v(), Soc::new(soc));
         let mut last_wear = 0.0;
         for (kind, magnitude, secs) in ops {
             let dt = Hours::new(secs as f64 / 3600.0);
@@ -45,7 +45,7 @@ proptest! {
                 1 => { unit.charge(Amps::new(magnitude), dt); }
                 _ => unit.rest(dt),
             }
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&unit.soc()));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&unit.soc().value()));
             prop_assert!((0.0..=1.0).contains(&unit.available_fraction()));
             let wear = unit.discharge_throughput().value();
             prop_assert!(wear >= last_wear - 1e-12, "wear must be monotone");
@@ -62,9 +62,9 @@ proptest! {
     ) {
         let mut unit = BatteryUnit::new(BatteryId(0), BatteryParams::cabinet_24v());
         unit.discharge(Amps::new(30.0), Hours::new(discharge_min as f64 / 60.0));
-        let before = unit.available_fraction();
+        let before = unit.available_fraction().value();
         unit.rest(Hours::new(rest_min as f64 / 60.0));
-        prop_assert!(unit.available_fraction() >= before - 1e-9);
+        prop_assert!(unit.available_fraction().value() >= before - 1e-9);
     }
 
     /// The charger never draws more than its budget and never charges a
@@ -79,7 +79,7 @@ proptest! {
         let mut units: Vec<BatteryUnit> = socs
             .iter()
             .enumerate()
-            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), s))
+            .map(|(i, &s)| BatteryUnit::with_soc(BatteryId(i), BatteryParams::cabinet_24v(), Soc::new(s)))
             .collect();
         let dt = Hours::new(minutes as f64 / 60.0);
         let step = {
