@@ -121,6 +121,7 @@ fn bench_controller_decision(c: &mut Criterion) {
         pack_voltage: Volts::new(24.0),
         pending_gb: 50.0,
         knob: LoadKnob::DutyCycle,
+        brownouts: 0,
     };
     c.bench_function("insure_controller_decision", |b| {
         let mut ctrl = InsureController::default();

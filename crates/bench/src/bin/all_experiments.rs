@@ -5,7 +5,7 @@
 //! ```
 
 use ins_bench::experiments::{
-    buffer, costs, endurance, faults, fullsys, hetero, logs, micro, sizing, traces,
+    buffer, costs, endurance, faults, fullsys, hetero, logs, micro, recovery, sizing, traces,
 };
 use ins_bench::table::{dollars, TextTable};
 use ins_sim::units::WattHours;
@@ -156,6 +156,9 @@ fn main() {
 
     heading("Robustness extension — fault-rate sweep");
     println!("{}", faults::render(&faults::sweep(11)));
+
+    heading("Robustness extension — recovery sweep (checkpoint interval × fault rate)");
+    println!("{}", recovery::render(&recovery::sweep(11)));
 
     heading("Extension — two-week endurance and sunshine sweep");
     let run = endurance::endurance(14, 9);

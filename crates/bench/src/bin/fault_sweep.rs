@@ -1,8 +1,83 @@
 //! Fault-rate sweep: graceful degradation under injected faults.
-use ins_bench::experiments::faults::{render, sweep};
+//!
+//! ```sh
+//! cargo run -p ins-bench --release --bin fault_sweep -- \
+//!     [--seed N] [--rates 8,4,2,1] [--json]
+//! ```
+//!
+//! `--rates` takes mean fault inter-arrival times in hours; a fault-free
+//! reference row is always included first. `--json` emits the rows as a
+//! JSON array instead of the text table.
 
-fn main() {
-    println!("Fault sweep — one day, stochastic fault schedule per rate");
-    println!("{}", render(&sweep(11)));
-    println!("(same seed per rate: both controllers face identical fault arrivals)");
+use std::process::ExitCode;
+
+use ins_bench::experiments::faults::{render, sweep_rates, to_json, RATES_HOURS};
+
+struct Args {
+    seed: u64,
+    rates: Vec<Option<f64>>,
+    json: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fault_sweep [--seed N] [--rates H1,H2,...] [--json]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        seed: 11,
+        rates: RATES_HOURS.to_vec(),
+        json: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--rates" => {
+                let v = it.next().ok_or("--rates needs a comma-separated list")?;
+                let mut rates = vec![None];
+                for part in v.split(',') {
+                    let h: f64 = part
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad rate '{part}'"))?;
+                    if !(h.is_finite() && h > 0.0) {
+                        return Err(format!("rate '{part}' must be a positive number of hours"));
+                    }
+                    rates.push(Some(h));
+                }
+                args.rates = rates;
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rows = sweep_rates(args.seed, &args.rates);
+    if args.json {
+        println!("{}", to_json(&rows));
+    } else {
+        println!(
+            "Fault sweep — one day, stochastic fault schedule per rate (seed {})",
+            args.seed
+        );
+        println!("{}", render(&rows));
+        println!("(same seed per rate: both controllers face identical fault arrivals)");
+    }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,50 @@
+//! Recovery sweep: checkpoint interval × fault rate, InSURE vs baseline.
+//!
+//! ```sh
+//! cargo run -p ins-bench --release --bin recovery -- [--seed N] [--json]
+//! ```
+//!
+//! Each cell runs one day under the extended stochastic fault menu with
+//! periodic checkpointing, and reports goodput, lost-work hours and MTTR.
+
+use std::process::ExitCode;
+
+use ins_bench::experiments::recovery::{render, sweep, to_json};
+
+fn main() -> ExitCode {
+    let mut seed = 11u64;
+    let mut json = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--seed needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("bad seed '{v}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag '{other}'\nusage: recovery [--seed N] [--json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let rows = sweep(seed);
+    if json {
+        println!("{}", to_json(&rows));
+    } else {
+        println!("Recovery sweep — checkpoint interval × fault rate (seed {seed})");
+        println!("{}", render(&rows));
+        println!("(goodput counts each GB once; throughput double-counts replayed work)");
+    }
+    ExitCode::SUCCESS
+}

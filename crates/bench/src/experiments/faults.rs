@@ -82,11 +82,19 @@ pub fn run_day(
     (RunMetrics::collect(&sys), injected)
 }
 
-/// Sweeps fault rate × {InSURE, baseline}; two rows per rate.
+/// Sweeps fault rate × {InSURE, baseline}; two rows per rate. Uses the
+/// default [`RATES_HOURS`] grid.
 #[must_use]
 pub fn sweep(seed: u64) -> Vec<FaultSweepRow> {
+    sweep_rates(seed, &RATES_HOURS)
+}
+
+/// Sweeps an arbitrary fault-rate grid × {InSURE, baseline}; two rows
+/// per rate. `None` entries are fault-free reference rows.
+#[must_use]
+pub fn sweep_rates(seed: u64, rates: &[Option<f64>]) -> Vec<FaultSweepRow> {
     let mut rows = Vec::new();
-    for rate in RATES_HOURS {
+    for &rate in rates {
         let lineup: [(&'static str, Box<dyn PowerController>); 2] = [
             ("insure", Box::new(InsureController::default())),
             ("baseline", Box::new(BaselineController::new())),
@@ -136,6 +144,31 @@ pub fn render(rows: &[FaultSweepRow]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Renders the sweep as a JSON array of row objects, one per cell.
+/// The fault-free reference row's inter-arrival time is `null`.
+#[must_use]
+pub fn to_json(rows: &[FaultSweepRow]) -> String {
+    use crate::export::{json_escape, json_number};
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"mean_interarrival_hours\":{},\"controller\":\"{}\",\
+             \"faults_injected\":{},\"uptime\":{},\"gb_per_hour\":{},\
+             \"energy_availability_wh\":{},\"brownouts\":{}}}{}\n",
+            json_number(r.mean_interarrival_hours),
+            json_escape(r.controller),
+            r.faults_injected,
+            json_number(r.uptime),
+            json_number(r.gb_per_hour),
+            json_number(r.energy_availability_wh),
+            r.brownouts,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]
@@ -251,5 +284,26 @@ mod tests {
         assert!(text.contains("1 h"));
         assert!(text.contains("insure"));
         assert!(text.contains("baseline"));
+    }
+
+    #[test]
+    fn custom_rate_grid_is_honoured() {
+        let rows = sweep_rates(7, &[Some(6.0), Some(3.0)]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows
+            .iter()
+            .all(|r| r.mean_interarrival_hours == 6.0 || r.mean_interarrival_hours == 3.0));
+    }
+
+    #[test]
+    fn json_rows_are_well_formed() {
+        let rows = sweep_rates(7, &[None, Some(2.0)]);
+        let json = to_json(&rows);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        // The fault-free reference renders its rate as null, not Infinity.
+        assert!(json.contains("\"mean_interarrival_hours\":null"));
+        assert!(!json.contains("inf"));
+        assert_eq!(json.matches("\"controller\"").count(), rows.len());
     }
 }

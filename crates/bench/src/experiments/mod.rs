@@ -13,6 +13,7 @@
 //! | [`endurance`] | multi-day Eq. 1 screening + sunshine-fraction sweep |
 //! | [`ablation`] | DESIGN.md's design-choice ablations |
 //! | [`faults`] | fault-rate sweep: graceful degradation under injected faults |
+//! | [`recovery`] | checkpoint interval × fault rate: goodput, lost work, MTTR |
 
 pub mod ablation;
 pub mod buffer;
@@ -23,5 +24,6 @@ pub mod fullsys;
 pub mod hetero;
 pub mod logs;
 pub mod micro;
+pub mod recovery;
 pub mod sizing;
 pub mod traces;

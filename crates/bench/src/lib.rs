@@ -27,6 +27,7 @@
 //! | `fig25_scenarios` | Fig. 25 |
 //! | `endurance_weeks` | multi-day Eq. 1 screening + sunshine sweep |
 //! | `fault_sweep` | fault-rate sweep: degradation under injected faults |
+//! | `recovery` | checkpoint interval × fault rate: goodput, lost work, MTTR |
 //! | `all_experiments` | everything above, in order |
 //!
 //! `cargo bench -p ins-bench` additionally measures the simulator's hot

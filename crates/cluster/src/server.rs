@@ -42,11 +42,11 @@ pub enum PowerState {
 
 /// Base crash-restart cooldown; doubles per consecutive crash, bounded by
 /// [`MAX_CRASH_BACKOFF_DOUBLINGS`].
-const BASE_CRASH_COOLDOWN: SimDuration = SimDuration::from_secs(120);
+pub const BASE_CRASH_COOLDOWN: SimDuration = SimDuration::from_secs(120);
 
 /// Cap on backoff doublings, bounding the cooldown at 2^5 × the base
 /// (64 minutes) no matter how often a machine crash-loops.
-const MAX_CRASH_BACKOFF_DOUBLINGS: u32 = 5;
+pub const MAX_CRASH_BACKOFF_DOUBLINGS: u32 = 5;
 
 /// One physical machine.
 ///

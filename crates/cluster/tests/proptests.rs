@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use ins_cluster::dvfs::DutyCycle;
 use ins_cluster::profiles::ServerProfile;
 use ins_cluster::rack::Rack;
-use ins_cluster::server::Server;
+use ins_cluster::server::{PowerState, Server, BASE_CRASH_COOLDOWN, MAX_CRASH_BACKOFF_DOUBLINGS};
 use ins_sim::time::SimDuration;
 
 proptest! {
@@ -90,6 +90,38 @@ proptest! {
         let on = rack.servers().iter().filter(|s| s.is_on()).count() as u32;
         prop_assert_eq!(on, vms.div_ceil(2), "vms {} → machines {}", vms, on);
         prop_assert_eq!(rack.active_vms(), vms.min(8));
+    }
+
+    /// The crash-restart cooldown doubles per consecutive crash and is
+    /// exactly `BASE << MAX_CRASH_BACKOFF_DOUBLINGS` from the cap onward,
+    /// for any crash-loop length.
+    #[test]
+    fn crash_backoff_doubles_then_caps(crashes in 1u64..24) {
+        let mut s = Server::new(ServerProfile::xeon_proliant());
+        for n in 1..=crashes {
+            s.power_on();
+            prop_assert!(!s.is_off(), "power-on must leave Off before crash {n}");
+            s.crash();
+            let remaining = match s.state() {
+                PowerState::CrashedCoolingDown { remaining } => remaining,
+                other => panic!("crash must enter cooldown, got {other:?}"),
+            };
+            let doublings = (n - 1).min(u64::from(MAX_CRASH_BACKOFF_DOUBLINGS));
+            prop_assert_eq!(
+                remaining.as_secs(),
+                BASE_CRASH_COOLDOWN.as_secs() << doublings,
+                "crash {} cooldown", n
+            );
+            // The cap bounds every cooldown, no matter the loop length.
+            prop_assert!(
+                remaining.as_secs()
+                    <= BASE_CRASH_COOLDOWN.as_secs() << MAX_CRASH_BACKOFF_DOUBLINGS
+            );
+            // Drain the cooldown so the next iteration can boot again.
+            s.step(remaining, 0.0, DutyCycle::FULL);
+            s.step(SimDuration::from_secs(1), 0.0, DutyCycle::FULL);
+            prop_assert!(s.is_off(), "cooldown must expire to Off");
+        }
     }
 
     /// Duty cycle arithmetic stays in range and is reversible at the ends.

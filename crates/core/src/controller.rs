@@ -21,6 +21,7 @@ use ins_sim::units::{AmpHours, Amps, Soc, Volts, Watts};
 
 use crate::config::{ConfigError, InsureConfig};
 use crate::health::HealthMonitor;
+use crate::recovery::RecoveryCoordinator;
 use crate::spm::{
     charge_batch_size, discharge_threshold, screen, select_for_charging, select_for_discharge,
     UnitView,
@@ -63,6 +64,9 @@ pub struct SystemObservation {
     pub pending_gb: f64,
     /// The knob this workload exposes to the TPM.
     pub knob: LoadKnob,
+    /// Cumulative brownout count since deployment start (lets a
+    /// controller notice an outage it did not order itself).
+    pub brownouts: usize,
 }
 
 /// A controller's orders for the coming period.
@@ -109,6 +113,9 @@ pub struct InsureController {
     /// Detects failed/suspect units from observable signals and
     /// quarantines them out of SPM selection.
     health: HealthMonitor,
+    /// Sequences the staged black-start after an emergency shutdown or
+    /// brownout; its admission cap only ever lowers the VM target.
+    recovery: RecoveryCoordinator,
 }
 
 impl InsureController {
@@ -139,6 +146,7 @@ impl InsureController {
             raise_blocked_until: None,
             smoothed_surplus: 0.0,
             health: HealthMonitor::prototype(),
+            recovery: RecoveryCoordinator::default(),
         })
     }
 
@@ -152,6 +160,12 @@ impl InsureController {
     #[must_use]
     pub fn health(&self) -> &HealthMonitor {
         &self.health
+    }
+
+    /// The controller's black-start coordinator (recovery state).
+    #[must_use]
+    pub fn recovery(&self) -> &RecoveryCoordinator {
+        &self.recovery
     }
 
     fn maybe_screen(&mut self, obs: &SystemObservation) {
@@ -200,6 +214,9 @@ impl PowerController for InsureController {
         // below, so a failed-open unit drops out of SPM's world the same
         // period its strikes run out.
         self.health.assess(&obs.units, obs.pack_voltage);
+        // Recovery lifecycle: notice brownouts we did not order and
+        // advance the black-start ramp; its cap is applied at the end.
+        self.recovery.observe(obs);
         let survivors: Vec<BatteryId> = self
             .eligible
             .iter()
@@ -251,6 +268,7 @@ impl PowerController for InsureController {
                 action.emergency_shutdown = true;
                 action.target_vms = Some(0);
                 self.raise_blocked_until = Some(obs.now + SimDuration::from_minutes(20));
+                self.recovery.on_outage(obs.now);
             }
             TpmAction::CapPower(LoadKnob::DutyCycle) => {
                 if obs.duty.at_floor() {
@@ -401,6 +419,19 @@ impl PowerController for InsureController {
             let intended = action.target_vms.unwrap_or(obs.target_vms);
             if intended > ceiling {
                 action.target_vms = Some(ceiling);
+            }
+        }
+
+        // --- Black-start admission cap. ---------------------------------
+        // After an outage the coordinator releases capacity in budget-
+        // gated stages; like degraded mode, this only ever lowers the
+        // target, so recovery sequencing can never add demand.
+        if !action.emergency_shutdown {
+            if let Some(cap) = self.recovery.admission_cap() {
+                let intended = action.target_vms.unwrap_or(obs.target_vms);
+                if intended > cap {
+                    action.target_vms = Some(cap);
+                }
             }
         }
         action
@@ -694,6 +725,7 @@ mod tests {
             pack_voltage: Volts::new(24.0),
             pending_gb: 100.0,
             knob: LoadKnob::DutyCycle,
+            brownouts: 0,
         }
     }
 

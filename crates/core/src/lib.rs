@@ -17,6 +17,8 @@
 //! * [`health`] — health monitoring from observable signals (voltage
 //!   divergence, stale telemetry) and quarantine of failed e-Buffer
 //!   units, feeding SPM re-selection and degraded-mode operation,
+//! * [`recovery`] — staged black-start after emergency shutdowns and
+//!   blackouts: power-budget-gated admission of VMs in stages,
 //! * [`system`] — the full co-simulation wiring solar, switch matrix,
 //!   batteries, charger, load bus, rack and workload together,
 //! * [`metrics`] — the paper's service- and system-related metrics and
@@ -52,6 +54,7 @@ pub mod health;
 pub mod log;
 pub mod metrics;
 pub mod mode;
+pub mod recovery;
 pub mod spm;
 pub mod system;
 pub mod tpm;
@@ -64,4 +67,5 @@ pub use controller::{
 pub use health::{HealthConfig, HealthMonitor, UnitCondition};
 pub use metrics::RunMetrics;
 pub use mode::{BufferMode, TransitionCause};
+pub use recovery::{BlackStartConfig, RecoveryCoordinator, RecoveryPhase};
 pub use system::{InSituSystem, SystemBuilder, SystemEvent, WorkloadModel};

@@ -29,6 +29,16 @@ pub struct DailyLog {
     pub brownouts: usize,
     /// Emergency shutdowns this day.
     pub emergency_shutdowns: usize,
+    /// Durable checkpoint writes completed this day.
+    pub checkpoints_written: usize,
+    /// Checkpoint writes torn by crashes this day.
+    pub checkpoints_torn: usize,
+    /// Durable checkpoints invalidated this day.
+    pub checkpoints_lost: usize,
+    /// Restores from durable checkpoints this day.
+    pub checkpoints_restored: usize,
+    /// Outage episodes that completed recovery this day.
+    pub recoveries: usize,
 }
 
 /// Slices a finished run into per-day logs. Days with no recorded samples
@@ -79,6 +89,13 @@ pub fn daily_logs(system: &InSituSystem) -> Vec<DailyLog> {
                 .between(from, to)
                 .filter(|e| matches!(e.event, SystemEvent::EmergencyShutdown))
                 .count();
+            let count_event = |wanted: SystemEvent| {
+                system
+                    .events()
+                    .between(from, to)
+                    .filter(|e| e.event == wanted)
+                    .count()
+            };
             Some(DailyLog {
                 day,
                 solar_kwh: day_solar / 1000.0,
@@ -88,6 +105,11 @@ pub fn daily_logs(system: &InSituSystem) -> Vec<DailyLog> {
                 voltage_sigma: stats.population_std_dev(),
                 brownouts,
                 emergency_shutdowns,
+                checkpoints_written: count_event(SystemEvent::CheckpointWritten),
+                checkpoints_torn: count_event(SystemEvent::CheckpointTorn),
+                checkpoints_lost: count_event(SystemEvent::CheckpointLost),
+                checkpoints_restored: count_event(SystemEvent::CheckpointRestored),
+                recoveries: count_event(SystemEvent::Recovered),
             })
         })
         .collect()
@@ -162,6 +184,29 @@ mod tests {
             assert!(log.end_voltage >= log.min_voltage - 1e-9);
             assert!(log.voltage_sigma >= 0.0);
         }
+    }
+
+    #[test]
+    fn checkpoint_audit_counts_appear_per_day() {
+        use ins_workload::checkpoint::CheckpointPolicy;
+        let solar = SolarTraceBuilder::new()
+            .seed(6)
+            .build_days(&[DayWeather::Sunny, DayWeather::Sunny]);
+        let mut sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
+            .time_step(SimDuration::from_secs(60))
+            .checkpoints(CheckpointPolicy::with_interval(SimDuration::from_minutes(
+                30,
+            )))
+            .build();
+        sys.run_until(SimTime::from_secs(2 * SECONDS_PER_DAY));
+        let logs = daily_logs(&sys);
+        let written: usize = logs.iter().map(|l| l.checkpoints_written).sum();
+        assert_eq!(
+            written,
+            sys.checkpoint_counters().written as usize,
+            "per-day checkpoint audit must sum to the run total"
+        );
+        assert!(written > 0, "two sunny days must produce checkpoints");
     }
 
     #[test]

@@ -65,6 +65,30 @@ pub struct RunMetrics {
     pub brownouts: usize,
     /// Controller-ordered emergency shutdowns.
     pub emergency_shutdowns: usize,
+    // --- Checkpoint/recovery ------------------------------------------------
+    /// Throughput that produced durable value, GB (each GB counted once;
+    /// `processed_gb` double-counts replayed work).
+    pub goodput_gb: f64,
+    /// Goodput per hour of wall time.
+    pub goodput_gb_per_hour: f64,
+    /// Crash-lost work replayed or abandoned, GB.
+    pub lost_work_gb: f64,
+    /// The same loss expressed as full-rack processing hours.
+    pub lost_work_hours: f64,
+    /// Completed outage→recovery episodes.
+    pub recoveries: usize,
+    /// Mean time to recover over completed episodes, minutes (0 if none).
+    pub mttr_minutes: f64,
+    /// Unrecoverable data-loss events (corruption, poison quarantine).
+    pub data_loss_events: u64,
+    /// Durable checkpoint writes completed.
+    pub checkpoints_written: u64,
+    /// In-flight checkpoint writes torn by crashes.
+    pub checkpoints_torn: u64,
+    /// Durable checkpoints invalidated (corruption/unwritable path).
+    pub checkpoints_lost: u64,
+    /// Successful restores from a durable checkpoint.
+    pub checkpoints_restored: u64,
 }
 
 impl RunMetrics {
@@ -75,6 +99,30 @@ impl RunMetrics {
         let processed_gb = system.workload().processed_gb();
         let discharge_ah = system.total_discharge_throughput();
         let life_days = mean_service_life(system.units());
+        let goodput_gb = system.goodput_gb();
+        let lost_work_gb = system.lost_work_gb();
+        // Express lost work in full-rack processing hours: how long the
+        // whole cluster at full duty would take to redo it.
+        let full_rate = system
+            .workload()
+            .capacity_gb_per_hour(system.rack().total_vm_slots(), 1.0);
+        let lost_work_hours = if full_rate > 1e-9 {
+            lost_work_gb / full_rate
+        } else {
+            0.0
+        };
+        let recoveries = system.recovery_durations().len();
+        let mttr_minutes = if recoveries > 0 {
+            system
+                .recovery_durations()
+                .iter()
+                .map(|d| d.as_minutes())
+                .sum::<f64>()
+                / recoveries as f64
+        } else {
+            0.0
+        };
+        let counters = system.checkpoint_counters();
         Self {
             controller: system.controller_name().to_string(),
             elapsed_hours,
@@ -107,6 +155,17 @@ impl RunMetrics {
             emergency_shutdowns: system
                 .events()
                 .count(|e| matches!(e, SystemEvent::EmergencyShutdown)),
+            goodput_gb,
+            goodput_gb_per_hour: goodput_gb / elapsed_hours,
+            lost_work_gb,
+            lost_work_hours,
+            recoveries,
+            mttr_minutes,
+            data_loss_events: system.data_loss_events(),
+            checkpoints_written: counters.written,
+            checkpoints_torn: counters.torn,
+            checkpoints_lost: counters.lost,
+            checkpoints_restored: counters.restored,
         }
     }
 
@@ -152,7 +211,7 @@ impl fmt::Display for RunMetrics {
             self.voltage_sigma,
             self.expected_service_life_days
         )?;
-        write!(
+        writeln!(
             f,
             "  control : {} power ops, {} on/off, {} VM ops, {} brown-outs, {} emergencies",
             self.power_ctrl_times,
@@ -160,6 +219,21 @@ impl fmt::Display for RunMetrics {
             self.vm_ctrl_times,
             self.brownouts,
             self.emergency_shutdowns
+        )?;
+        write!(
+            f,
+            "  recovery: goodput {:.1} GB ({:.2} GB/h), lost work {:.1} GB ({:.2} h), MTTR {:.1} min over {} recoveries, {} data-loss, ckpt {}w/{}t/{}l/{}r",
+            self.goodput_gb,
+            self.goodput_gb_per_hour,
+            self.lost_work_gb,
+            self.lost_work_hours,
+            self.mttr_minutes,
+            self.recoveries,
+            self.data_loss_events,
+            self.checkpoints_written,
+            self.checkpoints_torn,
+            self.checkpoints_lost,
+            self.checkpoints_restored
         )
     }
 }
@@ -255,6 +329,41 @@ mod tests {
         assert!(text.contains("uptime"));
         assert!(text.contains("GB/Ah"));
         assert!(text.contains("brown-outs"));
+        assert!(text.contains("MTTR"));
+    }
+
+    #[test]
+    fn goodput_equals_throughput_without_checkpointing() {
+        // With checkpointing off no work is ever replayed, so goodput and
+        // throughput must agree exactly.
+        let sys = finished_run();
+        let m = RunMetrics::collect(&sys);
+        assert!((m.goodput_gb - m.processed_gb).abs() < 1e-12);
+        assert_eq!(m.lost_work_gb, 0.0);
+        assert_eq!(m.checkpoints_written, 0);
+        assert_eq!(m.data_loss_events, 0);
+    }
+
+    #[test]
+    fn checkpointed_run_writes_and_reports() {
+        use ins_workload::checkpoint::CheckpointPolicy;
+        let mut sys = InSituSystem::builder(
+            high_generation_day(7),
+            Box::new(InsureController::default()),
+        )
+        .time_step(SimDuration::from_secs(30))
+        .checkpoints(CheckpointPolicy::with_interval(SimDuration::from_minutes(
+            30,
+        )))
+        .build();
+        sys.run_until(SimTime::from_hms(20, 0, 0));
+        let m = RunMetrics::collect(&sys);
+        assert!(
+            m.checkpoints_written > 0,
+            "a day of serving must produce periodic checkpoints"
+        );
+        assert!(m.goodput_gb <= m.processed_gb + 1e-9);
+        assert!(m.lost_work_hours >= 0.0);
     }
 
     #[test]

@@ -22,6 +22,9 @@ use ins_sim::trace::Trace;
 use ins_sim::units::{AmpHours, Amps, Soc, Volts, WattHours, Watts};
 use ins_solar::SolarTrace;
 use ins_workload::batch::{BatchSpec, BatchWorkload};
+use ins_workload::checkpoint::{
+    CheckpointCounters, CheckpointPolicy, JobCheckpointer, RestartBackoff, RestartOutcome,
+};
 use ins_workload::scaling::ScalingModel;
 use ins_workload::stream::{StreamSpec, StreamWorkload};
 
@@ -109,6 +112,23 @@ impl WorkloadModel {
         }
     }
 
+    /// Re-queues `gb` of crash-lost work for replay: a front-of-queue
+    /// replay job for batch, extra backlog for streams.
+    pub fn requeue_gb(&mut self, now: SimTime, gb: f64) {
+        match self {
+            WorkloadModel::Batch { workload, .. } => workload.requeue_gb(now, gb),
+            WorkloadModel::Stream { workload, .. } => workload.requeue_gb(gb),
+        }
+    }
+
+    /// Caps a stream's post-outage drain rate at `factor ×` the arrival
+    /// rate (no effect on batch workloads).
+    pub fn set_max_catchup_factor(&mut self, factor: f64) {
+        if let WorkloadModel::Stream { workload, .. } = self {
+            workload.set_max_catchup_factor(factor);
+        }
+    }
+
     /// Data processed so far, GB.
     #[must_use]
     pub fn processed_gb(&self) -> f64 {
@@ -150,6 +170,19 @@ pub enum SystemEvent {
     CutoffTrip(BatteryId),
     /// An injected fault of the given class struck the system.
     FaultInjected(FaultClass),
+    /// A job checkpoint write completed and became durable.
+    CheckpointWritten,
+    /// A crash tore an in-flight checkpoint write (the artifact is
+    /// discarded; recovery falls back to the previous durable state).
+    CheckpointTorn,
+    /// The durable checkpoint was invalidated (corruption or an
+    /// unwritable checkpoint path); recovery falls back to the baseline.
+    CheckpointLost,
+    /// Recovery restored job state from a durable checkpoint.
+    CheckpointRestored,
+    /// An outage episode ended: the rack serves again and any pending
+    /// restore completed (or the job was quarantined).
+    Recovered,
 }
 
 /// Sense/reference current used when reading a unit's terminal voltage
@@ -190,6 +223,27 @@ pub struct InSituSystem {
     stale_windows: Vec<Option<StaleWindow>>,
     /// Checkpoint-path faults pending repair: `(server index, until)`.
     checkpoint_faults: Vec<(usize, SimTime)>,
+    /// Restart storm in progress: restore attempts fail until this
+    /// instant.
+    restart_storm_until: Option<SimTime>,
+
+    // Checkpoint/recovery state (None = checkpointing disabled).
+    checkpointer: Option<JobCheckpointer>,
+    /// Periodic-write pacing: last instant a write was attempted.
+    last_checkpoint_attempt: Option<SimTime>,
+    /// Job state must be restored before the workload may progress.
+    needs_recovery: bool,
+    /// When the current outage episode began (MTTR measurement).
+    outage_started: Option<SimTime>,
+    /// Completed outage episodes, for MTTR.
+    recovery_durations: Vec<SimDuration>,
+    /// Crash-lost work replayed or abandoned so far, GB.
+    lost_work_gb: f64,
+    /// Unrecoverable losses: durable-checkpoint corruption and poison-job
+    /// quarantines.
+    data_loss_events: u64,
+    /// Cumulative brownouts (exposed to the controller observation).
+    brownouts: usize,
 
     // Measurement state.
     trace_solar: Trace,
@@ -328,6 +382,62 @@ impl InSituSystem {
         (self.clock.now() - self.started).as_hours().value()
     }
 
+    /// The job checkpointer, when checkpointing is enabled.
+    #[must_use]
+    pub fn checkpointer(&self) -> Option<&JobCheckpointer> {
+        self.checkpointer.as_ref()
+    }
+
+    /// Lifetime checkpoint counters (all zero when checkpointing is
+    /// disabled).
+    #[must_use]
+    pub fn checkpoint_counters(&self) -> CheckpointCounters {
+        self.checkpointer
+            .as_ref()
+            .map(|c| c.store.counters())
+            .unwrap_or_default()
+    }
+
+    /// `true` while job state awaits a restore after an outage.
+    #[must_use]
+    pub fn needs_recovery(&self) -> bool {
+        self.needs_recovery
+    }
+
+    /// Crash-lost work replayed or abandoned so far, GB.
+    #[must_use]
+    pub fn lost_work_gb(&self) -> f64 {
+        self.lost_work_gb
+    }
+
+    /// Throughput that produced durable value: processed GB minus the
+    /// replayed/abandoned volume, so each GB counts once. Plain
+    /// throughput counts replayed work twice.
+    #[must_use]
+    pub fn goodput_gb(&self) -> f64 {
+        (self.workload.processed_gb() - self.lost_work_gb).max(0.0)
+    }
+
+    /// Unrecoverable data-loss events (durable-checkpoint corruption,
+    /// poison-job quarantines).
+    #[must_use]
+    pub fn data_loss_events(&self) -> u64 {
+        self.data_loss_events
+    }
+
+    /// Completed outage episodes (shutdown/brownout → serving again with
+    /// job state restored), for MTTR.
+    #[must_use]
+    pub fn recovery_durations(&self) -> &[SimDuration] {
+        &self.recovery_durations
+    }
+
+    /// Brownouts recorded so far.
+    #[must_use]
+    pub fn brownout_count(&self) -> usize {
+        self.brownouts
+    }
+
     /// What the sense lines read for unit `i` right now.
     fn fresh_view(&self, i: usize) -> UnitView {
         let u = &self.units[i];
@@ -397,14 +507,34 @@ impl InSituSystem {
             ),
             pending_gb: self.workload.pending_gb(),
             knob: self.workload.knob(),
+            brownouts: self.brownouts,
         }
     }
 
     fn apply(&mut self, action: ControlAction) {
         if action.emergency_shutdown {
+            let now = self.clock.now();
             self.rack.shutdown_all();
-            self.events
-                .push(self.clock.now(), SystemEvent::EmergencyShutdown);
+            self.events.push(now, SystemEvent::EmergencyShutdown);
+            if self.outage_started.is_none() {
+                self.outage_started = Some(now);
+            }
+            // Emergency checkpoint: the orderly wind-down gives the write
+            // time to land. A broken checkpoint path on any serving
+            // machine means the save cannot happen — the job will fall
+            // back to its last durable state on restart.
+            let path_broken = self
+                .rack
+                .servers()
+                .iter()
+                .any(|s| s.checkpoint_broken() && s.is_on());
+            if let Some(c) = &mut self.checkpointer {
+                let progress = self.workload.processed_gb();
+                if !path_broken {
+                    c.store.begin_write(now, c.policy.write_duration, progress);
+                }
+                self.needs_recovery = true;
+            }
         }
         for (id, attachment) in action.attachments {
             // Best effort on two axes: an unknown id is skipped rather
@@ -490,6 +620,38 @@ impl InSituSystem {
                     self.checkpoint_faults.push((server, now + duration));
                 }
             }
+            FaultKind::CheckpointCorruption { server } => {
+                // Silent bit-rot in the durable artifact. The server index
+                // scopes the fault to a real machine; the job-level store
+                // is shared, so any valid index corrupts it.
+                if server < self.rack.servers().len() {
+                    if let Some(c) = &mut self.checkpointer {
+                        if c.store.corrupt_durable() {
+                            self.events.push(now, SystemEvent::CheckpointLost);
+                            self.data_loss_events += 1;
+                        }
+                    }
+                }
+            }
+            FaultKind::TornWrite { server } => {
+                // A storage-path interruption mid-write, without the host
+                // crashing: the in-flight artifact is torn and discarded.
+                if server < self.rack.servers().len() {
+                    if let Some(c) = &mut self.checkpointer {
+                        if c.store.crash() {
+                            self.events.push(now, SystemEvent::CheckpointTorn);
+                        }
+                    }
+                }
+            }
+            FaultKind::RestartStorm { duration } => {
+                let until = now + duration;
+                // Overlapping storms extend, never shorten, the window.
+                self.restart_storm_until = Some(match self.restart_storm_until {
+                    Some(t) if t > until => t,
+                    _ => until,
+                });
+            }
         }
     }
 
@@ -510,6 +672,104 @@ impl InSituSystem {
                 *window = None;
             }
         }
+        if self.restart_storm_until.is_some_and(|t| now >= t) {
+            self.restart_storm_until = None;
+        }
+    }
+
+    /// Completes in-flight checkpoint writes and starts periodic ones.
+    fn advance_checkpoints(&mut self, now: SimTime) {
+        let (completed, interval, write_duration) = match &mut self.checkpointer {
+            Some(c) => (
+                c.store.step(now),
+                c.policy.interval,
+                c.policy.write_duration,
+            ),
+            None => return,
+        };
+        if completed {
+            self.events.push(now, SystemEvent::CheckpointWritten);
+        }
+        if self.needs_recovery || !self.rack.any_serving() {
+            return;
+        }
+        let due = self
+            .last_checkpoint_attempt
+            .is_none_or(|t| now.since(t) >= interval);
+        if !due {
+            return;
+        }
+        // The attempt is paced regardless of outcome, so a broken
+        // checkpoint path is retried next interval, not every step.
+        self.last_checkpoint_attempt = Some(now);
+        let path_broken = self
+            .rack
+            .servers()
+            .iter()
+            .any(|s| s.checkpoint_broken() && s.is_on());
+        if path_broken {
+            return;
+        }
+        let progress = self.workload.processed_gb();
+        if let Some(c) = &mut self.checkpointer {
+            c.store.begin_write(now, write_duration, progress);
+        }
+    }
+
+    /// Attempts the pending job-state restore once the rack serves again.
+    /// Restores can only ever read the *durable* checkpoint — a torn
+    /// write was discarded at crash time and is unreachable here.
+    fn attempt_restore(&mut self, now: SimTime) {
+        if !self.needs_recovery || !self.rack.any_serving() {
+            return;
+        }
+        let Some(c) = &self.checkpointer else {
+            self.needs_recovery = false;
+            return;
+        };
+        if !c.backoff.ready(now) {
+            return;
+        }
+        let policy = c.policy;
+        let had_durable = c.store.durable().is_some();
+        let processed = self.workload.processed_gb();
+        let storm = self.restart_storm_until.is_some_and(|t| now < t);
+        if storm {
+            // The restore attempt fails: back off exponentially, and
+            // quarantine the job as poison after too many consecutive
+            // failures.
+            let outcome = match &mut self.checkpointer {
+                Some(c) => c.backoff.record_failure(now),
+                None => return,
+            };
+            if outcome == RestartOutcome::Quarantined {
+                // Poison job: the replay is abandoned. Durable progress is
+                // kept; the un-checkpointed remainder is lost for good.
+                if let Some(c) = &mut self.checkpointer {
+                    let durable = c.store.restore();
+                    self.lost_work_gb += (processed - durable).max(0.0);
+                    c.backoff = RestartBackoff::new(&policy);
+                }
+                self.data_loss_events += 1;
+                self.needs_recovery = false;
+            }
+            return;
+        }
+        // Restore succeeds: reinstate the durable progress and replay the
+        // work done since that snapshot.
+        if let Some(c) = &mut self.checkpointer {
+            let restored = c.store.restore();
+            let lost = (processed - restored).max(0.0);
+            self.lost_work_gb += lost;
+            c.backoff.record_success();
+            if lost > 0.0 {
+                self.workload.requeue_gb(now, lost);
+            }
+        }
+        if had_durable {
+            self.events.push(now, SystemEvent::CheckpointRestored);
+        }
+        self.needs_recovery = false;
     }
 
     /// The solar reading the *controller* sees: the true harvest,
@@ -540,6 +800,7 @@ impl InSituSystem {
             self.apply_fault(now, event.kind);
         }
         self.expire_fault_windows(now);
+        self.advance_checkpoints(now);
 
         // Controller at its period boundary.
         let control_due = match self.last_control {
@@ -555,8 +816,14 @@ impl InSituSystem {
         }
 
         // Power settlement: load first (solar then discharging units).
+        // An in-flight checkpoint write draws its storage-path power from
+        // the same budget as the servers.
         let util = self.workload.utilization();
-        let demand = self.rack.power_demand(util);
+        let checkpoint_power = match &self.checkpointer {
+            Some(c) if c.store.writing() => c.policy.write_power,
+            _ => Watts::ZERO,
+        };
+        let demand = self.rack.power_demand(util) + checkpoint_power;
         let discharging_ids = self.matrix.discharging_units();
         let settlement = {
             let mut refs: Vec<&mut BatteryUnit> = self
@@ -586,6 +853,18 @@ impl InSituSystem {
             // (no orderly checkpoint window) and must cold-boot later.
             self.rack.force_shutdown_all();
             self.events.push(now, SystemEvent::BrownOut);
+            self.brownouts += 1;
+            if self.outage_started.is_none() {
+                self.outage_started = Some(now);
+            }
+            if let Some(c) = &mut self.checkpointer {
+                // A write caught mid-flight is torn and discarded; the
+                // durable checkpoint (if any) survives the crash.
+                if c.store.crash() {
+                    self.events.push(now, SystemEvent::CheckpointTorn);
+                }
+                self.needs_recovery = true;
+            }
         }
         // Cutoff trips while discharging.
         for id in &discharging_ids {
@@ -624,7 +903,16 @@ impl InSituSystem {
 
         // Rack advances; workload progresses when the demand was served.
         let draw = self.rack.step(dt, util);
-        let capacity = if browned_out {
+        // Recovery: restore job state once machines serve again, then
+        // close the outage episode (MTTR measures shutdown → restored).
+        self.attempt_restore(now);
+        if self.outage_started.is_some() && self.rack.any_serving() && !self.needs_recovery {
+            if let Some(start) = self.outage_started.take() {
+                self.recovery_durations.push(now.since(start));
+                self.events.push(now, SystemEvent::Recovered);
+            }
+        }
+        let capacity = if browned_out || self.needs_recovery {
             0.0
         } else {
             // Tolerated transient shortfalls degrade progress linearly.
@@ -691,6 +979,7 @@ pub struct SystemBuilder {
     dt: SimDuration,
     start: SimTime,
     faults: FaultSchedule,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl SystemBuilder {
@@ -711,6 +1000,7 @@ impl SystemBuilder {
             dt: SimDuration::from_secs(10),
             start: SimTime::ZERO,
             faults: FaultSchedule::empty(),
+            checkpoint: None,
         }
     }
 
@@ -784,6 +1074,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables job-level checkpointing under the given policy. Off by
+    /// default: without it the system keeps the seed behavior (no write
+    /// power draw, no replay, no recovery gating).
+    #[must_use]
+    pub fn checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
     /// Assembles the system.
     #[must_use]
     pub fn build(self) -> InSituSystem {
@@ -811,6 +1110,15 @@ impl SystemBuilder {
             sensor_noise: None,
             charger_dropout_until: None,
             checkpoint_faults: Vec::new(),
+            restart_storm_until: None,
+            checkpointer: self.checkpoint.map(JobCheckpointer::new),
+            last_checkpoint_attempt: None,
+            needs_recovery: false,
+            outage_started: None,
+            recovery_durations: Vec::new(),
+            lost_work_gb: 0.0,
+            data_loss_events: 0,
+            brownouts: 0,
             trace_solar: Trace::new("solar W"),
             trace_load: Trace::new("load W"),
             trace_stored: Trace::new("stored Wh"),

@@ -10,7 +10,7 @@
 use ins_core::controller::{BaselineController, InsureController, PowerController};
 use ins_core::metrics::RunMetrics;
 use ins_core::system::InSituSystem;
-use ins_sim::fault::{FaultSchedule, FaultTargets};
+use ins_sim::fault::{FaultEvent, FaultKind, FaultSchedule, FaultTargets};
 use ins_sim::time::{SimDuration, SimTime};
 use ins_solar::trace::high_generation_day;
 use proptest::prelude::*;
@@ -95,6 +95,44 @@ proptest! {
         let a = run_with_invariants(faulty_system(seed, 45, true));
         let b = run_with_invariants(faulty_system(seed, 45, true));
         prop_assert_eq!(a, b);
+    }
+
+    /// A checkpoint-path fault window breaks exactly one server's path
+    /// while active and retires on schedule: broken right after
+    /// injection, healed once `now` passes the window's expiry.
+    #[test]
+    fn checkpoint_fault_windows_retire_on_schedule(
+        server in 0usize..4,
+        duration_min in 2u64..120,
+        start_min in 10u64..360,
+    ) {
+        let schedule = FaultSchedule::from_events(1, vec![FaultEvent {
+            at: SimTime::from_secs(start_min * 60),
+            kind: FaultKind::CheckpointWriteFailure {
+                server,
+                duration: SimDuration::from_minutes(duration_min),
+            },
+        }]);
+        let mut sys = InSituSystem::builder(
+            high_generation_day(7),
+            Box::new(InsureController::default()),
+        )
+        .unit_count(TARGETS.units)
+        .time_step(SimDuration::from_secs(30))
+        .fault_schedule(schedule)
+        .build();
+        // Step to just past the injection instant: the path is broken.
+        sys.run_until(SimTime::from_secs(start_min * 60 + 60));
+        prop_assert!(
+            sys.rack().servers()[server].checkpoint_broken(),
+            "server {server} path must be broken inside the window"
+        );
+        // Step past the window's expiry: the repair retires the fault.
+        sys.run_until(SimTime::from_secs((start_min + duration_min) * 60 + 60));
+        prop_assert!(
+            !sys.rack().servers()[server].checkpoint_broken(),
+            "server {server} path must heal once the window expires"
+        );
     }
 }
 

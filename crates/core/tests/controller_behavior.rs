@@ -55,6 +55,7 @@ fn observation(seed: u64) -> SystemObservation {
         } else {
             LoadKnob::VmCount
         },
+        brownouts: 0,
     }
 }
 

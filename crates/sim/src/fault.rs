@@ -134,6 +134,27 @@ pub enum FaultKind {
         /// How long checkpoint writes keep failing.
         duration: SimDuration,
     },
+    /// Silent corruption of the last *durable* job checkpoint (bit rot,
+    /// bad sector): recovery detects the bad checksum on restore and must
+    /// fall back to an earlier consistent state.
+    CheckpointCorruption {
+        /// Index of the server whose stable storage rotted.
+        server: usize,
+    },
+    /// A checkpoint write is severed mid-flight (power glitch on the
+    /// storage path): the in-progress artifact is *torn* and must never
+    /// be restored.
+    TornWrite {
+        /// Index of the server whose write was severed.
+        server: usize,
+    },
+    /// A restart storm: for its duration every job-restore attempt fails
+    /// (thundering-herd I/O, DHCP/PXE flaps), driving the capped
+    /// exponential restart backoff and, eventually, poison-job quarantine.
+    RestartStorm {
+        /// How long restore attempts keep failing.
+        duration: SimDuration,
+    },
 }
 
 /// Field-less discriminant of a [`FaultKind`], for event logs and tallies.
@@ -159,6 +180,12 @@ pub enum FaultClass {
     ServerCrash,
     /// [`FaultKind::CheckpointWriteFailure`].
     CheckpointWriteFailure,
+    /// [`FaultKind::CheckpointCorruption`].
+    CheckpointCorruption,
+    /// [`FaultKind::TornWrite`].
+    TornWrite,
+    /// [`FaultKind::RestartStorm`].
+    RestartStorm,
 }
 
 impl FaultKind {
@@ -176,6 +203,9 @@ impl FaultKind {
             FaultKind::StaleTelemetry { .. } => FaultClass::StaleTelemetry,
             FaultKind::ServerCrash { .. } => FaultClass::ServerCrash,
             FaultKind::CheckpointWriteFailure { .. } => FaultClass::CheckpointWriteFailure,
+            FaultKind::CheckpointCorruption { .. } => FaultClass::CheckpointCorruption,
+            FaultKind::TornWrite { .. } => FaultClass::TornWrite,
+            FaultKind::RestartStorm { .. } => FaultClass::RestartStorm,
         }
     }
 }
@@ -195,6 +225,9 @@ impl FaultClass {
             FaultClass::StaleTelemetry => "stale-telemetry",
             FaultClass::ServerCrash => "server-crash",
             FaultClass::CheckpointWriteFailure => "checkpoint-write-failure",
+            FaultClass::CheckpointCorruption => "checkpoint-corruption",
+            FaultClass::TornWrite => "torn-write",
+            FaultClass::RestartStorm => "restart-storm",
         }
     }
 }
@@ -285,6 +318,48 @@ impl FaultSchedule {
             }
             let at = SimTime::from_secs(t as u64);
             if let Some(kind) = draw_kind(&mut rng, targets) {
+                events.push(FaultEvent { at, kind });
+            }
+        }
+        Self::from_events(seed, events)
+    }
+
+    /// Like [`FaultSchedule::stochastic`], but drawing from the *extended*
+    /// 13-class menu that adds the recovery-subsystem faults
+    /// ([`FaultKind::CheckpointCorruption`], [`FaultKind::TornWrite`],
+    /// [`FaultKind::RestartStorm`]).
+    ///
+    /// A separate constructor (rather than widening the legacy menu) keeps
+    /// every `stochastic` stream byte-identical for a given seed: existing
+    /// seed-pinned experiments replay unchanged, and recovery experiments
+    /// opt into the richer process explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is zero.
+    #[must_use]
+    pub fn stochastic_extended(
+        seed: u64,
+        horizon: SimDuration,
+        mean_interarrival: SimDuration,
+        targets: FaultTargets,
+    ) -> Self {
+        assert!(
+            !mean_interarrival.is_zero(),
+            "mean inter-arrival time must be positive"
+        );
+        let mut rng = SimRng::seed(seed).fork("fault-arrivals-extended");
+        let mean_secs = mean_interarrival.as_secs() as f64;
+        let horizon_secs = horizon.as_secs() as f64;
+        let mut events = Vec::new();
+        let mut t = 0.0_f64;
+        loop {
+            t += rng.exponential(mean_secs);
+            if t >= horizon_secs {
+                break;
+            }
+            let at = SimTime::from_secs(t as u64);
+            if let Some(kind) = draw_kind_extended(&mut rng, targets) {
                 events.push(FaultEvent { at, kind });
             }
         }
@@ -397,6 +472,61 @@ fn draw_kind(rng: &mut SimRng, targets: FaultTargets) -> Option<FaultKind> {
     })
 }
 
+/// The extended draw: the legacy ten classes plus the three recovery
+/// faults. Same fixed-layout discipline — a draw always consumes the same
+/// number of RNG values regardless of targets or drawn class.
+fn draw_kind_extended(rng: &mut SimRng, targets: FaultTargets) -> Option<FaultKind> {
+    let class = rng.next_index(13);
+    let unit = if targets.units > 0 {
+        rng.next_index(targets.units)
+    } else {
+        0
+    };
+    let server = if targets.servers > 0 {
+        rng.next_index(targets.servers)
+    } else {
+        0
+    };
+    let severity = rng.next_f64();
+    let minutes = 5 + rng.next_index(56) as u64; // 5–60 min outages
+    let duration = SimDuration::from_minutes(minutes);
+    let role = if rng.chance(0.5) {
+        RelayRole::Charge
+    } else {
+        RelayRole::Discharge
+    };
+
+    let needs_unit = matches!(class, 0..=4 | 7);
+    let needs_server = matches!(class, 8..=11);
+    if (needs_unit && targets.units == 0) || (needs_server && targets.servers == 0) {
+        return None;
+    }
+    Some(match class {
+        0 => FaultKind::BatteryOpenCircuit { unit },
+        1 => FaultKind::BatteryCapacityFade {
+            unit,
+            fraction: 0.3 + 0.5 * severity,
+        },
+        2 => FaultKind::BatteryHighResistance {
+            unit,
+            factor: 1.5 + 2.5 * severity,
+        },
+        3 => FaultKind::RelayStuckOpen { unit, role },
+        4 => FaultKind::RelayStuckClosed { unit, role },
+        5 => FaultKind::ChargerDropout { duration },
+        6 => FaultKind::SensorNoise {
+            sigma: 0.05 + 0.25 * severity,
+            duration,
+        },
+        7 => FaultKind::StaleTelemetry { unit, duration },
+        8 => FaultKind::ServerCrash { server },
+        9 => FaultKind::CheckpointWriteFailure { server, duration },
+        10 => FaultKind::CheckpointCorruption { server },
+        11 => FaultKind::TornWrite { server },
+        _ => FaultKind::RestartStorm { duration },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,11 +607,90 @@ mod tests {
                     assert!(unit < TARGETS.units);
                 }
                 FaultKind::ServerCrash { server }
-                | FaultKind::CheckpointWriteFailure { server, .. } => {
+                | FaultKind::CheckpointWriteFailure { server, .. }
+                | FaultKind::CheckpointCorruption { server }
+                | FaultKind::TornWrite { server } => {
                     assert!(server < TARGETS.servers);
                 }
-                FaultKind::ChargerDropout { .. } | FaultKind::SensorNoise { .. } => {}
+                FaultKind::ChargerDropout { .. }
+                | FaultKind::SensorNoise { .. }
+                | FaultKind::RestartStorm { .. } => {}
             }
+        }
+    }
+
+    #[test]
+    fn extended_menu_is_deterministic_and_adds_recovery_faults() {
+        let mk = || {
+            FaultSchedule::stochastic_extended(
+                13,
+                SimDuration::from_days(20),
+                SimDuration::from_hours(1),
+                TARGETS,
+            )
+        };
+        let a = mk();
+        assert_eq!(a, mk(), "extended process must be seed-deterministic");
+        let has = |class: FaultClass| a.events().iter().any(|e| e.kind.class() == class);
+        assert!(has(FaultClass::CheckpointCorruption));
+        assert!(has(FaultClass::TornWrite));
+        assert!(has(FaultClass::RestartStorm));
+        // Index bounds hold for the new server-targeted classes too.
+        for e in a.events() {
+            if let FaultKind::CheckpointCorruption { server } | FaultKind::TornWrite { server } =
+                e.kind
+            {
+                assert!(server < TARGETS.servers);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_menu_never_emits_recovery_faults() {
+        // The legacy constructor's stream layout is frozen: seed-pinned
+        // experiments depend on it never drawing the extended classes.
+        let s = FaultSchedule::stochastic(
+            13,
+            SimDuration::from_days(20),
+            SimDuration::from_hours(1),
+            TARGETS,
+        );
+        for e in s.events() {
+            assert!(
+                !matches!(
+                    e.kind,
+                    FaultKind::CheckpointCorruption { .. }
+                        | FaultKind::TornWrite { .. }
+                        | FaultKind::RestartStorm { .. }
+                ),
+                "legacy menu drew {:?}",
+                e.kind
+            );
+        }
+    }
+
+    #[test]
+    fn extended_zero_targets_never_produce_targeted_faults() {
+        let s = FaultSchedule::stochastic_extended(
+            5,
+            SimDuration::from_days(20),
+            SimDuration::from_hours(1),
+            FaultTargets {
+                units: 0,
+                servers: 0,
+            },
+        );
+        for e in s.events() {
+            assert!(
+                matches!(
+                    e.kind,
+                    FaultKind::ChargerDropout { .. }
+                        | FaultKind::SensorNoise { .. }
+                        | FaultKind::RestartStorm { .. }
+                ),
+                "untargetable fault {:?}",
+                e.kind
+            );
         }
     }
 
@@ -594,6 +803,11 @@ mod tests {
             FaultKind::ServerCrash { server: 0 },
             FaultKind::CheckpointWriteFailure {
                 server: 0,
+                duration: SimDuration::from_minutes(1),
+            },
+            FaultKind::CheckpointCorruption { server: 0 },
+            FaultKind::TornWrite { server: 0 },
+            FaultKind::RestartStorm {
                 duration: SimDuration::from_minutes(1),
             },
         ];

@@ -177,6 +177,22 @@ impl BatchWorkload {
         }
     }
 
+    /// Re-queues `gb` of work lost to a crash at the *front* of the
+    /// queue: after restoring from a checkpoint, the job replays the work
+    /// done since the snapshot before anything newer runs. The replayed
+    /// data will be counted in `processed_gb` a second time — throughput
+    /// double-counts replay, which is exactly why the system tracks
+    /// goodput separately.
+    pub fn requeue_gb(&mut self, now: SimTime, gb: f64) {
+        if gb <= 0.0 {
+            return;
+        }
+        self.queue.push_front(Job {
+            arrived: now,
+            remaining_gb: gb,
+        });
+    }
+
     /// Data processed so far, GB.
     #[must_use]
     pub fn processed_gb(&self) -> f64 {
@@ -306,6 +322,26 @@ mod tests {
     #[should_panic(expected = "arrival hours must lie in [0, 24)")]
     fn rejects_out_of_range_arrivals() {
         let _ = BatchSpec::with_arrivals(10.0, vec![25.0]);
+    }
+
+    #[test]
+    fn requeued_work_replays_before_newer_jobs() {
+        let mut w = BatchWorkload::new(BatchSpec::seismic());
+        // Land the 07:00 job, process 50 GB of it, then lose 20 GB.
+        let t = run(&mut w, SimTime::from_hms(6, 59, 0), 2, 0.0);
+        run(&mut w, t, 60, 50.0);
+        assert!((w.processed_gb() - 50.0).abs() < 1e-6);
+        w.requeue_gb(SimTime::from_hms(8, 1, 0), 20.0);
+        assert_eq!(w.queued_jobs(), 2, "replay job joins the queue");
+        assert!((w.pending_gb() - (114.0 - 50.0 + 20.0)).abs() < 1e-6);
+        // The replay job is at the queue front: draining a little over
+        // 20 GB completes it while the original survey job remains.
+        run(&mut w, SimTime::from_hms(8, 1, 0), 61, 20.0);
+        assert_eq!(w.completed().len(), 1, "replay job finished first");
+        let drained = 20.0 * 61.0 / 60.0;
+        assert!((w.pending_gb() - (84.0 - drained)).abs() < 1e-6);
+        w.requeue_gb(SimTime::from_hms(9, 2, 0), 0.0);
+        assert_eq!(w.queued_jobs(), 1, "zero requeue is ignored");
     }
 
     #[test]

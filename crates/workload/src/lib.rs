@@ -10,7 +10,9 @@
 //! * [`stream`] — continuous data streams (24-camera video at
 //!   0.21 GB/min) with backlog and service-delay accounting,
 //! * [`schedule`] — seeded generation of daily arrival schedules beyond
-//!   the fixed prototype timetable.
+//!   the fixed prototype timetable,
+//! * [`checkpoint`] — crash-consistent job checkpoints (torn-write rule,
+//!   restart backoff, poison-job quarantine) backing the recovery path.
 //!
 //! # Examples
 //!
@@ -30,11 +32,13 @@
 
 pub mod batch;
 pub mod benchmark;
+pub mod checkpoint;
 pub mod scaling;
 pub mod schedule;
 pub mod stream;
 
 pub use batch::{BatchSpec, BatchWorkload};
 pub use benchmark::{catalog, MicroBenchmark, PerfPoint};
+pub use checkpoint::{CheckpointPolicy, CheckpointStore, JobCheckpointer, RestartBackoff};
 pub use scaling::ScalingModel;
 pub use stream::{StreamSpec, StreamWorkload};
