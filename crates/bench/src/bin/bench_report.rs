@@ -1,0 +1,194 @@
+//! Benchmark artifact generator: `BENCH_step.json` + `BENCH_sweep.json`.
+//!
+//! ```sh
+//! cargo run -p ins-bench --release --bin bench_report -- \
+//!     [--threads N] [--out DIR]
+//! ```
+//!
+//! `BENCH_step.json` records the simulator's hot-path timings (the
+//! per-step cost `InSituSystem::step` pays and the one-day run built on
+//! it). `BENCH_sweep.json` records wall-clock for the fault-sweep and
+//! recovery grids serially and at `--threads N` (default: available
+//! parallelism), with the resulting speedup. Both are written for CI to
+//! upload and diff across commits.
+
+use std::process::ExitCode;
+
+use criterion::{black_box, Criterion};
+use ins_bench::experiments::{faults, recovery};
+use ins_bench::export::json_number;
+use ins_bench::runner::parse_threads;
+use ins_core::controller::InsureController;
+use ins_core::system::InSituSystem;
+use ins_sim::pool::available_threads;
+use ins_sim::time::{SimDuration, SimTime};
+use ins_solar::trace::high_generation_day;
+
+fn bench_json(results: &[(String, f64)], extra: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in extra {
+        out.push_str(&format!("  \"{k}\": {v},\n"));
+    }
+    out.push_str("  \"benches\": [\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"ns_per_iter\": {}}}{}\n",
+            json_number(*ns),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn step_report() -> String {
+    let mut c = Criterion::default();
+
+    c.bench_function("full_system_step_10s", |b| {
+        let mut sys = InSituSystem::builder(
+            high_generation_day(1),
+            Box::new(InsureController::default()),
+        )
+        .time_step(SimDuration::from_secs(10))
+        .build();
+        sys.run_until(SimTime::from_hms(10, 0, 0));
+        b.iter(|| {
+            sys.step();
+            black_box(sys.now())
+        });
+    });
+    c.bench_function("insure_one_day_60s_steps", |b| {
+        b.iter(|| {
+            let mut sys = InSituSystem::builder(
+                high_generation_day(1),
+                Box::new(InsureController::default()),
+            )
+            .time_step(SimDuration::from_secs(60))
+            .build();
+            sys.run_until(SimTime::from_hms(23, 59, 0));
+            black_box(sys.workload().processed_gb())
+        });
+    });
+
+    let step_ns = c
+        .results()
+        .iter()
+        .find(|(n, _)| n == "full_system_step_10s")
+        .map_or(0.0, |(_, ns)| *ns);
+    let steps_per_sec = if step_ns > 0.0 { 1e9 / step_ns } else { 0.0 };
+    bench_json(
+        c.results(),
+        &[(
+            "steps_per_second".to_string(),
+            json_number(steps_per_sec.round()),
+        )],
+    )
+}
+
+fn sweep_report(threads: usize) -> String {
+    let mut c = Criterion::default();
+    for &t in &[1usize, threads] {
+        c.bench_function(&format!("fault_sweep/threads_{t}"), |b| {
+            b.iter(|| black_box(faults::sweep_rates_with(11, &faults::RATES_HOURS, t)));
+        });
+        c.bench_function(&format!("recovery/threads_{t}"), |b| {
+            b.iter(|| {
+                black_box(recovery::sweep_grid_with(
+                    11,
+                    &recovery::CHECKPOINT_INTERVALS_HOURS,
+                    &recovery::FAULT_RATES_HOURS,
+                    t,
+                ))
+            });
+        });
+    }
+
+    let ns_of = |name: &str| {
+        c.results()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, ns)| *ns)
+    };
+    let speedup = |serial: f64, parallel: f64| {
+        if parallel > 0.0 {
+            serial / parallel
+        } else {
+            0.0
+        }
+    };
+    let fault_speedup = speedup(
+        ns_of("fault_sweep/threads_1"),
+        ns_of(&format!("fault_sweep/threads_{threads}")),
+    );
+    let recovery_speedup = speedup(
+        ns_of("recovery/threads_1"),
+        ns_of(&format!("recovery/threads_{threads}")),
+    );
+    bench_json(
+        c.results(),
+        &[
+            ("threads".to_string(), threads.to_string()),
+            (
+                "fault_sweep_speedup".to_string(),
+                json_number((fault_speedup * 100.0).round() / 100.0),
+            ),
+            (
+                "recovery_speedup".to_string(),
+                json_number((recovery_speedup * 100.0).round() / 100.0),
+            ),
+        ],
+    )
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match parse_threads(&argv) {
+        Ok(t) => {
+            let t = t.unwrap_or(0);
+            if t == 0 {
+                available_threads()
+            } else {
+                t
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}\nusage: bench_report [--threads N] [--out DIR]");
+            return ExitCode::from(2);
+        }
+    };
+    let mut out_dir = String::from(".");
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--out" {
+            match it.next() {
+                Some(d) => out_dir = d.clone(),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    println!("== step hot path ==");
+    let step = step_report();
+    println!("== sweep scaling (1 vs {threads} threads) ==");
+    let sweep = sweep_report(threads);
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: creating {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let step_path = format!("{out_dir}/BENCH_step.json");
+    let sweep_path = format!("{out_dir}/BENCH_sweep.json");
+    if let Err(e) = std::fs::write(&step_path, &step) {
+        eprintln!("error: writing {step_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&sweep_path, &sweep) {
+        eprintln!("error: writing {sweep_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {step_path} and {sweep_path}");
+    ExitCode::SUCCESS
+}

@@ -1,8 +1,36 @@
 //! Multi-day endurance run + sunshine-fraction throughput sweep.
-use ins_bench::experiments::endurance::{endurance, sunshine_sweep};
+//!
+//! ```sh
+//! cargo run -p ins-bench --release --bin endurance_weeks -- [--threads N]
+//! ```
+//!
+//! `--threads` fans the sunshine-sweep campaigns across a worker pool
+//! (`0` or omitted = available parallelism); the output is byte-identical
+//! at any thread count.
+
+use std::process::ExitCode;
+
+use ins_bench::experiments::endurance::{endurance, sunshine_sweep_with};
+use ins_bench::runner::parse_threads;
 use ins_bench::table::TextTable;
 
-fn main() {
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match parse_threads(&argv) {
+        Ok(t) => t.unwrap_or(0),
+        Err(e) => {
+            eprintln!("{e}\nusage: endurance_weeks [--threads N]");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(bad) = argv
+        .iter()
+        .find(|a| *a != "--threads" && !a.starts_with("--threads=") && a.parse::<usize>().is_err())
+    {
+        eprintln!("unknown flag '{bad}'\nusage: endurance_weeks [--threads N]");
+        return ExitCode::from(2);
+    }
+
     println!("Endurance — two weeks of mixed weather under InSURE");
     let run = endurance(14, 9);
     println!(
@@ -19,7 +47,7 @@ fn main() {
 
     println!("Sunshine-fraction sweep (5-day campaigns) — Fig. 23/24's premise");
     let mut t = TextTable::new(vec!["sunshine fraction", "GB/day", "solar kWh/day"]);
-    for p in sunshine_sweep(&[1.0, 0.8, 0.6, 0.4], 5, 4) {
+    for p in sunshine_sweep_with(&[1.0, 0.8, 0.6, 0.4], 5, 4, threads) {
         t.row(vec![
             format!("{:.0}%", p.sunshine_fraction * 100.0),
             format!("{:.1}", p.gb_per_day),
@@ -27,4 +55,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    ExitCode::SUCCESS
 }

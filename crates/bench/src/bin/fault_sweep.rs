@@ -2,31 +2,35 @@
 //!
 //! ```sh
 //! cargo run -p ins-bench --release --bin fault_sweep -- \
-//!     [--seed N] [--rates 8,4,2,1] [--json]
+//!     [--seed N] [--rates 8,4,2,1] [--threads N] [--json]
 //! ```
 //!
 //! `--rates` takes mean fault inter-arrival times in hours; a fault-free
-//! reference row is always included first. `--json` emits the rows as a
-//! JSON array instead of the text table.
+//! reference row is always included first. `--threads` fans the cells
+//! across a worker pool (`0` or omitted = available parallelism); the
+//! output is byte-identical at any thread count. `--json` emits the rows
+//! as a JSON array instead of the text table.
 
 use std::process::ExitCode;
 
-use ins_bench::experiments::faults::{render, sweep_rates, to_json, RATES_HOURS};
+use ins_bench::experiments::faults::{render, sweep_rates_with, to_json, RATES_HOURS};
 
 struct Args {
     seed: u64,
     rates: Vec<Option<f64>>,
+    threads: usize,
     json: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: fault_sweep [--seed N] [--rates H1,H2,...] [--json]"
+    "usage: fault_sweep [--seed N] [--rates H1,H2,...] [--threads N] [--json]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         seed: 11,
         rates: RATES_HOURS.to_vec(),
+        threads: 0,
         json: false,
     };
     let mut it = argv.iter();
@@ -35,6 +39,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
             }
             "--rates" => {
                 let v = it.next().ok_or("--rates needs a comma-separated list")?;
@@ -68,7 +76,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let rows = sweep_rates(args.seed, &args.rates);
+    let rows = sweep_rates_with(args.seed, &args.rates, args.threads);
     if args.json {
         println!("{}", to_json(&rows));
     } else {

@@ -1,8 +1,10 @@
 //! Fig. 24: TCO vs data rate and the cloud/in-situ crossover.
+use std::process::ExitCode;
+
 use ins_bench::experiments::costs::fig24;
 use ins_bench::table::{dollars, TextTable};
 
-fn main() {
+fn main() -> ExitCode {
     println!("Fig. 24 — 5-year TCO vs data generation rate");
     let (rows, crossover) = fig24();
     let mut t = TextTable::new(vec![
@@ -19,5 +21,14 @@ fn main() {
         t.row(row);
     }
     println!("{}", t.render());
-    println!("crossover (60 % sunshine): {crossover:.2} GB/day  (paper: ≈ 0.9 GB/day)");
+    match crossover {
+        Some(rate) => {
+            println!("crossover (60 % sunshine): {rate:.2} GB/day  (paper: ≈ 0.9 GB/day)");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: no cloud/in-situ crossover found in the searched rate range");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,8 +1,28 @@
 //! Fig. 25: application-specific cost analysis.
-use ins_bench::experiments::costs::{fig25, render_fig25};
+//!
+//! ```sh
+//! cargo run -p ins-bench --release --bin fig25_scenarios -- [--threads N]
+//! ```
+//!
+//! `--threads` fans the scenarios across a worker pool (`0` or omitted =
+//! available parallelism); the output is identical at any thread count.
 
-fn main() {
+use std::process::ExitCode;
+
+use ins_bench::experiments::costs::{fig25_with, render_fig25};
+use ins_bench::runner::parse_threads;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match parse_threads(&argv) {
+        Ok(t) => t.unwrap_or(0),
+        Err(e) => {
+            eprintln!("{e}\nusage: fig25_scenarios [--threads N]");
+            return ExitCode::from(2);
+        }
+    };
     println!("Fig. 25 — per-application cost savings of InSURE over the cloud");
-    println!("{}", render_fig25(&fig25()));
+    println!("{}", render_fig25(&fig25_with(threads)));
     println!("(paper: application-dependent savings from 15 % to 97 %)");
+    ExitCode::SUCCESS
 }

@@ -1,18 +1,25 @@
 //! Recovery sweep: checkpoint interval × fault rate, InSURE vs baseline.
 //!
 //! ```sh
-//! cargo run -p ins-bench --release --bin recovery -- [--seed N] [--json]
+//! cargo run -p ins-bench --release --bin recovery -- \
+//!     [--seed N] [--threads N] [--json]
 //! ```
 //!
 //! Each cell runs one day under the extended stochastic fault menu with
 //! periodic checkpointing, and reports goodput, lost-work hours and MTTR.
+//! `--threads` fans the cells across a worker pool (`0` or omitted =
+//! available parallelism); the output is byte-identical at any thread
+//! count.
 
 use std::process::ExitCode;
 
-use ins_bench::experiments::recovery::{render, sweep, to_json};
+use ins_bench::experiments::recovery::{
+    render, sweep_grid_with, to_json, CHECKPOINT_INTERVALS_HOURS, FAULT_RATES_HOURS,
+};
 
 fn main() -> ExitCode {
     let mut seed = 11u64;
+    let mut threads = 0usize;
     let mut json = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -31,14 +38,34 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--threads" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--threads needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(n) => threads = n,
+                    Err(_) => {
+                        eprintln!("bad thread count '{v}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--json" => json = true,
             other => {
-                eprintln!("unknown flag '{other}'\nusage: recovery [--seed N] [--json]");
+                eprintln!(
+                    "unknown flag '{other}'\nusage: recovery [--seed N] [--threads N] [--json]"
+                );
                 return ExitCode::from(2);
             }
         }
     }
-    let rows = sweep(seed);
+    let rows = sweep_grid_with(
+        seed,
+        &CHECKPOINT_INTERVALS_HOURS,
+        &FAULT_RATES_HOURS,
+        threads,
+    );
     if json {
         println!("{}", to_json(&rows));
     } else {

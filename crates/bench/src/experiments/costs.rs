@@ -101,10 +101,15 @@ pub fn fig23() -> Vec<Fig23Row> {
     )
 }
 
+/// One Fig. 24 row: `(rate GB/day, cloud TCO, in-situ TCO per sunshine
+/// fraction)`.
+pub type Fig24Row = (f64, f64, Vec<f64>);
+
 /// Fig. 24: TCO vs data rate for the cloud and four sunshine fractions,
-/// plus the crossover rate.
+/// plus the crossover rate (`None` if no crossover in the searched
+/// range — callers must fail loudly, not print NaN).
 #[must_use]
-pub fn fig24() -> (Vec<(f64, f64, Vec<f64>)>, f64) {
+pub fn fig24() -> (Vec<Fig24Row>, Option<f64>) {
     let (c, it, s) = (
         CommsCosts::paper(),
         ItCosts::paper(),
@@ -122,28 +127,38 @@ pub fn fig24() -> (Vec<(f64, f64, Vec<f64>)>, f64) {
             (rate, cloud, insitu)
         })
         .collect();
-    let crossover =
-        crossover_rate_gb_per_day(REFERENCE_SUNSHINE_FRACTION, &c, &it, &s).unwrap_or(f64::NAN);
+    // `None` (no crossover in the searched range) is propagated, not
+    // masked as NaN — callers must report it and fail loudly.
+    let crossover = crossover_rate_gb_per_day(REFERENCE_SUNSHINE_FRACTION, &c, &it, &s);
     (rows, crossover)
 }
 
 /// Fig. 25 rows: per-scenario costs and savings.
 #[must_use]
 pub fn fig25() -> Vec<(Scenario, f64, f64, f64)> {
+    fig25_with(1)
+}
+
+/// [`fig25`] fanned across `threads` workers.
+///
+/// Each scenario's costs are a pure function of the scenario and the
+/// paper's cost parameters, and rows come back in scenario order, so the
+/// output is identical at any thread count. `threads == 0` uses
+/// available parallelism.
+#[must_use]
+pub fn fig25_with(threads: usize) -> Vec<(Scenario, f64, f64, f64)> {
     let (c, it, s) = (
         CommsCosts::paper(),
         ItCosts::paper(),
         SystemSizing::prototype(),
     );
-    scenarios()
-        .into_iter()
-        .map(|sc| {
-            let cloud = cloud_cost(&sc, &c);
-            let insitu = insitu_cost(&sc, &c, &it, &s);
-            let save = saving(&sc, &c, &it, &s);
-            (sc, cloud, insitu, save)
-        })
-        .collect()
+    let all = scenarios();
+    crate::runner::run_cells(threads, &all, |_, sc| {
+        let cloud = cloud_cost(sc, &c);
+        let insitu = insitu_cost(sc, &c, &it, &s);
+        let save = saving(sc, &c, &it, &s);
+        (sc.clone(), cloud, insitu, save)
+    })
 }
 
 /// Renders the Fig. 25 table.
@@ -225,6 +240,7 @@ mod tests {
     #[test]
     fn fig24_crossover_near_paper_value() {
         let (rows, crossover) = fig24();
+        let crossover = crossover.expect("crossover exists at the reference sunshine fraction");
         assert!((0.5..1.5).contains(&crossover), "crossover {crossover:.2}");
         // At 500 GB/day every in-situ curve crushes the cloud.
         let (_, cloud, insitu) = &rows[3];

@@ -75,25 +75,38 @@ pub struct SunshinePoint {
 /// resources… InSURE has decreased average throughput", §6.5).
 #[must_use]
 pub fn sunshine_sweep(fractions: &[f64], days: usize, seed: u64) -> Vec<SunshinePoint> {
-    fractions
-        .iter()
-        .map(|&sf| {
-            let mut rng = SimRng::seed(seed);
-            let weather = DayWeather::mix_for_sunshine_fraction(sf, days, &mut rng);
-            let solar = SolarTraceBuilder::new().seed(seed).build_days(&weather);
-            let mut sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
-                .workload(WorkloadModel::seismic())
-                .time_step(SimDuration::from_secs(60))
-                .build();
-            sys.run_until(SimTime::from_secs(days as u64 * 86_400));
-            let m = RunMetrics::collect(&sys);
-            SunshinePoint {
-                sunshine_fraction: sf,
-                gb_per_day: m.processed_gb / days as f64,
-                solar_kwh_per_day: m.solar_kwh / days as f64,
-            }
-        })
-        .collect()
+    sunshine_sweep_with(fractions, days, seed, 1)
+}
+
+/// [`sunshine_sweep`] fanned across `threads` workers.
+///
+/// Every point is a pure function of `(seed, fraction, days)` — each
+/// builds its own weather RNG from the base seed — and points come back
+/// in input order, so the output is byte-identical at any thread count.
+/// `threads == 0` uses available parallelism.
+#[must_use]
+pub fn sunshine_sweep_with(
+    fractions: &[f64],
+    days: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<SunshinePoint> {
+    crate::runner::run_cells(threads, fractions, |_, &sf| {
+        let mut rng = SimRng::seed(seed);
+        let weather = DayWeather::mix_for_sunshine_fraction(sf, days, &mut rng);
+        let solar = SolarTraceBuilder::new().seed(seed).build_days(&weather);
+        let mut sys = InSituSystem::builder(solar, Box::new(InsureController::default()))
+            .workload(WorkloadModel::seismic())
+            .time_step(SimDuration::from_secs(60))
+            .build();
+        sys.run_until(SimTime::from_secs(days as u64 * 86_400));
+        let m = RunMetrics::collect(&sys);
+        SunshinePoint {
+            sunshine_fraction: sf,
+            gb_per_day: m.processed_gb / days as f64,
+            solar_kwh_per_day: m.solar_kwh / days as f64,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -122,6 +135,14 @@ mod tests {
             "expected life {:.0} days",
             run.metrics.expected_service_life_days
         );
+    }
+
+    #[test]
+    fn parallel_sunshine_sweep_matches_serial_exactly() {
+        let serial = sunshine_sweep(&[1.0, 0.5], 1, 4);
+        for threads in [0, 2] {
+            assert_eq!(sunshine_sweep_with(&[1.0, 0.5], 1, 4, threads), serial);
+        }
     }
 
     #[test]

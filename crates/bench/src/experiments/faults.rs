@@ -93,26 +93,39 @@ pub fn sweep(seed: u64) -> Vec<FaultSweepRow> {
 /// per rate. `None` entries are fault-free reference rows.
 #[must_use]
 pub fn sweep_rates(seed: u64, rates: &[Option<f64>]) -> Vec<FaultSweepRow> {
-    let mut rows = Vec::new();
-    for &rate in rates {
-        let lineup: [(&'static str, Box<dyn PowerController>); 2] = [
-            ("insure", Box::new(InsureController::default())),
-            ("baseline", Box::new(BaselineController::new())),
-        ];
-        for (name, controller) in lineup {
-            let (metrics, injected) = run_day(controller, schedule_for(seed, rate), seed);
-            rows.push(FaultSweepRow {
-                mean_interarrival_hours: rate.unwrap_or(f64::INFINITY),
-                controller: name,
-                faults_injected: injected,
-                uptime: metrics.uptime,
-                gb_per_hour: metrics.throughput_gb_per_hour,
-                energy_availability_wh: metrics.mean_stored_energy_wh,
-                brownouts: metrics.brownouts,
-            });
+    sweep_rates_with(seed, rates, 1)
+}
+
+/// [`sweep_rates`] fanned across `threads` workers.
+///
+/// Every cell is a pure function of `(seed, rate, controller)` — both
+/// controllers at a rate deliberately replay the *same* seeded fault
+/// schedule — and rows come back in grid order, so the output is
+/// byte-identical at any thread count. `threads == 0` uses available
+/// parallelism.
+#[must_use]
+pub fn sweep_rates_with(seed: u64, rates: &[Option<f64>], threads: usize) -> Vec<FaultSweepRow> {
+    let cells: Vec<(Option<f64>, &'static str)> = rates
+        .iter()
+        .flat_map(|&rate| [(rate, "insure"), (rate, "baseline")])
+        .collect();
+    crate::runner::run_cells(threads, &cells, |_, &(rate, name)| {
+        let controller: Box<dyn PowerController> = if name == "insure" {
+            Box::new(InsureController::default())
+        } else {
+            Box::new(BaselineController::new())
+        };
+        let (metrics, injected) = run_day(controller, schedule_for(seed, rate), seed);
+        FaultSweepRow {
+            mean_interarrival_hours: rate.unwrap_or(f64::INFINITY),
+            controller: name,
+            faults_injected: injected,
+            uptime: metrics.uptime,
+            gb_per_hour: metrics.throughput_gb_per_hour,
+            energy_availability_wh: metrics.mean_stored_energy_wh,
+            brownouts: metrics.brownouts,
         }
-    }
-    rows
+    })
 }
 
 /// Renders the sweep as a fault-rate table.
@@ -274,6 +287,15 @@ mod tests {
         let a = sweep(5);
         let b = sweep(5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let rates = [None, Some(2.0)];
+        let serial = sweep_rates(11, &rates);
+        for threads in [0, 2, 4] {
+            assert_eq!(sweep_rates_with(11, &rates, threads), serial);
+        }
     }
 
     #[test]

@@ -108,33 +108,52 @@ pub fn sweep(seed: u64) -> Vec<RecoveryRow> {
 /// (one per controller) per grid cell.
 #[must_use]
 pub fn sweep_grid(seed: u64, intervals_hours: &[f64], rates_hours: &[f64]) -> Vec<RecoveryRow> {
-    let mut rows = Vec::new();
+    sweep_grid_with(seed, intervals_hours, rates_hours, 1)
+}
+
+/// [`sweep_grid`] fanned across `threads` workers.
+///
+/// Every cell is a pure function of `(seed, interval, rate, controller)`
+/// — both controllers at a grid point deliberately replay the *same*
+/// seeded fault schedule — and rows come back in grid order, so the
+/// output is byte-identical at any thread count. `threads == 0` uses
+/// available parallelism.
+#[must_use]
+pub fn sweep_grid_with(
+    seed: u64,
+    intervals_hours: &[f64],
+    rates_hours: &[f64],
+    threads: usize,
+) -> Vec<RecoveryRow> {
+    let mut cells: Vec<(f64, f64, &'static str)> = Vec::new();
     for &ckpt in intervals_hours {
         for &rate in rates_hours {
-            let lineup: [(&'static str, Box<dyn PowerController>); 2] = [
-                ("insure", Box::new(InsureController::default())),
-                ("baseline", Box::new(BaselineController::new())),
-            ];
-            for (name, controller) in lineup {
-                let (m, injected) = run_cell(controller, ckpt, rate, seed);
-                rows.push(RecoveryRow {
-                    checkpoint_interval_hours: ckpt,
-                    mean_interarrival_hours: rate,
-                    controller: name,
-                    faults_injected: injected,
-                    throughput_gb_per_hour: m.throughput_gb_per_hour,
-                    goodput_gb_per_hour: m.goodput_gb_per_hour,
-                    lost_work_hours: m.lost_work_hours,
-                    mttr_minutes: m.mttr_minutes,
-                    recoveries: m.recoveries,
-                    data_loss_events: m.data_loss_events,
-                    checkpoints_written: m.checkpoints_written,
-                    checkpoints_torn: m.checkpoints_torn,
-                });
-            }
+            cells.push((ckpt, rate, "insure"));
+            cells.push((ckpt, rate, "baseline"));
         }
     }
-    rows
+    crate::runner::run_cells(threads, &cells, |_, &(ckpt, rate, name)| {
+        let controller: Box<dyn PowerController> = if name == "insure" {
+            Box::new(InsureController::default())
+        } else {
+            Box::new(BaselineController::new())
+        };
+        let (m, injected) = run_cell(controller, ckpt, rate, seed);
+        RecoveryRow {
+            checkpoint_interval_hours: ckpt,
+            mean_interarrival_hours: rate,
+            controller: name,
+            faults_injected: injected,
+            throughput_gb_per_hour: m.throughput_gb_per_hour,
+            goodput_gb_per_hour: m.goodput_gb_per_hour,
+            lost_work_hours: m.lost_work_hours,
+            mttr_minutes: m.mttr_minutes,
+            recoveries: m.recoveries,
+            data_loss_events: m.data_loss_events,
+            checkpoints_written: m.checkpoints_written,
+            checkpoints_torn: m.checkpoints_torn,
+        }
+    })
 }
 
 /// Renders the sweep as a text table.
@@ -289,6 +308,14 @@ mod tests {
         let a = sweep_grid(5, &[1.0], &[2.0]);
         let b = sweep_grid(5, &[1.0], &[2.0]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let serial = sweep_grid(11, &[1.0], &[2.0]);
+        for threads in [0, 2, 4] {
+            assert_eq!(sweep_grid_with(11, &[1.0], &[2.0], threads), serial);
+        }
     }
 
     #[test]

@@ -29,7 +29,11 @@ use ins_sim::trace::Trace;
 pub fn trace_to_csv(trace: &Trace) -> String {
     let mut out = format!("seconds,{}\n", escape(trace.name()));
     for s in trace.iter() {
-        out.push_str(&format!("{},{}\n", s.time.as_secs(), s.value));
+        out.push_str(&format!(
+            "{},{}\n",
+            s.time.as_secs(),
+            csv_number(s.value, None)
+        ));
     }
     out
 }
@@ -51,12 +55,12 @@ pub fn system_traces_to_csv(system: &InSituSystem) -> String {
         .min(volts.len());
     for i in 0..n {
         out.push_str(&format!(
-            "{},{:.1},{:.1},{:.1},{:.3}\n",
+            "{},{},{},{},{}\n",
             solar[i].time.as_secs(),
-            solar[i].value,
-            load[i].value,
-            stored[i].value,
-            volts[i].value
+            csv_number(solar[i].value, Some(1)),
+            csv_number(load[i].value, Some(1)),
+            csv_number(stored[i].value, Some(1)),
+            csv_number(volts[i].value, Some(3))
         ));
     }
     out
@@ -73,33 +77,51 @@ pub fn metrics_to_csv(rows: &[RunMetrics]) -> String {
     );
     for m in rows {
         out.push_str(&format!(
-            "{},{:.2},{:.4},{:.4},{:.2},{:.3},{:.2},{:.1},{:.1},{:.3},{:.2},\
-             {:.3},{:.3},{},{},{},{:.2},{:.2},{:.4},{:.3},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},\
+             {},{},{},{},{},{},{},{},{},{},{}\n",
             escape(&m.controller),
-            m.elapsed_hours,
-            m.uptime,
-            m.service_availability,
-            m.processed_gb,
-            m.throughput_gb_per_hour,
-            m.mean_latency_minutes,
-            m.mean_stored_energy_wh,
-            m.expected_service_life_days,
-            m.gb_per_amp_hour,
-            m.discharge_throughput_ah,
-            m.load_kwh,
-            m.effective_kwh,
+            csv_number(m.elapsed_hours, Some(2)),
+            csv_number(m.uptime, Some(4)),
+            csv_number(m.service_availability, Some(4)),
+            csv_number(m.processed_gb, Some(2)),
+            csv_number(m.throughput_gb_per_hour, Some(3)),
+            csv_number(m.mean_latency_minutes, Some(2)),
+            csv_number(m.mean_stored_energy_wh, Some(1)),
+            csv_number(m.expected_service_life_days, Some(1)),
+            csv_number(m.gb_per_amp_hour, Some(3)),
+            csv_number(m.discharge_throughput_ah, Some(2)),
+            csv_number(m.load_kwh, Some(3)),
+            csv_number(m.effective_kwh, Some(3)),
             m.power_ctrl_times,
             m.on_off_cycles,
             m.vm_ctrl_times,
-            m.min_voltage,
-            m.end_voltage,
-            m.voltage_sigma,
-            m.solar_kwh,
+            csv_number(m.min_voltage, Some(2)),
+            csv_number(m.end_voltage, Some(2)),
+            csv_number(m.voltage_sigma, Some(4)),
+            csv_number(m.solar_kwh, Some(3)),
             m.brownouts,
             m.emergency_shutdowns
         ));
     }
     out
+}
+
+/// Formats a float as a CSV field, guarding against non-finite values.
+///
+/// CSV consumers (spreadsheets, pandas with default settings) choke on
+/// `inf`/`NaN` tokens, so non-finite values render as an *empty field* —
+/// the conventional CSV spelling of "missing". `precision` of
+/// `Some(p)` renders with `p` fixed decimal places; `None` uses the
+/// shortest round-trip representation.
+#[must_use]
+pub fn csv_number(v: f64, precision: Option<usize>) -> String {
+    if !v.is_finite() {
+        return String::new();
+    }
+    match precision {
+        Some(p) => format!("{v:.p$}"),
+        None => format!("{v}"),
+    }
 }
 
 /// Quotes a CSV field if it contains a comma or quote.
@@ -209,6 +231,46 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("line\nbreak"), "line\\nbreak");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn csv_number_guards_non_finite_values() {
+        assert_eq!(csv_number(850.5, None), "850.5");
+        assert_eq!(csv_number(2.5, Some(3)), "2.500");
+        assert_eq!(csv_number(f64::INFINITY, Some(2)), "");
+        assert_eq!(csv_number(f64::NEG_INFINITY, None), "");
+        assert_eq!(csv_number(f64::NAN, Some(1)), "");
+    }
+
+    #[test]
+    fn metrics_csv_never_leaks_inf_or_nan() {
+        let sys = short_run();
+        let mut m = RunMetrics::collect(&sys);
+        // Degenerate runs can produce non-finite derived metrics (e.g. a
+        // zero-throughput run's service life); they must never reach the
+        // CSV as `inf`/`NaN` tokens.
+        m.expected_service_life_days = f64::INFINITY;
+        m.gb_per_amp_hour = f64::NAN;
+        m.mean_latency_minutes = f64::NEG_INFINITY;
+        let csv = metrics_to_csv(&[m]);
+        assert!(!csv.contains("inf"), "inf leaked into CSV:\n{csv}");
+        assert!(!csv.contains("NaN"), "NaN leaked into CSV:\n{csv}");
+        // Field alignment survives the empty placeholders.
+        let mut lines = csv.lines();
+        let header_fields = lines.next().unwrap().split(',').count();
+        assert_eq!(lines.next().unwrap().split(',').count(), header_fields);
+    }
+
+    #[test]
+    fn trace_csv_renders_non_finite_samples_as_empty_fields() {
+        use ins_sim::trace::Trace;
+        let mut t = Trace::new("odd");
+        t.record(SimTime::from_secs(0), 1.25);
+        t.record(SimTime::from_secs(60), f64::NAN);
+        let csv = trace_to_csv(&t);
+        assert!(csv.contains("0,1.25\n"));
+        assert!(csv.contains("60,\n"));
+        assert!(!csv.contains("NaN"));
     }
 
     #[test]

@@ -38,4 +38,5 @@
 
 pub mod experiments;
 pub mod export;
+pub mod runner;
 pub mod table;

@@ -227,6 +227,12 @@ pub struct InSituSystem {
     /// instant.
     restart_storm_until: Option<SimTime>,
 
+    // Step-loop fast path: bus memberships recomputed only when the
+    // switch matrix reports a relay-state change (`None` = dirty).
+    matrix_cache_generation: Option<u64>,
+    cached_discharging: Vec<BatteryId>,
+    cached_charging: Vec<BatteryId>,
+
     // Checkpoint/recovery state (None = checkpointing disabled).
     checkpointer: Option<JobCheckpointer>,
     /// Periodic-write pacing: last instant a write was attempted.
@@ -794,10 +800,14 @@ impl InSituSystem {
         let solar = self.solar.power_at(now);
 
         // Scheduled faults due this step strike the hardware first, and
-        // expired windows (repairs) retire.
-        let due: Vec<FaultEvent> = self.faults.due(now).to_vec();
-        for event in due {
-            self.apply_fault(now, event.kind);
+        // expired windows (repairs) retire. `has_due` is a non-mutating
+        // peek, so the common fault-free step pays one comparison instead
+        // of draining and copying an empty slice.
+        if self.faults.has_due(now) {
+            let due: Vec<FaultEvent> = self.faults.due(now).to_vec();
+            for event in due {
+                self.apply_fault(now, event.kind);
+            }
         }
         self.expire_fault_windows(now);
         self.advance_checkpoints(now);
@@ -815,6 +825,17 @@ impl InSituSystem {
             self.apply(action);
         }
 
+        // Bus memberships change only when a relay moves (controller
+        // reconfiguration or relay fault); on the matrix's word that
+        // nothing moved since last step, reuse the cached lists instead
+        // of rescanning the relay network twice per step.
+        if self.matrix_cache_generation != Some(self.matrix.generation()) {
+            self.cached_discharging = self.matrix.discharging_units();
+            self.cached_charging = self.matrix.charging_units();
+            self.matrix_cache_generation = Some(self.matrix.generation());
+        }
+        let discharging_ids = &self.cached_discharging;
+
         // Power settlement: load first (solar then discharging units).
         // An in-flight checkpoint write draws its storage-path power from
         // the same budget as the servers.
@@ -824,7 +845,6 @@ impl InSituSystem {
             _ => Watts::ZERO,
         };
         let demand = self.rack.power_demand(util) + checkpoint_power;
-        let discharging_ids = self.matrix.discharging_units();
         let settlement = {
             let mut refs: Vec<&mut BatteryUnit> = self
                 .units
@@ -867,7 +887,7 @@ impl InSituSystem {
             }
         }
         // Cutoff trips while discharging.
-        for id in &discharging_ids {
+        for id in discharging_ids {
             let unit = &self.units[id.0];
             if unit.at_cutoff(Amps::new(10.0)) {
                 self.events.push(now, SystemEvent::CutoffTrip(*id));
@@ -879,10 +899,10 @@ impl InSituSystem {
         // units simply rest through it.
         let solar_left = (solar - settlement.solar_used).max(Watts::ZERO);
         let charger_down = self.charger_dropout_until.is_some_and(|t| now < t);
-        let charging_ids = if charger_down {
-            Vec::new()
+        let charging_ids: &[BatteryId] = if charger_down {
+            &[]
         } else {
-            self.matrix.charging_units()
+            &self.cached_charging
         };
         let charge_step = {
             let mut refs: Vec<&mut BatteryUnit> = self
@@ -951,6 +971,17 @@ impl InSituSystem {
 
     /// Runs until the given instant.
     pub fn run_until(&mut self, end: SimTime) {
+        // Reserve the trace buffers for the whole span up front so the
+        // per-step `record` calls never reallocate mid-run.
+        let now = self.clock.now();
+        if end > now {
+            let dt_s = self.clock.dt().as_secs().max(1);
+            let steps = usize::try_from(end.since(now).as_secs() / dt_s + 1).unwrap_or(usize::MAX);
+            self.trace_solar.reserve(steps);
+            self.trace_load.reserve(steps);
+            self.trace_stored.reserve(steps);
+            self.trace_pack_voltage.reserve(steps);
+        }
         while self.clock.now() < end {
             self.step();
         }
@@ -1111,6 +1142,9 @@ impl SystemBuilder {
             charger_dropout_until: None,
             checkpoint_faults: Vec::new(),
             restart_storm_until: None,
+            matrix_cache_generation: None,
+            cached_discharging: Vec::new(),
+            cached_charging: Vec::new(),
             checkpointer: self.checkpoint.map(JobCheckpointer::new),
             last_checkpoint_attempt: None,
             needs_recovery: false,

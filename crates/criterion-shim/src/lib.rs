@@ -22,6 +22,16 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// Mean nanoseconds per iteration of the last [`Bencher::iter`] run.
+    ///
+    /// `0.0` before the first `iter` call. Exposed so callers that record
+    /// benchmark artifacts (e.g. `BENCH_step.json`) can read the
+    /// measurement instead of scraping stdout.
+    #[must_use]
+    pub fn ns_per_iter(&self) -> f64 {
+        self.last_ns_per_iter
+    }
+
     /// Times `routine`, auto-scaling the iteration count so the
     /// measurement lasts long enough to be meaningful but stays fast.
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
@@ -58,7 +68,9 @@ fn format_ns(ns: f64) -> String {
 
 /// Benchmark registry/driver. Created by [`criterion_group!`]'s runner.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
 
 impl Criterion {
     /// Runs one named benchmark.
@@ -69,7 +81,15 @@ impl Criterion {
             "bench: {name:<44} {:>12}/iter",
             format_ns(b.last_ns_per_iter)
         );
+        self.results.push((name.to_string(), b.last_ns_per_iter));
         self
+    }
+
+    /// All `(name, mean ns/iter)` measurements recorded so far, in run
+    /// order. Lets a driver export benchmark artifacts as JSON.
+    #[must_use]
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
     }
 
     /// Opens a named group of benchmarks.
@@ -148,6 +168,18 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(10).bench_function("inner", |b| b.iter(|| ()));
         g.finish();
+    }
+
+    #[test]
+    fn results_record_every_bench_in_order() {
+        let mut c = Criterion::default();
+        c.bench_function("first", |b| b.iter(|| black_box(1) + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("second", |b| b.iter(|| black_box(2) + 2));
+        g.finish();
+        let names: Vec<&str> = c.results().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["first", "grp/second"]);
+        assert!(c.results().iter().all(|(_, ns)| *ns > 0.0));
     }
 
     #[test]

@@ -840,6 +840,24 @@ mod tests {
     }
 
     #[test]
+    fn worker_pool_is_free_of_nondeterminism() {
+        // The parallel sweep layer's whole contract is bit-identical
+        // output at any thread count, so its internals must never touch
+        // the banned wall-clock / OS-randomness APIs (L003). Analyze the
+        // actual source shipped in `ins-sim`.
+        let src = include_str!("../../sim/src/pool.rs");
+        let findings = run("crates/sim/src/pool.rs", src);
+        let nondet: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::Nondeterminism)
+            .collect();
+        assert!(
+            nondet.is_empty(),
+            "pool.rs must stay deterministic, found: {nondet:?}"
+        );
+    }
+
+    #[test]
     fn l001_fires_on_untyped_quantity_param() {
         let src = "pub fn set_power(power: f64) {}\n";
         let findings = run("crates/battery/src/x.rs", src);

@@ -108,6 +108,10 @@ impl RelayPair {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwitchMatrix {
     pairs: Vec<RelayPair>,
+    /// Bumped on every operation that may move a relay contact, so
+    /// callers polling the bus membership every simulation step can skip
+    /// recomputing it while the relay state is provably unchanged.
+    generation: u64,
 }
 
 impl SwitchMatrix {
@@ -116,7 +120,18 @@ impl SwitchMatrix {
     pub fn new(units: usize) -> Self {
         Self {
             pairs: vec![RelayPair::default(); units],
+            generation: 0,
         }
+    }
+
+    /// A counter that changes whenever relay state *may* have changed
+    /// (any [`SwitchMatrix::attach`], fault injection or fault repair).
+    /// Two reads returning the same value guarantee the bus memberships
+    /// ([`SwitchMatrix::charging_units`] etc.) are unchanged between
+    /// them, so per-step callers can cache those lists.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of units managed.
@@ -156,6 +171,7 @@ impl SwitchMatrix {
         to: Attachment,
     ) -> Result<Attachment, UnknownUnitError> {
         let pair = self.pairs.get_mut(id.0).ok_or(UnknownUnitError(id))?;
+        self.generation += 1;
         match to {
             Attachment::Isolated => {
                 pair.charge.open();
@@ -197,6 +213,7 @@ impl SwitchMatrix {
         fault: RelayFault,
     ) -> Result<(), UnknownUnitError> {
         let pair = self.pairs.get_mut(id.0).ok_or(UnknownUnitError(id))?;
+        self.generation += 1;
         pair.relay_mut(role).inject_fault(fault);
         if fault == RelayFault::StuckClosed {
             let other = match role {
@@ -219,6 +236,7 @@ impl SwitchMatrix {
         role: RelayRole,
     ) -> Result<(), UnknownUnitError> {
         let pair = self.pairs.get_mut(id.0).ok_or(UnknownUnitError(id))?;
+        self.generation += 1;
         pair.relay_mut(role).clear_fault();
         Ok(())
     }
@@ -483,6 +501,30 @@ mod tests {
             .clear_relay_fault(BatteryId(9), RelayRole::Charge)
             .is_err());
         assert!(m.relay_fault(BatteryId(9), RelayRole::Charge).is_err());
+    }
+
+    #[test]
+    fn generation_tracks_every_relay_touching_operation() {
+        let mut m = SwitchMatrix::new(2);
+        let g0 = m.generation();
+        // Pure reads never bump.
+        let _ = m.charging_units();
+        let _ = m.attachment(BatteryId(0));
+        assert_eq!(m.generation(), g0);
+        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        let g1 = m.generation();
+        assert_ne!(g1, g0);
+        m.inject_relay_fault(BatteryId(1), RelayRole::Charge, RelayFault::StuckOpen)
+            .unwrap();
+        let g2 = m.generation();
+        assert_ne!(g2, g1);
+        m.clear_relay_fault(BatteryId(1), RelayRole::Charge)
+            .unwrap();
+        assert_ne!(m.generation(), g2);
+        // Failed operations on unknown units don't bump.
+        let g3 = m.generation();
+        assert!(m.attach(BatteryId(9), Attachment::ChargeBus).is_err());
+        assert_eq!(m.generation(), g3);
     }
 
     #[test]

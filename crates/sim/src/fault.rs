@@ -406,6 +406,15 @@ impl FaultSchedule {
         self.events.len() - self.cursor
     }
 
+    /// `true` when at least one un-drained event is due at or before
+    /// `now`. A non-mutating peek, so per-step callers can skip the
+    /// [`FaultSchedule::due`] drain (and any copying of its result) on
+    /// the overwhelmingly common fault-free step.
+    #[must_use]
+    pub fn has_due(&self, now: SimTime) -> bool {
+        self.events.get(self.cursor).is_some_and(|e| e.at <= now)
+    }
+
     /// Drains and returns every event due at or before `now`.
     ///
     /// Successive calls with non-decreasing `now` return each event exactly

@@ -10,6 +10,7 @@
 //! * [`trace`] — time-series recording ([`trace::Trace`]),
 //! * [`stats`] — streaming statistics ([`stats::RunningStats`]),
 //! * [`rng`] — reproducible, forkable randomness ([`rng::SimRng`]),
+//! * [`pool`] — deterministic scoped worker pool ([`pool::scoped_map`]),
 //! * [`log`] — typed event logs ([`log::EventLog`]),
 //! * [`fault`] — seeded, deterministic fault injection
 //!   ([`fault::FaultSchedule`], [`fault::FaultKind`]).
@@ -39,6 +40,7 @@
 
 pub mod fault;
 pub mod log;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -61,13 +61,23 @@ impl SimRng {
     /// of the parent stream has been consumed.
     #[must_use]
     pub fn fork(&self, label: &str) -> SimRng {
+        SimRng::seed(self.fork_seed(label))
+    }
+
+    /// The seed [`SimRng::fork`] would use for the named component.
+    ///
+    /// Exposed so sweep drivers can derive a per-cell `u64` seed (e.g.
+    /// keyed by cell index) and hand it to experiment code that takes
+    /// plain seeds, with the same independence guarantees as `fork`.
+    #[must_use]
+    pub fn fork_seed(&self, label: &str) -> u64 {
         // FNV-1a over the label, mixed with the parent seed.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed.rotate_left(17);
         for byte in label.as_bytes() {
             h ^= u64::from(*byte);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        SimRng::seed(h)
+        h
     }
 
     /// Next raw 64-bit value (xoshiro256++).

@@ -56,6 +56,13 @@ impl Trace {
         &self.name
     }
 
+    /// Pre-allocates room for `additional` more samples. Long runs call
+    /// this once up front so the per-step `record` never reallocates
+    /// mid-simulation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
     /// Appends a sample.
     ///
     /// # Panics

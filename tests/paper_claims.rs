@@ -66,6 +66,7 @@ fn claim_low_power_nodes_5x_to_15x_efficiency() {
 fn claim_crossover_near_0_9_gb_per_day() {
     // §6.5: in-situ beats cloud above ≈ 0.9 GB/day for the prototype.
     let (_, crossover) = costs::fig24();
+    let crossover = crossover.expect("crossover exists at the reference sunshine fraction");
     assert!(
         (0.5..1.5).contains(&crossover),
         "crossover {crossover:.2} GB/day"
