@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use ins_bench::experiments::{
-    buffer, costs, endurance, faults, fullsys, hetero, logs, micro, recovery, sizing, traces,
+    buffer, costs, endurance, faults, fleet, fullsys, hetero, logs, micro, recovery, sizing, traces,
 };
 use ins_bench::runner::{parse_threads, run_cells};
 use ins_bench::table::{dollars, TextTable};
@@ -62,6 +62,10 @@ const SECTIONS: &[(&str, SectionFn)] = &[
     (
         "Robustness extension — recovery sweep (checkpoint interval × fault rate)",
         sec_recovery,
+    ),
+    (
+        "Robustness extension — fleet resilience (sites × fault rate × breaker)",
+        sec_fleet,
     ),
     (
         "Extension — two-week endurance and sunshine sweep",
@@ -259,6 +263,10 @@ fn sec_faults() -> Result<String, String> {
 
 fn sec_recovery() -> Result<String, String> {
     Ok(recovery::render(&recovery::sweep(11)))
+}
+
+fn sec_fleet() -> Result<String, String> {
+    Ok(fleet::render(&fleet::sweep(11)))
 }
 
 fn sec_endurance() -> Result<String, String> {

@@ -14,12 +14,14 @@
 //! | [`ablation`] | DESIGN.md's design-choice ablations |
 //! | [`faults`] | fault-rate sweep: graceful degradation under injected faults |
 //! | [`recovery`] | checkpoint interval × fault rate: goodput, lost work, MTTR |
+//! | [`fleet`] | fleet resilience: sites × fault rate × breaker policy |
 
 pub mod ablation;
 pub mod buffer;
 pub mod costs;
 pub mod endurance;
 pub mod faults;
+pub mod fleet;
 pub mod fullsys;
 pub mod hetero;
 pub mod logs;

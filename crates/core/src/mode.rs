@@ -132,32 +132,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_seven_causes_have_valid_edges() {
+    fn all_seven_causes_have_valid_edges() -> Result<(), InvalidTransitionError> {
         assert_eq!(TransitionCause::ALL.len(), 7);
         for cause in TransitionCause::ALL {
             let (from, to) = cause.edge();
-            assert_eq!(transition(from, cause).unwrap(), to);
+            assert_eq!(transition(from, cause)?, to);
         }
+        Ok(())
     }
 
     #[test]
-    fn full_cycle_through_the_diagram() {
+    fn full_cycle_through_the_diagram() -> Result<(), InvalidTransitionError> {
         // Offline → Charging → Standby → Discharging → Offline.
         let m = BufferMode::Offline;
-        let m = transition(m, TransitionCause::PowerAvailable).unwrap();
+        let m = transition(m, TransitionCause::PowerAvailable)?;
         assert_eq!(m, BufferMode::Charging);
-        let m = transition(m, TransitionCause::CapacityGoalsMet).unwrap();
+        let m = transition(m, TransitionCause::CapacityGoalsMet)?;
         assert_eq!(m, BufferMode::Standby);
-        let m = transition(m, TransitionCause::BudgetInadequate).unwrap();
+        let m = transition(m, TransitionCause::BudgetInadequate)?;
         assert_eq!(m, BufferMode::Discharging);
-        let m = transition(m, TransitionCause::SocBelowThreshold).unwrap();
+        let m = transition(m, TransitionCause::SocBelowThreshold)?;
         assert_eq!(m, BufferMode::Offline);
+        Ok(())
     }
 
     #[test]
-    fn surplus_green_returns_discharging_units_to_charging() {
-        let m = transition(BufferMode::Discharging, TransitionCause::SurplusGreen).unwrap();
+    fn surplus_green_returns_discharging_units_to_charging() -> Result<(), InvalidTransitionError> {
+        let m = transition(BufferMode::Discharging, TransitionCause::SurplusGreen)?;
         assert_eq!(m, BufferMode::Charging);
+        Ok(())
     }
 
     #[test]

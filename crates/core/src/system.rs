@@ -23,7 +23,7 @@ use ins_sim::units::{AmpHours, Amps, Soc, Volts, WattHours, Watts};
 use ins_solar::SolarTrace;
 use ins_workload::batch::{BatchSpec, BatchWorkload};
 use ins_workload::checkpoint::{
-    CheckpointCounters, CheckpointPolicy, JobCheckpointer, RestartBackoff, RestartOutcome,
+    CheckpointCounters, CheckpointPolicy, JobCheckpointer, RestartOutcome,
 };
 use ins_workload::scaling::ScalingModel;
 use ins_workload::stream::{StreamSpec, StreamWorkload};
@@ -567,6 +567,28 @@ impl InSituSystem {
         self.apply_fault(now, kind);
     }
 
+    /// Forcibly collapses the site's power delivery — the fleet tier's
+    /// `SiteBlackout` entry point. Identical to an instantaneous supply
+    /// brownout: every server crash-stops with no orderly checkpoint
+    /// window, an in-flight checkpoint write is torn, and recovery
+    /// (checkpoint restore plus cold boot) must complete before the rack
+    /// serves again.
+    pub fn force_outage(&mut self) {
+        let now = self.clock.now();
+        self.rack.force_shutdown_all();
+        self.events.push(now, SystemEvent::BrownOut);
+        self.brownouts += 1;
+        if self.outage_started.is_none() {
+            self.outage_started = Some(now);
+        }
+        if let Some(c) = &mut self.checkpointer {
+            if c.store.crash() {
+                self.events.push(now, SystemEvent::CheckpointTorn);
+            }
+            self.needs_recovery = true;
+        }
+    }
+
     /// The installed fault schedule.
     #[must_use]
     pub fn fault_schedule(&self) -> &FaultSchedule {
@@ -574,6 +596,12 @@ impl InSituSystem {
     }
 
     fn apply_fault(&mut self, now: SimTime, kind: FaultKind) {
+        // Fleet-level faults (site blackouts, WAN partitions, routing
+        // flaps, slow sites) are applied by the fleet layer; a single
+        // site has nothing to do with them and must not log them either.
+        if kind.is_fleet_level() {
+            return;
+        }
         self.events
             .push(now, SystemEvent::FaultInjected(kind.class()));
         match kind {
@@ -657,6 +685,12 @@ impl InSituSystem {
                     Some(t) if t > until => t,
                     _ => until,
                 });
+            }
+            FaultKind::SiteBlackout { .. }
+            | FaultKind::WanPartition { .. }
+            | FaultKind::RoutingFlap { .. }
+            | FaultKind::SlowSite { .. } => {
+                // Unreachable: filtered by the is_fleet_level guard above.
             }
         }
     }
@@ -748,13 +782,13 @@ impl InSituSystem {
                 Some(c) => c.backoff.record_failure(now),
                 None => return,
             };
-            if outcome == RestartOutcome::Quarantined {
+            if outcome == RestartOutcome::Exhausted {
                 // Poison job: the replay is abandoned. Durable progress is
                 // kept; the un-checkpointed remainder is lost for good.
                 if let Some(c) = &mut self.checkpointer {
                     let durable = c.store.restore();
                     self.lost_work_gb += (processed - durable).max(0.0);
-                    c.backoff = RestartBackoff::new(&policy);
+                    c.backoff = policy.restart_backoff();
                 }
                 self.data_loss_events += 1;
                 self.needs_recovery = false;

@@ -1,0 +1,366 @@
+//! Per-site circuit breaker: Closed → Open → Half-open.
+//!
+//! The router observes only externally visible signals — request
+//! timeouts, unreachable sites, brownouts — and the breaker turns those
+//! into an admission decision, mirroring the strike/quarantine pattern
+//! of `ins-core`'s health monitor at the fleet tier. The state machine
+//! is the classic one:
+//!
+//! * **Closed** — requests flow. Consecutive failures accumulate; at
+//!   the policy threshold the breaker trips Open.
+//! * **Open** — requests are refused outright (no futile WAN round
+//!   trips). The open window comes from the shared
+//!   [`ins_sim::backoff::Backoff`] primitive, so repeated trips without
+//!   an intervening full recovery escalate the window exponentially,
+//!   capped.
+//! * **Half-open** — the window expired; a limited number of probe
+//!   requests are admitted. One failure re-trips Open (with a longer
+//!   window); enough successes close the breaker and reset the
+//!   escalation.
+//!
+//! The breaker consumes no randomness at all, so a fleet trajectory's
+//! breaker decisions replay bit-identically from the fault seed.
+
+use ins_sim::backoff::Backoff;
+use ins_sim::time::{SimDuration, SimTime};
+
+/// Tunable thresholds of the breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures (while Closed) that trip the breaker.
+    pub trip_threshold: u32,
+    /// Base open window after the first trip.
+    pub open_base: SimDuration,
+    /// Cap on open-window doublings across consecutive re-trips.
+    pub max_open_doublings: u32,
+    /// Probe successes (while Half-open) required to close.
+    pub half_open_probes: u32,
+}
+
+impl BreakerPolicy {
+    /// The default fleet policy: trip after 5 straight failures, 5-minute
+    /// base window doubling up to 2^4, close after 3 clean probes.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            trip_threshold: 5,
+            open_base: SimDuration::from_minutes(5),
+            max_open_doublings: 4,
+            half_open_probes: 3,
+        }
+    }
+
+    /// A jumpy policy for flaky links: trip after 2 failures, 10-minute
+    /// base window, demand 5 clean probes before closing.
+    #[must_use]
+    pub fn aggressive() -> Self {
+        Self {
+            trip_threshold: 2,
+            open_base: SimDuration::from_minutes(10),
+            max_open_doublings: 5,
+            half_open_probes: 5,
+        }
+    }
+
+    /// A breaker that never trips (`trip_threshold == u32::MAX`) — the
+    /// control arm of the resilience experiments.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            trip_threshold: u32::MAX,
+            open_base: SimDuration::from_minutes(5),
+            max_open_doublings: 0,
+            half_open_probes: 1,
+        }
+    }
+
+    /// The named policy grid the `fleet_resilience` experiment sweeps.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "standard" => Some(Self::standard()),
+            "aggressive" => Some(Self::aggressive()),
+            "none" => Some(Self::disabled()),
+            _ => None,
+        }
+    }
+}
+
+/// The breaker's admission state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Healthy: requests flow, failures are counted.
+    Closed,
+    /// Tripped: requests are refused until the open window expires.
+    Open,
+    /// Probing: limited traffic admitted to test recovery.
+    HalfOpen,
+}
+
+/// Per-site circuit breaker. Pure data over [`SimTime`]; no RNG.
+///
+/// # Examples
+///
+/// ```
+/// use ins_fleet::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+/// use ins_sim::time::SimTime;
+///
+/// let mut b = CircuitBreaker::new(BreakerPolicy::standard());
+/// let t0 = SimTime::from_secs(0);
+/// for _ in 0..5 {
+///     assert!(b.allows(t0));
+///     b.record_failure(t0);
+/// }
+/// assert_eq!(b.state(), BreakerState::Open);
+/// assert!(!b.allows(t0), "open breaker refuses traffic");
+/// // After the 5-minute window a probe is admitted.
+/// let later = SimTime::from_secs(5 * 60);
+/// assert!(b.allows(later));
+/// assert_eq!(b.state(), BreakerState::HalfOpen);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    /// Consecutive failures observed while Closed.
+    closed_failures: u32,
+    /// Clean probes observed while Half-open.
+    probe_successes: u32,
+    /// Escalating open-window state: a failure streak here is a streak of
+    /// trips without a full close, so each re-trip doubles the window.
+    window: Backoff,
+    trips: u64,
+    resets: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    #[must_use]
+    pub fn new(policy: BreakerPolicy) -> Self {
+        Self {
+            policy,
+            state: BreakerState::Closed,
+            closed_failures: 0,
+            probe_successes: 0,
+            // Exhaustion never applies to an open window: a breaker backs
+            // off forever rather than giving up on the site.
+            window: Backoff::new(policy.open_base, policy.max_open_doublings, u32::MAX),
+            trips: 0,
+            resets: 0,
+        }
+    }
+
+    /// The installed policy.
+    #[must_use]
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    /// Current admission state. Note that Open → Half-open happens lazily
+    /// inside [`CircuitBreaker::allows`] when the window has expired.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a request may be sent at `now`. An Open breaker whose
+    /// window has expired transitions to Half-open here and admits the
+    /// probe; a Half-open breaker admits traffic freely (the probe cap is
+    /// enforced by closing or re-tripping, not by refusing).
+    pub fn allows(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.window.ready(now) {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful request against this site.
+    pub fn record_success(&mut self, _now: SimTime) {
+        match self.state {
+            BreakerState::Closed => {
+                self.closed_failures = 0;
+            }
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.policy.half_open_probes {
+                    self.state = BreakerState::Closed;
+                    self.closed_failures = 0;
+                    self.window.record_success();
+                    self.resets += 1;
+                }
+            }
+            BreakerState::Open => {
+                // No traffic is admitted while Open; a straggler success
+                // from before the trip changes nothing.
+            }
+        }
+    }
+
+    /// Records a failed request (timeout, unreachable site, brownout)
+    /// against this site.
+    pub fn record_failure(&mut self, now: SimTime) {
+        match self.state {
+            BreakerState::Closed => {
+                self.closed_failures += 1;
+                if self.closed_failures >= self.policy.trip_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to Open, longer window.
+                self.trip(now);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.state = BreakerState::Open;
+        self.closed_failures = 0;
+        self.probe_successes = 0;
+        // The Backoff's failure streak counts consecutive trips, so the
+        // window doubles per re-trip up to the policy cap.
+        let _ = self.window.record_failure(now);
+        self.trips += 1;
+    }
+
+    /// Lifetime count of Closed/Half-open → Open transitions.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Lifetime count of Half-open → Closed transitions.
+    #[must_use]
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn tripped(policy: BreakerPolicy, now: SimTime) -> CircuitBreaker {
+        let mut b = CircuitBreaker::new(policy);
+        for _ in 0..policy.trip_threshold {
+            b.record_failure(now);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        b
+    }
+
+    #[test]
+    fn trips_at_threshold_and_refuses_while_open() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::standard());
+        for _ in 0..4 {
+            b.record_failure(t(0));
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        b.record_failure(t(0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allows(t(60)), "window is 5 min, not 1");
+    }
+
+    #[test]
+    fn success_resets_the_closed_failure_streak() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::standard());
+        for _ in 0..4 {
+            b.record_failure(t(0));
+        }
+        b.record_success(t(0));
+        b.record_failure(t(0));
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn window_expiry_moves_to_half_open_then_probes_close_it() {
+        let policy = BreakerPolicy::standard();
+        let mut b = tripped(policy, t(0));
+        let after = t(policy.open_base.as_secs());
+        assert!(b.allows(after));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        for _ in 0..policy.half_open_probes {
+            b.record_success(after);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.resets(), 1);
+    }
+
+    #[test]
+    fn half_open_failure_retrips_with_a_doubled_window() {
+        let policy = BreakerPolicy::standard();
+        let base = policy.open_base.as_secs();
+        let mut b = tripped(policy, t(0));
+        assert!(b.allows(t(base)));
+        b.record_failure(t(base));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // Second window is 2× base: still refusing at base + base.
+        assert!(!b.allows(t(base + base)));
+        assert!(b.allows(t(base + 2 * base)));
+    }
+
+    #[test]
+    fn full_close_resets_the_window_escalation() {
+        let policy = BreakerPolicy::standard();
+        let base = policy.open_base.as_secs();
+        let mut b = tripped(policy, t(0));
+        // Re-trip once (window now 2×), then recover fully.
+        assert!(b.allows(t(base)));
+        b.record_failure(t(base));
+        let reopen = t(base + 2 * base);
+        assert!(b.allows(reopen));
+        for _ in 0..policy.half_open_probes {
+            b.record_success(reopen);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A fresh trip gets the base window again, not 4×.
+        for _ in 0..policy.trip_threshold {
+            b.record_failure(reopen);
+        }
+        assert!(!b.allows(t(reopen.as_secs() + base - 1)));
+        assert!(b.allows(t(reopen.as_secs() + base)));
+    }
+
+    #[test]
+    fn disabled_policy_never_trips() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::disabled());
+        for i in 0..10_000 {
+            b.record_failure(t(i));
+            assert!(b.allows(t(i)));
+        }
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn policy_names_resolve() {
+        assert_eq!(
+            BreakerPolicy::by_name("standard"),
+            Some(BreakerPolicy::standard())
+        );
+        assert_eq!(
+            BreakerPolicy::by_name("aggressive"),
+            Some(BreakerPolicy::aggressive())
+        );
+        assert_eq!(
+            BreakerPolicy::by_name("none"),
+            Some(BreakerPolicy::disabled())
+        );
+        assert_eq!(BreakerPolicy::by_name("bogus"), None);
+    }
+}

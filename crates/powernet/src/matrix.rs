@@ -342,23 +342,21 @@ mod tests {
     }
 
     #[test]
-    fn attach_moves_between_buses() {
+    fn attach_moves_between_buses() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(2);
-        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
-        assert_eq!(m.attachment(BatteryId(0)).unwrap(), Attachment::ChargeBus);
-        m.attach(BatteryId(0), Attachment::DischargeBus).unwrap();
-        assert_eq!(
-            m.attachment(BatteryId(0)).unwrap(),
-            Attachment::DischargeBus
-        );
-        m.attach(BatteryId(0), Attachment::Isolated).unwrap();
-        assert_eq!(m.attachment(BatteryId(0)).unwrap(), Attachment::Isolated);
+        m.attach(BatteryId(0), Attachment::ChargeBus)?;
+        assert_eq!(m.attachment(BatteryId(0))?, Attachment::ChargeBus);
+        m.attach(BatteryId(0), Attachment::DischargeBus)?;
+        assert_eq!(m.attachment(BatteryId(0))?, Attachment::DischargeBus);
+        m.attach(BatteryId(0), Attachment::Isolated)?;
+        assert_eq!(m.attachment(BatteryId(0))?, Attachment::Isolated);
         // Unit 1 untouched throughout.
-        assert_eq!(m.attachment(BatteryId(1)).unwrap(), Attachment::Isolated);
+        assert_eq!(m.attachment(BatteryId(1))?, Attachment::Isolated);
+        Ok(())
     }
 
     #[test]
-    fn charge_and_discharge_never_overlap() {
+    fn charge_and_discharge_never_overlap() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(1);
         for to in [
             Attachment::ChargeBus,
@@ -367,11 +365,12 @@ mod tests {
             Attachment::Isolated,
             Attachment::DischargeBus,
         ] {
-            m.attach(BatteryId(0), to).unwrap();
+            m.attach(BatteryId(0), to)?;
             let charging = m.charging_units().contains(&BatteryId(0));
             let discharging = m.discharging_units().contains(&BatteryId(0));
             assert!(!(charging && discharging), "invariant violated at {to}");
         }
+        Ok(())
     }
 
     #[test]
@@ -384,111 +383,101 @@ mod tests {
     }
 
     #[test]
-    fn switch_operations_are_counted() {
+    fn switch_operations_are_counted() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(1);
-        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap(); // +1
-        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap(); // no-op
-        m.attach(BatteryId(0), Attachment::DischargeBus).unwrap(); // +2
-        m.attach(BatteryId(0), Attachment::Isolated).unwrap(); // +1
+        m.attach(BatteryId(0), Attachment::ChargeBus)?; // +1
+        m.attach(BatteryId(0), Attachment::ChargeBus)?; // no-op
+        m.attach(BatteryId(0), Attachment::DischargeBus)?; // +2
+        m.attach(BatteryId(0), Attachment::Isolated)?; // +1
         assert_eq!(m.total_switch_operations(), 4);
         assert!(m.max_relay_wear() > 0.0);
+        Ok(())
     }
 
     #[test]
-    fn attach_reports_achieved_attachment() {
+    fn attach_reports_achieved_attachment() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(1);
-        let got = m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        let got = m.attach(BatteryId(0), Attachment::ChargeBus)?;
         assert_eq!(got, Attachment::ChargeBus);
+        Ok(())
     }
 
     #[test]
-    fn stuck_open_relay_blocks_that_bus() {
+    fn stuck_open_relay_blocks_that_bus() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(2);
-        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckOpen)
-            .unwrap();
-        let got = m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckOpen)?;
+        let got = m.attach(BatteryId(0), Attachment::ChargeBus)?;
         assert_eq!(got, Attachment::Isolated, "charge path is unreachable");
         // The discharge path still works.
-        let got = m.attach(BatteryId(0), Attachment::DischargeBus).unwrap();
+        let got = m.attach(BatteryId(0), Attachment::DischargeBus)?;
         assert_eq!(got, Attachment::DischargeBus);
         assert_eq!(m.faulted_units(), vec![BatteryId(0)]);
         assert!(m.unreachable_units().is_empty());
+        Ok(())
     }
 
     #[test]
-    fn stuck_closed_relay_pins_the_unit_and_blocks_the_other_bus() {
+    fn stuck_closed_relay_pins_the_unit_and_blocks_the_other_bus() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(1);
-        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)
-            .unwrap();
-        assert_eq!(
-            m.attachment(BatteryId(0)).unwrap(),
-            Attachment::DischargeBus
-        );
+        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)?;
+        assert_eq!(m.attachment(BatteryId(0))?, Attachment::DischargeBus);
         // Requesting the charge bus must NOT cross-tie: the weld keeps the
         // discharge path closed, so the charge relay stays open.
-        let got = m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        let got = m.attach(BatteryId(0), Attachment::ChargeBus)?;
         assert_eq!(got, Attachment::DischargeBus);
         assert!(m.cross_tied_units().is_empty());
         assert!(m.charging_units().is_empty());
+        Ok(())
     }
 
     #[test]
-    fn double_weld_cross_ties_without_panicking() {
+    fn double_weld_cross_ties_without_panicking() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(1);
-        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckClosed)
-            .unwrap();
-        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)
-            .unwrap();
+        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckClosed)?;
+        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)?;
         // attachment() must not panic; cross-tie reads as discharge bus.
-        assert_eq!(
-            m.attachment(BatteryId(0)).unwrap(),
-            Attachment::DischargeBus
-        );
+        assert_eq!(m.attachment(BatteryId(0))?, Attachment::DischargeBus);
         assert_eq!(m.cross_tied_units(), vec![BatteryId(0)]);
         assert!(m.charging_units().is_empty());
         assert_eq!(m.discharging_units(), vec![BatteryId(0)]);
+        Ok(())
     }
 
     #[test]
-    fn weld_on_one_relay_trips_the_other_open_first() {
+    fn weld_on_one_relay_trips_the_other_open_first() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(1);
-        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
-        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)
-            .unwrap();
+        m.attach(BatteryId(0), Attachment::ChargeBus)?;
+        m.inject_relay_fault(BatteryId(0), RelayRole::Discharge, RelayFault::StuckClosed)?;
         // Protection opened the (healthy) charge relay: no cross-tie.
         assert!(m.cross_tied_units().is_empty());
-        assert_eq!(
-            m.attachment(BatteryId(0)).unwrap(),
-            Attachment::DischargeBus
-        );
+        assert_eq!(m.attachment(BatteryId(0))?, Attachment::DischargeBus);
+        Ok(())
     }
 
     #[test]
-    fn both_stuck_open_is_unreachable() {
+    fn both_stuck_open_is_unreachable() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(2);
-        m.inject_relay_fault(BatteryId(1), RelayRole::Charge, RelayFault::StuckOpen)
-            .unwrap();
-        m.inject_relay_fault(BatteryId(1), RelayRole::Discharge, RelayFault::StuckOpen)
-            .unwrap();
+        m.inject_relay_fault(BatteryId(1), RelayRole::Charge, RelayFault::StuckOpen)?;
+        m.inject_relay_fault(BatteryId(1), RelayRole::Discharge, RelayFault::StuckOpen)?;
         assert_eq!(m.unreachable_units(), vec![BatteryId(1)]);
         for to in [Attachment::ChargeBus, Attachment::DischargeBus] {
-            assert_eq!(m.attach(BatteryId(1), to).unwrap(), Attachment::Isolated);
+            assert_eq!(m.attach(BatteryId(1), to)?, Attachment::Isolated);
         }
+        Ok(())
     }
 
     #[test]
-    fn clearing_relay_fault_restores_control() {
+    fn clearing_relay_fault_restores_control() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(1);
-        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckOpen)
-            .unwrap();
+        m.inject_relay_fault(BatteryId(0), RelayRole::Charge, RelayFault::StuckOpen)?;
         assert_eq!(
-            m.relay_fault(BatteryId(0), RelayRole::Charge).unwrap(),
+            m.relay_fault(BatteryId(0), RelayRole::Charge)?,
             Some(RelayFault::StuckOpen)
         );
-        m.clear_relay_fault(BatteryId(0), RelayRole::Charge)
-            .unwrap();
-        let got = m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        m.clear_relay_fault(BatteryId(0), RelayRole::Charge)?;
+        let got = m.attach(BatteryId(0), Attachment::ChargeBus)?;
         assert_eq!(got, Attachment::ChargeBus);
+        Ok(())
     }
 
     #[test]
@@ -504,35 +493,35 @@ mod tests {
     }
 
     #[test]
-    fn generation_tracks_every_relay_touching_operation() {
+    fn generation_tracks_every_relay_touching_operation() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(2);
         let g0 = m.generation();
         // Pure reads never bump.
         let _ = m.charging_units();
         let _ = m.attachment(BatteryId(0));
         assert_eq!(m.generation(), g0);
-        m.attach(BatteryId(0), Attachment::ChargeBus).unwrap();
+        m.attach(BatteryId(0), Attachment::ChargeBus)?;
         let g1 = m.generation();
         assert_ne!(g1, g0);
-        m.inject_relay_fault(BatteryId(1), RelayRole::Charge, RelayFault::StuckOpen)
-            .unwrap();
+        m.inject_relay_fault(BatteryId(1), RelayRole::Charge, RelayFault::StuckOpen)?;
         let g2 = m.generation();
         assert_ne!(g2, g1);
-        m.clear_relay_fault(BatteryId(1), RelayRole::Charge)
-            .unwrap();
+        m.clear_relay_fault(BatteryId(1), RelayRole::Charge)?;
         assert_ne!(m.generation(), g2);
         // Failed operations on unknown units don't bump.
         let g3 = m.generation();
         assert!(m.attach(BatteryId(9), Attachment::ChargeBus).is_err());
         assert_eq!(m.generation(), g3);
+        Ok(())
     }
 
     #[test]
-    fn id_ordering_of_group_queries() {
+    fn id_ordering_of_group_queries() -> Result<(), UnknownUnitError> {
         let mut m = SwitchMatrix::new(4);
-        m.attach(BatteryId(3), Attachment::ChargeBus).unwrap();
-        m.attach(BatteryId(1), Attachment::ChargeBus).unwrap();
+        m.attach(BatteryId(3), Attachment::ChargeBus)?;
+        m.attach(BatteryId(1), Attachment::ChargeBus)?;
         assert_eq!(m.charging_units(), vec![BatteryId(1), BatteryId(3)]);
         assert_eq!(m.isolated_units(), vec![BatteryId(0), BatteryId(2)]);
+        Ok(())
     }
 }

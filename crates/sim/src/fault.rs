@@ -155,6 +155,42 @@ pub enum FaultKind {
         /// How long restore attempts keep failing.
         duration: SimDuration,
     },
+    /// Fleet level: an entire site goes dark (microgrid collapse, storm
+    /// damage) — its servers crash-stop and it serves nothing until the
+    /// window expires.
+    SiteBlackout {
+        /// Index of the affected site.
+        site: usize,
+        /// How long the site stays dark.
+        duration: SimDuration,
+    },
+    /// Fleet level: the WAN link to a site partitions — the site keeps
+    /// running locally but is unreachable from the router; requests sent
+    /// there time out.
+    WanPartition {
+        /// Index of the unreachable site.
+        site: usize,
+        /// How long the partition lasts.
+        duration: SimDuration,
+    },
+    /// Fleet level: the router's health/surplus signal flaps (stale
+    /// gossip, metric-pipeline outage) — site rankings churn instead of
+    /// tracking energy surplus for the duration.
+    RoutingFlap {
+        /// How long the routing signal stays unreliable.
+        duration: SimDuration,
+    },
+    /// Fleet level: a site slows down (thermal throttling, degraded
+    /// uplink) — its response latency multiplies by `factor`, tripping
+    /// deadlines and hedges without taking the site fully down.
+    SlowSite {
+        /// Index of the slowed site.
+        site: usize,
+        /// Latency multiplier, `>= 1`.
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration: SimDuration,
+    },
 }
 
 /// Field-less discriminant of a [`FaultKind`], for event logs and tallies.
@@ -186,6 +222,14 @@ pub enum FaultClass {
     TornWrite,
     /// [`FaultKind::RestartStorm`].
     RestartStorm,
+    /// [`FaultKind::SiteBlackout`].
+    SiteBlackout,
+    /// [`FaultKind::WanPartition`].
+    WanPartition,
+    /// [`FaultKind::RoutingFlap`].
+    RoutingFlap,
+    /// [`FaultKind::SlowSite`].
+    SlowSite,
 }
 
 impl FaultKind {
@@ -206,7 +250,26 @@ impl FaultKind {
             FaultKind::CheckpointCorruption { .. } => FaultClass::CheckpointCorruption,
             FaultKind::TornWrite { .. } => FaultClass::TornWrite,
             FaultKind::RestartStorm { .. } => FaultClass::RestartStorm,
+            FaultKind::SiteBlackout { .. } => FaultClass::SiteBlackout,
+            FaultKind::WanPartition { .. } => FaultClass::WanPartition,
+            FaultKind::RoutingFlap { .. } => FaultClass::RoutingFlap,
+            FaultKind::SlowSite { .. } => FaultClass::SlowSite,
         }
+    }
+
+    /// `true` for the fleet-level kinds ([`FaultKind::SiteBlackout`],
+    /// [`FaultKind::WanPartition`], [`FaultKind::RoutingFlap`],
+    /// [`FaultKind::SlowSite`]). These are applied by the fleet layer
+    /// (`ins-fleet`); a single-site system ignores them entirely.
+    #[must_use]
+    pub fn is_fleet_level(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SiteBlackout { .. }
+                | FaultKind::WanPartition { .. }
+                | FaultKind::RoutingFlap { .. }
+                | FaultKind::SlowSite { .. }
+        )
     }
 }
 
@@ -228,6 +291,10 @@ impl FaultClass {
             FaultClass::CheckpointCorruption => "checkpoint-corruption",
             FaultClass::TornWrite => "torn-write",
             FaultClass::RestartStorm => "restart-storm",
+            FaultClass::SiteBlackout => "site-blackout",
+            FaultClass::WanPartition => "wan-partition",
+            FaultClass::RoutingFlap => "routing-flap",
+            FaultClass::SlowSite => "slow-site",
         }
     }
 }
@@ -360,6 +427,49 @@ impl FaultSchedule {
             }
             let at = SimTime::from_secs(t as u64);
             if let Some(kind) = draw_kind_extended(&mut rng, targets) {
+                events.push(FaultEvent { at, kind });
+            }
+        }
+        Self::from_events(seed, events)
+    }
+
+    /// A stochastic schedule over the *fleet-level* menu only
+    /// ([`FaultKind::SiteBlackout`], [`FaultKind::WanPartition`],
+    /// [`FaultKind::RoutingFlap`], [`FaultKind::SlowSite`]), targeting
+    /// `sites` sites. Deterministic in `(seed, horizon,
+    /// mean_interarrival, sites)`.
+    ///
+    /// Drawn on its own fork label (`"fault-arrivals-fleet"`), so adding
+    /// fleet faults to an experiment never perturbs the legacy
+    /// [`FaultSchedule::stochastic`] / `stochastic_extended` streams —
+    /// every seed-pinned single-site schedule replays byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is zero.
+    #[must_use]
+    pub fn stochastic_fleet(
+        seed: u64,
+        horizon: SimDuration,
+        mean_interarrival: SimDuration,
+        sites: usize,
+    ) -> Self {
+        assert!(
+            !mean_interarrival.is_zero(),
+            "mean inter-arrival time must be positive"
+        );
+        let mut rng = SimRng::seed(seed).fork("fault-arrivals-fleet");
+        let mean_secs = mean_interarrival.as_secs() as f64;
+        let horizon_secs = horizon.as_secs() as f64;
+        let mut events = Vec::new();
+        let mut t = 0.0_f64;
+        loop {
+            t += rng.exponential(mean_secs);
+            if t >= horizon_secs {
+                break;
+            }
+            let at = SimTime::from_secs(t as u64);
+            if let Some(kind) = draw_kind_fleet(&mut rng, sites) {
                 events.push(FaultEvent { at, kind });
             }
         }
@@ -536,6 +646,33 @@ fn draw_kind_extended(rng: &mut SimRng, targets: FaultTargets) -> Option<FaultKi
     })
 }
 
+/// The fleet-level draw: four WAN/site classes. Same fixed-layout
+/// discipline as the single-site menus — a draw always consumes the same
+/// number of RNG values regardless of the drawn class or site count.
+fn draw_kind_fleet(rng: &mut SimRng, sites: usize) -> Option<FaultKind> {
+    let class = rng.next_index(4);
+    let site = if sites > 0 { rng.next_index(sites) } else { 0 };
+    let severity = rng.next_f64();
+    let minutes = 10 + rng.next_index(111) as u64; // 10–120 min windows
+    let duration = SimDuration::from_minutes(minutes);
+
+    let needs_site = matches!(class, 0..=1 | 3);
+    if needs_site && sites == 0 {
+        return None;
+    }
+    Some(match class {
+        0 => FaultKind::SiteBlackout { site, duration },
+        1 => FaultKind::WanPartition { site, duration },
+        2 => FaultKind::RoutingFlap { duration },
+        _ => FaultKind::SlowSite {
+            site,
+            // 2–8× latency: enough to blow deadlines, not a full outage.
+            factor: 2.0 + 6.0 * severity,
+            duration,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -621,9 +758,15 @@ mod tests {
                 | FaultKind::TornWrite { server } => {
                     assert!(server < TARGETS.servers);
                 }
+                FaultKind::SiteBlackout { site, .. }
+                | FaultKind::WanPartition { site, .. }
+                | FaultKind::SlowSite { site, .. } => {
+                    panic!("single-site menu drew fleet fault at site {site}");
+                }
                 FaultKind::ChargerDropout { .. }
                 | FaultKind::SensorNoise { .. }
-                | FaultKind::RestartStorm { .. } => {}
+                | FaultKind::RestartStorm { .. }
+                | FaultKind::RoutingFlap { .. } => {}
             }
         }
     }
@@ -819,12 +962,99 @@ mod tests {
             FaultKind::RestartStorm {
                 duration: SimDuration::from_minutes(1),
             },
+            FaultKind::SiteBlackout {
+                site: 0,
+                duration: SimDuration::from_minutes(1),
+            },
+            FaultKind::WanPartition {
+                site: 0,
+                duration: SimDuration::from_minutes(1),
+            },
+            FaultKind::RoutingFlap {
+                duration: SimDuration::from_minutes(1),
+            },
+            FaultKind::SlowSite {
+                site: 0,
+                factor: 2.0,
+                duration: SimDuration::from_minutes(1),
+            },
         ];
         let labels: Vec<&str> = kinds.iter().map(|k| k.class().label()).collect();
         let mut unique = labels.clone();
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn fleet_menu_is_deterministic_and_covers_all_four_classes() {
+        let mk = || {
+            FaultSchedule::stochastic_fleet(
+                17,
+                SimDuration::from_days(20),
+                SimDuration::from_hours(1),
+                4,
+            )
+        };
+        let a = mk();
+        assert_eq!(a, mk(), "fleet process must be seed-deterministic");
+        let has = |class: FaultClass| a.events().iter().any(|e| e.kind.class() == class);
+        assert!(has(FaultClass::SiteBlackout));
+        assert!(has(FaultClass::WanPartition));
+        assert!(has(FaultClass::RoutingFlap));
+        assert!(has(FaultClass::SlowSite));
+        for e in a.events() {
+            assert!(e.kind.is_fleet_level(), "fleet menu drew {:?}", e.kind);
+            match e.kind {
+                FaultKind::SiteBlackout { site, .. }
+                | FaultKind::WanPartition { site, .. }
+                | FaultKind::SlowSite { site, .. } => assert!(site < 4),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_menu_leaves_legacy_streams_untouched() {
+        // The fleet process draws on its own fork label: generating it
+        // must not change what the single-site menus produce for the same
+        // seed (seed-pinned experiments replay byte-identically).
+        let legacy = FaultSchedule::stochastic(
+            21,
+            SimDuration::from_days(2),
+            SimDuration::from_hours(2),
+            TARGETS,
+        );
+        let _fleet = FaultSchedule::stochastic_fleet(
+            21,
+            SimDuration::from_days(2),
+            SimDuration::from_hours(2),
+            4,
+        );
+        let again = FaultSchedule::stochastic(
+            21,
+            SimDuration::from_days(2),
+            SimDuration::from_hours(2),
+            TARGETS,
+        );
+        assert_eq!(legacy, again);
+    }
+
+    #[test]
+    fn fleet_zero_sites_only_emits_routing_flaps() {
+        let s = FaultSchedule::stochastic_fleet(
+            5,
+            SimDuration::from_days(20),
+            SimDuration::from_hours(1),
+            0,
+        );
+        for e in s.events() {
+            assert!(
+                matches!(e.kind, FaultKind::RoutingFlap { .. }),
+                "untargetable fleet fault {:?}",
+                e.kind
+            );
+        }
     }
 
     #[test]

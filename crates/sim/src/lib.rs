@@ -10,6 +10,9 @@
 //! * [`trace`] — time-series recording ([`trace::Trace`]),
 //! * [`stats`] — streaming statistics ([`stats::RunningStats`]),
 //! * [`rng`] — reproducible, forkable randomness ([`rng::SimRng`]),
+//! * [`backoff`] — capped exponential retry backoff
+//!   ([`backoff::Backoff`]), shared by checkpoint restores, server
+//!   cooldowns and the fleet router,
 //! * [`pool`] — deterministic scoped worker pool ([`pool::scoped_map`]),
 //! * [`log`] — typed event logs ([`log::EventLog`]),
 //! * [`fault`] — seeded, deterministic fault injection
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backoff;
 pub mod fault;
 pub mod log;
 pub mod pool;
@@ -49,6 +53,7 @@ pub mod units;
 
 /// Convenient re-exports of the types nearly every dependent crate needs.
 pub mod prelude {
+    pub use crate::backoff::{Backoff, BackoffOutcome};
     pub use crate::fault::{FaultClass, FaultEvent, FaultKind, FaultSchedule, FaultTargets};
     pub use crate::log::EventLog;
     pub use crate::rng::SimRng;

@@ -14,6 +14,7 @@
 //! Everything here is pure, cloneable data driven by simulated time, so
 //! crash/recovery trajectories are bit-replayable from a seed.
 
+use ins_sim::backoff::{Backoff, BackoffOutcome};
 use ins_sim::time::{SimDuration, SimTime};
 use ins_sim::units::Watts;
 
@@ -232,80 +233,30 @@ impl CheckpointStore {
     }
 }
 
-/// Outcome of recording a failed restore attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RestartOutcome {
-    /// Retry after the returned backoff delay.
-    Retry {
-        /// Earliest instant the next attempt may run.
-        next_attempt: SimTime,
-    },
-    /// Too many consecutive failures: the job is poison and must be
-    /// quarantined (its replayed work abandoned and counted as data loss).
-    Quarantined,
-}
+/// Restore retry backoff — the shared capped-exponential primitive from
+/// `ins_sim::backoff`. This logic originated here as a bespoke
+/// `RestartBackoff`; the alias keeps the original name working for
+/// existing callers.
+pub type RestartBackoff = Backoff;
 
-/// Capped exponential restart backoff with poison-job quarantine,
-/// mirroring the server-level crash cooldown in `ins-cluster`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RestartBackoff {
-    base: SimDuration,
-    max_doublings: u32,
-    max_attempts: u32,
-    consecutive_failures: u32,
-    next_attempt: Option<SimTime>,
-}
+/// Outcome of recording a failed restore attempt. An alias of the shared
+/// [`BackoffOutcome`]: `Exhausted` is what this module historically
+/// called "quarantined" (the job is poison, its replayed work abandoned
+/// and counted as data loss).
+pub type RestartOutcome = BackoffOutcome;
 
-impl RestartBackoff {
-    /// Creates the backoff from a policy's retry parameters.
+impl CheckpointPolicy {
+    /// The restore-retry backoff this policy prescribes: delays start at
+    /// `retry_backoff`, double per consecutive failure up to
+    /// `max_backoff_doublings`, and the job is quarantined as poison
+    /// after `max_restart_attempts` straight failures.
     #[must_use]
-    pub fn new(policy: &CheckpointPolicy) -> Self {
-        Self {
-            base: policy.retry_backoff,
-            max_doublings: policy.max_backoff_doublings,
-            max_attempts: policy.max_restart_attempts,
-            consecutive_failures: 0,
-            next_attempt: None,
-        }
-    }
-
-    /// `true` when an attempt may run at `now`.
-    #[must_use]
-    pub fn ready(&self, now: SimTime) -> bool {
-        self.next_attempt.is_none_or(|t| now >= t)
-    }
-
-    /// Consecutive failures recorded since the last success.
-    #[must_use]
-    pub fn consecutive_failures(&self) -> u32 {
-        self.consecutive_failures
-    }
-
-    /// The delay the *next* failure would impose.
-    #[must_use]
-    pub fn current_backoff(&self) -> SimDuration {
-        let doublings = self.consecutive_failures.min(self.max_doublings);
-        SimDuration::from_secs(self.base.as_secs() << doublings)
-    }
-
-    /// Records a failed attempt at `now`: doubles the backoff (capped) or
-    /// declares the job poison after `max_attempts` straight failures.
-    pub fn record_failure(&mut self, now: SimTime) -> RestartOutcome {
-        let delay = self.current_backoff();
-        self.consecutive_failures += 1;
-        if self.consecutive_failures >= self.max_attempts {
-            RestartOutcome::Quarantined
-        } else {
-            let next = now + delay;
-            self.next_attempt = Some(next);
-            RestartOutcome::Retry { next_attempt: next }
-        }
-    }
-
-    /// Records a successful restore: the failure streak resets.
-    pub fn record_success(&mut self) {
-        self.consecutive_failures = 0;
-        self.next_attempt = None;
+    pub fn restart_backoff(&self) -> Backoff {
+        Backoff::new(
+            self.retry_backoff,
+            self.max_backoff_doublings,
+            self.max_restart_attempts,
+        )
     }
 }
 
@@ -327,7 +278,7 @@ impl JobCheckpointer {
         Self {
             policy,
             store: CheckpointStore::new(),
-            backoff: RestartBackoff::new(&policy),
+            backoff: policy.restart_backoff(),
         }
     }
 }
@@ -422,7 +373,7 @@ mod tests {
     #[test]
     fn backoff_doubles_and_caps_like_the_server_cooldown() {
         let policy = CheckpointPolicy::prototype();
-        let mut b = RestartBackoff::new(&policy);
+        let mut b = policy.restart_backoff();
         let base = policy.retry_backoff.as_secs();
         let mut delays = Vec::new();
         let mut now = t(0);
@@ -434,7 +385,7 @@ mod tests {
                     now = next_attempt;
                     assert!(b.ready(now));
                 }
-                RestartOutcome::Quarantined => panic!("quarantined too early"),
+                RestartOutcome::Exhausted => panic!("quarantined too early"),
             }
         }
         assert_eq!(delays[0], base);
@@ -444,7 +395,7 @@ mod tests {
         }
         assert_eq!(
             b.record_failure(now),
-            RestartOutcome::Quarantined,
+            RestartOutcome::Exhausted,
             "attempt #{} must quarantine",
             policy.max_restart_attempts
         );
@@ -454,7 +405,7 @@ mod tests {
     fn backoff_cap_bounds_the_delay() {
         let mut policy = CheckpointPolicy::prototype();
         policy.max_restart_attempts = 100; // never quarantine in this test
-        let mut b = RestartBackoff::new(&policy);
+        let mut b = policy.restart_backoff();
         let mut now = t(0);
         for _ in 0..20 {
             if let RestartOutcome::Retry { next_attempt } = b.record_failure(now) {
@@ -468,7 +419,7 @@ mod tests {
     #[test]
     fn success_resets_the_streak() {
         let policy = CheckpointPolicy::prototype();
-        let mut b = RestartBackoff::new(&policy);
+        let mut b = policy.restart_backoff();
         let _ = b.record_failure(t(0));
         let _ = b.record_failure(t(100));
         assert_eq!(b.consecutive_failures(), 2);

@@ -17,6 +17,7 @@
 //! | [`cluster`] | `ins-cluster` | servers, DVFS, VM placement |
 //! | [`workload`] | `ins-workload` | batch/stream workloads, benchmarks |
 //! | [`core`] | `ins-core` | SPM + TPM controllers, full co-simulation |
+//! | [`fleet`] | `ins-fleet` | fleet federation: routing, breakers, blackouts |
 //! | [`cost`] | `ins-cost` | every TCO analysis in the paper |
 //!
 //! # Quick start
@@ -45,6 +46,7 @@ pub use ins_battery as battery;
 pub use ins_cluster as cluster;
 pub use ins_core as core;
 pub use ins_cost as cost;
+pub use ins_fleet as fleet;
 pub use ins_powernet as powernet;
 pub use ins_sim as sim;
 pub use ins_solar as solar;

@@ -6,7 +6,7 @@
 //! by rendering the fault-sweep and recovery grids serially and at
 //! several worker counts, including counts above the cell count.
 
-use ins_bench::experiments::{faults, recovery};
+use ins_bench::experiments::{faults, fleet, recovery};
 
 #[test]
 fn fault_sweep_json_is_byte_identical_across_thread_counts() {
@@ -36,6 +36,31 @@ fn recovery_json_is_byte_identical_across_thread_counts() {
             "recovery JSON diverged at --threads {threads}"
         );
     }
+}
+
+#[test]
+fn fleet_json_is_byte_identical_across_thread_counts_and_reruns() {
+    // The fleet_resilience sweep runs whole federated fleets per cell;
+    // its JSON must be byte-identical at --threads 1 vs 4 (and beyond),
+    // and across reruns of the same seed in the same process.
+    let sizes = [2, 3];
+    let rates = [0.0, 2.0];
+    let breakers = ["standard"];
+    let serial = fleet::to_json(&fleet::sweep_grid_with(11, &sizes, &rates, &breakers, 1));
+    for threads in [4, 16] {
+        let parallel = fleet::to_json(&fleet::sweep_grid_with(
+            11, &sizes, &rates, &breakers, threads,
+        ));
+        assert_eq!(
+            serial, parallel,
+            "fleet_resilience JSON diverged at --threads {threads}"
+        );
+    }
+    let rerun = fleet::to_json(&fleet::sweep_grid_with(11, &sizes, &rates, &breakers, 1));
+    assert_eq!(
+        serial, rerun,
+        "fleet_resilience JSON diverged across reruns"
+    );
 }
 
 #[test]
