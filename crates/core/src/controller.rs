@@ -415,6 +415,7 @@ impl PowerController for InsureController {
         // correctness: this only ever lowers the target.
         if degraded && !action.emergency_shutdown && total_units > 0 {
             let ceiling =
+                // ins-lint: allow(L009) -- quotient <= total_vm_slots, which is u32
                 ((u64::from(obs.total_vm_slots) * usable_units as u64) / total_units as u64) as u32;
             let intended = action.target_vms.unwrap_or(obs.target_vms);
             if intended > ceiling {
@@ -514,6 +515,7 @@ impl PowerController for BaselineController {
             // Solar-only operation needs a stability margin, or every
             // passing cloud browns the servers out.
             let machines =
+                // ins-lint: allow(L009) -- float-to-int `as` saturates; counts are small
                 (obs.solar_power.value() / (self.watts_per_machine * 1.3)).floor() as u32;
             let target = (machines * 2).min(obs.total_vm_slots);
             if target == 0 {
@@ -527,6 +529,7 @@ impl PowerController for BaselineController {
         // the unified buffer shaving what's left (no per-unit decisions).
         let buffer_assist = if mean_soc > 0.5 { 1.5 } else { 0.5 };
         let budget = obs.solar_power.value() * (1.0 + buffer_assist * 0.3);
+        // ins-lint: allow(L009) -- float-to-int `as` saturates; counts are small
         let machines = (budget / self.watts_per_machine).floor() as u32;
         let target = (machines * 2).min(obs.total_vm_slots);
         action.target_vms = Some(target);

@@ -143,14 +143,8 @@ pub fn select_for_charging(
         .collect();
     candidates.sort_by(|a, b| {
         a.soc
-            .partial_cmp(&b.soc)
-            .unwrap_or(core::cmp::Ordering::Equal)
-            .then(
-                a.discharge_throughput
-                    .value()
-                    .partial_cmp(&b.discharge_throughput.value())
-                    .unwrap_or(core::cmp::Ordering::Equal),
-            )
+            .total_cmp(&b.soc)
+            .then(a.discharge_throughput.total_cmp(&b.discharge_throughput))
     });
     candidates.into_iter().take(n).map(|u| u.id).collect()
 }
@@ -178,14 +172,8 @@ pub fn select_for_discharge(
     // Fullest first; among equals, least lifetime usage first.
     candidates.sort_by(|a, b| {
         b.soc
-            .partial_cmp(&a.soc)
-            .unwrap_or(core::cmp::Ordering::Equal)
-            .then(
-                a.discharge_throughput
-                    .value()
-                    .partial_cmp(&b.discharge_throughput.value())
-                    .unwrap_or(core::cmp::Ordering::Equal),
-            )
+            .total_cmp(&a.soc)
+            .then(a.discharge_throughput.total_cmp(&b.discharge_throughput))
     });
     let mut chosen = Vec::new();
     for u in candidates {
@@ -346,5 +334,39 @@ mod tests {
             select_for_discharge(&units, &all, Amps::ZERO, Amps::new(17.5), Soc::new(0.3))
                 .is_empty()
         );
+    }
+
+    #[test]
+    fn selection_order_is_total_even_with_nan_throughput() {
+        // Regression for the old `partial_cmp(..).unwrap_or(Equal)`
+        // comparators: a NaN throughput (corrupted telemetry) used to
+        // compare Equal to everything, so the ranking depended on the
+        // incoming slice order. Under `total_cmp`, NaN ranks above every
+        // finite value — least-used-first still prefers healthy ledgers —
+        // and the result is identical on every call.
+        let mut units = vec![
+            view(0, 0.8, f64::NAN),
+            view(1, 0.8, 50.0),
+            view(2, 0.8, 10.0),
+        ];
+        let all = vec![BatteryId(0), BatteryId(1), BatteryId(2)];
+        let first = select_for_discharge(
+            &units,
+            &all,
+            Amps::new(40.0),
+            Amps::new(17.5),
+            Soc::new(0.3),
+        );
+        assert_eq!(first, vec![BatteryId(2), BatteryId(1), BatteryId(0)]);
+        // Same candidates presented in a different order: same ranking.
+        units.swap(0, 2);
+        let again = select_for_discharge(
+            &units,
+            &all,
+            Amps::new(40.0),
+            Amps::new(17.5),
+            Soc::new(0.3),
+        );
+        assert_eq!(first, again);
     }
 }

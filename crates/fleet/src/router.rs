@@ -158,7 +158,7 @@ impl Router {
         }
         let scores: Vec<f64> = sites.iter().map(|s| s.surplus_score(now)).collect();
         let mut order: Vec<usize> = (0..sites.len()).collect();
-        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        order.sort_by(|&a, &b| ins_sim::units::total_order(scores[b], scores[a]).then(a.cmp(&b)));
         if flap {
             let shift = tick_index as usize % order.len();
             order.rotate_left(shift);

@@ -1,0 +1,153 @@
+//! Finding baselines for incremental adoption.
+//!
+//! A baseline is a committed text file of finding *fingerprints*; runs
+//! with `--baseline` subtract baselined findings from the report so a
+//! new rule can land with its pre-existing debt acknowledged while
+//! still failing the build on anything new.
+//!
+//! A fingerprint is `rule|path|hash-of-trimmed-line-text`, so it
+//! survives the finding's line *moving* (edits above it) but not the
+//! offending line itself changing — touching a baselined line forfeits
+//! its grandfathering, which is exactly the nudge incremental adoption
+//! wants. Matching is multiset semantics: a fingerprint listed once
+//! excuses one finding; duplicates excuse duplicates.
+
+use std::collections::BTreeMap;
+
+use crate::Finding;
+
+/// FNV-1a, the classic dependency-free stable hash.
+#[must_use]
+pub fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The stable fingerprint of one finding, given the text of the line it
+/// sits on.
+#[must_use]
+pub fn fingerprint(finding: &Finding, line_text: &str) -> String {
+    format!(
+        "{}|{}|{:016x}",
+        finding.rule.id(),
+        finding.path.replace('\\', "/"),
+        fnv1a(line_text.trim())
+    )
+}
+
+/// A parsed baseline: fingerprint → remaining allowance (multiset).
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses baseline text: one fingerprint per line, blank lines and
+    /// `#` comments ignored.
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let mut counts = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *counts.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Self { counts }
+    }
+
+    /// Total remaining allowance across all fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether the baseline holds no fingerprints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Consumes one allowance for `fp` if any remains.
+    pub fn take(&mut self, fp: &str) -> bool {
+        match self.counts.get_mut(fp) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Renders fingerprints as committable baseline text (sorted, with a
+/// header explaining the format).
+#[must_use]
+pub fn render(fingerprints: &[String]) -> String {
+    let mut sorted: Vec<&String> = fingerprints.iter().collect();
+    sorted.sort();
+    let mut out = String::from(
+        "# ins-lint baseline: acknowledged pre-existing findings.\n\
+         # Format: <rule>|<path>|<fnv1a of the trimmed offending line>.\n\
+         # Regenerate with `ins-lint --write-baseline <file> <paths>`.\n",
+    );
+    for fp in sorted {
+        out.push_str(fp);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn finding() -> Finding {
+        Finding {
+            path: "crates/core/src/spm.rs".to_string(),
+            line: 42,
+            rule: Rule::OrderingDeterminism,
+            message: "whatever".to_string(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_line_moves_but_not_edits() {
+        let a = fingerprint(&finding(), "  x.partial_cmp(&y).unwrap()  ");
+        let mut moved = finding();
+        moved.line = 99;
+        assert_eq!(a, fingerprint(&moved, "x.partial_cmp(&y).unwrap()"));
+        assert_ne!(a, fingerprint(&finding(), "x.partial_cmp(&z).unwrap()"));
+    }
+
+    #[test]
+    fn multiset_matching_consumes_one_allowance_per_take() {
+        let fp = fingerprint(&finding(), "dup line");
+        let text = format!("# header\n{fp}\n{fp}\n\n");
+        let mut baseline = Baseline::parse(&text);
+        assert_eq!(baseline.len(), 2);
+        assert!(baseline.take(&fp));
+        assert!(baseline.take(&fp));
+        assert!(!baseline.take(&fp), "allowance exhausted");
+        assert!(!baseline.take("L001|other|0"));
+    }
+
+    #[test]
+    fn render_is_sorted_and_reparses() {
+        let fps = vec![
+            "b|x|1".to_string(),
+            "a|y|2".to_string(),
+            "b|x|1".to_string(),
+        ];
+        let text = render(&fps);
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines, vec!["a|y|2", "b|x|1", "b|x|1"]);
+        assert_eq!(Baseline::parse(&text).len(), 3);
+    }
+}

@@ -1,0 +1,535 @@
+//! A dependency-free Rust token lexer.
+//!
+//! The lexer turns source text into a flat stream of [`Token`]s whose
+//! byte spans tile the input exactly: for every lex, concatenating
+//! `&src[t.start..t.end]` over all tokens reproduces the input byte for
+//! byte. That invariant is what lets the analysis engine map any token
+//! back to a line number, and it is pinned by a property test over
+//! arbitrary input (`tests/lexer_props.rs`).
+//!
+//! The lexer is *lossless and lenient*: it never panics, and malformed
+//! input (unterminated strings or comments, stray quotes, non-UTF-8-ish
+//! edge cases) degrades to `Unknown`/best-effort tokens rather than an
+//! error. It understands the constructs that defeat line-regex scanners:
+//!
+//! * nested block comments (`/* /* */ */`) and doc comments,
+//! * string, raw-string (`r#"…"#` at any hash depth), byte-string and
+//!   char literals, including escapes,
+//! * lifetimes vs char literals (`'a` vs `'a'`),
+//! * numeric literals with underscores, exponents and type suffixes,
+//! * multi-byte punctuation (`::`, `==`, `..=`, `->`, …) as single
+//!   tokens so rules can match operator sequences precisely.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace.
+    Whitespace,
+    /// `// …` (non-doc).
+    LineComment,
+    /// `/// …` or `//! …`.
+    DocLineComment,
+    /// `/* … */`, possibly nested (non-doc).
+    BlockComment,
+    /// `/** … */` or `/*! … */`.
+    DocBlockComment,
+    /// An identifier or keyword.
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A char literal (`'x'`, `'\n'`) or byte char (`b'x'`).
+    CharLit,
+    /// A string literal (`"…"`) or byte string (`b"…"`).
+    StrLit,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStrLit,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2.5e-3`, `1.0f64`).
+    Float,
+    /// Punctuation, possibly multi-byte (`::`, `==`, `->`).
+    Punct,
+    /// Anything else (stray bytes, non-ASCII outside literals).
+    Unknown,
+}
+
+/// One lexed token: a kind plus the half-open byte span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+}
+
+impl Token {
+    /// Whether this token is any comment kind.
+    #[must_use]
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment
+                | TokenKind::DocLineComment
+                | TokenKind::BlockComment
+                | TokenKind::DocBlockComment
+        )
+    }
+
+    /// Whether this token is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    #[must_use]
+    pub fn is_doc_comment(self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::DocLineComment | TokenKind::DocBlockComment
+        )
+    }
+
+    /// Whether rules should see this token (not whitespace or comment).
+    #[must_use]
+    pub fn is_significant(self) -> bool {
+        !matches!(self.kind, TokenKind::Whitespace) && !self.is_comment()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length in bytes of the UTF-8 character starting at `bytes[i]`
+/// (1 for ASCII and for invalid lead bytes, so progress is guaranteed).
+fn utf8_len(bytes: &[u8], i: usize) -> usize {
+    let Some(&b) = bytes.get(i) else { return 1 };
+    let len = match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    };
+    // Clamp to what is actually there and to real continuation bytes, so
+    // a truncated sequence still yields a valid in-bounds span.
+    let mut n = 1;
+    while n < len && matches!(bytes.get(i + n), Some(0x80..=0xBF)) {
+        n += 1;
+    }
+    n
+}
+
+/// Lexes `src` into a contiguous token stream covering every byte.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::with_capacity(src.len() / 4 + 8);
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        let kind = if b.is_ascii_whitespace() {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            TokenKind::Whitespace
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let doc = matches!(bytes.get(i + 2), Some(&b'!'))
+                || (matches!(bytes.get(i + 2), Some(&b'/'))
+                    && !matches!(bytes.get(i + 3), Some(&b'/')));
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            if doc {
+                TokenKind::DocLineComment
+            } else {
+                TokenKind::LineComment
+            }
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let doc = matches!(bytes.get(i + 2), Some(&b'!'))
+                || (matches!(bytes.get(i + 2), Some(&b'*'))
+                    && !matches!(bytes.get(i + 3), Some(&b'/')));
+            i += 2;
+            let mut depth = 1u32;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if doc {
+                TokenKind::DocBlockComment
+            } else {
+                TokenKind::BlockComment
+            }
+        } else if let Some(next) = raw_string_end(bytes, i) {
+            i = next;
+            TokenKind::RawStrLit
+        } else if b == b'"' || (b == b'b' && bytes.get(i + 1) == Some(&b'"')) {
+            i += if b == b'b' { 2 } else { 1 };
+            i = string_body_end(bytes, i, b'"');
+            TokenKind::StrLit
+        } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+            i += 2;
+            i = string_body_end(bytes, i, b'\'');
+            TokenKind::CharLit
+        } else if b == b'\'' {
+            let (kind, next) = char_or_lifetime(bytes, i);
+            i = next;
+            kind
+        } else if b.is_ascii_digit() {
+            let (kind, next) = number(bytes, i);
+            i = next;
+            kind
+        } else if is_ident_start(b) {
+            i += 1;
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if b.is_ascii() {
+            i += punct_len(bytes, i);
+            TokenKind::Punct
+        } else {
+            i += utf8_len(bytes, i);
+            TokenKind::Unknown
+        };
+        // Every branch above advances; this is a belt-and-braces guard so
+        // the lexer can never loop on adversarial input.
+        if i <= start {
+            i = start + 1;
+        }
+        tokens.push(Token {
+            kind,
+            start,
+            end: i.min(bytes.len()),
+        });
+    }
+    tokens
+}
+
+/// If a raw (byte) string starts at `i`, returns the offset one past its
+/// closing delimiter (or EOF when unterminated).
+fn raw_string_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut h = 0;
+            while h < hashes && bytes.get(j + 1 + h) == Some(&b'#') {
+                h += 1;
+            }
+            if h == hashes {
+                return Some(j + 1 + hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Scans a quoted body starting *after* the opening delimiter; returns
+/// the offset one past the closing `delim` (or EOF when unterminated).
+fn string_body_end(bytes: &[u8], mut i: usize, delim: u8) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i = (i + 2).min(bytes.len()),
+            b if b == delim => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`.
+fn char_or_lifetime(bytes: &[u8], i: usize) -> (TokenKind, usize) {
+    match bytes.get(i + 1) {
+        // `'\n'` and friends: always a char literal.
+        Some(&b'\\') => (TokenKind::CharLit, string_body_end(bytes, i + 1, b'\'')),
+        // `'x'`: a single ASCII char closed by a quote.
+        Some(&c) if c != b'\'' && c.is_ascii() && bytes.get(i + 2) == Some(&b'\'') => {
+            (TokenKind::CharLit, i + 3)
+        }
+        // `'é'`: a single multi-byte char closed by a quote.
+        Some(&c) if !c.is_ascii() => {
+            let n = utf8_len(bytes, i + 1);
+            if bytes.get(i + 1 + n) == Some(&b'\'') {
+                (TokenKind::CharLit, i + 2 + n)
+            } else {
+                (TokenKind::Unknown, i + 1)
+            }
+        }
+        // `'ident`: a lifetime or loop label.
+        Some(&c) if is_ident_start(c) => {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            (TokenKind::Lifetime, j)
+        }
+        // `''`, `'(`, EOF, …: not a literal we understand.
+        _ => (TokenKind::Unknown, i + 1),
+    }
+}
+
+/// Lexes a numeric literal starting at a digit.
+fn number(bytes: &[u8], mut i: usize) -> (TokenKind, usize) {
+    let radix_prefix = bytes[i] == b'0'
+        && matches!(
+            bytes.get(i + 1),
+            Some(&b'x') | Some(&b'X') | Some(&b'o') | Some(&b'O') | Some(&b'b') | Some(&b'B')
+        );
+    if radix_prefix {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (TokenKind::Int, i);
+    }
+    let mut float = false;
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // A fractional part: `.` followed by anything that is not a second
+    // `.` (range) or an identifier start (method call on the literal).
+    if bytes.get(i) == Some(&b'.') {
+        let after = bytes.get(i + 1).copied();
+        let is_fraction = match after {
+            Some(b'.') => false,
+            Some(c) if is_ident_start(c) => false,
+            _ => true,
+        };
+        if is_fraction {
+            float = true;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // An exponent: `e`/`E` with an optional sign and at least one digit.
+    if matches!(bytes.get(i), Some(&b'e') | Some(&b'E')) {
+        let mut j = i + 1;
+        if matches!(bytes.get(j), Some(&b'+') | Some(&b'-')) {
+            j += 1;
+        }
+        if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+            float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // A type suffix (`f64`, `u32`, …) glues onto the literal.
+    if bytes.get(i).copied().is_some_and(is_ident_start) {
+        if matches!(bytes.get(i), Some(&b'f')) {
+            float = true;
+        }
+        while i < bytes.len() && is_ident_continue(bytes[i]) {
+            i += 1;
+        }
+    }
+    (
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        i,
+    )
+}
+
+/// Length of the punctuation token starting at `i` (multi-byte operators
+/// the rules care about are fused into one token).
+fn punct_len(bytes: &[u8], i: usize) -> usize {
+    let b = bytes[i];
+    let next = bytes.get(i + 1).copied();
+    let next2 = bytes.get(i + 2).copied();
+    match (b, next) {
+        (b'.', Some(b'.')) => {
+            if next2 == Some(b'=') {
+                3 // ..=
+            } else {
+                2 // ..
+            }
+        }
+        (b':', Some(b':'))
+        | (b'=', Some(b'='))
+        | (b'=', Some(b'>'))
+        | (b'!', Some(b'='))
+        | (b'<', Some(b'='))
+        | (b'>', Some(b'='))
+        | (b'-', Some(b'>'))
+        | (b'&', Some(b'&'))
+        | (b'|', Some(b'|'))
+        | (b'+', Some(b'='))
+        | (b'-', Some(b'='))
+        | (b'*', Some(b'='))
+        | (b'/', Some(b'=')) => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn assert_tiles(src: &str) {
+        let tokens = lex(src);
+        let mut pos = 0;
+        for t in &tokens {
+            assert_eq!(t.start, pos, "gap before token {t:?} in {src:?}");
+            assert!(t.end > t.start, "empty token {t:?} in {src:?}");
+            pos = t.end;
+            // Spans must be sliceable (char-boundary safe).
+            let _ = &src[t.start..t.end];
+        }
+        assert_eq!(pos, src.len(), "tokens do not cover {src:?}");
+    }
+
+    #[test]
+    fn tiles_basic_sources() {
+        for src in [
+            "",
+            "fn main() {}",
+            "let x = 1.5e-3f64; // done\n",
+            "/* outer /* inner */ still */ code",
+            "r#\"raw \" string\"# 'a' 'b 'static b\"bytes\" b'x'",
+            "let r = a..=b; let p = x::y; m != 0.5",
+        ] {
+            assert_tiles(src);
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "/* a /* b */ c */x";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::BlockComment, "/* a /* b */ c */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = "r#\"has \" quote\"# after";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::RawStrLit, "r#\"has \" quote\"#"));
+        assert_eq!(toks[1], (TokenKind::Ident, "after"));
+        // Deeper hash nesting.
+        let src = "r##\"x \"# y\"## z";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::RawStrLit, "r##\"x \"# y\"##"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("'a 'static 'x' '\\n' '\\'' b'q'");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::CharLit, "'x'"),
+                (TokenKind::CharLit, "'\\n'"),
+                (TokenKind::CharLit, "'\\''"),
+                (TokenKind::CharLit, "b'q'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_suffixes_exponents_and_ranges() {
+        let toks = kinds("1_000u64 0xFFu8 1.5 2e10 1.0f64 1..2 3.min(4) 0.5e-3");
+        assert_eq!(toks[0], (TokenKind::Int, "1_000u64"));
+        assert_eq!(toks[1], (TokenKind::Int, "0xFFu8"));
+        assert_eq!(toks[2], (TokenKind::Float, "1.5"));
+        assert_eq!(toks[3], (TokenKind::Float, "2e10"));
+        assert_eq!(toks[4], (TokenKind::Float, "1.0f64"));
+        assert_eq!(toks[5], (TokenKind::Int, "1"));
+        assert_eq!(toks[6], (TokenKind::Punct, ".."));
+        assert_eq!(toks[7], (TokenKind::Int, "2"));
+        assert_eq!(toks[8], (TokenKind::Int, "3"));
+        assert_eq!(toks[9], (TokenKind::Punct, "."));
+        assert_eq!(toks[10], (TokenKind::Ident, "min"));
+        let last = toks.last().copied();
+        assert_eq!(last, Some((TokenKind::Float, "0.5e-3")));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let toks = kinds("/// doc\n//! inner\n// plain\n/** block doc */ /* plain */");
+        assert_eq!(toks[0].0, TokenKind::DocLineComment);
+        assert_eq!(toks[1].0, TokenKind::DocLineComment);
+        assert_eq!(toks[2].0, TokenKind::LineComment);
+        assert_eq!(toks[3].0, TokenKind::DocBlockComment);
+        assert_eq!(toks[4].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn multibyte_punct_is_fused() {
+        let toks = kinds("a == b != c <= d >= e :: f -> g => h && i || j");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(
+            puncts,
+            vec!["==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||"]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_without_panicking() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "'",
+            "b\"open",
+            "\"esc at eof \\",
+        ] {
+            assert_tiles(src);
+        }
+    }
+
+    #[test]
+    fn unicode_in_strings_comments_and_chars() {
+        for src in ["let s = \"héllo ω\";", "// héllo\n", "'é'", "let x = 'ω';"] {
+            assert_tiles(src);
+        }
+        let toks = kinds("'é'");
+        assert_eq!(toks[0].0, TokenKind::CharLit);
+    }
+}

@@ -1,9 +1,14 @@
-//! Line/token-level static analysis for the InSURE workspace.
+//! Token-stream static analysis for the InSURE workspace.
 //!
-//! A deliberately dependency-free analyzer: it does not parse Rust, it
-//! scans *sanitized* source text (string literals and comments blanked
-//! out, line structure preserved) with a handful of token-level rules
-//! that encode repository conventions the type system cannot:
+//! A deliberately dependency-free analyzer built on a real Rust lexer
+//! ([`lexer`]): every file becomes a token stream (comments, string and
+//! raw-string literals, char literals and lifetimes are single tokens
+//! with exact byte spans), wrapped in a [`context::FileContext`] that
+//! adds line mapping, token-level `#[cfg(test)]` / `#[test]` /
+//! `mod tests` region tracking and suppression parsing. A lightweight
+//! cross-file [`index::SymbolIndex`] contributes the workspace's unit
+//! newtype catalog. Rules are passes over that context, registered in
+//! [`rules::passes`]:
 //!
 //! | Rule | Checks |
 //! |------|--------|
@@ -12,6 +17,11 @@
 //! | L003 | nondeterminism (`SystemTime`, `Instant::now`, `thread_rng`) — simulations must be reproducible from a seed |
 //! | L004 | direct `==` / `!=` against float literals — compare with a tolerance |
 //! | L005 | unreferenced task markers (todo/fixme with no `#123` issue link) |
+//! | L006 | parallel safety: threads, `static mut`, shared-mutable primitives and side-channel accumulation outside `ins_sim::pool` |
+//! | L007 | ordering determinism: NaN-masking `partial_cmp(..).unwrap*()` comparators, unordered-collection iteration feeding serialized output |
+//! | L008 | unit flow: raw `.value()` extractions crossing dimension boundaries, truncating casts off typed quantities |
+//! | L009 | panic surface in production physics/fleet code: panicking macros, arithmetic indexing, narrowing casts |
+//! | L010 | stale suppressions: `ins-lint: allow(...)` markers that no longer suppress anything |
 //!
 //! A finding on any line can be suppressed with an inline comment on the
 //! same line or the line directly above:
@@ -20,18 +30,38 @@
 //! // ins-lint: allow(L004) -- definitional forwarding
 //! ```
 //!
-//! Test code (a `#[cfg(test)]` region, or any file under a `tests/`
-//! directory) is exempt from L002 and L004: tests intentionally unwrap
-//! and compare exactly-constructed values.
+//! Markers in doc comments are documentation, never suppressions, and a
+//! marker that stops matching any finding becomes an L010 error itself —
+//! suppressions cannot rot silently. L010 cannot be suppressed.
+//!
+//! Test code (a `#[cfg(test)]` / `#[test]` region, a `mod tests` block
+//! even without the attribute, or any file under a `tests/` directory)
+//! is exempt from the production-only rules (L002, L004, L007, L008,
+//! L009): tests intentionally unwrap and compare exactly-constructed
+//! values.
 //!
 //! The crate doubles as a library so rules can be unit-tested against
 //! fixture snippets, and as a binary (`cargo run -p ins-lint -- <paths>`)
-//! that exits non-zero when unsuppressed findings remain.
+//! that exits non-zero when unsuppressed findings remain. Reports come
+//! in plain text, JSON ([`report_json`]) and SARIF 2.1.0
+//! ([`sarif::report_sarif`]) for CI annotations; [`baseline`] supports
+//! incremental adoption.
+
+pub mod baseline;
+pub mod context;
+pub mod index;
+pub mod lexer;
+pub mod rules;
+pub mod sarif;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use context::FileContext;
+use index::SymbolIndex;
+use rules::RuleCtx;
 
 /// The rule catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,19 +76,45 @@ pub enum Rule {
     FloatEquality,
     /// Unreferenced task marker.
     UntrackedTodo,
+    /// Threads or shared-mutable state outside the worker pool.
+    ParallelSafety,
+    /// NaN-unsafe comparators or unordered collections feeding output.
+    OrderingDeterminism,
+    /// Raw values crossing unit-dimension boundaries.
+    UnitFlow,
+    /// Panicking constructs in production physics/fleet code.
+    PanicSurface,
+    /// A suppression marker that no longer suppresses anything.
+    StaleSuppression,
+}
+
+/// How severe a rule violation is, for report levels (every unsuppressed
+/// finding still fails the build; severity only affects how CI renders
+/// the annotation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Violates a hard workspace invariant.
+    Error,
+    /// Hygiene or defense-in-depth; justified exceptions are common.
+    Warning,
 }
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 10] = [
         Rule::UntypedQuantity,
         Rule::UnwrapInProduction,
         Rule::Nondeterminism,
         Rule::FloatEquality,
         Rule::UntrackedTodo,
+        Rule::ParallelSafety,
+        Rule::OrderingDeterminism,
+        Rule::UnitFlow,
+        Rule::PanicSurface,
+        Rule::StaleSuppression,
     ];
 
-    /// The stable rule id (`L001`…`L005`).
+    /// The stable rule id (`L001`…`L010`).
     #[must_use]
     pub const fn id(self) -> &'static str {
         match self {
@@ -67,6 +123,11 @@ impl Rule {
             Rule::Nondeterminism => "L003",
             Rule::FloatEquality => "L004",
             Rule::UntrackedTodo => "L005",
+            Rule::ParallelSafety => "L006",
+            Rule::OrderingDeterminism => "L007",
+            Rule::UnitFlow => "L008",
+            Rule::PanicSurface => "L009",
+            Rule::StaleSuppression => "L010",
         }
     }
 
@@ -95,6 +156,32 @@ impl Rule {
                 "exact float comparison against a literal; compare with a tolerance"
             }
             Rule::UntrackedTodo => "task marker without an issue reference (expected `#<digits>`)",
+            Rule::ParallelSafety => {
+                "threads or shared-mutable state outside ins_sim::pool; route parallelism \
+                 through the pool so results stay in input order"
+            }
+            Rule::OrderingDeterminism => {
+                "NaN-unsafe comparator or unordered collection; use total_cmp / \
+                 ins_units::total_order and ordered containers"
+            }
+            Rule::UnitFlow => {
+                "raw value crossing a unit-dimension boundary; use the typed cross-unit \
+                 operators"
+            }
+            Rule::PanicSurface => {
+                "panicking construct in production physics/fleet code; return an error or \
+                 use a non-panicking alternative"
+            }
+            Rule::StaleSuppression => "suppression marker no longer matches any finding; remove it",
+        }
+    }
+
+    /// Report severity (SARIF level).
+    #[must_use]
+    pub const fn severity(self) -> Severity {
+        match self {
+            Rule::UntrackedTodo | Rule::PanicSurface => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 }
@@ -152,7 +239,7 @@ pub fn report_json(findings: &[Finding]) -> String {
     format!("[{}]", items.join(","))
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -171,31 +258,45 @@ fn escape_json(s: &str) -> String {
 /// Analyzer configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
-    /// Enabled rules.
+    /// Enabled rules. The engine still *evaluates* every rule (stale-
+    /// suppression tracking needs the full picture) and filters to this
+    /// set at the end.
     pub rules: Vec<Rule>,
     /// Path fragments that mark a file as belonging to a *physics* crate
-    /// (L001 only applies there — conversions and plumbing crates may
+    /// (L001/L008 only apply there — conversions and plumbing crates may
     /// legitimately traffic in raw numbers).
     pub physics_dirs: Vec<String>,
+    /// Path fragments in scope for the panic-surface rule (L009):
+    /// physics plus the fleet layer, whose routing loops must degrade,
+    /// not abort.
+    pub panic_surface_dirs: Vec<String>,
+    /// Path suffixes of the sanctioned thread/atomics owners, exempt
+    /// from L006.
+    pub pool_files: Vec<String>,
 }
 
 impl Config {
     /// Every rule enabled, with the workspace's physics crates.
     #[must_use]
     pub fn default_workspace() -> Self {
+        let physics_dirs: Vec<String> = [
+            "crates/battery",
+            "crates/powernet",
+            "crates/solar",
+            "crates/core",
+            "crates/sim",
+            "crates/units",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        let mut panic_surface_dirs = physics_dirs.clone();
+        panic_surface_dirs.push("crates/fleet".to_string());
         Self {
             rules: Rule::ALL.to_vec(),
-            physics_dirs: [
-                "crates/battery",
-                "crates/powernet",
-                "crates/solar",
-                "crates/core",
-                "crates/sim",
-                "crates/units",
-            ]
-            .iter()
-            .map(|s| (*s).to_string())
-            .collect(),
+            physics_dirs,
+            panic_surface_dirs,
+            pool_files: vec!["crates/sim/src/pool.rs".to_string()],
         }
     }
 }
@@ -207,571 +308,85 @@ impl Default for Config {
 }
 
 // ---------------------------------------------------------------------
-// Sanitization
+// Engine
 // ---------------------------------------------------------------------
 
-/// Two space-padded views of a source file, each exactly as long as the
-/// original so offsets and line numbers line up:
+/// Runs every registered pass over one file and applies the suppression
+/// protocol:
 ///
-/// * `code` — string/char literals *and* comments blanked,
-/// * `no_strings` — only string/char literals blanked (comments kept,
-///   for the rules that inspect them).
-struct Sanitized {
-    code: String,
-    no_strings: String,
-}
-
-fn sanitize(src: &str) -> Sanitized {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-        Char,
+/// 1. all passes run, regardless of which rules are enabled (stale-
+///    suppression accounting must see the full raw finding set);
+/// 2. a marker on line *n* suppresses matching findings on lines *n*
+///    and *n + 1*, and is recorded as *used*;
+/// 3. every `allow(Lxxx)` entry that suppressed nothing becomes an L010
+///    finding at the marker's line — L010 itself cannot be suppressed;
+/// 4. findings are filtered to the enabled rules and sorted by
+///    (line, rule id).
+fn analyze_context(file: &FileContext<'_>, index: &SymbolIndex, config: &Config) -> Vec<Finding> {
+    let ctx = RuleCtx {
+        file,
+        index,
+        config,
+    };
+    let mut findings = Vec::new();
+    for (_, pass) in rules::passes() {
+        pass(&ctx, &mut findings);
     }
-    let bytes = src.as_bytes();
-    let mut code = Vec::with_capacity(bytes.len());
-    let mut no_strings = Vec::with_capacity(bytes.len());
-    let mut state = State::Code;
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        let next = bytes.get(i + 1).copied().unwrap_or(0);
-        match state {
-            State::Code => match b {
-                b'/' if next == b'/' => {
-                    state = State::LineComment;
-                    code.push(b' ');
-                    no_strings.push(b'/');
-                }
-                b'/' if next == b'*' => {
-                    state = State::BlockComment(1);
-                    code.push(b' ');
-                    no_strings.push(b'/');
-                }
-                b'"' => {
-                    state = State::Str;
-                    code.push(b' ');
-                    no_strings.push(b' ');
-                }
-                b'r' if next == b'"' || next == b'#' => {
-                    // Possible raw string: r"…" or r#"…"#.
-                    let mut j = i + 1;
-                    let mut hashes = 0;
-                    while bytes.get(j) == Some(&b'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if bytes.get(j) == Some(&b'"') {
-                        for _ in i..=j {
-                            code.push(b' ');
-                            no_strings.push(b' ');
-                        }
-                        i = j + 1;
-                        state = State::RawStr(hashes);
-                        continue;
-                    }
-                    code.push(b);
-                    no_strings.push(b);
-                }
-                b'\'' => {
-                    // Char literal vs lifetime: a lifetime is '<ident> not
-                    // followed by a closing quote.
-                    let is_char = matches!(
-                        (bytes.get(i + 1), bytes.get(i + 2)),
-                        (Some(b'\\'), _) | (Some(_), Some(b'\''))
-                    );
-                    if is_char {
-                        state = State::Char;
-                        code.push(b' ');
-                        no_strings.push(b' ');
-                    } else {
-                        code.push(b);
-                        no_strings.push(b);
-                    }
-                }
-                _ => {
-                    code.push(b);
-                    no_strings.push(b);
-                }
-            },
-            State::LineComment => {
-                if b == b'\n' {
-                    state = State::Code;
-                    code.push(b'\n');
-                    no_strings.push(b'\n');
-                } else {
-                    code.push(b' ');
-                    no_strings.push(b);
-                }
-            }
-            State::BlockComment(depth) => {
-                if b == b'*' && next == b'/' {
-                    let d = depth - 1;
-                    code.push(b' ');
-                    code.push(b' ');
-                    no_strings.push(b'*');
-                    no_strings.push(b'/');
-                    i += 2;
-                    state = if d == 0 {
-                        State::Code
-                    } else {
-                        State::BlockComment(d)
-                    };
-                    continue;
-                }
-                if b == b'/' && next == b'*' {
-                    state = State::BlockComment(depth + 1);
-                }
-                if b == b'\n' {
-                    code.push(b'\n');
-                    no_strings.push(b'\n');
-                } else {
-                    code.push(b' ');
-                    no_strings.push(b);
-                }
-            }
-            State::Str => match b {
-                b'\\' => {
-                    code.push(b' ');
-                    code.push(b' ');
-                    no_strings.push(b' ');
-                    no_strings.push(b' ');
-                    i += 2;
-                    continue;
-                }
-                b'"' => {
-                    state = State::Code;
-                    code.push(b' ');
-                    no_strings.push(b' ');
-                }
-                b'\n' => {
-                    code.push(b'\n');
-                    no_strings.push(b'\n');
-                }
-                _ => {
-                    code.push(b' ');
-                    no_strings.push(b' ');
-                }
-            },
-            State::RawStr(hashes) => {
-                if b == b'"' {
-                    let mut j = i + 1;
-                    let mut h = 0;
-                    while h < hashes && bytes.get(j) == Some(&b'#') {
-                        h += 1;
-                        j += 1;
-                    }
-                    if h == hashes {
-                        for _ in i..j {
-                            code.push(b' ');
-                            no_strings.push(b' ');
-                        }
-                        i = j;
-                        state = State::Code;
-                        continue;
-                    }
-                }
-                if b == b'\n' {
-                    code.push(b'\n');
-                    no_strings.push(b'\n');
-                } else {
-                    code.push(b' ');
-                    no_strings.push(b' ');
-                }
-            }
-            State::Char => match b {
-                b'\\' => {
-                    code.push(b' ');
-                    code.push(b' ');
-                    no_strings.push(b' ');
-                    no_strings.push(b' ');
-                    i += 2;
-                    continue;
-                }
-                b'\'' => {
-                    state = State::Code;
-                    code.push(b' ');
-                    no_strings.push(b' ');
-                }
-                _ => {
-                    code.push(b' ');
-                    no_strings.push(b' ');
-                }
-            },
-        }
-        i += 1;
-    }
-    Sanitized {
-        code: String::from_utf8_lossy(&code).into_owned(),
-        no_strings: String::from_utf8_lossy(&no_strings).into_owned(),
-    }
-}
 
-// ---------------------------------------------------------------------
-// Test-region detection
-// ---------------------------------------------------------------------
-
-/// Marks each line that lies inside a `#[cfg(test)]` item (by brace
-/// tracking over the comment/string-free view).
-fn test_lines(code: &str) -> Vec<bool> {
-    let line_count = code.lines().count() + 1;
-    let mut marks = vec![false; line_count];
-    let mut depth: i64 = 0;
-    let mut region_stack: Vec<i64> = Vec::new();
-    let mut pending = false;
-    let mut line = 0;
-    let bytes = code.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\n' => line += 1,
-            b'{' => {
-                depth += 1;
-                if pending {
-                    region_stack.push(depth);
-                    pending = false;
-                }
-            }
-            b'}' => {
-                if region_stack.last() == Some(&depth) {
-                    region_stack.pop();
-                }
-                depth -= 1;
-            }
-            b'#' if code[i..].starts_with("#[cfg(test)]") => pending = true,
-            _ => {}
-        }
-        if (pending || !region_stack.is_empty()) && line < marks.len() {
-            marks[line] = true;
-        }
-        i += 1;
-    }
-    marks
-}
-
-// ---------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------
-
-/// Rules suppressed on each line by `ins-lint: allow(...)` markers (a
-/// marker covers its own line and the next line, so a standalone comment
-/// can precede the offending statement).
-fn suppressions(raw: &str) -> Vec<Vec<Rule>> {
-    let lines: Vec<&str> = raw.lines().collect();
-    let mut allowed: Vec<Vec<Rule>> = vec![Vec::new(); lines.len() + 1];
-    for (idx, line) in lines.iter().enumerate() {
-        if let Some(pos) = line.find("ins-lint: allow(") {
-            let rest = &line[pos + "ins-lint: allow(".len()..];
-            if let Some(end) = rest.find(')') {
-                let rules: Vec<Rule> = rest[..end].split(',').filter_map(Rule::from_id).collect();
-                allowed[idx].extend(rules.iter().copied());
-                if idx + 1 < allowed.len() {
-                    allowed[idx + 1].extend(rules.iter().copied());
-                }
-            }
-        }
-    }
-    allowed
-}
-
-// ---------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------
-
-fn is_ident_char(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Whether `name` reads like a physical quantity that should be typed.
-fn quantity_name(name: &str) -> bool {
-    let n = name.to_ascii_lowercase();
-    const EXACT: [&str; 5] = ["power", "energy", "current", "soc", "voltage"];
-    const SUFFIX: [&str; 9] = [
-        "_w", "_wh", "_a", "_v", "_soc", "_power", "_energy", "_current", "_voltage",
-    ];
-    EXACT.contains(&n.as_str()) || SUFFIX.iter().any(|s| n.ends_with(s))
-}
-
-/// L001: `pub fn` parameters typed `f64` but named like quantities.
-fn check_untyped_quantity(path: &str, code: &str, out: &mut Vec<Finding>) {
-    let bytes = code.as_bytes();
-    let mut search = 0;
-    while let Some(rel) = code[search..].find("pub ") {
-        let start = search + rel;
-        search = start + 4;
-        // Accept `pub fn`, `pub const fn`, `pub unsafe fn`; skip
-        // restricted visibility (`pub(crate)` is not public API).
-        let after = &code[start + 4..];
-        let fn_off = ["fn ", "const fn ", "unsafe fn ", "const unsafe fn "]
-            .iter()
-            .find_map(|p| after.starts_with(p).then_some(p.len()));
-        let Some(fn_off) = fn_off else { continue };
-        let sig_start = start + 4 + fn_off;
-        // Find the parameter list: first '(' then its matching ')'.
-        let Some(open_rel) = code[sig_start..].find('(') else {
-            continue;
-        };
-        let open = sig_start + open_rel;
-        let mut depth = 0usize;
-        let mut close = None;
-        for (j, &b) in bytes.iter().enumerate().skip(open) {
-            match b {
-                b'(' => depth += 1,
-                b')' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        close = Some(j);
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        let Some(close) = close else { continue };
-        let params = &code[open + 1..close];
-        // Every `name: f64` inside the parameter list.
-        let mut p = 0;
-        while let Some(rel) = params[p..].find(':') {
-            let colon = p + rel;
-            p = colon + 1;
-            let after_colon = params[colon + 1..].trim_start();
-            let f64_here = after_colon.starts_with("f64")
-                && !after_colon
-                    .as_bytes()
-                    .get(3)
-                    .copied()
-                    .is_some_and(is_ident_char);
-            if !f64_here {
+    let mut used: Vec<Vec<bool>> = file
+        .suppressions
+        .iter()
+        .map(|s| vec![false; s.rules.len()])
+        .collect();
+    findings.retain(|f| {
+        let mut suppressed = false;
+        for (si, s) in file.suppressions.iter().enumerate() {
+            if f.line != s.line && f.line != s.line + 1 {
                 continue;
             }
-            // Walk back to the parameter name.
-            let mut end = colon;
-            while end > 0 && params.as_bytes()[end - 1].is_ascii_whitespace() {
-                end -= 1;
+            for (ri, r) in s.rules.iter().enumerate() {
+                if *r == f.rule {
+                    used[si][ri] = true;
+                    suppressed = true;
+                }
             }
-            let mut begin = end;
-            while begin > 0 && is_ident_char(params.as_bytes()[begin - 1]) {
-                begin -= 1;
-            }
-            let name = &params[begin..end];
-            if quantity_name(name) {
-                let line = code[..open + 1 + colon].matches('\n').count() + 1;
-                out.push(Finding {
-                    path: path.to_string(),
-                    line,
-                    rule: Rule::UntypedQuantity,
+        }
+        !suppressed
+    });
+    for (si, s) in file.suppressions.iter().enumerate() {
+        for (ri, r) in s.rules.iter().enumerate() {
+            if !used[si][ri] {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: s.line,
+                    rule: Rule::StaleSuppression,
                     message: format!(
-                        "parameter `{name}: f64` in a public signature; {}",
-                        Rule::UntypedQuantity.description()
+                        "`allow({})` no longer matches any finding on this or the next \
+                         line; remove the marker",
+                        r.id()
                     ),
                 });
             }
         }
-        search = close;
     }
-}
 
-/// L002: `.unwrap()` / `.expect(` on non-test lines.
-fn check_unwrap(path: &str, code: &str, tests: &[bool], out: &mut Vec<Finding>) {
-    for (idx, line) in code.lines().enumerate() {
-        if tests.get(idx).copied().unwrap_or(false) {
-            continue;
-        }
-        for token in [".unwrap()", ".expect("] {
-            if line.contains(token) {
-                out.push(Finding {
-                    path: path.to_string(),
-                    line: idx + 1,
-                    rule: Rule::UnwrapInProduction,
-                    message: format!("`{token}` — {}", Rule::UnwrapInProduction.description()),
-                });
-            }
-        }
-    }
-}
-
-/// L003: nondeterministic sources.
-fn check_nondeterminism(path: &str, code: &str, out: &mut Vec<Finding>) {
-    for (idx, line) in code.lines().enumerate() {
-        for token in ["SystemTime", "Instant::now", "thread_rng"] {
-            if line.contains(token) {
-                out.push(Finding {
-                    path: path.to_string(),
-                    line: idx + 1,
-                    rule: Rule::Nondeterminism,
-                    message: format!("`{token}` — {}", Rule::Nondeterminism.description()),
-                });
-            }
-        }
-    }
-}
-
-/// Is there a float literal (contains a `.`) ending at `end` (exclusive)?
-fn float_literal_ends_at(line: &[u8], end: usize) -> bool {
-    let mut i = end;
-    let mut digits = false;
-    let mut dot = false;
-    while i > 0 {
-        let b = line[i - 1];
-        if b.is_ascii_digit() {
-            digits = true;
-        } else if b == b'.' && !dot {
-            dot = true;
-        } else if b == b'_' {
-            // digit separator
-        } else {
-            break;
-        }
-        i -= 1;
-    }
-    // Reject identifiers glued on (e.g. `x1.0` is not a float literal).
-    let glued = i > 0 && is_ident_char(line[i - 1]) && line[i - 1] != b'_';
-    digits && dot && !glued && i < end
-}
-
-/// Is there a float literal starting at `start` (after optional `-`)?
-fn float_literal_starts_at(line: &[u8], mut start: usize) -> bool {
-    while start < line.len() && line[start].is_ascii_whitespace() {
-        start += 1;
-    }
-    if start < line.len() && line[start] == b'-' {
-        start += 1;
-    }
-    let mut digits = false;
-    let mut dot = false;
-    let mut i = start;
-    while i < line.len() {
-        let b = line[i];
-        if b.is_ascii_digit() {
-            digits = true;
-        } else if b == b'.' && !dot {
-            // `..` is a range, not a float dot.
-            if line.get(i + 1) == Some(&b'.') {
-                break;
-            }
-            dot = true;
-        } else if b == b'_' {
-        } else {
-            break;
-        }
-        i += 1;
-    }
-    digits && dot
-}
-
-/// L004: `==` / `!=` against a float literal on non-test lines.
-fn check_float_eq(path: &str, code: &str, tests: &[bool], out: &mut Vec<Finding>) {
-    for (idx, line) in code.lines().enumerate() {
-        if tests.get(idx).copied().unwrap_or(false) {
-            continue;
-        }
-        let bytes = line.as_bytes();
-        let mut reported = false;
-        for i in 0..bytes.len().saturating_sub(1) {
-            if reported {
-                break;
-            }
-            let op = (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'=';
-            if !op {
-                continue;
-            }
-            // Not `<=`, `>=`, `===`-like sequences.
-            if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
-                continue;
-            }
-            if bytes.get(i + 2) == Some(&b'=') {
-                continue;
-            }
-            let mut left_end = i;
-            while left_end > 0 && bytes[left_end - 1].is_ascii_whitespace() {
-                left_end -= 1;
-            }
-            if float_literal_ends_at(bytes, left_end) || float_literal_starts_at(bytes, i + 2) {
-                out.push(Finding {
-                    path: path.to_string(),
-                    line: idx + 1,
-                    rule: Rule::FloatEquality,
-                    message: Rule::FloatEquality.description().to_string(),
-                });
-                reported = true;
-            }
-        }
-    }
-}
-
-/// L005: task markers without an issue reference. Runs over the
-/// comment-preserving view so markers in comments are seen, while markers
-/// inside string literals are not.
-fn check_todo(path: &str, no_strings: &str, out: &mut Vec<Finding>) {
-    for (idx, line) in no_strings.lines().enumerate() {
-        let marker = ["TODO", "FIXME"].iter().find(|m| line.contains(*m));
-        let Some(marker) = marker else { continue };
-        // `#123` anywhere on the line counts as a reference.
-        let referenced = line
-            .as_bytes()
-            .windows(2)
-            .any(|w| w[0] == b'#' && w[1].is_ascii_digit());
-        if !referenced {
-            out.push(Finding {
-                path: path.to_string(),
-                line: idx + 1,
-                rule: Rule::UntrackedTodo,
-                message: format!("`{marker}` — {}", Rule::UntrackedTodo.description()),
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Entry points
-// ---------------------------------------------------------------------
-
-/// Whether `path` lies in a `tests/` directory (integration tests).
-fn in_tests_dir(path: &str) -> bool {
-    let normalized = path.replace('\\', "/");
-    normalized.starts_with("tests/") || normalized.contains("/tests/")
+    findings.retain(|f| config.rules.contains(&f.rule));
+    findings.sort_by_key(|f| (f.line, f.rule.id()));
+    findings
 }
 
 /// Analyzes one source text as if it lived at `path`, returning the
 /// unsuppressed findings sorted by line.
+///
+/// Single-source analyses never see the units crate, so the symbol
+/// index is seeded with the workspace's built-in quantity catalog
+/// before folding in the file itself.
 #[must_use]
 pub fn analyze_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
-    let sanitized = sanitize(src);
-    let mut tests = test_lines(&sanitized.code);
-    if in_tests_dir(path) {
-        tests.iter_mut().for_each(|t| *t = true);
-    }
-    let allowed = suppressions(src);
-    let mut findings = Vec::new();
-    for rule in &config.rules {
-        match rule {
-            Rule::UntypedQuantity => {
-                let physics = config
-                    .physics_dirs
-                    .iter()
-                    .any(|d| path.replace('\\', "/").contains(d.as_str()));
-                if physics && !in_tests_dir(path) {
-                    check_untyped_quantity(path, &sanitized.code, &mut findings);
-                }
-            }
-            Rule::UnwrapInProduction => {
-                check_unwrap(path, &sanitized.code, &tests, &mut findings);
-            }
-            Rule::Nondeterminism => check_nondeterminism(path, &sanitized.code, &mut findings),
-            Rule::FloatEquality => check_float_eq(path, &sanitized.code, &tests, &mut findings),
-            Rule::UntrackedTodo => check_todo(path, &sanitized.no_strings, &mut findings),
-        }
-    }
-    findings.retain(|f| {
-        !allowed
-            .get(f.line.saturating_sub(1))
-            .is_some_and(|rules| rules.contains(&f.rule))
-    });
-    findings.sort_by_key(|f| (f.line, f.rule.id()));
-    findings
+    let file = FileContext::new(path, src);
+    let mut index = SymbolIndex::with_builtin_units();
+    index.add_file(&file);
+    analyze_context(&file, &index, config)
 }
 
 /// Recursively collects `.rs` files under each path (files pass through).
@@ -811,19 +426,33 @@ pub fn collect_rust_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Analyzes every `.rs` file under the given roots.
+/// Analyzes every `.rs` file under the given roots in two phases: first
+/// build the cross-file symbol index over the whole path set, then run
+/// the passes per file against it. Output order is fully deterministic:
+/// files sorted by path, findings by (path, line, rule id).
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors (unreadable file or directory).
 pub fn analyze_paths(roots: &[PathBuf], config: &Config) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in collect_rust_files(roots)? {
         let src = fs::read_to_string(&file)?;
-        let path = file.to_string_lossy().into_owned();
-        findings.extend(analyze_source(&path, &src, config));
+        sources.push((file.to_string_lossy().into_owned(), src));
     }
-    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    let contexts: Vec<FileContext<'_>> = sources
+        .iter()
+        .map(|(path, src)| FileContext::new(path, src))
+        .collect();
+    let mut index = SymbolIndex::with_builtin_units();
+    for ctx in &contexts {
+        index.add_file(ctx);
+    }
+    let mut findings = Vec::new();
+    for ctx in &contexts {
+        findings.extend(analyze_context(ctx, &index, config));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule.id()).cmp(&(&b.path, b.line, b.rule.id())));
     Ok(findings)
 }
 
@@ -855,6 +484,12 @@ mod tests {
             nondet.is_empty(),
             "pool.rs must stay deterministic, found: {nondet:?}"
         );
+        // The pool is the one sanctioned owner of threads and atomics.
+        let parallel: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::ParallelSafety)
+            .collect();
+        assert!(parallel.is_empty(), "pool.rs is L006-exempt: {parallel:?}");
     }
 
     #[test]
@@ -905,6 +540,19 @@ mod tests {
     }
 
     #[test]
+    fn l002_exempts_bare_mod_tests_without_attribute() {
+        // The classic line-scanner blind spot: a test module that forgot
+        // the `#[cfg(test)]` attribute is still test code.
+        let src = "fn f() { x.unwrap(); }\n\
+                   mod tests {\n\
+                       fn g() { y.unwrap(); }\n\
+                   }\n";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::UnwrapInProduction]);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
     fn l002_exempts_tests_directories() {
         let src = "fn f() { x.unwrap(); }\n";
         assert!(run("tests/full_day.rs", src).is_empty());
@@ -936,6 +584,16 @@ mod tests {
     fn l003_ignores_tokens_inside_strings_and_comments() {
         let src = "fn f() { let s = \"Instant::now\"; }\n\
                    // the phrase SystemTime in prose is fine\n";
+        assert!(run("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_ignores_tokens_inside_multiline_block_comments() {
+        // A rule firing inside a block comment was a latent false-
+        // positive class of the line scanner: the comment interior
+        // carried no comment marker on its own line.
+        let src = "/*\n  SystemTime and Instant::now discussed here,\n  \
+                   plus x.unwrap() examples.\n*/\nfn f() {}\n";
         assert!(run("crates/sim/src/x.rs", src).is_empty());
     }
 
@@ -979,22 +637,223 @@ mod tests {
     }
 
     #[test]
+    fn l006_fires_on_threads_and_shared_state_outside_pool() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let findings = run("crates/fleet/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::ParallelSafety]);
+        assert!(findings[0].message.contains("thread::spawn"));
+
+        let src = "static mut COUNTER: u64 = 0;\n";
+        assert_eq!(
+            rules_of(&run("crates/core/src/x.rs", src)),
+            vec![Rule::ParallelSafety]
+        );
+
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(
+            rules_of(&run("crates/core/src/x.rs", src)),
+            vec![Rule::ParallelSafety]
+        );
+    }
+
+    #[test]
+    fn l006_flags_side_channel_accumulation_in_pool_closures() {
+        let src = "fn f() { let total = AtomicU64::new(0);\n\
+                   pool.scoped_map(cells, |c| { total.fetch_add(c.run(), Relaxed); });\n}\n";
+        let findings = run("crates/core/src/x.rs", src);
+        // `AtomicU64` itself plus the `.fetch_add(` side channel.
+        assert!(findings.iter().any(|f| f.message.contains("fetch_add")));
+        assert!(rules_of(&findings)
+            .iter()
+            .all(|r| *r == Rule::ParallelSafety));
+    }
+
+    #[test]
+    fn l006_exempts_the_pool_file() {
+        let src = "fn f() { std::thread::scope(|s| {}); }\n";
+        assert!(run("crates/sim/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l007_fires_on_nan_masking_comparators() {
+        let src = "fn f(v: &mut Vec<f64>) {\n\
+                   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let findings = run("crates/core/src/x.rs", src);
+        // The `.unwrap()` also trips L002 — both diagnoses are real.
+        assert_eq!(
+            rules_of(&findings),
+            vec![Rule::UnwrapInProduction, Rule::OrderingDeterminism]
+        );
+        let l007 = &findings[1];
+        assert_eq!(l007.line, 2);
+        assert!(l007.message.contains("total_cmp"));
+
+        // Masking with a default is as bad as panicking: NaN sorts
+        // arbitrarily.
+        let src = "fn f(a: f64, b: f64) -> Ordering {\n\
+                   a.partial_cmp(&b).unwrap_or(Ordering::Equal)\n}\n";
+        assert_eq!(
+            rules_of(&run("crates/core/src/x.rs", src)),
+            vec![Rule::OrderingDeterminism]
+        );
+    }
+
+    #[test]
+    fn l007_fires_on_unordered_collections() {
+        let src = "use std::collections::HashMap;\n";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::OrderingDeterminism]);
+        assert!(findings[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn l007_ignores_total_cmp_and_tests() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f(a: f64, b: f64) {\n        \
+                       a.partial_cmp(&b).unwrap();\n    }\n}\n";
+        assert!(run("crates/core/src/x.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn l008_fires_on_cross_dimension_raw_value_flow() {
+        let src = "pub fn f(dt: Hours) -> Watts {\n\
+                   Watts::new(dt.value() * 2.0)\n}\n";
+        let findings = run("crates/powernet/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::UnitFlow]);
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("Hours"));
+        assert!(findings[0].message.contains("Watts"));
+    }
+
+    #[test]
+    fn l008_allows_same_unit_and_dimensionless_flows() {
+        // Same unit back in: a legitimate clamp/scale idiom.
+        let src = "pub fn f(p: Watts) -> Watts { Watts::new(p.value() * 0.5) }\n";
+        assert!(run("crates/powernet/src/x.rs", src).is_empty());
+        // Dimensionless target (a fraction) may absorb any quantity.
+        let src = "pub fn f(e: WattHours, cap: WattHours) -> Soc {\n\
+                   Soc::new(e.value() / cap.value())\n}\n";
+        assert!(run("crates/powernet/src/x.rs", src).is_empty());
+        // Non-physics crates are out of scope.
+        let src = "pub fn f(dt: Hours) -> Watts { Watts::new(dt.value()) }\n";
+        assert!(run("crates/fleet/src/x.rs", src).is_empty());
+        // The units crate defines the dimension algebra; its operator
+        // impls are the sanctioned conversions and are exempt.
+        let src = "impl Mul<Amps> for Volts {\n    type Output = Watts;\n    \
+                   fn mul(self, rhs: Amps) -> Watts { Watts::new(self.value() * rhs.value()) }\n}\n";
+        assert!(run("crates/units/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l008_fires_on_truncating_value_casts() {
+        let src = "fn f(p: Watts) -> u32 { p.value() as u32 }\n";
+        let findings = run("crates/core/src/x.rs", src);
+        // The same cast also trips the L009 narrowing-cast check in
+        // panic-surface scope; both diagnoses are real.
+        assert!(rules_of(&findings).contains(&Rule::UnitFlow));
+    }
+
+    #[test]
+    fn l009_fires_in_panic_surface_scope_only() {
+        let src = "fn f(x: Mode) -> u8 { match x { Mode::A => 0, _ => unreachable!() } }\n";
+        let findings = run("crates/fleet/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::PanicSurface]);
+        assert!(findings[0].message.contains("unreachable!"));
+        // Out of scope: the bench harness may assert freely.
+        assert!(run("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l009_fires_on_arithmetic_indexing_and_narrowing_casts() {
+        let src = "fn f(v: &[f64], i: usize) -> f64 { v[i - 1] }\n";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::PanicSurface]);
+        assert!(findings[0].message.contains("underflow"));
+
+        let src = "fn f(n: usize) -> u32 { n as u32 }\n";
+        assert_eq!(
+            rules_of(&run("crates/core/src/x.rs", src)),
+            vec![Rule::PanicSurface]
+        );
+        // Plain indexing and widening casts are fine.
+        assert!(run(
+            "crates/core/src/x.rs",
+            "fn f(v: &[f64], i: usize) -> f64 { v[i] }\n"
+        )
+        .is_empty());
+        assert!(run("crates/core/src/x.rs", "fn f(n: u32) -> u64 { n as u64 }\n").is_empty());
+    }
+
+    #[test]
+    fn l010_flags_stale_suppressions() {
+        // Nothing on this line (or the next) violates L004 anymore.
+        let src = "// ins-lint: allow(L004) -- obsolete\nfn f(x: u32) -> bool { x == 0 }\n";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::StaleSuppression]);
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("L004"));
+    }
+
+    #[test]
+    fn l010_spares_used_suppressions() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 } // ins-lint: allow(L004)\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l010_cannot_be_suppressed() {
+        // `allow(L010)` never matches anything — L010 findings are
+        // derived after suppression filtering — so it is always stale.
+        let src = "// ins-lint: allow(L010)\nfn f() {}\n";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&findings), vec![Rule::StaleSuppression]);
+    }
+
+    #[test]
+    fn doc_comment_markers_are_not_suppressions() {
+        // A doc-comment example of the marker syntax neither suppresses
+        // nor counts as stale.
+        let src = "//! Suppress with `// ins-lint: allow(L004)`.\nfn f() {}\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+        // And it does not shield a real finding on the next line.
+        let src = "/// ins-lint: allow(L004)\npub fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert_eq!(
+            rules_of(&run("crates/core/src/x.rs", src)),
+            vec![Rule::FloatEquality]
+        );
+    }
+
+    #[test]
     fn suppression_covers_same_line_and_next_line() {
         let same = "fn f(x: f64) -> bool { x == 0.0 } // ins-lint: allow(L004)\n";
         assert!(run("crates/core/src/x.rs", same).is_empty());
         let above =
             "// ins-lint: allow(L004) -- sentinel compare\nfn f(x: f64) -> bool { x == 0.0 }\n";
         assert!(run("crates/core/src/x.rs", above).is_empty());
-        // The wrong rule id does not suppress.
+        // The wrong rule id does not suppress — and is itself stale.
         let wrong = "fn f(x: f64) -> bool { x == 0.0 } // ins-lint: allow(L002)\n";
         assert_eq!(
             rules_of(&run("crates/core/src/x.rs", wrong)),
-            vec![Rule::FloatEquality]
+            vec![Rule::FloatEquality, Rule::StaleSuppression]
         );
         // Comma lists suppress several rules at once.
         let multi =
             "fn f(x: f64) -> bool { x.unwrap(); x == 0.0 } // ins-lint: allow(L002, L004)\n";
         assert!(run("crates/core/src/x.rs", multi).is_empty());
+    }
+
+    #[test]
+    fn disabled_rules_are_filtered_but_still_feed_l010() {
+        let mut config = Config::default_workspace();
+        config.rules = vec![Rule::FloatEquality, Rule::StaleSuppression];
+        // The L002 suppression is *used* (an unwrap sits on the line),
+        // so no L010 fires even though L002 itself is disabled.
+        let src = "fn f(x: f64) { x.unwrap(); } // ins-lint: allow(L002)\n";
+        assert!(analyze_source("crates/core/src/x.rs", src, &config).is_empty());
+        // And disabled rules' findings never surface.
+        let src = "fn f(x: f64) { x.unwrap(); }\n";
+        assert!(analyze_source("crates/core/src/x.rs", src, &config).is_empty());
     }
 
     #[test]
@@ -1011,11 +870,23 @@ mod tests {
     }
 
     #[test]
+    fn analysis_is_deterministic_across_runs() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(x: f64) -> bool { x == 0.0 }\n\
+                   fn g() { y.unwrap(); }\n";
+        let first = report_json(&run("crates/core/src/x.rs", src));
+        for _ in 0..5 {
+            assert_eq!(first, report_json(&run("crates/core/src/x.rs", src)));
+        }
+    }
+
+    #[test]
     fn rule_ids_round_trip() {
         for rule in Rule::ALL {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));
         }
         assert_eq!(Rule::from_id("l003"), Some(Rule::Nondeterminism));
+        assert_eq!(Rule::from_id("L010"), Some(Rule::StaleSuppression));
         assert_eq!(Rule::from_id("L999"), None);
     }
 

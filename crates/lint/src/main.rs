@@ -1,19 +1,23 @@
 //! CLI for the InSURE repository linter.
 //!
 //! ```text
-//! cargo run -p ins-lint -- [--json] [--rules L001,L004] <path>...
+//! cargo run -p ins-lint -- [--json|--sarif] [--rules L001,L004]
+//!     [--baseline FILE] [--write-baseline FILE] <path>...
 //! ```
 //!
 //! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
 //! error.
 
+use std::collections::BTreeMap;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ins_lint::{analyze_paths, report_json, Config, Rule};
+use ins_lint::{analyze_paths, baseline, report_json, sarif, Config, Finding, Rule};
 
 fn usage() -> &'static str {
-    "usage: ins-lint [--json] [--rules L001,L002,...] <path>...\n\
+    "usage: ins-lint [--json|--sarif] [--rules L001,L002,...]\n\
+     \x20               [--baseline FILE] [--write-baseline FILE] <path>...\n\
      \n\
      Scans .rs files under each path for InSURE convention violations.\n\
      Rules:\n\
@@ -22,17 +26,59 @@ fn usage() -> &'static str {
        L003  nondeterminism (wall clock, OS randomness)\n\
        L004  exact float comparison against a literal\n\
        L005  task marker without an issue reference\n\
-     Suppress inline with `// ins-lint: allow(L00x)` on or above the line."
+       L006  threads or shared-mutable state outside ins_sim::pool\n\
+       L007  NaN-unsafe comparator / unordered collection ordering\n\
+       L008  raw value crossing a unit-dimension boundary\n\
+       L009  panic surface in production physics/fleet code\n\
+       L010  stale suppression marker (cannot itself be suppressed)\n\
+     Suppress inline with `// ins-lint: allow(L00x)` on or above the line.\n\
+     --baseline subtracts findings listed in FILE (see lint-baseline.txt);\n\
+     --write-baseline regenerates FILE from the current findings."
+}
+
+/// Source lines of each finding's file, read once per file so baseline
+/// fingerprints see the offending line text.
+struct LineCache {
+    files: BTreeMap<String, Vec<String>>,
+}
+
+impl LineCache {
+    fn new() -> Self {
+        Self {
+            files: BTreeMap::new(),
+        }
+    }
+
+    fn line_text(&mut self, path: &str, line: usize) -> String {
+        let lines = self.files.entry(path.to_string()).or_insert_with(|| {
+            fs::read_to_string(path)
+                .map(|src| src.lines().map(str::to_string).collect())
+                .unwrap_or_default()
+        });
+        lines
+            .get(line.saturating_sub(1))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn fingerprint(&mut self, f: &Finding) -> String {
+        let text = self.line_text(&f.path, f.line);
+        baseline::fingerprint(f, &text)
+    }
 }
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut sarif_out = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut roots: Vec<PathBuf> = Vec::new();
     let mut config = Config::default_workspace();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif_out = true,
             "--rules" => {
                 let Some(list) = args.next() else {
                     eprintln!("--rules needs a comma-separated id list\n\n{}", usage());
@@ -45,6 +91,17 @@ fn main() -> ExitCode {
                 }
                 config.rules = rules;
             }
+            "--baseline" | "--write-baseline" => {
+                let Some(file) = args.next() else {
+                    eprintln!("{arg} needs a file path\n\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                if arg == "--baseline" {
+                    baseline_path = Some(PathBuf::from(file));
+                } else {
+                    write_baseline = Some(PathBuf::from(file));
+                }
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -56,14 +113,48 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     }
-    let findings = match analyze_paths(&roots, &config) {
+    let mut findings = match analyze_paths(&roots, &config) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("ins-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    if json {
+
+    let mut cache = LineCache::new();
+    if let Some(path) = write_baseline {
+        let fps: Vec<String> = findings.iter().map(|f| cache.fingerprint(f)).collect();
+        if let Err(e) = fs::write(&path, baseline::render(&fps)) {
+            eprintln!("ins-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "ins-lint: wrote {} fingerprint(s) to {}",
+            fps.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut baselined = 0usize;
+    if let Some(path) = baseline_path {
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ins-lint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut allow = baseline::Baseline::parse(&text);
+        findings.retain(|f| {
+            let excused = allow.take(&cache.fingerprint(f));
+            baselined += usize::from(excused);
+            !excused
+        });
+    }
+
+    if sarif_out {
+        println!("{}", sarif::report_sarif(&findings));
+    } else if json {
         println!("{}", report_json(&findings));
     } else {
         for f in &findings {
@@ -74,6 +165,9 @@ fn main() -> ExitCode {
         } else {
             eprintln!("ins-lint: {} finding(s)", findings.len());
         }
+    }
+    if baselined > 0 {
+        eprintln!("ins-lint: {baselined} baselined finding(s) suppressed");
     }
     if findings.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,155 @@
+//! The rule framework: every lint is a *pass* over one file's token
+//! stream (plus the workspace [`SymbolIndex`]), registered in
+//! [`passes`]. Adding a rule means adding a variant to [`Rule`], a
+//! function with the [`PassFn`] signature, and one registry entry —
+//! the engine handles suppression filtering, test-region exemption
+//! bookkeeping, ordering and output formats.
+
+pub mod determinism;
+pub mod hygiene;
+pub mod panics;
+pub mod parallel;
+pub mod units;
+
+use crate::context::FileContext;
+use crate::index::SymbolIndex;
+use crate::{Config, Finding, Rule};
+
+/// Everything a pass can look at while scanning one file.
+pub struct RuleCtx<'a> {
+    /// The file under analysis.
+    pub file: &'a FileContext<'a>,
+    /// The workspace symbol index.
+    pub index: &'a SymbolIndex,
+    /// The analyzer configuration.
+    pub config: &'a Config,
+}
+
+/// The signature every rule pass implements.
+pub type PassFn = fn(&RuleCtx<'_>, &mut Vec<Finding>);
+
+/// The pass registry, in rule-id order. L010 (stale suppressions) is
+/// not a pass — the engine derives it from the other rules' findings.
+#[must_use]
+pub fn passes() -> &'static [(Rule, PassFn)] {
+    &[
+        (Rule::UntypedQuantity, units::check_untyped_quantity),
+        (Rule::UnwrapInProduction, panics::check_unwrap),
+        (Rule::Nondeterminism, determinism::check_nondeterminism),
+        (Rule::FloatEquality, determinism::check_float_eq),
+        (Rule::UntrackedTodo, hygiene::check_todo),
+        (Rule::ParallelSafety, parallel::check_parallel_safety),
+        (Rule::OrderingDeterminism, determinism::check_ordering),
+        (Rule::UnitFlow, units::check_unit_flow),
+        (Rule::PanicSurface, panics::check_panic_surface),
+    ]
+}
+
+impl RuleCtx<'_> {
+    /// Whether this file belongs to a physics crate (L001/L008 scope).
+    #[must_use]
+    pub fn is_physics(&self) -> bool {
+        self.config
+            .physics_dirs
+            .iter()
+            .any(|d| self.file.path.contains(d.as_str()))
+    }
+
+    /// Whether this file is in the panic-surface scope (L009).
+    #[must_use]
+    pub fn is_panic_surface(&self) -> bool {
+        self.config
+            .panic_surface_dirs
+            .iter()
+            .any(|d| self.file.path.contains(d.as_str()))
+    }
+
+    /// Whether this file is the worker-pool implementation, exempt from
+    /// the parallel-safety rule (it is the one sanctioned owner of
+    /// threads and atomics).
+    #[must_use]
+    pub fn is_pool_file(&self) -> bool {
+        self.config
+            .pool_files
+            .iter()
+            .any(|f| self.file.path.ends_with(f.as_str()))
+    }
+
+    /// Emits a finding anchored at byte `offset`.
+    pub fn push(&self, out: &mut Vec<Finding>, rule: Rule, offset: usize, message: String) {
+        out.push(Finding {
+            path: self.file.path.clone(),
+            line: self.file.line_of(offset),
+            rule,
+            message,
+        });
+    }
+}
+
+/// For an opening bracket at significant index `open` (`(`, `[` or `{`),
+/// returns the significant index of its matching close.
+#[must_use]
+pub fn find_matching(ctx: &FileContext<'_>, open: usize) -> Option<usize> {
+    let (o, c) = match ctx.sig_text(open) {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    let mut j = open;
+    while let Some(t) = ctx.sig_token(j) {
+        let text = ctx.text(t);
+        if text == o {
+            depth += 1;
+        } else if text == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Rust keywords that can directly precede a `[` without it being an
+/// index expression (array literals, returns, match arms, …).
+#[must_use]
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}

@@ -1,0 +1,120 @@
+//! SARIF 2.1.0 report generation (hand-rolled JSON, no serializer
+//! dependency), so CI findings render as inline annotations on GitHub
+//! pull requests via the code-scanning upload action.
+//!
+//! The emitted document is deliberately minimal but schema-valid: one
+//! run, one tool driver carrying the full rule catalog (id, short
+//! description, default severity level), and one result per finding
+//! with a physical location (`uri` + `startLine`).
+
+use crate::{escape_json, Finding, Rule, Severity};
+
+/// The SARIF 2.1.0 schema URI embedded in every report.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders findings as a SARIF 2.1.0 document.
+///
+/// Output is deterministic: rules appear in catalog order and results
+/// in the order given (the engine sorts them by path/line/rule).
+#[must_use]
+pub fn report_sarif(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(4096 + findings.len() * 256);
+    out.push_str("{\"$schema\":\"");
+    out.push_str(SARIF_SCHEMA);
+    out.push_str("\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"ins-lint\",\"informationUri\":");
+    out.push_str("\"https://github.com/example/insure\",");
+    out.push_str("\"version\":\"");
+    out.push_str(env!("CARGO_PKG_VERSION"));
+    out.push_str("\",\"rules\":[");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":\"");
+        out.push_str(rule.id());
+        out.push_str("\",\"shortDescription\":{\"text\":\"");
+        out.push_str(&escape_json(rule.description()));
+        out.push_str("\"},\"defaultConfiguration\":{\"level\":\"");
+        out.push_str(level(rule.severity()));
+        out.push_str("\"}}");
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = Rule::ALL.iter().position(|r| *r == f.rule).unwrap_or(0);
+        out.push_str("{\"ruleId\":\"");
+        out.push_str(f.rule.id());
+        out.push_str("\",\"ruleIndex\":");
+        out.push_str(&rule_index.to_string());
+        out.push_str(",\"level\":\"");
+        out.push_str(level(f.rule.severity()));
+        out.push_str("\",\"message\":{\"text\":\"");
+        out.push_str(&escape_json(&f.message));
+        out.push_str("\"},\"locations\":[{\"physicalLocation\":{");
+        out.push_str("\"artifactLocation\":{\"uri\":\"");
+        out.push_str(&escape_json(&sarif_uri(&f.path)));
+        out.push_str("\",\"uriBaseId\":\"%SRCROOT%\"},\"region\":{\"startLine\":");
+        out.push_str(&f.line.max(1).to_string());
+        out.push_str("}}}]}");
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// SARIF severity level string for a rule severity.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+/// Normalizes a path into a SARIF-friendly relative URI.
+fn sarif_uri(path: &str) -> String {
+    let p = path.replace('\\', "/");
+    p.strip_prefix("./").unwrap_or(&p).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            path: "./crates/core/src/spm.rs".to_string(),
+            line: 7,
+            rule: Rule::OrderingDeterminism,
+            message: "quote \" and backslash \\ escape".to_string(),
+        }]
+    }
+
+    #[test]
+    fn sarif_has_schema_version_and_rule_catalog() {
+        let doc = report_sarif(&sample());
+        assert!(doc.contains("\"version\":\"2.1.0\""));
+        assert!(doc.contains(SARIF_SCHEMA));
+        for rule in Rule::ALL {
+            assert!(doc.contains(&format!("\"id\":\"{}\"", rule.id())));
+        }
+    }
+
+    #[test]
+    fn sarif_result_carries_location_and_level() {
+        let doc = report_sarif(&sample());
+        assert!(doc.contains("\"ruleId\":\"L007\""));
+        assert!(doc.contains("\"uri\":\"crates/core/src/spm.rs\""), "{doc}");
+        assert!(doc.contains("\"startLine\":7"));
+        assert!(doc.contains("\"level\":\"error\""));
+        assert!(doc.contains("quote \\\" and backslash \\\\ escape"));
+    }
+
+    #[test]
+    fn empty_report_is_still_a_full_document() {
+        let doc = report_sarif(&[]);
+        assert!(doc.contains("\"results\":[]"));
+        assert!(doc.ends_with("]}]}"));
+    }
+}

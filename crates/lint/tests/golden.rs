@@ -1,0 +1,119 @@
+//! Golden-file tests for the analysis engine.
+//!
+//! Each `tests/fixtures/*.rs.txt` file is a Rust source whose first line
+//! names the *virtual* path it should be analyzed under (so dir-scoped
+//! rules like L001/L008/L009 apply as they would in the real tree):
+//!
+//! ```text
+//! // lint-fixture-path: crates/powernet/src/demo.rs
+//! ```
+//!
+//! The file is analyzed with the default workspace configuration and the
+//! findings — rendered one per line as `<line>: <rule> <message>` — are
+//! compared byte-for-byte against the sibling `.expected` file.
+//!
+//! Fixtures use the `.rs.txt` extension deliberately: CI lints every
+//! `.rs` file under `crates/`, and these sources violate rules on
+//! purpose.
+//!
+//! To regenerate after an intentional rule change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p ins-lint --test golden
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ins_lint::{analyze_source, Config, Finding};
+
+const PATH_MARKER: &str = "// lint-fixture-path: ";
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Findings rendered for comparison: the virtual path is the same for
+/// every finding in a fixture, so only line, rule and message matter.
+fn render(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| format!("{}: {} {}\n", f.line, f.rule.id(), f.message))
+        .collect()
+}
+
+#[test]
+fn fixtures_match_expected_findings() {
+    let dir = fixtures_dir();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut fixture_paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.to_string_lossy().ends_with(".rs.txt"))
+        .collect();
+    fixture_paths.sort();
+    assert!(
+        fixture_paths.len() >= 6,
+        "expected the fixture suite, found {} files in {}",
+        fixture_paths.len(),
+        dir.display()
+    );
+
+    let config = Config::default_workspace();
+    let mut failures = Vec::new();
+    for fixture in &fixture_paths {
+        let src = fs::read_to_string(fixture).expect("fixture is readable");
+        let first_line = src.lines().next().unwrap_or("");
+        let virtual_path = first_line
+            .strip_prefix(PATH_MARKER)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} must start with `{PATH_MARKER}<virtual path>`",
+                    fixture.display()
+                )
+            })
+            .trim();
+        let findings = analyze_source(virtual_path, &src, &config);
+        let actual = render(&findings);
+
+        let expected_path = fixture.with_extension("").with_extension("expected");
+        if update {
+            fs::write(&expected_path, &actual).expect("write .expected");
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "missing {}; run with UPDATE_GOLDEN=1 to create it",
+                expected_path.display()
+            )
+        });
+        if actual != expected {
+            failures.push(format!(
+                "== {} ==\n-- expected --\n{expected}-- actual --\n{actual}",
+                fixture.display()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches (run with UPDATE_GOLDEN=1 after intentional \
+         rule changes):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_expected_file_has_a_fixture() {
+    let dir = fixtures_dir();
+    for entry in fs::read_dir(&dir).expect("fixtures directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "expected") {
+            let fixture = path.with_extension("rs.txt");
+            assert!(
+                fixture.exists(),
+                "{} has no matching fixture",
+                path.display()
+            );
+        }
+    }
+}

@@ -138,7 +138,8 @@ impl LoadBus {
             for (unit, share) in units.iter_mut().zip(shares) {
                 let out = unit.discharge(share, dt);
                 let delivered_w = if dt.value() > 0.0 {
-                    Watts::new(out.delivered.value() / dt.value() * out.voltage.value())
+                    // Typed all the way: Ah / h = A, then A × V = W.
+                    out.delivered / dt * out.voltage
                 } else {
                     Watts::ZERO
                 };

@@ -154,7 +154,7 @@ mod tests {
                     .iter()
                     .enumerate()
                     .filter(|(_, u)| u.soc() < target)
-                    .min_by(|a, b| a.1.soc().partial_cmp(&b.1.soc()).unwrap())
+                    .min_by(|a, b| a.1.soc().total_cmp(&b.1.soc()))
                     .map(|(i, _)| i)
                     .unwrap();
                 ctrl.charge(&mut [&mut units[idx]], budget, dt);

@@ -124,14 +124,17 @@ impl Trace {
         if samples.is_empty() {
             return None;
         }
-        if time <= samples[0].time {
-            return Some(samples[0].value);
+        let (first, last) = (samples[0], *samples.last()?);
+        if time <= first.time {
+            return Some(first.value);
         }
-        if time >= samples[samples.len() - 1].time {
-            return Some(samples[samples.len() - 1].value);
+        if time >= last.time {
+            return Some(last.value);
         }
-        // Find the first sample at or after `time`.
+        // Find the first sample at or after `time`. The two clamp
+        // returns above guarantee `0 < idx < samples.len()`.
         let idx = samples.partition_point(|s| s.time < time);
+        // ins-lint: allow(L009) -- idx >= 1: time > first.time was handled above
         let (a, b) = (samples[idx - 1], samples[idx]);
         if a.time == b.time {
             return Some(b.value);

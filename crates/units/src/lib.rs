@@ -107,6 +107,15 @@ macro_rules! quantity {
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()
             }
+
+            /// Total ordering, mirroring [`f64::total_cmp`]. Use this (or
+            /// [`total_order`]) in comparators instead of
+            /// `partial_cmp(..).unwrap()`, which panics on NaN, or
+            /// `unwrap_or(..)`, which silently gives NaN an arbitrary rank.
+            #[must_use]
+            pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
         }
 
         impl Add for $name {
@@ -230,6 +239,25 @@ quantity!(
 
 /// Long-form alias for [`Amps`].
 pub type Amperes = Amps;
+
+/// NaN-rejecting total order on raw `f64` values, for the rare comparator
+/// that must rank bare floats (scores, ratios) rather than typed
+/// quantities.
+///
+/// The workspace's determinism contract forbids NaN from ranking at all:
+/// `partial_cmp(..).unwrap()` panics on it and `unwrap_or(..)` hands it an
+/// arbitrary, input-order-dependent position. This helper debug-asserts
+/// both operands are non-NaN (surfacing the upstream arithmetic bug in
+/// tests and sims) and falls back to the IEEE-754 total order in release
+/// builds, which at least ranks NaN deterministically.
+#[must_use]
+pub fn total_order(a: f64, b: f64) -> core::cmp::Ordering {
+    debug_assert!(
+        !a.is_nan() && !b.is_nan(),
+        "NaN reached an ordering comparator"
+    );
+    a.total_cmp(&b)
+}
 
 impl Mul<Amps> for Volts {
     type Output = Watts;
@@ -463,13 +491,13 @@ impl Soc {
 
 impl PartialEq<f64> for Soc {
     fn eq(&self, other: &f64) -> bool {
-        self.0 == *other // ins-lint: allow(L004) -- definitional forwarding
+        self.0 == *other // definitional forwarding, not a tolerance compare
     }
 }
 
 impl PartialEq<Soc> for f64 {
     fn eq(&self, other: &Soc) -> bool {
-        *self == other.0 // ins-lint: allow(L004) -- definitional forwarding
+        *self == other.0 // definitional forwarding, not a tolerance compare
     }
 }
 
@@ -618,5 +646,38 @@ mod tests {
     fn quantities_are_pod_sized() {
         assert_eq!(core::mem::size_of::<Watts>(), core::mem::size_of::<f64>());
         assert_eq!(core::mem::size_of::<Soc>(), core::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn total_cmp_orders_quantities_including_negatives_and_zero_signs() {
+        use core::cmp::Ordering;
+        assert_eq!(Watts::new(1.0).total_cmp(&Watts::new(2.0)), Ordering::Less);
+        assert_eq!(
+            AmpHours::new(-3.0).total_cmp(&AmpHours::new(3.0)),
+            Ordering::Less
+        );
+        // IEEE total order distinguishes -0.0 < +0.0 — deterministic,
+        // even if surprising; equal-by-== values stay adjacent in sorts.
+        assert_eq!(Volts::new(-0.0).total_cmp(&Volts::new(0.0)), Ordering::Less);
+        let mut v = vec![Hours::new(3.0), Hours::new(1.0), Hours::new(2.0)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v, vec![Hours::new(1.0), Hours::new(2.0), Hours::new(3.0)]);
+    }
+
+    #[test]
+    fn total_order_sorts_raw_floats_deterministically() {
+        let mut v = vec![2.5, -1.0, 0.0, 2.5, -7.25];
+        v.sort_by(|a, b| total_order(*a, *b));
+        assert_eq!(v, vec![-7.25, -1.0, 0.0, 2.5, 2.5]);
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert only fires in debug builds"
+    )]
+    #[should_panic(expected = "NaN reached an ordering comparator")]
+    fn total_order_rejects_nan_in_debug_builds() {
+        let _ = total_order(f64::NAN, 1.0);
     }
 }

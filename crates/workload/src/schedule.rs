@@ -51,8 +51,9 @@ pub fn daily_arrivals(
             (nominal + jitter).clamp(lo, hi)
         })
         .collect();
-    // Floating clamps preserve order, but make it explicit.
-    hours.sort_by(f64::total_cmp);
+    // Floating clamps preserve order, but make it explicit. The shared
+    // helper also debug-asserts no NaN snuck into the schedule.
+    hours.sort_by(|a, b| ins_sim::units::total_order(*a, *b));
     hours
 }
 
