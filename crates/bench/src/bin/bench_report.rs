@@ -19,6 +19,7 @@ use ins_bench::experiments::{faults, recovery};
 use ins_bench::export::json_number;
 use ins_bench::runner::parse_threads;
 use ins_core::controller::InsureController;
+use ins_core::engine::EngineController;
 use ins_core::system::InSituSystem;
 use ins_sim::pool::available_threads;
 use ins_sim::time::{SimDuration, SimTime};
@@ -69,19 +70,49 @@ fn step_report() -> String {
             black_box(sys.workload().processed_gb())
         });
     });
+    // The same one-day run with the controller behind the PolicyEngine
+    // trait (the service runtime's indirection). CI asserts the overhead
+    // ratio stays under 2 %.
+    c.bench_function("insure_one_day_60s_steps_engine", |b| {
+        b.iter(|| {
+            let mut sys = InSituSystem::builder(
+                high_generation_day(1),
+                Box::new(EngineController::new(Box::new(InsureController::default()))),
+            )
+            .time_step(SimDuration::from_secs(60))
+            .build();
+            sys.run_until(SimTime::from_hms(23, 59, 0));
+            black_box(sys.workload().processed_gb())
+        });
+    });
 
-    let step_ns = c
-        .results()
-        .iter()
-        .find(|(n, _)| n == "full_system_step_10s")
-        .map_or(0.0, |(_, ns)| *ns);
+    let ns_of = |name: &str| {
+        c.results()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, ns)| *ns)
+    };
+    let step_ns = ns_of("full_system_step_10s");
     let steps_per_sec = if step_ns > 0.0 { 1e9 / step_ns } else { 0.0 };
+    let direct_ns = ns_of("insure_one_day_60s_steps");
+    let engine_ns = ns_of("insure_one_day_60s_steps_engine");
+    let engine_overhead_pct = if direct_ns > 0.0 {
+        (engine_ns / direct_ns - 1.0) * 100.0
+    } else {
+        0.0
+    };
     bench_json(
         c.results(),
-        &[(
-            "steps_per_second".to_string(),
-            json_number(steps_per_sec.round()),
-        )],
+        &[
+            (
+                "steps_per_second".to_string(),
+                json_number(steps_per_sec.round()),
+            ),
+            (
+                "engine_overhead_pct".to_string(),
+                json_number((engine_overhead_pct * 100.0).round() / 100.0),
+            ),
+        ],
     )
 }
 

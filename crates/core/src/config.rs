@@ -32,6 +32,8 @@ pub enum ConfigError {
     NonPositiveLifetime,
     /// The raise headroom lies outside `[0, 1)`.
     RaiseHeadroomOutOfRange,
+    /// A system was configured with zero battery units.
+    ZeroUnits,
 }
 
 impl fmt::Display for ConfigError {
@@ -47,6 +49,7 @@ impl fmt::Display for ConfigError {
             Self::NonPositiveLifetimeDischarge => "lifetime discharge must be positive",
             Self::NonPositiveLifetime => "desired lifetime must be positive",
             Self::RaiseHeadroomOutOfRange => "raise headroom must lie in [0, 1)",
+            Self::ZeroUnits => "at least one battery unit required",
         };
         f.write_str(msg)
     }

@@ -14,6 +14,9 @@
 //! * [`controller`] — the [`controller::InsureController`] plus the two
 //!   evaluation comparisons (grid-green-style baseline, non-optimized
 //!   fixed schedule),
+//! * [`engine`] — the service-mode policy abstraction: signals → state
+//!   classification → [`engine::PolicyDecision`], with the three
+//!   controllers adapted as swappable [`engine::PolicyEngine`]s,
 //! * [`health`] — health monitoring from observable signals (voltage
 //!   divergence, stale telemetry) and quarantine of failed e-Buffer
 //!   units, feeding SPM re-selection and degraded-mode operation,
@@ -50,6 +53,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod engine;
 pub mod health;
 pub mod log;
 pub mod metrics;
@@ -64,6 +68,7 @@ pub use controller::{
     BaselineController, ControlAction, InsureController, NoOptController, PowerController,
     SystemObservation,
 };
+pub use engine::{EngineController, EngineError, PolicyDecision, PolicyEngine, StateClass};
 pub use health::{HealthConfig, HealthMonitor, UnitCondition};
 pub use metrics::RunMetrics;
 pub use mode::{BufferMode, TransitionCause};

@@ -114,13 +114,13 @@ pub fn screen(
 /// charge at near-peak per-unit power `ppc`. At least one whenever any
 /// usable budget exists.
 ///
-/// # Panics
-///
-/// Panics if `ppc` is not positive.
+/// Total on its whole domain: a non-positive `ppc` means no unit can be
+/// charged at peak, so the batch size is zero. (Config validation
+/// rejects such a `ppc` far earlier; this keeps the SPM panic-free for
+/// service mode.)
 #[must_use]
 pub fn charge_batch_size(pg: Watts, ppc: Watts) -> usize {
-    assert!(ppc.value() > 0.0, "peak charge power must be positive");
-    if pg.value() <= 0.0 {
+    if ppc.value() <= 0.0 || pg.value() <= 0.0 {
         return 0;
     }
     let n = (pg.value() / ppc.value()).floor() as usize;
@@ -248,9 +248,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "peak charge power must be positive")]
-    fn batch_size_rejects_zero_ppc() {
-        let _ = charge_batch_size(Watts::new(100.0), Watts::ZERO);
+    fn batch_size_is_total_in_degenerate_inputs() {
+        // A non-positive peak charge power can charge nothing; the SPM
+        // stays panic-free rather than asserting (service-mode sweep).
+        assert_eq!(charge_batch_size(Watts::new(100.0), Watts::ZERO), 0);
+        assert_eq!(charge_batch_size(Watts::new(100.0), Watts::new(-5.0)), 0);
     }
 
     #[test]

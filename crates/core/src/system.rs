@@ -1029,6 +1029,34 @@ impl InSituSystem {
             .map(BatteryUnit::discharge_throughput)
             .sum()
     }
+
+    /// Offers `gb` of externally ingested work to the workload (service
+    /// mode's admission path). Batch work joins the job queue; stream
+    /// work adds backlog. Offering is unconditional — admission control
+    /// (shedding, backpressure) happens *before* this call.
+    pub fn offer_work(&mut self, gb: f64) {
+        if gb > 0.0 {
+            let now = self.clock.now();
+            self.workload.requeue_gb(now, gb);
+        }
+    }
+
+    /// Graceful-drain flush: synchronously writes a final durable
+    /// checkpoint capturing current progress, superseding any in-flight
+    /// write (a drain waits for the artifact — nothing tears). Returns
+    /// `false` when checkpointing is disabled.
+    pub fn flush_checkpoint(&mut self) -> bool {
+        let now = self.clock.now();
+        let progress = self.workload.processed_gb();
+        match &mut self.checkpointer {
+            Some(c) => {
+                c.flush(now, progress);
+                self.events.push(now, SystemEvent::CheckpointWritten);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Builder for [`InSituSystem`].
@@ -1073,12 +1101,27 @@ impl SystemBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `count` is zero.
+    /// Panics if `count` is zero. Service paths use
+    /// [`SystemBuilder::try_unit_count`] instead.
     #[must_use]
     pub fn unit_count(mut self, count: usize) -> Self {
         assert!(count > 0, "at least one battery unit required");
         self.unit_count = count;
         self
+    }
+
+    /// Sets the number of battery cabinets, rejecting zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::config::ConfigError::ZeroUnits`] when `count` is
+    /// zero.
+    pub fn try_unit_count(mut self, count: usize) -> Result<Self, crate::config::ConfigError> {
+        if count == 0 {
+            return Err(crate::config::ConfigError::ZeroUnits);
+        }
+        self.unit_count = count;
+        Ok(self)
     }
 
     /// Sets the per-cabinet battery parameters.

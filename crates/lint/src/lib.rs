@@ -292,11 +292,17 @@ impl Config {
         .collect();
         let mut panic_surface_dirs = physics_dirs.clone();
         panic_surface_dirs.push("crates/fleet".to_string());
+        panic_surface_dirs.push("crates/service".to_string());
         Self {
             rules: Rule::ALL.to_vec(),
             physics_dirs,
             panic_surface_dirs,
-            pool_files: vec!["crates/sim/src/pool.rs".to_string()],
+            pool_files: vec![
+                "crates/sim/src/pool.rs".to_string(),
+                // The daemon is the sanctioned owner of the service's
+                // only threads: the crash-isolated engine worker.
+                "crates/service/src/daemon.rs".to_string(),
+            ],
         }
     }
 }

@@ -1,0 +1,134 @@
+//! `insure_service` — the supervised live-service daemon.
+//!
+//! ```text
+//! insure_service --engine insure --seed 11 --replay day.csv \
+//!     --telemetry run.log --resume run.token --socket run.sock
+//! ```
+//!
+//! Runs the deterministic service core under the crash-isolated engine
+//! worker until the replay feed ends, a tick limit is reached, or a
+//! `drain` command arrives on the control socket. A SIGKILLed daemon
+//! restarted with the same flags resumes from its token and emits
+//! byte-identical telemetry from the restore point onward.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ins_service::daemon::{self, DaemonOptions};
+use ins_service::harness::ServiceSpec;
+use ins_sim::replay::ReplayFeed;
+
+const USAGE: &str = "usage: insure_service [options]
+  --engine <name>     policy engine (insure | baseline | noopt; default insure)
+  --seed <u64>        synthetic-day seed (default 11; ignored with --replay)
+  --replay <file>     replay feed CSV driving irradiance and stream offers
+  --socket <path>     Unix control socket (ping/status/offer/inject/drain)
+  --telemetry <file>  telemetry sink (default stdout; appended on resume)
+  --resume <file>     resume-token path (crash-only restart)
+  --ticks <n>         stop after n control periods
+  --pace-ms <n>       wall-clock pause per tick (for chaos testing)
+  --deadline-ms <n>   engine decision deadline (default 250)
+  --help              this text";
+
+struct Args {
+    engine: String,
+    seed: u64,
+    replay: Option<PathBuf>,
+    socket: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    ticks: Option<u64>,
+    pace: Option<Duration>,
+    deadline: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        engine: "insure".to_string(),
+        seed: 11,
+        replay: None,
+        socket: None,
+        telemetry: None,
+        resume: None,
+        ticks: None,
+        pace: None,
+        deadline: daemon::DEFAULT_DEADLINE,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--engine" => args.engine = value("--engine")?,
+            "--seed" => {
+                let raw = value("--seed")?;
+                args.seed = raw
+                    .parse()
+                    .map_err(|_| format!("bad --seed value {raw:?}"))?;
+            }
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--socket" => args.socket = Some(PathBuf::from(value("--socket")?)),
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--resume" => args.resume = Some(PathBuf::from(value("--resume")?)),
+            "--ticks" => {
+                let raw = value("--ticks")?;
+                args.ticks = Some(
+                    raw.parse()
+                        .map_err(|_| format!("bad --ticks value {raw:?}"))?,
+                );
+            }
+            "--pace-ms" => {
+                let raw = value("--pace-ms")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad --pace-ms value {raw:?}"))?;
+                args.pace = Some(Duration::from_millis(ms));
+            }
+            "--deadline-ms" => {
+                let raw = value("--deadline-ms")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms value {raw:?}"))?;
+                args.deadline = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut spec = ServiceSpec::prototype(&args.engine, args.seed);
+    if let Some(path) = &args.replay {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("could not read replay feed {path:?}: {e}"))?;
+        let feed = ReplayFeed::parse(&text).map_err(|e| format!("replay feed {path:?}: {e}"))?;
+        spec.replay = Some(feed);
+    }
+    let mut opts = DaemonOptions::new(spec);
+    opts.socket = args.socket;
+    opts.telemetry = args.telemetry;
+    opts.resume = args.resume;
+    opts.max_ticks = args.ticks;
+    opts.pace = args.pace;
+    opts.deadline = args.deadline;
+    let report = daemon::run(opts).map_err(|e| e.to_string())?;
+    eprintln!(
+        "insure_service: done after {} ticks (resumed_from={}, flushed {:.3} GB, checkpointed={})",
+        report.ticks, report.resumed_from, report.drain.flushed_gb, report.drain.checkpointed
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        if message.is_empty() {
+            println!("{USAGE}");
+            return;
+        }
+        eprintln!("insure_service: {message}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+}

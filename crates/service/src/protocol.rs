@@ -1,0 +1,203 @@
+//! The line protocol the daemon speaks over its Unix socket.
+//!
+//! One request per line, one reply per line. Replies start with `ok` or
+//! `err` followed by a space. Kept deliberately tiny and text-based so
+//! `nc -U` is a full-featured client; the command handler is pure
+//! (request + core in, reply out) so it is testable without a socket.
+//!
+//! | Command | Effect |
+//! |---|---|
+//! | `ping` | liveness probe |
+//! | `status` | engine status, tick, queue depth |
+//! | `telemetry [n]` | last `n` (default 1) telemetry lines |
+//! | `offer <stream\|batch> <gb>` | admit work through the front door |
+//! | `inject <panic\|stall>` | chaos: queue an engine fault |
+//! | `drain` | graceful drain; daemon exits afterwards |
+//! | `quit` | close this connection |
+
+use crate::harness::ServiceCore;
+use crate::supervisor::EngineFault;
+
+/// A reply line plus its control-flow consequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The reply text (single line, no trailing newline).
+    pub text: String,
+    /// `true` when the daemon should drain and exit.
+    pub shutdown: bool,
+    /// `true` when this connection should close.
+    pub close: bool,
+}
+
+impl Reply {
+    fn ok(text: impl Into<String>) -> Self {
+        Self {
+            text: format!("ok {}", text.into()),
+            shutdown: false,
+            close: false,
+        }
+    }
+
+    fn err(text: impl Into<String>) -> Self {
+        Self {
+            text: format!("err {}", text.into()),
+            shutdown: false,
+            close: false,
+        }
+    }
+}
+
+/// Handles one request line against the service core.
+pub fn handle(core: &mut ServiceCore, line: &str) -> Reply {
+    let mut parts = line.split_whitespace();
+    let Some(command) = parts.next() else {
+        return Reply::err("empty command");
+    };
+    match command {
+        "ping" => Reply::ok("pong"),
+        "status" => {
+            let counters = core.supervisor_counters();
+            Reply::ok(format!(
+                "engine={} status={} tick={} queued_gb={:.3} queued={} \
+                 safe_periods={} restarts={} drained={}",
+                core.spec().engine,
+                core.engine_status().label(),
+                core.ticks(),
+                core.admission().queued_gb(),
+                core.admission().queued_requests(),
+                counters.safe_periods,
+                counters.restarts,
+                core.drained(),
+            ))
+        }
+        "telemetry" => {
+            let n = match parts.next() {
+                None => 1,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => return Reply::err(format!("bad count {raw:?}")),
+                },
+            };
+            let lines = core.telemetry();
+            let start = lines.len().saturating_sub(n);
+            if lines.is_empty() {
+                Reply::ok("no telemetry yet")
+            } else {
+                Reply::ok(lines[start..].join("\n"))
+            }
+        }
+        "offer" => {
+            let Some(class_raw) = parts.next() else {
+                return Reply::err("usage: offer <stream|batch> <gb>");
+            };
+            let Some(class) = crate::admission::WorkClass::parse(class_raw) else {
+                return Reply::err(format!("unknown work class {class_raw:?}"));
+            };
+            let Some(gb_raw) = parts.next() else {
+                return Reply::err("usage: offer <stream|batch> <gb>");
+            };
+            let Ok(gb) = gb_raw.parse::<f64>() else {
+                return Reply::err(format!("bad size {gb_raw:?}"));
+            };
+            if !gb.is_finite() || gb <= 0.0 {
+                return Reply::err("size must be finite and positive");
+            }
+            let verdict = core.offer(class, gb);
+            Reply::ok(verdict.label().to_string())
+        }
+        "inject" => match parts.next() {
+            Some("panic") => {
+                core.inject(EngineFault::Panicked);
+                Reply::ok("panic queued")
+            }
+            Some("stall") => {
+                core.inject(EngineFault::Stalled);
+                Reply::ok("stall queued")
+            }
+            other => Reply::err(format!("usage: inject <panic|stall> (got {other:?})")),
+        },
+        "drain" => {
+            let report = core.drain();
+            Reply {
+                text: format!("ok {}", report.line),
+                shutdown: true,
+                close: true,
+            }
+        }
+        "quit" => Reply {
+            text: "ok bye".to_string(),
+            shutdown: false,
+            close: true,
+        },
+        other => Reply::err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ServiceSpec;
+
+    fn core() -> ServiceCore {
+        ServiceCore::try_new(ServiceSpec::prototype("insure", 11)).unwrap()
+    }
+
+    #[test]
+    fn ping_and_unknown() {
+        let mut c = core();
+        assert_eq!(handle(&mut c, "ping").text, "ok pong");
+        assert!(handle(&mut c, "frobnicate").text.starts_with("err "));
+        assert!(handle(&mut c, "   ").text.starts_with("err "));
+    }
+
+    #[test]
+    fn status_reports_engine_and_tick() {
+        let mut c = core();
+        c.tick();
+        let reply = handle(&mut c, "status");
+        assert!(reply.text.contains("engine=insure"), "{}", reply.text);
+        assert!(reply.text.contains("tick=1"), "{}", reply.text);
+        assert!(reply.text.contains("status=running"), "{}", reply.text);
+    }
+
+    #[test]
+    fn telemetry_returns_recent_lines() {
+        let mut c = core();
+        assert_eq!(handle(&mut c, "telemetry").text, "ok no telemetry yet");
+        c.tick();
+        c.tick();
+        let reply = handle(&mut c, "telemetry 2");
+        assert!(reply.text.contains("tick=0"), "{}", reply.text);
+        assert!(reply.text.contains("tick=1"), "{}", reply.text);
+        assert!(handle(&mut c, "telemetry x").text.starts_with("err "));
+    }
+
+    #[test]
+    fn offer_validates_inputs() {
+        let mut c = core();
+        assert_eq!(handle(&mut c, "offer stream 2.0").text, "ok queued");
+        assert!(handle(&mut c, "offer carrier 2.0").text.starts_with("err "));
+        assert!(handle(&mut c, "offer stream nan").text.starts_with("err "));
+        assert!(handle(&mut c, "offer stream -1").text.starts_with("err "));
+        assert!(handle(&mut c, "offer").text.starts_with("err "));
+    }
+
+    #[test]
+    fn drain_sets_shutdown_and_is_final() {
+        let mut c = core();
+        c.tick();
+        let reply = handle(&mut c, "drain");
+        assert!(reply.shutdown);
+        assert!(reply.close);
+        assert!(reply.text.starts_with("ok drain "), "{}", reply.text);
+        assert!(c.drained());
+    }
+
+    #[test]
+    fn inject_forces_safe_mode_next_tick() {
+        let mut c = core();
+        assert_eq!(handle(&mut c, "inject panic").text, "ok panic queued");
+        c.tick();
+        assert_eq!(c.supervisor_counters().panics, 1);
+    }
+}

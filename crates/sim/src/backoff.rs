@@ -86,22 +86,38 @@ impl Backoff {
     }
 
     /// The delay the *next* failure would impose.
+    ///
+    /// Saturating: a long-lived process (a supervised service restarting
+    /// a poisoned engine for months) can push the streak and the
+    /// configured doubling cap to absurd values, and the delay must
+    /// plateau rather than overflow the shift or the multiply.
     #[must_use]
     pub fn current_backoff(&self) -> SimDuration {
         let doublings = self.consecutive_failures.min(self.max_doublings);
-        SimDuration::from_secs(self.base.as_secs() << doublings)
+        let base = self.base.as_secs();
+        let secs = if doublings >= 64 {
+            if base == 0 {
+                0
+            } else {
+                u64::MAX
+            }
+        } else {
+            base.saturating_mul(1u64 << doublings)
+        };
+        SimDuration::from_secs(secs)
     }
 
     /// Records a failed attempt at `now`: doubles the backoff (capped) or
     /// declares the operation exhausted after `max_attempts` straight
-    /// failures.
+    /// failures. The streak counter and the next-attempt instant both
+    /// saturate, so unbounded failure histories never overflow.
     pub fn record_failure(&mut self, now: SimTime) -> BackoffOutcome {
         let delay = self.current_backoff();
-        self.consecutive_failures += 1;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
         if self.consecutive_failures >= self.max_attempts {
             BackoffOutcome::Exhausted
         } else {
-            let next = now + delay;
+            let next = SimTime::from_secs(now.as_secs().saturating_add(delay.as_secs()));
             self.next_attempt = Some(next);
             BackoffOutcome::Retry { next_attempt: next }
         }

@@ -16,7 +16,9 @@
 //! * [`pool`] — deterministic scoped worker pool ([`pool::scoped_map`]),
 //! * [`log`] — typed event logs ([`log::EventLog`]),
 //! * [`fault`] — seeded, deterministic fault injection
-//!   ([`fault::FaultSchedule`], [`fault::FaultKind`]).
+//!   ([`fault::FaultSchedule`], [`fault::FaultKind`]),
+//! * [`replay`] — line-oriented input feeds for service mode
+//!   ([`replay::ReplayFeed`]).
 //!
 //! The InSURE paper (Li et al., ISCA 2015) evaluates a physical prototype
 //! by replaying recorded solar traces through a real battery array and
@@ -45,6 +47,7 @@ pub mod backoff;
 pub mod fault;
 pub mod log;
 pub mod pool;
+pub mod replay;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use ins_sim::backoff::{Backoff, BackoffOutcome};
 use ins_sim::stats::RunningStats;
 use ins_sim::time::{SimDuration, SimTime};
 use ins_sim::trace::Trace;
@@ -111,5 +112,78 @@ proptest! {
         let dur = SimDuration::from_secs(d);
         prop_assert_eq!((t + dur) - t, dur);
         prop_assert_eq!((t + dur).since(t), dur);
+    }
+
+    /// Supervised restarts accumulate unbounded attempts over a
+    /// long-lived service: the backoff delay must plateau at the doubling
+    /// cap (saturating at `u64::MAX` seconds for absurd caps) and never
+    /// overflow, shrink, or panic, no matter how long the streak runs.
+    #[test]
+    fn backoff_delay_capped_at_absurd_attempt_counts(
+        base_secs in 0u64..=1_000_000,
+        max_doublings in 0u32..=512,
+        failures in 1u32..=2_000,
+    ) {
+        let base = SimDuration::from_secs(base_secs);
+        let mut b = Backoff::new(base, max_doublings, u32::MAX);
+        let plateau = if base_secs == 0 {
+            0
+        } else if max_doublings >= 64 {
+            u64::MAX
+        } else {
+            base_secs.saturating_mul(1u64 << max_doublings)
+        };
+        let mut now = SimTime::from_secs(0);
+        let mut prev_delay = b.current_backoff();
+        for n in 0..failures {
+            match b.record_failure(now) {
+                BackoffOutcome::Retry { next_attempt } => {
+                    prop_assert!(next_attempt >= now, "gate must not precede now");
+                    prop_assert!(b.ready(next_attempt));
+                    now = next_attempt;
+                }
+                BackoffOutcome::Exhausted => {
+                    prop_assert!(false, "u32::MAX attempts never exhaust");
+                }
+            }
+            let delay = b.current_backoff();
+            prop_assert!(delay.as_secs() <= plateau, "delay above plateau");
+            prop_assert!(delay >= prev_delay, "delay shrank at failure {}", n);
+            prev_delay = delay;
+        }
+        if u64::from(failures) > u64::from(max_doublings) {
+            prop_assert_eq!(b.current_backoff().as_secs(), plateau);
+        }
+        // A success resets the streak no matter how deep it ran.
+        b.record_success();
+        prop_assert_eq!(b.consecutive_failures(), 0);
+        prop_assert_eq!(b.current_backoff(), base);
+    }
+
+    /// Exhaustion fires on exactly the `max_attempts`-th straight
+    /// failure, independent of base delay and doubling cap.
+    #[test]
+    fn backoff_exhausts_exactly_at_max_attempts(
+        base_secs in 1u64..=3_600,
+        max_doublings in 0u32..=100,
+        max_attempts in 1u32..=64,
+    ) {
+        let mut b = Backoff::new(
+            SimDuration::from_secs(base_secs),
+            max_doublings,
+            max_attempts,
+        );
+        let mut now = SimTime::from_secs(0);
+        for n in 1..=max_attempts {
+            match b.record_failure(now) {
+                BackoffOutcome::Retry { next_attempt } => {
+                    prop_assert!(n < max_attempts, "retry after the exhaustion point");
+                    now = next_attempt;
+                }
+                BackoffOutcome::Exhausted => {
+                    prop_assert_eq!(n, max_attempts, "exhausted early");
+                }
+            }
+        }
     }
 }

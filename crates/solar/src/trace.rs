@@ -25,6 +25,15 @@ pub struct SolarTrace {
 }
 
 impl SolarTrace {
+    /// Wraps an externally recorded power trace (values in watts), e.g.
+    /// a service-mode replay feed. `dt` is the nominal sampling interval
+    /// used for energy integration; interpolation between samples uses
+    /// the samples' own timestamps, so an irregular feed is fine.
+    #[must_use]
+    pub fn from_trace(trace: Trace, dt: SimDuration) -> Self {
+        Self { trace, dt }
+    }
+
     /// The underlying trace (values in watts).
     #[must_use]
     pub fn trace(&self) -> &Trace {

@@ -17,6 +17,7 @@
 //! | [`cluster`] | `ins-cluster` | servers, DVFS, VM placement |
 //! | [`workload`] | `ins-workload` | batch/stream workloads, benchmarks |
 //! | [`core`] | `ins-core` | SPM + TPM controllers, full co-simulation |
+//! | [`service`] | `ins-service` | supervised daemon: safe-mode fallback, admission, drain |
 //! | [`fleet`] | `ins-fleet` | fleet federation: routing, breakers, blackouts |
 //! | [`cost`] | `ins-cost` | every TCO analysis in the paper |
 //!
@@ -48,6 +49,7 @@ pub use ins_core as core;
 pub use ins_cost as cost;
 pub use ins_fleet as fleet;
 pub use ins_powernet as powernet;
+pub use ins_service as service;
 pub use ins_sim as sim;
 pub use ins_solar as solar;
 pub use ins_workload as workload;
