@@ -82,16 +82,19 @@ impl KibamState {
     }
 
     /// Total state of charge.
+    ///
+    /// The operands were validated at construction, so the ratio is
+    /// finite; `saturating` only absorbs float round-off at the rails.
     #[must_use]
     pub fn soc(&self) -> Soc {
-        Soc::new((self.available + self.bound) / self.capacity)
+        Soc::saturating((self.available + self.bound) / self.capacity)
     }
 
     /// Fill level of the available well — the head `h1` that terminal
     /// voltage and exhaustion depend on.
     #[must_use]
     pub fn available_fraction(&self) -> Soc {
-        Soc::new(self.available.value() / (self.c * self.capacity.value()))
+        Soc::saturating(self.available.value() / (self.c * self.capacity.value()))
     }
 
     /// Charge currently in the available well.
@@ -157,15 +160,17 @@ impl KibamState {
         let mut moved = 0.0f64;
         while remaining > 1e-12 {
             let h = remaining.min(MAX_SUBSTEP_HOURS);
-            moved += self.substep(current.value(), h);
+            moved += self.substep(current, h);
             remaining -= h;
         }
         AmpHours::new(moved)
     }
 
     /// One forward-Euler sub-step; returns charge moved (signed like the
-    /// current: positive when discharging).
-    fn substep(&mut self, current: f64, dt_h: f64) -> f64 {
+    /// current: positive when discharging). Takes the dimensioned
+    /// current so raw amperes never cross a function boundary.
+    fn substep(&mut self, current: Amps, dt_h: f64) -> f64 {
+        let current = current.value();
         let cap = self.capacity.value();
         let (avail_cap, bound_cap) = (self.c * cap, (1.0 - self.c) * cap);
         let h1 = self.available.value() / avail_cap;

@@ -96,8 +96,8 @@ impl InsureConfig {
         Self {
             control_period: SimDuration::from_minutes(1),
             screening_interval: SimDuration::from_hours(1),
-            charge_target_soc: Soc::new(0.90),
-            soc_low_threshold: Soc::new(0.30),
+            charge_target_soc: Soc::saturating(0.90),
+            soc_low_threshold: Soc::saturating(0.30),
             discharge_current_cap: Amps::new(17.5),
             peak_charge_power: Watts::new(230.0),
             lifetime_discharge: AmpHours::new(250.0 * 35.0),

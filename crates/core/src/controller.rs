@@ -472,9 +472,9 @@ impl BaselineController {
     pub fn new() -> Self {
         Self {
             watts_per_machine: 360.0,
-            protection_soc: Soc::new(0.25),
+            protection_soc: Soc::saturating(0.25),
             locked_out: false,
-            release_soc: Soc::new(0.60),
+            release_soc: Soc::saturating(0.60),
         }
     }
 }

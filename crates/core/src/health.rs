@@ -59,7 +59,7 @@ impl HealthConfig {
     pub fn prototype() -> Self {
         Self {
             collapse_fraction: 0.5,
-            min_plausible_soc: Soc::new(0.15),
+            min_plausible_soc: Soc::saturating(0.15),
             stale_limit: SimDuration::from_minutes(5),
             quarantine_strikes: 3,
             release_streak: 30,

@@ -1086,7 +1086,7 @@ impl SystemBuilder {
             controller,
             unit_params: BatteryParams::cabinet_24v(),
             unit_count: 3,
-            initial_soc: Soc::new(0.6),
+            initial_soc: Soc::saturating(0.6),
             rack: Rack::prototype(),
             workload: WorkloadModel::seismic(),
             control_period: SimDuration::from_minutes(1),
@@ -1192,6 +1192,13 @@ impl SystemBuilder {
     }
 
     /// Assembles the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured battery parameters fail
+    /// [`BatteryParams::validate`] — the builder accepts arbitrary
+    /// parameter sets, so validation happens here, once, before any
+    /// unit is constructed.
     #[must_use]
     pub fn build(self) -> InSituSystem {
         let units: Vec<BatteryUnit> = (0..self.unit_count)

@@ -5,12 +5,19 @@
 //! new rule can land with its pre-existing debt acknowledged while
 //! still failing the build on anything new.
 //!
-//! A fingerprint is `rule|path|hash-of-trimmed-line-text`, so it
-//! survives the finding's line *moving* (edits above it) but not the
-//! offending line itself changing — touching a baselined line forfeits
-//! its grandfathering, which is exactly the nudge incremental adoption
-//! wants. Matching is multiset semantics: a fingerprint listed once
-//! excuses one finding; duplicates excuse duplicates.
+//! A fingerprint is `rule|path|hash-of-trimmed-line-text|hash-of-
+//! message`, so it survives the finding's line *moving* (edits above
+//! it) but not the offending line itself changing — touching a
+//! baselined line forfeits its grandfathering, which is exactly the
+//! nudge incremental adoption wants. The message hash ties the entry
+//! to the *finding's identity*, not just the line text: an entry
+//! cannot silently start excusing a different rule hit that happens to
+//! sit on an identical line. Matching is multiset semantics: a
+//! fingerprint listed once excuses one finding; duplicates excuse
+//! duplicates. Allowances left unconsumed at the end of a run are
+//! *stale* and are reported via [`Baseline::leftover`] instead of
+//! being silently ignored — baselines cannot rot any more than inline
+//! markers can.
 
 use std::collections::BTreeMap;
 
@@ -28,14 +35,17 @@ pub fn fnv1a(text: &str) -> u64 {
 }
 
 /// The stable fingerprint of one finding, given the text of the line it
-/// sits on.
+/// sits on: rule, path, trimmed-line hash, and message hash (the
+/// finding's identity — two different findings on byte-identical lines
+/// fingerprint differently when their messages differ).
 #[must_use]
 pub fn fingerprint(finding: &Finding, line_text: &str) -> String {
     format!(
-        "{}|{}|{:016x}",
+        "{}|{}|{:016x}|{:016x}",
         finding.rule.id(),
         finding.path.replace('\\', "/"),
-        fnv1a(line_text.trim())
+        fnv1a(line_text.trim()),
+        fnv1a(&finding.message)
     )
 }
 
@@ -83,6 +93,18 @@ impl Baseline {
             _ => false,
         }
     }
+
+    /// Fingerprints with unconsumed allowances, in sorted order with
+    /// their remaining counts — stale entries the caller should report
+    /// (the L010 contract extended to baselines).
+    #[must_use]
+    pub fn leftover(&self) -> Vec<(&str, usize)> {
+        self.counts
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|(fp, &n)| (fp.as_str(), n))
+            .collect()
+    }
 }
 
 /// Renders fingerprints as committable baseline text (sorted, with a
@@ -93,8 +115,9 @@ pub fn render(fingerprints: &[String]) -> String {
     sorted.sort();
     let mut out = String::from(
         "# ins-lint baseline: acknowledged pre-existing findings.\n\
-         # Format: <rule>|<path>|<fnv1a of the trimmed offending line>.\n\
-         # Regenerate with `ins-lint --write-baseline <file> <paths>`.\n",
+         # Format: <rule>|<path>|<fnv1a of trimmed line>|<fnv1a of message>.\n\
+         # Entries that stop matching are reported stale (L010); regenerate\n\
+         # with `ins-lint --write-baseline <file> <paths>`.\n",
     );
     for fp in sorted {
         out.push_str(fp);
@@ -109,12 +132,12 @@ mod tests {
     use crate::Rule;
 
     fn finding() -> Finding {
-        Finding {
-            path: "crates/core/src/spm.rs".to_string(),
-            line: 42,
-            rule: Rule::OrderingDeterminism,
-            message: "whatever".to_string(),
-        }
+        Finding::new(
+            "crates/core/src/spm.rs".to_string(),
+            42,
+            Rule::OrderingDeterminism,
+            "whatever".to_string(),
+        )
     }
 
     #[test]
@@ -124,6 +147,30 @@ mod tests {
         moved.line = 99;
         assert_eq!(a, fingerprint(&moved, "x.partial_cmp(&y).unwrap()"));
         assert_ne!(a, fingerprint(&finding(), "x.partial_cmp(&z).unwrap()"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_findings_on_identical_lines() {
+        let a = fingerprint(&finding(), "let x = m.get(k);");
+        let mut other = finding();
+        other.message = "a different defect entirely".to_string();
+        assert_ne!(
+            a,
+            fingerprint(&other, "let x = m.get(k);"),
+            "same line text, different finding identity"
+        );
+    }
+
+    #[test]
+    fn leftover_reports_unconsumed_allowances() {
+        let fp = fingerprint(&finding(), "x");
+        let text = format!("{fp}\n{fp}\n");
+        let mut baseline = Baseline::parse(&text);
+        assert!(baseline.take(&fp));
+        let left = baseline.leftover();
+        assert_eq!(left, vec![(fp.as_str(), 1)]);
+        assert!(baseline.take(&fp));
+        assert!(baseline.leftover().is_empty());
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! The incremental analysis cache: per-file findings keyed by FNV
+//! content digests, so warm runs only re-analyze what changed.
+//!
+//! Two digests guard every file:
+//!
+//! * the **content digest** — FNV-1a over the file's bytes; a match
+//!   lets the engine reuse the file's *token-pass* findings;
+//! * the **closure digest** — FNV-1a over the sorted `(path, content
+//!   digest)` pairs of every file the call graph can reach from this
+//!   one (including itself); a match lets the engine reuse the file's
+//!   *graph-pass* findings, because an interprocedural finding rooted
+//!   here can only change if some file in that transitive closure
+//!   changed.
+//!
+//! The cache stores **raw** findings — pre-suppression, pre-rule-filter
+//! — so the suppression/L010 protocol and the `--rules` filter run
+//! identically on cached and fresh results: cold and warm runs are
+//! byte-identical by construction (pinned by a property test and the
+//! CI cold/warm diff).
+//!
+//! Invalidation rules:
+//!
+//! * file content changed → that file's token and graph findings are
+//!   recomputed, and every file whose closure contains it recomputes
+//!   its graph findings;
+//! * the file set changed (file added/removed) → closures change where
+//!   it matters, invalidating exactly the affected files;
+//! * the configuration changed (any scope list) or the cache format
+//!   version changed → the whole cache is discarded;
+//! * a corrupt or unreadable cache file → discarded, never an error.
+//!
+//! The on-disk format is a line-oriented tab-separated text file
+//! (`target/ins-lint-cache.tsv` by default) — inspectable with plain
+//! shell tools and cheap to parse with no serializer dependency.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{Config, Finding, Rule, TraceHop};
+
+/// Bumped whenever the record layout or finding semantics change.
+pub const CACHE_FORMAT: &str = "ins-lint-cache-v1";
+
+/// FNV-1a over raw bytes (the string variant lives in
+/// [`crate::baseline::fnv1a`]).
+#[must_use]
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of the analyzer configuration's *scoping* fields. The
+/// `rules` filter is deliberately excluded: filtering happens after
+/// the cache layer (raw findings are cached), so toggling rules must
+/// not invalidate the cache.
+#[must_use]
+pub fn config_fingerprint(config: &Config) -> u64 {
+    let mut text = String::from(CACHE_FORMAT);
+    for (tag, list) in [
+        ("physics", &config.physics_dirs),
+        ("panic", &config.panic_surface_dirs),
+        ("pool", &config.pool_files),
+        ("critical", &config.critical_files),
+        ("serial", &config.serialization_roots),
+    ] {
+        text.push('\x1e');
+        text.push_str(tag);
+        for item in list {
+            text.push('\x1f');
+            text.push_str(item);
+        }
+    }
+    fnv1a_bytes(text.as_bytes())
+}
+
+/// Cached state for one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// FNV-1a of the file's bytes.
+    pub digest: u64,
+    /// FNV-1a over the sorted `(path, digest)` pairs of the file's
+    /// call-graph closure.
+    pub closure: u64,
+    /// Raw token-pass findings (pre-suppression).
+    pub token_findings: Vec<Finding>,
+    /// Raw graph-pass findings rooted in this file (pre-suppression).
+    pub graph_findings: Vec<Finding>,
+}
+
+/// The whole cache: one entry per analyzed file.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// The configuration fingerprint the entries were computed under.
+    pub fingerprint: u64,
+    /// Entries by file path.
+    pub files: BTreeMap<String, CacheEntry>,
+}
+
+impl Cache {
+    /// An empty cache for the given configuration.
+    #[must_use]
+    pub fn new(fingerprint: u64) -> Self {
+        Self {
+            fingerprint,
+            files: BTreeMap::new(),
+        }
+    }
+
+    /// Loads the cache from `path`. Any mismatch — missing file, wrong
+    /// format version, different config fingerprint, corrupt record —
+    /// yields an empty cache rather than an error: the cache is an
+    /// optimization, never a correctness dependency.
+    #[must_use]
+    pub fn load(path: &Path, fingerprint: u64) -> Self {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Self::new(fingerprint);
+        };
+        Self::parse(&text, fingerprint).unwrap_or_else(|| Self::new(fingerprint))
+    }
+
+    /// Writes the cache to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        fs::write(path, self.render())
+    }
+
+    /// Serializes to the line-oriented text format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{CACHE_FORMAT}\t{:016x}\n", self.fingerprint);
+        for (path, entry) in &self.files {
+            out.push_str(&format!(
+                "file\t{}\t{:016x}\t{:016x}\n",
+                escape(path),
+                entry.digest,
+                entry.closure
+            ));
+            for (tag, findings) in [
+                ("tok", &entry.token_findings),
+                ("gra", &entry.graph_findings),
+            ] {
+                for f in findings {
+                    out.push_str(&render_finding(tag, f));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format; `None` on any mismatch or corruption.
+    #[must_use]
+    pub fn parse(text: &str, fingerprint: u64) -> Option<Self> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let (format, fp_hex) = header.split_once('\t')?;
+        if format != CACHE_FORMAT || u64::from_str_radix(fp_hex, 16).ok()? != fingerprint {
+            return None;
+        }
+        let mut cache = Self::new(fingerprint);
+        let mut current: Option<String> = None;
+        for line in lines {
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields.as_slice() {
+                ["file", path, digest, closure] => {
+                    let path = unescape(path)?;
+                    cache.files.insert(
+                        path.clone(),
+                        CacheEntry {
+                            digest: u64::from_str_radix(digest, 16).ok()?,
+                            closure: u64::from_str_radix(closure, 16).ok()?,
+                            token_findings: Vec::new(),
+                            graph_findings: Vec::new(),
+                        },
+                    );
+                    current = Some(path);
+                }
+                [tag @ ("tok" | "gra"), path, line_no, rule, message, trace] => {
+                    let owner = current.as_ref()?;
+                    let finding = Finding {
+                        path: unescape(path)?,
+                        line: line_no.parse().ok()?,
+                        rule: Rule::from_id(rule)?,
+                        message: unescape(message)?,
+                        trace: parse_trace(trace)?,
+                    };
+                    let entry = cache.files.get_mut(owner)?;
+                    if *tag == "tok" {
+                        entry.token_findings.push(finding);
+                    } else {
+                        entry.graph_findings.push(finding);
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(cache)
+    }
+}
+
+fn render_finding(tag: &str, f: &Finding) -> String {
+    let trace: Vec<String> = f
+        .trace
+        .iter()
+        .map(|h| format!("{}\x1f{}\x1f{}", escape(&h.path), h.line, escape(&h.note)))
+        .collect();
+    format!(
+        "{tag}\t{}\t{}\t{}\t{}\t{}\n",
+        escape(&f.path),
+        f.line,
+        f.rule.id(),
+        escape(&f.message),
+        trace.join("\x1e")
+    )
+}
+
+fn parse_trace(field: &str) -> Option<Vec<TraceHop>> {
+    if field.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut hops = Vec::new();
+    for hop in field.split('\x1e') {
+        let parts: Vec<&str> = hop.split('\x1f').collect();
+        let [path, line, note] = parts.as_slice() else {
+            return None;
+        };
+        hops.push(TraceHop {
+            path: unescape(path)?,
+            line: line.parse().ok()?,
+            note: unescape(note)?,
+        });
+    }
+    Some(hops)
+}
+
+/// Escapes tabs, newlines and backslashes so any value survives the
+/// line/tab-delimited format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// The closure digest for one file: FNV-1a over its `(path, digest)`
+/// closure pairs, which the caller must supply pre-sorted by path.
+#[must_use]
+pub fn closure_digest(pairs: &[(&str, u64)]) -> u64 {
+    let mut text = String::new();
+    for (path, digest) in pairs {
+        text.push_str(path);
+        text.push('\x1f');
+        text.push_str(&format!("{digest:016x}"));
+        text.push('\x1e');
+    }
+    fnv1a_bytes(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cache() -> Cache {
+        let mut cache = Cache::new(42);
+        let mut finding = Finding::new(
+            "crates/core/src/a.rs".to_string(),
+            3,
+            Rule::TransitivePanic,
+            "tricky\tmessage\nwith newline".to_string(),
+        );
+        finding.trace.push(TraceHop {
+            path: "crates/core/src/b.rs".to_string(),
+            line: 7,
+            note: "calls `x`".to_string(),
+        });
+        cache.files.insert(
+            "crates/core/src/a.rs".to_string(),
+            CacheEntry {
+                digest: 0xdead_beef,
+                closure: 0xfeed_f00d,
+                token_findings: vec![Finding::new(
+                    "crates/core/src/a.rs".to_string(),
+                    1,
+                    Rule::UnwrapInProduction,
+                    "`.unwrap()` call".to_string(),
+                )],
+                graph_findings: vec![finding],
+            },
+        );
+        cache
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let cache = sample_cache();
+        let text = cache.render();
+        let back = Cache::parse(&text, 42).expect("parses");
+        assert_eq!(back.files, cache.files);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards() {
+        let text = sample_cache().render();
+        assert!(Cache::parse(&text, 43).is_none());
+    }
+
+    #[test]
+    fn corrupt_record_discards() {
+        let mut text = sample_cache().render();
+        text.push_str("garbage line\n");
+        assert!(Cache::parse(&text, 42).is_none());
+    }
+
+    #[test]
+    fn config_fingerprint_ignores_rule_filter_but_not_scope() {
+        let base = Config::default_workspace();
+        let mut rules_off = base.clone();
+        rules_off.rules = vec![Rule::UnwrapInProduction];
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&rules_off),
+            "rule filtering is post-cache"
+        );
+        let mut scoped = base.clone();
+        scoped.critical_files.push("crates/x/src/y.rs".to_string());
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&scoped));
+    }
+
+    #[test]
+    fn closure_digest_tracks_content_and_membership() {
+        let a = closure_digest(&[("a.rs", 1), ("b.rs", 2)]);
+        let content_changed = closure_digest(&[("a.rs", 1), ("b.rs", 3)]);
+        let member_added = closure_digest(&[("a.rs", 1), ("b.rs", 2), ("c.rs", 9)]);
+        assert_ne!(a, content_changed);
+        assert_ne!(a, member_added);
+    }
+
+    #[test]
+    fn fnv1a_bytes_matches_known_vectors() {
+        assert_eq!(fnv1a_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

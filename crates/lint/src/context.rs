@@ -243,6 +243,33 @@ impl<'a> FileContext<'a> {
         }
     }
 
+    /// For an opening bracket at significant index `open` (`(`, `[` or
+    /// `{`), returns the significant index of its matching close.
+    #[must_use]
+    pub fn find_matching(&self, open: usize) -> Option<usize> {
+        let (o, c) = match self.sig_text(open) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return None,
+        };
+        let mut depth = 0i64;
+        let mut j = open;
+        while let Some(t) = self.sig_token(j) {
+            let text = self.text(t);
+            if text == o {
+                depth += 1;
+            } else if text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
     /// Parses `ins-lint: allow(...)` markers out of non-doc comments.
     fn compute_suppressions(&self) -> Vec<Suppression> {
         const MARKER: &str = "ins-lint: allow(";

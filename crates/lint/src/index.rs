@@ -18,6 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::context::FileContext;
+use crate::parser::ParsedFile;
 
 /// Whether a quantity newtype carries a physical dimension.
 ///
@@ -37,6 +38,10 @@ pub struct SymbolIndex {
     unit_types: BTreeMap<String, Dimension>,
     /// `pub fn` name → set of files (normalized paths) defining it.
     pub pub_fns: BTreeMap<String, BTreeSet<String>>,
+    /// Per file: `use` imports as `(alias, full path segments)`, with
+    /// `ins_*` lib names canonicalized to workspace crate names. The
+    /// call-graph resolver consults this table.
+    uses: BTreeMap<String, Vec<(String, Vec<String>)>>,
 }
 
 impl SymbolIndex {
@@ -87,6 +92,33 @@ impl SymbolIndex {
             self.scan_unit_types(ctx);
         }
         self.scan_pub_fns(ctx);
+    }
+
+    /// Folds one file's parse — currently its `use` imports — into the
+    /// index. Path heads written as lib names (`ins_battery`) are
+    /// canonicalized to the workspace crate names the parser derives
+    /// from file paths (`battery`), so resolution compares like with
+    /// like.
+    pub fn add_parsed(&mut self, parsed: &ParsedFile) {
+        let entry = self.uses.entry(parsed.path.clone()).or_default();
+        for u in &parsed.uses {
+            let path: Vec<String> = u
+                .path
+                .iter()
+                .map(|s| canonical_head(s).to_string())
+                .collect();
+            entry.push((u.alias.clone(), path));
+        }
+    }
+
+    /// The full path a `use` alias refers to in `file`, if imported.
+    #[must_use]
+    pub fn lookup_use(&self, file: &str, alias: &str) -> Option<&[String]> {
+        self.uses
+            .get(file)?
+            .iter()
+            .find(|(a, _)| a == alias)
+            .map(|(_, p)| p.as_slice())
     }
 
     /// `quantity!(... Name, "unit")` invocations and transparent
@@ -183,6 +215,12 @@ fn skip_attribute(ctx: &FileContext<'_>, i: usize) -> Option<usize> {
         j += 1;
     }
     None
+}
+
+/// Maps a path head as written in source (`ins_battery`) to the
+/// workspace crate name derived from file paths (`battery`).
+pub(crate) fn canonical_head(seg: &str) -> &str {
+    seg.strip_prefix("ins_").unwrap_or(seg)
 }
 
 /// A CamelCase type name: starts with an uppercase ASCII letter.

@@ -1,14 +1,21 @@
-//! Token-stream static analysis for the InSURE workspace.
+//! Static analysis for the InSURE workspace: token-stream rules plus
+//! interprocedural call-graph passes.
 //!
 //! A deliberately dependency-free analyzer built on a real Rust lexer
 //! ([`lexer`]): every file becomes a token stream (comments, string and
 //! raw-string literals, char literals and lifetimes are single tokens
 //! with exact byte spans), wrapped in a [`context::FileContext`] that
 //! adds line mapping, token-level `#[cfg(test)]` / `#[test]` /
-//! `mod tests` region tracking and suppression parsing. A lightweight
-//! cross-file [`index::SymbolIndex`] contributes the workspace's unit
-//! newtype catalog. Rules are passes over that context, registered in
-//! [`rules::passes`]:
+//! `mod tests` region tracking and suppression parsing. On top of the
+//! token stream sits a recursive-descent item parser ([`parser`]) whose
+//! item spans tile the file byte-exactly, and a workspace
+//! [`callgraph::CallGraph`] with deterministic adjacency ordering. A
+//! lightweight cross-file [`index::SymbolIndex`] contributes the
+//! workspace's unit newtype catalog and `use`-import tracking.
+//!
+//! Rules are [`rules::Pass`] implementations registered in
+//! [`rules::passes`]; interprocedural rules are
+//! [`rules::graph::GraphPass`]es over the call graph:
 //!
 //! | Rule | Checks |
 //! |------|--------|
@@ -22,6 +29,9 @@
 //! | L008 | unit flow: raw `.value()` extractions crossing dimension boundaries, truncating casts off typed quantities |
 //! | L009 | panic surface in production physics/fleet code: panicking macros, arithmetic indexing, narrowing casts |
 //! | L010 | stale suppressions: `ins-lint: allow(...)` markers that no longer suppress anything |
+//! | L011 | transitive panic reachability: a panic-surface `pub fn` (or any fn in a critical file) from which a panicking token is reachable through non-test calls — the finding carries the full call path |
+//! | L012 | determinism taint: serialization/telemetry roots transitively reaching nondeterminism sources or unordered-collection iteration |
+//! | L013 | interprocedural unit flow: a raw `f64` returned by one fn feeding a quantity-named parameter in another crate |
 //!
 //! A finding on any line can be suppressed with an inline comment on the
 //! same line or the line directly above:
@@ -32,39 +42,50 @@
 //!
 //! Markers in doc comments are documentation, never suppressions, and a
 //! marker that stops matching any finding becomes an L010 error itself —
-//! suppressions cannot rot silently. L010 cannot be suppressed.
+//! suppressions cannot rot silently. L010 cannot be suppressed. Baseline
+//! entries ([`baseline`]) follow the same contract: an entry that no
+//! longer matches any finding is reported stale instead of being
+//! silently ignored.
 //!
 //! Test code (a `#[cfg(test)]` / `#[test]` region, a `mod tests` block
 //! even without the attribute, or any file under a `tests/` directory)
 //! is exempt from the production-only rules (L002, L004, L007, L008,
 //! L009): tests intentionally unwrap and compare exactly-constructed
-//! values.
+//! values. Call-graph edges into test code are likewise never followed
+//! by the interprocedural passes.
 //!
 //! The crate doubles as a library so rules can be unit-tested against
 //! fixture snippets, and as a binary (`cargo run -p ins-lint -- <paths>`)
 //! that exits non-zero when unsuppressed findings remain. Reports come
 //! in plain text, JSON ([`report_json`]) and SARIF 2.1.0
-//! ([`sarif::report_sarif`]) for CI annotations; [`baseline`] supports
-//! incremental adoption.
+//! ([`sarif::report_sarif`], with call paths as `codeFlows`) for CI
+//! annotations; [`baseline`] supports incremental adoption and
+//! [`cache`] makes warm re-runs incremental (per-file findings keyed by
+//! content digest, graph passes re-run only on the dirty transitive
+//! closure).
 
 pub mod baseline;
+pub mod cache;
+pub mod callgraph;
 pub mod context;
+pub mod engine;
 pub mod index;
 pub mod lexer;
+pub mod parser;
+pub mod report;
 pub mod rules;
 pub mod sarif;
 
 use std::fmt;
-use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
 
-use context::FileContext;
-use index::SymbolIndex;
-use rules::RuleCtx;
+pub use engine::{
+    analyze_paths, analyze_paths_cached, analyze_source, analyze_sources, collect_rust_files,
+};
+pub(crate) use report::escape_json;
+pub use report::report_json;
 
 /// The rule catalog.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// Raw `f64` physical-quantity parameter in a public signature.
     UntypedQuantity,
@@ -86,6 +107,15 @@ pub enum Rule {
     PanicSurface,
     /// A suppression marker that no longer suppresses anything.
     StaleSuppression,
+    /// A panic-surface root from which a panicking token is reachable
+    /// through the call graph.
+    TransitivePanic,
+    /// A serialization root transitively reaching a nondeterminism
+    /// source.
+    DeterminismTaint,
+    /// A raw `f64` return value feeding a quantity-named parameter in
+    /// another crate.
+    CrossUnitFlow,
 }
 
 /// How severe a rule violation is, for report levels (every unsuppressed
@@ -101,7 +131,7 @@ pub enum Severity {
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 13] = [
         Rule::UntypedQuantity,
         Rule::UnwrapInProduction,
         Rule::Nondeterminism,
@@ -112,9 +142,12 @@ impl Rule {
         Rule::UnitFlow,
         Rule::PanicSurface,
         Rule::StaleSuppression,
+        Rule::TransitivePanic,
+        Rule::DeterminismTaint,
+        Rule::CrossUnitFlow,
     ];
 
-    /// The stable rule id (`L001`…`L010`).
+    /// The stable rule id (`L001`…`L013`).
     #[must_use]
     pub const fn id(self) -> &'static str {
         match self {
@@ -128,6 +161,9 @@ impl Rule {
             Rule::UnitFlow => "L008",
             Rule::PanicSurface => "L009",
             Rule::StaleSuppression => "L010",
+            Rule::TransitivePanic => "L011",
+            Rule::DeterminismTaint => "L012",
+            Rule::CrossUnitFlow => "L013",
         }
     }
 
@@ -173,6 +209,18 @@ impl Rule {
                  use a non-panicking alternative"
             }
             Rule::StaleSuppression => "suppression marker no longer matches any finding; remove it",
+            Rule::TransitivePanic => {
+                "panic-surface entry point can reach a panicking token through its calls; \
+                 use a try_ sibling, document `# Panics`, or break the path"
+            }
+            Rule::DeterminismTaint => {
+                "serialization root transitively reaches a nondeterminism source; output \
+                 would diverge between identical runs"
+            }
+            Rule::CrossUnitFlow => {
+                "raw f64 return value crosses a crate boundary into a quantity-named \
+                 parameter; thread an ins-units newtype through instead"
+            }
         }
     }
 
@@ -180,7 +228,7 @@ impl Rule {
     #[must_use]
     pub const fn severity(self) -> Severity {
         match self {
-            Rule::UntrackedTodo | Rule::PanicSurface => Severity::Warning,
+            Rule::UntrackedTodo | Rule::PanicSurface | Rule::TransitivePanic => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -190,6 +238,17 @@ impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.id())
     }
+}
+
+/// One hop of an interprocedural call path attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHop {
+    /// Path of the file the hop lives in, as given to the analyzer.
+    pub path: String,
+    /// 1-based line number of the hop (fn definition or offending token).
+    pub line: usize,
+    /// What this hop is (`fn a`, `calls b`, `panics: .unwrap()`).
+    pub note: String,
 }
 
 /// One reported violation.
@@ -203,6 +262,23 @@ pub struct Finding {
     pub rule: Rule,
     /// Human-readable detail (includes the offending token or name).
     pub message: String,
+    /// For interprocedural rules: the call path from the root to the
+    /// offending token, in call order. Empty for token-level rules.
+    pub trace: Vec<TraceHop>,
+}
+
+impl Finding {
+    /// A token-level finding with no call path.
+    #[must_use]
+    pub fn new(path: String, line: usize, rule: Rule, message: String) -> Self {
+        Self {
+            path,
+            line,
+            rule,
+            message,
+            trace: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -214,45 +290,12 @@ impl fmt::Display for Finding {
             self.line,
             self.rule.id(),
             self.message
-        )
-    }
-}
-
-impl Finding {
-    /// The finding as one JSON object (hand-rolled; no serializer dep).
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
-            escape_json(&self.path),
-            self.line,
-            self.rule.id(),
-            escape_json(&self.message)
-        )
-    }
-}
-
-/// Renders a full report as a JSON array.
-#[must_use]
-pub fn report_json(findings: &[Finding]) -> String {
-    let items: Vec<String> = findings.iter().map(Finding::to_json).collect();
-    format!("[{}]", items.join(","))
-}
-
-pub(crate) fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+        )?;
+        for hop in &self.trace {
+            write!(f, "\n    via {}:{}: {}", hop.path, hop.line, hop.note)?;
         }
+        Ok(())
     }
-    out
 }
 
 /// Analyzer configuration.
@@ -266,13 +309,23 @@ pub struct Config {
     /// (L001/L008 only apply there — conversions and plumbing crates may
     /// legitimately traffic in raw numbers).
     pub physics_dirs: Vec<String>,
-    /// Path fragments in scope for the panic-surface rule (L009):
-    /// physics plus the fleet layer, whose routing loops must degrade,
-    /// not abort.
+    /// Path fragments in scope for the panic-surface rules (L009/L011):
+    /// physics plus the fleet and service layers, whose loops must
+    /// degrade, not abort.
     pub panic_surface_dirs: Vec<String>,
     /// Path suffixes of the sanctioned thread/atomics owners, exempt
     /// from L006.
     pub pool_files: Vec<String>,
+    /// Path suffixes of *critical* files: every fn defined there (pub or
+    /// not) is an L011 root — these paths must be statically panic-free.
+    /// The service supervisor and safe-mode policy live here: the
+    /// crash-isolation claim (DESIGN.md §11) assumes the takeover path
+    /// itself cannot panic.
+    pub critical_files: Vec<String>,
+    /// Name fragments marking a `pub fn` as a serialization/telemetry
+    /// root for L012 (experiment output must be reproducible from the
+    /// seed, so nothing nondeterministic may feed it).
+    pub serialization_roots: Vec<String>,
 }
 
 impl Config {
@@ -303,6 +356,18 @@ impl Config {
                 // only threads: the crash-isolated engine worker.
                 "crates/service/src/daemon.rs".to_string(),
             ],
+            critical_files: vec![
+                "crates/service/src/supervisor.rs".to_string(),
+                "crates/service/src/safe_mode.rs".to_string(),
+            ],
+            serialization_roots: vec![
+                "json".to_string(),
+                "csv".to_string(),
+                "sarif".to_string(),
+                "telemetry".to_string(),
+                "serialize".to_string(),
+                "export".to_string(),
+            ],
         }
     }
 }
@@ -313,578 +378,9 @@ impl Default for Config {
     }
 }
 
-// ---------------------------------------------------------------------
-// Engine
-// ---------------------------------------------------------------------
-
-/// Runs every registered pass over one file and applies the suppression
-/// protocol:
-///
-/// 1. all passes run, regardless of which rules are enabled (stale-
-///    suppression accounting must see the full raw finding set);
-/// 2. a marker on line *n* suppresses matching findings on lines *n*
-///    and *n + 1*, and is recorded as *used*;
-/// 3. every `allow(Lxxx)` entry that suppressed nothing becomes an L010
-///    finding at the marker's line — L010 itself cannot be suppressed;
-/// 4. findings are filtered to the enabled rules and sorted by
-///    (line, rule id).
-fn analyze_context(file: &FileContext<'_>, index: &SymbolIndex, config: &Config) -> Vec<Finding> {
-    let ctx = RuleCtx {
-        file,
-        index,
-        config,
-    };
-    let mut findings = Vec::new();
-    for (_, pass) in rules::passes() {
-        pass(&ctx, &mut findings);
-    }
-
-    let mut used: Vec<Vec<bool>> = file
-        .suppressions
-        .iter()
-        .map(|s| vec![false; s.rules.len()])
-        .collect();
-    findings.retain(|f| {
-        let mut suppressed = false;
-        for (si, s) in file.suppressions.iter().enumerate() {
-            if f.line != s.line && f.line != s.line + 1 {
-                continue;
-            }
-            for (ri, r) in s.rules.iter().enumerate() {
-                if *r == f.rule {
-                    used[si][ri] = true;
-                    suppressed = true;
-                }
-            }
-        }
-        !suppressed
-    });
-    for (si, s) in file.suppressions.iter().enumerate() {
-        for (ri, r) in s.rules.iter().enumerate() {
-            if !used[si][ri] {
-                findings.push(Finding {
-                    path: file.path.clone(),
-                    line: s.line,
-                    rule: Rule::StaleSuppression,
-                    message: format!(
-                        "`allow({})` no longer matches any finding on this or the next \
-                         line; remove the marker",
-                        r.id()
-                    ),
-                });
-            }
-        }
-    }
-
-    findings.retain(|f| config.rules.contains(&f.rule));
-    findings.sort_by_key(|f| (f.line, f.rule.id()));
-    findings
-}
-
-/// Analyzes one source text as if it lived at `path`, returning the
-/// unsuppressed findings sorted by line.
-///
-/// Single-source analyses never see the units crate, so the symbol
-/// index is seeded with the workspace's built-in quantity catalog
-/// before folding in the file itself.
-#[must_use]
-pub fn analyze_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
-    let file = FileContext::new(path, src);
-    let mut index = SymbolIndex::with_builtin_units();
-    index.add_file(&file);
-    analyze_context(&file, &index, config)
-}
-
-/// Recursively collects `.rs` files under each path (files pass through).
-///
-/// # Errors
-///
-/// Propagates filesystem errors from directory walks.
-pub fn collect_rust_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
-    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-        let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
-            .collect::<io::Result<Vec<_>>>()?
-            .into_iter()
-            .map(|e| e.path())
-            .collect();
-        entries.sort();
-        for entry in entries {
-            let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if entry.is_dir() {
-                if name == "target" || name.starts_with('.') {
-                    continue;
-                }
-                walk(&entry, out)?;
-            } else if name.ends_with(".rs") {
-                out.push(entry);
-            }
-        }
-        Ok(())
-    }
-    let mut files = Vec::new();
-    for root in roots {
-        if root.is_dir() {
-            walk(root, &mut files)?;
-        } else if root.extension().is_some_and(|e| e == "rs") {
-            files.push(root.clone());
-        }
-    }
-    Ok(files)
-}
-
-/// Analyzes every `.rs` file under the given roots in two phases: first
-/// build the cross-file symbol index over the whole path set, then run
-/// the passes per file against it. Output order is fully deterministic:
-/// files sorted by path, findings by (path, line, rule id).
-///
-/// # Errors
-///
-/// Propagates filesystem errors (unreadable file or directory).
-pub fn analyze_paths(roots: &[PathBuf], config: &Config) -> io::Result<Vec<Finding>> {
-    let mut sources: Vec<(String, String)> = Vec::new();
-    for file in collect_rust_files(roots)? {
-        let src = fs::read_to_string(&file)?;
-        sources.push((file.to_string_lossy().into_owned(), src));
-    }
-    let contexts: Vec<FileContext<'_>> = sources
-        .iter()
-        .map(|(path, src)| FileContext::new(path, src))
-        .collect();
-    let mut index = SymbolIndex::with_builtin_units();
-    for ctx in &contexts {
-        index.add_file(ctx);
-    }
-    let mut findings = Vec::new();
-    for ctx in &contexts {
-        findings.extend(analyze_context(ctx, &index, config));
-    }
-    findings.sort_by(|a, b| (&a.path, a.line, a.rule.id()).cmp(&(&b.path, b.line, b.rule.id())));
-    Ok(findings)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn run(path: &str, src: &str) -> Vec<Finding> {
-        analyze_source(path, src, &Config::default_workspace())
-    }
-
-    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
-        findings.iter().map(|f| f.rule).collect()
-    }
-
-    #[test]
-    fn worker_pool_is_free_of_nondeterminism() {
-        // The parallel sweep layer's whole contract is bit-identical
-        // output at any thread count, so its internals must never touch
-        // the banned wall-clock / OS-randomness APIs (L003). Analyze the
-        // actual source shipped in `ins-sim`.
-        let src = include_str!("../../sim/src/pool.rs");
-        let findings = run("crates/sim/src/pool.rs", src);
-        let nondet: Vec<&Finding> = findings
-            .iter()
-            .filter(|f| f.rule == Rule::Nondeterminism)
-            .collect();
-        assert!(
-            nondet.is_empty(),
-            "pool.rs must stay deterministic, found: {nondet:?}"
-        );
-        // The pool is the one sanctioned owner of threads and atomics.
-        let parallel: Vec<&Finding> = findings
-            .iter()
-            .filter(|f| f.rule == Rule::ParallelSafety)
-            .collect();
-        assert!(parallel.is_empty(), "pool.rs is L006-exempt: {parallel:?}");
-    }
-
-    #[test]
-    fn l001_fires_on_untyped_quantity_param() {
-        let src = "pub fn set_power(power: f64) {}\n";
-        let findings = run("crates/battery/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::UntypedQuantity]);
-        assert_eq!(findings[0].line, 1);
-        assert!(findings[0].message.contains("power"));
-    }
-
-    #[test]
-    fn l001_fires_on_suffixed_names_and_multiline_signatures() {
-        let src = "pub fn charge(\n    limit_a: f64,\n    hours: f64,\n) {}\n";
-        let findings = run("crates/powernet/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::UntypedQuantity]);
-        assert_eq!(findings[0].line, 2, "finding points at the parameter");
-    }
-
-    #[test]
-    fn l001_ignores_typed_params_private_fns_and_other_crates() {
-        // Typed quantity: fine.
-        assert!(run("crates/battery/src/x.rs", "pub fn f(power: Watts) {}\n").is_empty());
-        // Private fn: fine.
-        assert!(run("crates/battery/src/x.rs", "fn f(power: f64) {}\n").is_empty());
-        // Restricted visibility: not public API.
-        assert!(run(
-            "crates/battery/src/x.rs",
-            "pub(crate) fn f(power: f64) {}\n"
-        )
-        .is_empty());
-        // Non-physics crate: fine.
-        assert!(run("crates/workload/src/x.rs", "pub fn f(power: f64) {}\n").is_empty());
-        // Non-quantity name: fine.
-        assert!(run("crates/battery/src/x.rs", "pub fn f(fraction: f64) {}\n").is_empty());
-    }
-
-    #[test]
-    fn l002_fires_outside_tests_only() {
-        let src = "fn f() { x.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn g() { y.unwrap(); z.expect(\"boom\"); }\n\
-                   }\n";
-        let findings = run("crates/core/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::UnwrapInProduction]);
-        assert_eq!(findings[0].line, 1);
-    }
-
-    #[test]
-    fn l002_exempts_bare_mod_tests_without_attribute() {
-        // The classic line-scanner blind spot: a test module that forgot
-        // the `#[cfg(test)]` attribute is still test code.
-        let src = "fn f() { x.unwrap(); }\n\
-                   mod tests {\n\
-                       fn g() { y.unwrap(); }\n\
-                   }\n";
-        let findings = run("crates/core/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::UnwrapInProduction]);
-        assert_eq!(findings[0].line, 1);
-    }
-
-    #[test]
-    fn l002_exempts_tests_directories() {
-        let src = "fn f() { x.unwrap(); }\n";
-        assert!(run("tests/full_day.rs", src).is_empty());
-        assert!(run("crates/core/tests/chaos.rs", src).is_empty());
-    }
-
-    #[test]
-    fn l002_ignores_unwrap_or_variants() {
-        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }\n";
-        assert!(run("crates/core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn l003_fires_on_nondeterminism_tokens() {
-        let src = "use std::time::SystemTime;\n\
-                   fn f() { let t = Instant::now(); let r = rand::thread_rng(); }\n";
-        let findings = run("crates/sim/src/x.rs", src);
-        assert_eq!(
-            rules_of(&findings),
-            vec![
-                Rule::Nondeterminism,
-                Rule::Nondeterminism,
-                Rule::Nondeterminism
-            ]
-        );
-    }
-
-    #[test]
-    fn l003_ignores_tokens_inside_strings_and_comments() {
-        let src = "fn f() { let s = \"Instant::now\"; }\n\
-                   // the phrase SystemTime in prose is fine\n";
-        assert!(run("crates/sim/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn l003_ignores_tokens_inside_multiline_block_comments() {
-        // A rule firing inside a block comment was a latent false-
-        // positive class of the line scanner: the comment interior
-        // carried no comment marker on its own line.
-        let src = "/*\n  SystemTime and Instant::now discussed here,\n  \
-                   plus x.unwrap() examples.\n*/\nfn f() {}\n";
-        assert!(run("crates/sim/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn l004_fires_on_float_literal_comparison() {
-        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
-        let findings = run("crates/powernet/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::FloatEquality]);
-        let src = "fn f(x: f64) -> bool { 1.5 != x }\n";
-        assert_eq!(
-            rules_of(&run("crates/powernet/src/x.rs", src)),
-            vec![Rule::FloatEquality]
-        );
-    }
-
-    #[test]
-    fn l004_ignores_integer_comparison_ranges_and_tests() {
-        assert!(run("crates/core/src/x.rs", "fn f(x: u32) -> bool { x == 0 }\n").is_empty());
-        assert!(run(
-            "crates/core/src/x.rs",
-            "fn f(x: f64) -> bool { x <= 0.5 }\n"
-        )
-        .is_empty());
-        let in_test = "#[cfg(test)]\nmod tests {\n    fn f(x: f64) -> bool { x == 0.25 }\n}\n";
-        assert!(run("crates/core/src/x.rs", in_test).is_empty());
-    }
-
-    #[test]
-    fn l005_fires_on_unreferenced_markers_only() {
-        let with_ref = "// TODO(#412): tighten the envelope\n";
-        assert!(run("crates/core/src/x.rs", with_ref).is_empty());
-        let bare = "// TODO tighten the envelope\nfn f() {}\n";
-        let findings = run("crates/core/src/x.rs", bare);
-        assert_eq!(rules_of(&findings), vec![Rule::UntrackedTodo]);
-        assert_eq!(findings[0].line, 1);
-        let fixme = "// FIXME this flaps\n";
-        assert_eq!(
-            rules_of(&run("crates/core/src/x.rs", fixme)),
-            vec![Rule::UntrackedTodo]
-        );
-    }
-
-    #[test]
-    fn l006_fires_on_threads_and_shared_state_outside_pool() {
-        let src = "fn f() { std::thread::spawn(|| {}); }\n";
-        let findings = run("crates/fleet/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::ParallelSafety]);
-        assert!(findings[0].message.contains("thread::spawn"));
-
-        let src = "static mut COUNTER: u64 = 0;\n";
-        assert_eq!(
-            rules_of(&run("crates/core/src/x.rs", src)),
-            vec![Rule::ParallelSafety]
-        );
-
-        let src = "use std::sync::Mutex;\n";
-        assert_eq!(
-            rules_of(&run("crates/core/src/x.rs", src)),
-            vec![Rule::ParallelSafety]
-        );
-    }
-
-    #[test]
-    fn l006_flags_side_channel_accumulation_in_pool_closures() {
-        let src = "fn f() { let total = AtomicU64::new(0);\n\
-                   pool.scoped_map(cells, |c| { total.fetch_add(c.run(), Relaxed); });\n}\n";
-        let findings = run("crates/core/src/x.rs", src);
-        // `AtomicU64` itself plus the `.fetch_add(` side channel.
-        assert!(findings.iter().any(|f| f.message.contains("fetch_add")));
-        assert!(rules_of(&findings)
-            .iter()
-            .all(|r| *r == Rule::ParallelSafety));
-    }
-
-    #[test]
-    fn l006_exempts_the_pool_file() {
-        let src = "fn f() { std::thread::scope(|s| {}); }\n";
-        assert!(run("crates/sim/src/pool.rs", src).is_empty());
-    }
-
-    #[test]
-    fn l007_fires_on_nan_masking_comparators() {
-        let src = "fn f(v: &mut Vec<f64>) {\n\
-                   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
-        let findings = run("crates/core/src/x.rs", src);
-        // The `.unwrap()` also trips L002 — both diagnoses are real.
-        assert_eq!(
-            rules_of(&findings),
-            vec![Rule::UnwrapInProduction, Rule::OrderingDeterminism]
-        );
-        let l007 = &findings[1];
-        assert_eq!(l007.line, 2);
-        assert!(l007.message.contains("total_cmp"));
-
-        // Masking with a default is as bad as panicking: NaN sorts
-        // arbitrarily.
-        let src = "fn f(a: f64, b: f64) -> Ordering {\n\
-                   a.partial_cmp(&b).unwrap_or(Ordering::Equal)\n}\n";
-        assert_eq!(
-            rules_of(&run("crates/core/src/x.rs", src)),
-            vec![Rule::OrderingDeterminism]
-        );
-    }
-
-    #[test]
-    fn l007_fires_on_unordered_collections() {
-        let src = "use std::collections::HashMap;\n";
-        let findings = run("crates/core/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::OrderingDeterminism]);
-        assert!(findings[0].message.contains("BTreeMap"));
-    }
-
-    #[test]
-    fn l007_ignores_total_cmp_and_tests() {
-        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n";
-        assert!(run("crates/core/src/x.rs", src).is_empty());
-        let in_test = "#[cfg(test)]\nmod tests {\n    fn f(a: f64, b: f64) {\n        \
-                       a.partial_cmp(&b).unwrap();\n    }\n}\n";
-        assert!(run("crates/core/src/x.rs", in_test).is_empty());
-    }
-
-    #[test]
-    fn l008_fires_on_cross_dimension_raw_value_flow() {
-        let src = "pub fn f(dt: Hours) -> Watts {\n\
-                   Watts::new(dt.value() * 2.0)\n}\n";
-        let findings = run("crates/powernet/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::UnitFlow]);
-        assert_eq!(findings[0].line, 2);
-        assert!(findings[0].message.contains("Hours"));
-        assert!(findings[0].message.contains("Watts"));
-    }
-
-    #[test]
-    fn l008_allows_same_unit_and_dimensionless_flows() {
-        // Same unit back in: a legitimate clamp/scale idiom.
-        let src = "pub fn f(p: Watts) -> Watts { Watts::new(p.value() * 0.5) }\n";
-        assert!(run("crates/powernet/src/x.rs", src).is_empty());
-        // Dimensionless target (a fraction) may absorb any quantity.
-        let src = "pub fn f(e: WattHours, cap: WattHours) -> Soc {\n\
-                   Soc::new(e.value() / cap.value())\n}\n";
-        assert!(run("crates/powernet/src/x.rs", src).is_empty());
-        // Non-physics crates are out of scope.
-        let src = "pub fn f(dt: Hours) -> Watts { Watts::new(dt.value()) }\n";
-        assert!(run("crates/fleet/src/x.rs", src).is_empty());
-        // The units crate defines the dimension algebra; its operator
-        // impls are the sanctioned conversions and are exempt.
-        let src = "impl Mul<Amps> for Volts {\n    type Output = Watts;\n    \
-                   fn mul(self, rhs: Amps) -> Watts { Watts::new(self.value() * rhs.value()) }\n}\n";
-        assert!(run("crates/units/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn l008_fires_on_truncating_value_casts() {
-        let src = "fn f(p: Watts) -> u32 { p.value() as u32 }\n";
-        let findings = run("crates/core/src/x.rs", src);
-        // The same cast also trips the L009 narrowing-cast check in
-        // panic-surface scope; both diagnoses are real.
-        assert!(rules_of(&findings).contains(&Rule::UnitFlow));
-    }
-
-    #[test]
-    fn l009_fires_in_panic_surface_scope_only() {
-        let src = "fn f(x: Mode) -> u8 { match x { Mode::A => 0, _ => unreachable!() } }\n";
-        let findings = run("crates/fleet/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::PanicSurface]);
-        assert!(findings[0].message.contains("unreachable!"));
-        // Out of scope: the bench harness may assert freely.
-        assert!(run("crates/bench/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn l009_fires_on_arithmetic_indexing_and_narrowing_casts() {
-        let src = "fn f(v: &[f64], i: usize) -> f64 { v[i - 1] }\n";
-        let findings = run("crates/core/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::PanicSurface]);
-        assert!(findings[0].message.contains("underflow"));
-
-        let src = "fn f(n: usize) -> u32 { n as u32 }\n";
-        assert_eq!(
-            rules_of(&run("crates/core/src/x.rs", src)),
-            vec![Rule::PanicSurface]
-        );
-        // Plain indexing and widening casts are fine.
-        assert!(run(
-            "crates/core/src/x.rs",
-            "fn f(v: &[f64], i: usize) -> f64 { v[i] }\n"
-        )
-        .is_empty());
-        assert!(run("crates/core/src/x.rs", "fn f(n: u32) -> u64 { n as u64 }\n").is_empty());
-    }
-
-    #[test]
-    fn l010_flags_stale_suppressions() {
-        // Nothing on this line (or the next) violates L004 anymore.
-        let src = "// ins-lint: allow(L004) -- obsolete\nfn f(x: u32) -> bool { x == 0 }\n";
-        let findings = run("crates/core/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::StaleSuppression]);
-        assert_eq!(findings[0].line, 1);
-        assert!(findings[0].message.contains("L004"));
-    }
-
-    #[test]
-    fn l010_spares_used_suppressions() {
-        let src = "fn f(x: f64) -> bool { x == 0.0 } // ins-lint: allow(L004)\n";
-        assert!(run("crates/core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn l010_cannot_be_suppressed() {
-        // `allow(L010)` never matches anything — L010 findings are
-        // derived after suppression filtering — so it is always stale.
-        let src = "// ins-lint: allow(L010)\nfn f() {}\n";
-        let findings = run("crates/core/src/x.rs", src);
-        assert_eq!(rules_of(&findings), vec![Rule::StaleSuppression]);
-    }
-
-    #[test]
-    fn doc_comment_markers_are_not_suppressions() {
-        // A doc-comment example of the marker syntax neither suppresses
-        // nor counts as stale.
-        let src = "//! Suppress with `// ins-lint: allow(L004)`.\nfn f() {}\n";
-        assert!(run("crates/core/src/x.rs", src).is_empty());
-        // And it does not shield a real finding on the next line.
-        let src = "/// ins-lint: allow(L004)\npub fn f(x: f64) -> bool { x == 0.0 }\n";
-        assert_eq!(
-            rules_of(&run("crates/core/src/x.rs", src)),
-            vec![Rule::FloatEquality]
-        );
-    }
-
-    #[test]
-    fn suppression_covers_same_line_and_next_line() {
-        let same = "fn f(x: f64) -> bool { x == 0.0 } // ins-lint: allow(L004)\n";
-        assert!(run("crates/core/src/x.rs", same).is_empty());
-        let above =
-            "// ins-lint: allow(L004) -- sentinel compare\nfn f(x: f64) -> bool { x == 0.0 }\n";
-        assert!(run("crates/core/src/x.rs", above).is_empty());
-        // The wrong rule id does not suppress — and is itself stale.
-        let wrong = "fn f(x: f64) -> bool { x == 0.0 } // ins-lint: allow(L002)\n";
-        assert_eq!(
-            rules_of(&run("crates/core/src/x.rs", wrong)),
-            vec![Rule::FloatEquality, Rule::StaleSuppression]
-        );
-        // Comma lists suppress several rules at once.
-        let multi =
-            "fn f(x: f64) -> bool { x.unwrap(); x == 0.0 } // ins-lint: allow(L002, L004)\n";
-        assert!(run("crates/core/src/x.rs", multi).is_empty());
-    }
-
-    #[test]
-    fn disabled_rules_are_filtered_but_still_feed_l010() {
-        let mut config = Config::default_workspace();
-        config.rules = vec![Rule::FloatEquality, Rule::StaleSuppression];
-        // The L002 suppression is *used* (an unwrap sits on the line),
-        // so no L010 fires even though L002 itself is disabled.
-        let src = "fn f(x: f64) { x.unwrap(); } // ins-lint: allow(L002)\n";
-        assert!(analyze_source("crates/core/src/x.rs", src, &config).is_empty());
-        // And disabled rules' findings never surface.
-        let src = "fn f(x: f64) { x.unwrap(); }\n";
-        assert!(analyze_source("crates/core/src/x.rs", src, &config).is_empty());
-    }
-
-    #[test]
-    fn json_report_is_well_formed() {
-        let findings = run(
-            "crates/core/src/x.rs",
-            "fn f(x: f64) -> bool { x == 0.0 }\n",
-        );
-        let json = report_json(&findings);
-        assert!(json.starts_with('[') && json.ends_with(']'));
-        assert!(json.contains("\"rule\":\"L004\""));
-        assert!(json.contains("\"line\":1"));
-        assert_eq!(report_json(&[]), "[]");
-    }
-
-    #[test]
-    fn analysis_is_deterministic_across_runs() {
-        let src = "use std::collections::HashMap;\n\
-                   fn f(x: f64) -> bool { x == 0.0 }\n\
-                   fn g() { y.unwrap(); }\n";
-        let first = report_json(&run("crates/core/src/x.rs", src));
-        for _ in 0..5 {
-            assert_eq!(first, report_json(&run("crates/core/src/x.rs", src)));
-        }
-    }
 
     #[test]
     fn rule_ids_round_trip() {
@@ -892,13 +388,34 @@ mod tests {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));
         }
         assert_eq!(Rule::from_id("l003"), Some(Rule::Nondeterminism));
-        assert_eq!(Rule::from_id("L010"), Some(Rule::StaleSuppression));
+        assert_eq!(Rule::from_id("L013"), Some(Rule::CrossUnitFlow));
         assert_eq!(Rule::from_id("L999"), None);
     }
 
     #[test]
-    fn raw_strings_are_sanitized() {
-        let src = "fn f() { let s = r#\"x.unwrap() == 0.0 Instant::now\"#; }\n";
-        assert!(run("crates/core/src/x.rs", src).is_empty());
+    fn rule_ids_are_sorted_and_unique() {
+        let ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "Rule::ALL must stay in unique id order");
+    }
+
+    #[test]
+    fn finding_display_renders_trace_hops() {
+        let mut f = Finding::new(
+            "crates/core/src/x.rs".to_string(),
+            3,
+            Rule::TransitivePanic,
+            "`step` can panic".to_string(),
+        );
+        f.trace.push(TraceHop {
+            path: "crates/battery/src/y.rs".to_string(),
+            line: 9,
+            note: "calls `charge`".to_string(),
+        });
+        let text = f.to_string();
+        assert!(text.contains("crates/core/src/x.rs:3: L011"));
+        assert!(text.contains("via crates/battery/src/y.rs:9: calls `charge`"));
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p ins-lint -- [--json|--sarif] [--rules L001,L004]
-//!     [--baseline FILE] [--write-baseline FILE] <path>...
+//!     [--baseline FILE] [--write-baseline FILE]
+//!     [--cache FILE | --no-cache] [--explain Lxxx] <path>...
 //! ```
 //!
 //! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
@@ -13,11 +14,15 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ins_lint::{analyze_paths, baseline, report_json, sarif, Config, Finding, Rule};
+use ins_lint::{
+    analyze_paths, analyze_paths_cached, baseline, report_json, sarif, Config, Finding, Rule,
+    TraceHop,
+};
 
 fn usage() -> &'static str {
     "usage: ins-lint [--json|--sarif] [--rules L001,L002,...]\n\
-     \x20               [--baseline FILE] [--write-baseline FILE] <path>...\n\
+     \x20               [--baseline FILE] [--write-baseline FILE]\n\
+     \x20               [--cache FILE | --no-cache] [--explain Lxxx] <path>...\n\
      \n\
      Scans .rs files under each path for InSURE convention violations.\n\
      Rules:\n\
@@ -30,10 +35,90 @@ fn usage() -> &'static str {
        L007  NaN-unsafe comparator / unordered collection ordering\n\
        L008  raw value crossing a unit-dimension boundary\n\
        L009  panic surface in production physics/fleet code\n\
-       L010  stale suppression marker (cannot itself be suppressed)\n\
-     Suppress inline with `// ins-lint: allow(L00x)` on or above the line.\n\
+       L010  stale suppression marker or baseline entry (unsuppressable)\n\
+       L011  public entry point transitively reaches a panic\n\
+       L012  serialization root tainted by nondeterministic iteration\n\
+       L013  raw f64 crossing a crate boundary into a quantity slot\n\
+     Suppress inline with `// ins-lint: allow(L00x) -- reason` on or\n\
+     above the line. `--explain Lxxx` prints a rule's full semantics.\n\
      --baseline subtracts findings listed in FILE (see lint-baseline.txt);\n\
-     --write-baseline regenerates FILE from the current findings."
+     stale entries are reported as L010. --write-baseline regenerates\n\
+     FILE from the current findings.\n\
+     The incremental cache defaults to target/ins-lint-cache.tsv; use\n\
+     --cache to relocate it or --no-cache for a from-scratch run."
+}
+
+/// Prints the long-form explanation for one rule, including a rendered
+/// call-path example for the interprocedural passes.
+fn explain(rule: Rule) {
+    println!("{}  {}", rule.id(), rule.description());
+    println!("severity: {:?}", rule.severity());
+    match rule {
+        Rule::TransitivePanic => {
+            println!(
+                "\nL011 walks the workspace call graph from every public \
+                 function in a\npanic-surface crate (physics, fleet, service) \
+                 and from every function in\na critical file (supervisor.rs, \
+                 safe_mode.rs). If any chain of non-test\ncalls reaches a \
+                 `panic!`/`unwrap`/`expect`, the entry point is flagged \
+                 with\nthe full call path. Roots documenting `# Panics` are \
+                 exempt.\n\nExample finding:"
+            );
+            let mut f = Finding::new(
+                "crates/fleet/src/router.rs".to_string(),
+                12,
+                Rule::TransitivePanic,
+                "`router::route` can reach a panic: `.unwrap(…)` in \
+                 `breaker::trip` (2 call(s) away)"
+                    .to_string(),
+            );
+            f.trace = vec![
+                TraceHop {
+                    path: "crates/fleet/src/router.rs".to_string(),
+                    line: 14,
+                    note: "calls `breaker::arm`".to_string(),
+                },
+                TraceHop {
+                    path: "crates/fleet/src/breaker.rs".to_string(),
+                    line: 22,
+                    note: "calls `breaker::trip`".to_string(),
+                },
+                TraceHop {
+                    path: "crates/fleet/src/breaker.rs".to_string(),
+                    line: 30,
+                    note: "panics: `.unwrap(…)`".to_string(),
+                },
+            ];
+            println!("\n{f}");
+            println!(
+                "\nFix by returning `Result` along the chain (a `try_` \
+                 sibling), or\ndocument the invariant with a `# Panics` \
+                 section on the root."
+            );
+        }
+        Rule::DeterminismTaint => {
+            println!(
+                "\nL012 marks public serialization/telemetry roots (names \
+                 containing\njson, csv, sarif, telemetry, serialize, export) \
+                 whose call graph\nreaches a nondeterminism source: wall \
+                 clock, OS randomness, or\niteration over an unordered \
+                 HashMap/HashSet. Replays and golden\nfiles require such \
+                 roots to be bit-stable; route them through\nsorted \
+                 (BTreeMap) collections or injected clocks."
+            );
+        }
+        Rule::CrossUnitFlow => {
+            println!(
+                "\nL013 follows raw `f64` return values across crate \
+                 boundaries into\nparameters whose names claim a physical \
+                 dimension (power, energy,\nvoltage, …). Inside one crate \
+                 the convention is local and visible;\nacross crates the \
+                 dimension must ride the type system — return a\nnewtype \
+                 from the units catalog instead."
+            );
+        }
+        _ => {}
+    }
 }
 
 /// Source lines of each finding's file, read once per file so baseline
@@ -72,6 +157,7 @@ fn main() -> ExitCode {
     let mut sarif_out = false;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
+    let mut cache_file: Option<PathBuf> = Some(PathBuf::from("target/ins-lint-cache.tsv"));
     let mut roots: Vec<PathBuf> = Vec::new();
     let mut config = Config::default_workspace();
     let mut args = std::env::args().skip(1);
@@ -79,6 +165,26 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--sarif" => sarif_out = true,
+            "--no-cache" => cache_file = None,
+            "--cache" => {
+                let Some(file) = args.next() else {
+                    eprintln!("--cache needs a file path\n\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                cache_file = Some(PathBuf::from(file));
+            }
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("--explain needs a rule id\n\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                let Some(rule) = Rule::from_id(&id) else {
+                    eprintln!("unknown rule id {id:?}\n\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                explain(rule);
+                return ExitCode::SUCCESS;
+            }
             "--rules" => {
                 let Some(list) = args.next() else {
                     eprintln!("--rules needs a comma-separated id list\n\n{}", usage());
@@ -113,7 +219,17 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     }
-    let mut findings = match analyze_paths(&roots, &config) {
+    let analyzed = match &cache_file {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                // Best-effort: a missing target/ dir must not fail the run.
+                let _ = fs::create_dir_all(dir);
+            }
+            analyze_paths_cached(&roots, &config, path)
+        }
+        None => analyze_paths(&roots, &config),
+    };
+    let mut findings = match analyzed {
         Ok(f) => f,
         Err(e) => {
             eprintln!("ins-lint: {e}");
@@ -150,6 +266,23 @@ fn main() -> ExitCode {
             baselined += usize::from(excused);
             !excused
         });
+        // Entries that excused nothing have rotted: the finding they
+        // pardoned is gone. Report them as L010 anchored at the
+        // baseline file so the allowance gets pruned, mirroring the
+        // inline stale-marker protocol.
+        if config.rules.contains(&Rule::StaleSuppression) {
+            for (fp, count) in allow.leftover() {
+                findings.push(Finding::new(
+                    path.display().to_string(),
+                    1,
+                    Rule::StaleSuppression,
+                    format!(
+                        "baseline entry `{fp}` (x{count}) no longer matches any \
+                         finding; regenerate with --write-baseline"
+                    ),
+                ));
+            }
+        }
     }
 
     if sarif_out {

@@ -1,0 +1,1220 @@
+//! A dependency-free recursive-descent *item* parser over the lexer's
+//! token stream.
+//!
+//! The parser recovers the structure the interprocedural passes need —
+//! modules, `impl` blocks, function signatures (typed and raw
+//! parameters, return types), `use` imports, call and method-call
+//! expressions — while inheriting the lexer's byte-exactness: every
+//! top-level item records the byte span it covers, item spans never
+//! overlap, and together with the gaps between them they tile the file
+//! exactly (pinned by a property test mirroring the lexer's tiling
+//! contract).
+//!
+//! Like the lexer it is *lenient*: malformed source degrades to skipped
+//! tokens and `Other` items, never a panic or an infinite loop. It does
+//! not attempt full name resolution or type inference — that lives in
+//! [`crate::callgraph`], which consumes the [`ParsedFile`]s of the
+//! whole workspace.
+
+use crate::context::FileContext;
+
+/// What a parsed item is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function; the payload indexes into [`ParsedFile::fns`].
+    Fn(usize),
+    /// An inline module (`mod name { … }`) or declaration (`mod name;`).
+    Mod(String),
+    /// An `impl` block; the payload is the self-type name, when one
+    /// could be recovered.
+    Impl(Option<String>),
+    /// `struct` / `enum` / `union` / `trait` with its name.
+    Type(String),
+    /// A `use` declaration; imports land in [`ParsedFile::uses`].
+    Use,
+    /// Anything else handled as a balanced unit (`const`, `static`,
+    /// `macro_rules!`, `extern` blocks, stray tokens …).
+    Other,
+}
+
+/// One parsed item with its exact byte span and nested children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// The item class.
+    pub kind: ItemKind,
+    /// Byte offset of the item's first token (including `pub` and
+    /// qualifier keywords, excluding preceding attributes and comments).
+    pub start: usize,
+    /// Byte offset one past the item's last token (`}` or `;`).
+    pub end: usize,
+    /// Items nested inside (`mod`/`impl`/`trait` bodies).
+    pub children: Vec<Item>,
+}
+
+/// One function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The binding name (`_pattern` for destructuring patterns, `self`
+    /// for receivers).
+    pub name: String,
+    /// The declared type, rendered as its significant tokens joined by
+    /// spaces (`f64`, `& mut Watts`, `Option < Soc >`).
+    pub ty: String,
+}
+
+impl Param {
+    /// The base type name with reference/mutability sigils stripped
+    /// (`& mut Watts` → `Watts`).
+    #[must_use]
+    pub fn base_type(&self) -> &str {
+        self.ty
+            .split_whitespace()
+            .find(|t| !matches!(*t, "&" | "mut" | "'"))
+            .unwrap_or("")
+    }
+}
+
+/// One function declaration, flattened out of the item tree with its
+/// full qualification context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDecl {
+    /// The function name.
+    pub name: String,
+    /// Qualification segments: crate name, file module path, inline
+    /// module stack, and the `impl` self type when inside one.
+    pub qual: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte span of the whole declaration.
+    pub span: (usize, usize),
+    /// `pub` exactly (restricted visibility like `pub(crate)` is not
+    /// public API).
+    pub is_pub: bool,
+    /// Defined inside a test region or a `tests/` file.
+    pub is_test: bool,
+    /// Defined inside an `impl` block (a method or associated fn).
+    pub in_impl: bool,
+    /// The parameters, in order.
+    pub params: Vec<Param>,
+    /// The return type tokens joined by spaces, `None` for `()`.
+    pub ret: Option<String>,
+    /// Significant-token index range of the body, `{` inclusive to the
+    /// matching `}` inclusive; `None` for trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Whether the doc comment directly above documents `# Panics`.
+    pub doc_panics: bool,
+}
+
+impl FnDecl {
+    /// The dotted diagnostic name (`battery::Pack::charge`).
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        let mut parts: Vec<&str> = self.qual.iter().map(String::as_str).collect();
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+/// One call expression found inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Index into [`ParsedFile::fns`] of the calling function.
+    pub caller: usize,
+    /// Path qualifier segments before the called name (`a::b::f(…)` →
+    /// `["a", "b"]`; empty for bare and method calls).
+    pub qual: Vec<String>,
+    /// The called name.
+    pub name: String,
+    /// Whether this is a method call (`recv.f(…)`).
+    pub is_method: bool,
+    /// For method calls with a plain identifier receiver: its name.
+    pub receiver: Option<String>,
+    /// 1-based line of the called name.
+    pub line: usize,
+    /// Byte offset of the called name token.
+    pub offset: usize,
+    /// Significant-token index range of the whole call expression
+    /// (first qualifier/receiver token inclusive, closing `)` inclusive).
+    pub expr: (usize, usize),
+    /// Significant-token index ranges of the top-level arguments.
+    pub args: Vec<(usize, usize)>,
+    /// Whether the call sits on a test-region line.
+    pub in_test: bool,
+}
+
+/// One `use` import: a visible alias and the full path it refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// The name visible in this file (`Backoff`, or the rename after
+    /// `as`).
+    pub alias: String,
+    /// The imported path segments with `crate`/`self`/`super` resolved
+    /// against the file's own module path.
+    pub path: Vec<String>,
+}
+
+/// The parse of one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// The analyzed path, as given.
+    pub path: String,
+    /// Crate name derived from the path (`crates/battery/…` →
+    /// `battery`; the root `src/` tree is `insure`).
+    pub crate_name: String,
+    /// Module path of the file within its crate (`src/a/b.rs` →
+    /// `["a", "b"]`).
+    pub module_path: Vec<String>,
+    /// Top-level items in file order.
+    pub items: Vec<Item>,
+    /// All function declarations, in file order.
+    pub fns: Vec<FnDecl>,
+    /// All call sites, in file order.
+    pub calls: Vec<CallSite>,
+    /// Flattened `use` imports.
+    pub uses: Vec<UseImport>,
+}
+
+impl ParsedFile {
+    /// The item spans and the gaps between them, tiling `0..len`
+    /// exactly. Each entry is `(start, end, is_item)`.
+    #[must_use]
+    pub fn segments(&self, len: usize) -> Vec<(usize, usize, bool)> {
+        let mut out = Vec::with_capacity(self.items.len() * 2 + 1);
+        let mut pos = 0usize;
+        for item in &self.items {
+            if item.start > pos {
+                out.push((pos, item.start, false));
+            }
+            out.push((item.start, item.end, true));
+            pos = item.end;
+        }
+        if pos < len {
+            out.push((pos, len, false));
+        }
+        out
+    }
+}
+
+/// Derives `(crate_name, module_path)` from a normalized path.
+fn crate_and_module(path: &str) -> (String, Vec<String>) {
+    let crate_name = path
+        .split_once("crates/")
+        .and_then(|(_, rest)| rest.split('/').next())
+        .unwrap_or("insure")
+        .to_string();
+    let after_src = path
+        .split_once("/src/")
+        .map(|(_, rest)| rest)
+        .or_else(|| path.strip_prefix("src/"));
+    let mut module_path = Vec::new();
+    if let Some(rest) = after_src {
+        for seg in rest.split('/') {
+            let seg = seg.strip_suffix(".rs").unwrap_or(seg);
+            if seg.is_empty() || seg == "lib" || seg == "main" || seg == "mod" {
+                continue;
+            }
+            module_path.push(seg.to_string());
+        }
+    }
+    (crate_name, module_path)
+}
+
+/// Keywords that can never be a call target or binding name.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "move"
+            | "ref"
+            | "mut"
+            | "in"
+            | "as"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "const"
+            | "static"
+            | "type"
+    )
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .next()
+            .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
+        && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+struct Parser<'a, 'b> {
+    ctx: &'b FileContext<'a>,
+    out: ParsedFile,
+}
+
+/// Parses one file into its item tree, functions, calls and imports.
+#[must_use]
+pub fn parse(ctx: &FileContext<'_>) -> ParsedFile {
+    let (crate_name, module_path) = crate_and_module(&ctx.path);
+    let mut p = Parser {
+        ctx,
+        out: ParsedFile {
+            path: ctx.path.clone(),
+            crate_name,
+            module_path: module_path.clone(),
+            ..ParsedFile::default()
+        },
+    };
+    let mut qual: Vec<String> = vec![p.out.crate_name.clone()];
+    qual.extend(module_path);
+    let end = p.ctx.sig.len();
+    let items = p.parse_items(0, end, &mut qual, None);
+    p.out.items = items;
+    p.out
+}
+
+impl<'a, 'b> Parser<'a, 'b> {
+    fn sig_text(&self, i: usize) -> &'a str {
+        self.ctx.sig_text(i)
+    }
+
+    fn start_of(&self, i: usize) -> usize {
+        self.ctx
+            .sig_token(i)
+            .map_or(self.ctx.src.len(), |t| t.start)
+    }
+
+    fn end_of(&self, i: usize) -> usize {
+        self.ctx.sig_token(i).map_or(self.ctx.src.len(), |t| t.end)
+    }
+
+    /// Parses items in `[from, to)`, returning them in order. `impl_ty`
+    /// is the enclosing impl self type, when inside one.
+    fn parse_items(
+        &mut self,
+        from: usize,
+        to: usize,
+        qual: &mut Vec<String>,
+        impl_ty: Option<&str>,
+    ) -> Vec<Item> {
+        let mut items = Vec::new();
+        let mut i = from;
+        while i < to {
+            let (item, next) = self.parse_item(i, to, qual, impl_ty);
+            debug_assert!(next > i, "parser must always advance");
+            let next = next.max(i + 1);
+            if let Some(item) = item {
+                items.push(item);
+            }
+            i = next;
+        }
+        items
+    }
+
+    /// Parses one item starting at significant index `i`. Returns the
+    /// item (None for tokens that belong to no item, which end up in
+    /// gaps) and the index to continue from.
+    fn parse_item(
+        &mut self,
+        i: usize,
+        to: usize,
+        qual: &mut Vec<String>,
+        impl_ty: Option<&str>,
+    ) -> (Option<Item>, usize) {
+        let start_byte = self.start_of(i);
+        let mut j = i;
+        // Leading attributes belong to the item.
+        while self.sig_text(j) == "#" {
+            let mut k = j + 1;
+            if self.sig_text(k) == "!" {
+                k += 1;
+            }
+            if self.sig_text(k) != "[" {
+                break;
+            }
+            match self.ctx.find_matching(k) {
+                Some(close) if close < to => j = close + 1,
+                _ => return (None, to),
+            }
+        }
+        // Visibility and qualifier keywords.
+        let mut is_pub = false;
+        if self.sig_text(j) == "pub" {
+            if self.sig_text(j + 1) == "(" {
+                // Restricted visibility: skip the restriction.
+                match self.ctx.find_matching(j + 1) {
+                    Some(close) => j = close + 1,
+                    None => return (None, to),
+                }
+            } else {
+                is_pub = true;
+                j += 1;
+            }
+        }
+        if matches!(self.sig_text(j), "const" | "unsafe" | "async" | "default") {
+            // `const NAME` is a const item, not a qualifier — only treat
+            // these as qualifiers when a `fn` eventually follows.
+            let mut k = j;
+            while matches!(self.sig_text(k), "const" | "unsafe" | "async" | "default") {
+                k += 1;
+            }
+            if self.sig_text(k) == "fn"
+                || (self.sig_text(k) == "extern" && self.sig_text(k + 2) == "fn")
+            {
+                j = k;
+            }
+        }
+        if self.sig_text(j) == "extern" && self.sig_text(j + 2) == "fn" {
+            j += 2; // `extern "C" fn`
+        }
+
+        match self.sig_text(j) {
+            "fn" => {
+                let (item, next) = self.parse_fn(i, start_byte, j, to, qual, impl_ty, is_pub);
+                (Some(item), next)
+            }
+            "mod" => {
+                let name = self.sig_text(j + 1).to_string();
+                if self.sig_text(j + 2) == "{" {
+                    let close = self.ctx.find_matching(j + 2);
+                    let close = close.filter(|c| *c < to).unwrap_or(to.saturating_sub(1));
+                    qual.push(name.clone());
+                    let children = self.parse_items(j + 3, close, qual, None);
+                    qual.pop();
+                    let item = Item {
+                        kind: ItemKind::Mod(name),
+                        start: start_byte,
+                        end: self.end_of(close),
+                        children,
+                    };
+                    (Some(item), close + 1)
+                } else {
+                    let semi = self.skip_to_semi(j, to);
+                    let item = Item {
+                        kind: ItemKind::Mod(name),
+                        start: start_byte,
+                        end: self.end_of(semi),
+                        children: Vec::new(),
+                    };
+                    (Some(item), semi + 1)
+                }
+            }
+            "impl" => {
+                // Recover the self type: the last path segment before
+                // `{`, preferring the segment after `for` when present.
+                let mut k = j + 1;
+                let mut depth = 0i64;
+                let mut last_ident: Option<String> = None;
+                let mut after_for: Option<String> = None;
+                let mut saw_for = false;
+                while k < to {
+                    let t = self.sig_text(k);
+                    match t {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        "{" if depth <= 0 => break,
+                        ";" if depth <= 0 => break,
+                        "for" => saw_for = true,
+                        _ if depth <= 0 && is_ident(t) && !is_expr_keyword(t) => {
+                            if saw_for {
+                                after_for = Some(t.to_string());
+                                // Only the first segment after `for`
+                                // matters until generics start.
+                                saw_for = false;
+                            } else if after_for.is_none() {
+                                last_ident = Some(t.to_string());
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let self_ty = after_for.or(last_ident);
+                if self.sig_text(k) == "{" {
+                    let close = self.ctx.find_matching(k);
+                    let close = close.filter(|c| *c < to).unwrap_or(to.saturating_sub(1));
+                    let children = match &self_ty {
+                        Some(ty) => {
+                            qual.push(ty.clone());
+                            let c = self.parse_items(k + 1, close, qual, Some(&ty.clone()));
+                            qual.pop();
+                            c
+                        }
+                        None => self.parse_items(k + 1, close, qual, None),
+                    };
+                    let item = Item {
+                        kind: ItemKind::Impl(self_ty),
+                        start: start_byte,
+                        end: self.end_of(close),
+                        children,
+                    };
+                    (Some(item), close + 1)
+                } else {
+                    let item = Item {
+                        kind: ItemKind::Impl(self_ty),
+                        start: start_byte,
+                        end: self.end_of(k),
+                        children: Vec::new(),
+                    };
+                    (Some(item), k + 1)
+                }
+            }
+            kw @ ("struct" | "enum" | "union" | "trait") => {
+                let name = self.sig_text(j + 1).to_string();
+                let mut k = j + 2;
+                let mut depth = 0i64;
+                while k < to {
+                    match self.sig_text(k) {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        "{" | "(" if depth <= 0 => break,
+                        ";" if depth <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if matches!(self.sig_text(k), "{" | "(") {
+                    let close = self.ctx.find_matching(k);
+                    let close = close.filter(|c| *c < to).unwrap_or(to.saturating_sub(1));
+                    // Trait bodies hold method signatures and defaults.
+                    let children = if kw == "trait" {
+                        qual.push(name.clone());
+                        let c = self.parse_items(k + 1, close, qual, Some(&name.clone()));
+                        qual.pop();
+                        c
+                    } else {
+                        Vec::new()
+                    };
+                    // Tuple structs end with `;` after the `)`.
+                    let mut end = close;
+                    if self.sig_text(k) == "(" && self.sig_text(close + 1) == ";" {
+                        end = close + 1;
+                    }
+                    let item = Item {
+                        kind: ItemKind::Type(name),
+                        start: start_byte,
+                        end: self.end_of(end),
+                        children,
+                    };
+                    (Some(item), end + 1)
+                } else {
+                    let item = Item {
+                        kind: ItemKind::Type(name),
+                        start: start_byte,
+                        end: self.end_of(k),
+                        children: Vec::new(),
+                    };
+                    (Some(item), k + 1)
+                }
+            }
+            "use" => {
+                let semi = self.parse_use(j, to);
+                let item = Item {
+                    kind: ItemKind::Use,
+                    start: start_byte,
+                    end: self.end_of(semi),
+                    children: Vec::new(),
+                };
+                (Some(item), semi + 1)
+            }
+            "" => (None, to),
+            _ => {
+                // `const`/`static`/`type` items, `macro_rules!`,
+                // `extern` blocks, stray tokens: consume as one balanced
+                // unit up to `;` or a balanced `{…}`.
+                let mut k = j;
+                while k < to {
+                    match self.sig_text(k) {
+                        ";" => {
+                            let item = Item {
+                                kind: ItemKind::Other,
+                                start: start_byte,
+                                end: self.end_of(k),
+                                children: Vec::new(),
+                            };
+                            return (Some(item), k + 1);
+                        }
+                        "{" | "(" | "[" => {
+                            let close = self
+                                .ctx
+                                .find_matching(k)
+                                .filter(|c| *c < to)
+                                .unwrap_or(to.saturating_sub(1));
+                            if self.sig_text(k) == "{" {
+                                let item = Item {
+                                    kind: ItemKind::Other,
+                                    start: start_byte,
+                                    end: self.end_of(close),
+                                    children: Vec::new(),
+                                };
+                                return (Some(item), close + 1);
+                            }
+                            k = close + 1;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                let item = Item {
+                    kind: ItemKind::Other,
+                    start: start_byte,
+                    end: self.end_of(to.saturating_sub(1)),
+                    children: Vec::new(),
+                };
+                (Some(item), to)
+            }
+        }
+    }
+
+    fn skip_to_semi(&self, from: usize, to: usize) -> usize {
+        let mut k = from;
+        while k < to && self.sig_text(k) != ";" {
+            k += 1;
+        }
+        k.min(to.saturating_sub(1))
+    }
+
+    /// Parses a `fn` item starting at `item_start` (first significant
+    /// index, pre-attributes) whose `fn` keyword sits at `fn_idx`.
+    #[allow(clippy::too_many_arguments)]
+    fn parse_fn(
+        &mut self,
+        item_start: usize,
+        start_byte: usize,
+        fn_idx: usize,
+        to: usize,
+        qual: &[String],
+        impl_ty: Option<&str>,
+        is_pub: bool,
+    ) -> (Item, usize) {
+        let name = self.sig_text(fn_idx + 1).to_string();
+        let fn_line = self.ctx.line_of(self.start_of(fn_idx));
+        let mut k = fn_idx + 2;
+        // Generics.
+        if self.sig_text(k) == "<" {
+            let mut depth = 0i64;
+            while k < to {
+                match self.sig_text(k) {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    "(" | "{" => break, // malformed; bail to params scan
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Parameters.
+        let mut params = Vec::new();
+        let mut after_params = k;
+        if self.sig_text(k) == "(" {
+            if let Some(close) = self.ctx.find_matching(k).filter(|c| *c < to) {
+                params = self.parse_params(k, close);
+                after_params = close + 1;
+            } else {
+                after_params = to;
+            }
+        }
+        // Return type.
+        let mut ret_tokens: Vec<&str> = Vec::new();
+        let mut k = after_params;
+        if self.sig_text(k) == "->" {
+            k += 1;
+            let mut depth = 0i64;
+            while k < to {
+                let t = self.sig_text(k);
+                match t {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth -= 1,
+                    "{" | ";" | "where" if depth <= 0 => break,
+                    _ => {}
+                }
+                ret_tokens.push(t);
+                k += 1;
+            }
+        }
+        // Where clause.
+        if self.sig_text(k) == "where" {
+            let mut depth = 0i64;
+            while k < to {
+                match self.sig_text(k) {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    "{" | ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Body (or `;` for trait signatures / extern decls).
+        let mut body = None;
+        let end_idx;
+        if self.sig_text(k) == "{" {
+            let close = self
+                .ctx
+                .find_matching(k)
+                .filter(|c| *c < to)
+                .unwrap_or(to.saturating_sub(1));
+            body = Some((k, close));
+            end_idx = close;
+        } else {
+            end_idx = self.skip_to_semi(k, to);
+        }
+
+        let mut fn_qual = qual.to_vec();
+        if let (Some(ty), false) = (impl_ty, qual.last().map(String::as_str) == impl_ty) {
+            fn_qual.push(ty.to_string());
+        }
+        let ret = if ret_tokens.is_empty() {
+            None
+        } else {
+            Some(ret_tokens.join(" "))
+        };
+        let decl = FnDecl {
+            name,
+            qual: fn_qual,
+            line: fn_line,
+            span: (start_byte, self.end_of(end_idx)),
+            is_pub,
+            is_test: self.ctx.in_tests_dir || self.ctx.is_test_line(fn_line),
+            in_impl: impl_ty.is_some(),
+            params,
+            ret,
+            body,
+            doc_panics: self.doc_panics_before(item_start),
+        };
+        let fn_index = self.out.fns.len();
+        self.out.fns.push(decl);
+        if let Some((open, close)) = body {
+            self.scan_calls(fn_index, open + 1, close);
+        }
+        let item = Item {
+            kind: ItemKind::Fn(fn_index),
+            start: start_byte,
+            end: self.end_of(end_idx),
+            children: Vec::new(),
+        };
+        (item, end_idx + 1)
+    }
+
+    /// Whether a doc comment directly above the item documents panics.
+    fn doc_panics_before(&self, item_start: usize) -> bool {
+        let Some(&first_tok) = self.ctx.sig.get(item_start) else {
+            return false;
+        };
+        let mut ti = first_tok;
+        let mut found = false;
+        while ti > 0 {
+            ti -= 1;
+            let t = self.ctx.tokens[ti];
+            if t.kind == crate::lexer::TokenKind::Whitespace {
+                continue;
+            }
+            if t.is_doc_comment() {
+                if self.ctx.text(&t).contains("# Panics") {
+                    found = true;
+                }
+                continue;
+            }
+            // Attributes sit between docs and the item; skip their
+            // tokens (they are significant, so walk past brackets).
+            if self.ctx.text(&t) == "]" || t.is_comment() {
+                // Keep scanning: `#[must_use]` between doc and fn.
+                continue;
+            }
+            if matches!(self.ctx.text(&t), "#" | "[" | "(" | ")" | ",")
+                || self
+                    .ctx
+                    .text(&t)
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'"' || b == b'=')
+            {
+                continue;
+            }
+            break;
+        }
+        found
+    }
+
+    /// Parses the parameter list between `open` (`(`) and `close` (`)`).
+    fn parse_params(&self, open: usize, close: usize) -> Vec<Param> {
+        let mut params = Vec::new();
+        let mut seg_start = open + 1;
+        let mut depth = 0i64;
+        let mut k = open + 1;
+        while k <= close {
+            let t = self.sig_text(k);
+            let at_end = k == close;
+            let split = (t == "," && depth == 0) || at_end;
+            match t {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" if !at_end => depth -= 1,
+                _ => {}
+            }
+            if split {
+                if k > seg_start {
+                    if let Some(p) = self.parse_one_param(seg_start, k) {
+                        params.push(p);
+                    }
+                }
+                seg_start = k + 1;
+            }
+            k += 1;
+        }
+        params
+    }
+
+    /// Parses one parameter in `[from, to)`.
+    fn parse_one_param(&self, from: usize, to: usize) -> Option<Param> {
+        let mut k = from;
+        // Skip parameter attributes.
+        while self.sig_text(k) == "#" && self.sig_text(k + 1) == "[" {
+            k = self.ctx.find_matching(k + 1)? + 1;
+        }
+        // Receivers: `self`, `&self`, `&mut self`, `mut self`.
+        let mut probe = k;
+        while matches!(self.sig_text(probe), "&" | "mut") || self.sig_text(probe).starts_with('\'')
+        {
+            probe += 1;
+        }
+        if self.sig_text(probe) == "self" {
+            return Some(Param {
+                name: "self".to_string(),
+                ty: "Self".to_string(),
+            });
+        }
+        if self.sig_text(k) == "mut" {
+            k += 1;
+        }
+        let name_text = self.sig_text(k);
+        let name = if is_ident(name_text) && self.sig_text(k + 1) == ":" {
+            k += 2;
+            name_text.to_string()
+        } else {
+            // Destructuring pattern: find the `:` at depth 0.
+            let mut depth = 0i64;
+            let mut colon = None;
+            let mut m = k;
+            while m < to {
+                match self.sig_text(m) {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    ":" if depth == 0 && self.sig_text(m + 1) != ":" => {
+                        colon = Some(m);
+                        break;
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            k = colon? + 1;
+            "_pattern".to_string()
+        };
+        let ty: Vec<&str> = (k..to).map(|i| self.sig_text(i)).collect();
+        if ty.is_empty() {
+            return None;
+        }
+        Some(Param {
+            name,
+            ty: ty.join(" "),
+        })
+    }
+
+    /// Scans a function body token range for call expressions.
+    fn scan_calls(&mut self, caller: usize, from: usize, to: usize) {
+        let mut i = from;
+        while i < to {
+            let t = self.sig_text(i);
+            if is_ident(t) && !is_expr_keyword(t) && self.sig_text(i + 1) == "(" {
+                // Macro invocation (`name!(`) never reaches here: the
+                // `!` sits between. Skip nested `fn` names.
+                if self.sig_text(i.wrapping_sub(1)) == "fn" {
+                    i += 1;
+                    continue;
+                }
+                if let Some(close) = self.ctx.find_matching(i + 1).filter(|c| *c <= to) {
+                    let (expr_start, qual, is_method, receiver) = self.call_prefix(i);
+                    let args = self.split_args(i + 1, close);
+                    let offset = self.start_of(i);
+                    self.out.calls.push(CallSite {
+                        caller,
+                        qual,
+                        name: t.to_string(),
+                        is_method,
+                        receiver,
+                        line: self.ctx.line_of(offset),
+                        offset,
+                        expr: (expr_start, close),
+                        args,
+                        in_test: self.ctx.is_test_line(self.ctx.line_of(offset)),
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Walks backwards from the called name at `i` to classify the call
+    /// and collect its qualifier / receiver. Returns
+    /// `(expr_start, qual, is_method, receiver)`.
+    fn call_prefix(&self, i: usize) -> (usize, Vec<String>, bool, Option<String>) {
+        if self.sig_text(i.wrapping_sub(1)) == "." && i >= 1 {
+            // Method call: recover a plain-identifier receiver.
+            let recv_idx = i.wrapping_sub(2);
+            let recv = self.sig_text(recv_idx);
+            if i >= 2
+                && is_ident(recv)
+                && !is_expr_keyword(recv)
+                && self.sig_text(recv_idx.wrapping_sub(1)) != "."
+            {
+                return (recv_idx, Vec::new(), true, Some(recv.to_string()));
+            }
+            return (i.wrapping_sub(1), Vec::new(), true, None);
+        }
+        // Path call: walk back over `seg ::` pairs.
+        let mut qual_rev: Vec<String> = Vec::new();
+        let mut at = i;
+        while at >= 2 && self.sig_text(at - 1) == "::" {
+            let seg = self.sig_text(at - 2);
+            if is_ident(seg) || seg == "crate" || seg == "self" || seg == "super" {
+                qual_rev.push(seg.to_string());
+                at -= 2;
+            } else if seg == ">" {
+                // Turbofish or qualified generic path: give up on the
+                // deeper prefix but keep what we have.
+                break;
+            } else {
+                break;
+            }
+        }
+        qual_rev.reverse();
+        (at, qual_rev, false, None)
+    }
+
+    /// Splits the tokens between `open` (`(`) and `close` (`)`) into
+    /// top-level argument ranges.
+    fn split_args(&self, open: usize, close: usize) -> Vec<(usize, usize)> {
+        let mut args = Vec::new();
+        let mut depth = 0i64;
+        let mut seg_start = open + 1;
+        for k in (open + 1)..close {
+            match self.sig_text(k) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    if k > seg_start {
+                        args.push((seg_start, k));
+                    }
+                    seg_start = k + 1;
+                }
+                _ => {}
+            }
+        }
+        if close > seg_start {
+            args.push((seg_start, close));
+        }
+        args
+    }
+
+    /// Parses a `use` declaration starting at the `use` keyword,
+    /// flattening the tree into [`ParsedFile::uses`]. Returns the index
+    /// of the terminating `;`.
+    fn parse_use(&mut self, use_idx: usize, to: usize) -> usize {
+        let semi = self.skip_to_semi(use_idx, to);
+        let prefix: Vec<String> = Vec::new();
+        self.parse_use_tree(use_idx + 1, semi, &prefix);
+        semi
+    }
+
+    /// Parses one use-tree level in `[from, to)` under `prefix`.
+    fn parse_use_tree(&mut self, from: usize, to: usize, prefix: &[String]) {
+        let mut segs: Vec<String> = Vec::new();
+        let mut k = from;
+        while k < to {
+            let t = self.sig_text(k);
+            match t {
+                "::" => k += 1,
+                "{" => {
+                    let close = self.ctx.find_matching(k).filter(|c| *c <= to).unwrap_or(to);
+                    // Each comma-separated subtree continues from here.
+                    let mut depth = 0i64;
+                    let mut seg_start = k + 1;
+                    for m in (k + 1)..close {
+                        match self.sig_text(m) {
+                            "{" => depth += 1,
+                            "}" => depth -= 1,
+                            "," if depth == 0 => {
+                                let mut p = prefix.to_vec();
+                                p.extend(segs.iter().cloned());
+                                self.parse_use_tree(seg_start, m, &p);
+                                seg_start = m + 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if close > seg_start {
+                        let mut p = prefix.to_vec();
+                        p.extend(segs.iter().cloned());
+                        self.parse_use_tree(seg_start, close, &p);
+                    }
+                    return;
+                }
+                "as" => {
+                    let alias = self.sig_text(k + 1);
+                    if is_ident(alias) {
+                        let mut path = prefix.to_vec();
+                        path.extend(segs.iter().cloned());
+                        self.record_use(alias.to_string(), path);
+                    }
+                    return;
+                }
+                "*" => return, // glob: no alias to record
+                "self" if !segs.is_empty() || !prefix.is_empty() => {
+                    // `a::b::{self}` imports `b` itself.
+                    let mut path = prefix.to_vec();
+                    path.extend(segs.iter().cloned());
+                    if let Some(last) = path.last().cloned() {
+                        self.record_use(last, path);
+                    }
+                    return;
+                }
+                _ if is_ident(t) || t == "crate" || t == "self" || t == "super" => {
+                    segs.push(t.to_string());
+                    k += 1;
+                }
+                _ => k += 1,
+            }
+        }
+        if let Some(last) = segs.last().cloned() {
+            let mut path = prefix.to_vec();
+            path.extend(segs);
+            self.record_use(last, path);
+        }
+    }
+
+    /// Resolves `crate`/`self`/`super` heads against the file's module
+    /// path and records the import.
+    fn record_use(&mut self, alias: String, mut path: Vec<String>) {
+        if path.is_empty() {
+            return;
+        }
+        match path[0].as_str() {
+            "crate" => {
+                path.remove(0);
+                let mut full = vec![self.out.crate_name.clone()];
+                full.extend(path);
+                path = full;
+            }
+            "self" => {
+                path.remove(0);
+                let mut full = vec![self.out.crate_name.clone()];
+                full.extend(self.out.module_path.iter().cloned());
+                full.extend(path);
+                path = full;
+            }
+            "super" => {
+                path.remove(0);
+                let mut parent = self.out.module_path.clone();
+                parent.pop();
+                let mut full = vec![self.out.crate_name.clone()];
+                full.extend(parent);
+                full.extend(path);
+                path = full;
+            }
+            _ => {}
+        }
+        if path.is_empty() {
+            return;
+        }
+        self.out.uses.push(UseImport { alias, path });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_src(path: &str, src: &str) -> ParsedFile {
+        let ctx = FileContext::new(path, src);
+        parse(&ctx)
+    }
+
+    fn assert_item_tiling(src: &str) {
+        let parsed = parse_src("crates/core/src/x.rs", src);
+        let segs = parsed.segments(src.len());
+        let mut pos = 0usize;
+        for (start, end, _) in &segs {
+            assert_eq!(*start, pos, "segment gap/overlap in {src:?}: {segs:?}");
+            assert!(end > start, "empty segment in {src:?}");
+            pos = *end;
+        }
+        assert_eq!(pos, src.len(), "segments do not cover {src:?}");
+    }
+
+    #[test]
+    fn items_tile_simple_sources() {
+        for src in [
+            "",
+            "fn a() {}\n",
+            "// leading comment\nfn a() {}\nfn b() { a(); }\n",
+            "pub struct S { x: f64 }\nimpl S { pub fn get(&self) -> f64 { self.x } }\n",
+            "mod m { fn inner() {} }\nconst X: u32 = 1;\nuse std::fmt;\n",
+            "#[derive(Debug)]\npub enum E { A, B }\n",
+            "macro_rules! m { () => {} }\nstatic S: u32 = 0;\n",
+        ] {
+            assert_item_tiling(src);
+        }
+    }
+
+    #[test]
+    fn fn_signature_is_recovered() {
+        let parsed = parse_src(
+            "crates/battery/src/pack.rs",
+            "impl Pack {\n    /// Charge.\n    ///\n    /// # Panics\n    /// On bad input.\n    \
+             pub fn charge(&mut self, power: Watts, dt: f64) -> WattHours { todo!() }\n}\n",
+        );
+        assert_eq!(parsed.fns.len(), 1);
+        let f = &parsed.fns[0];
+        assert_eq!(f.name, "charge");
+        assert_eq!(f.qual, vec!["battery", "pack", "Pack"]);
+        assert!(f.is_pub && f.in_impl && f.doc_panics);
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].name, "self");
+        assert_eq!(f.params[1].name, "power");
+        assert_eq!(f.params[1].base_type(), "Watts");
+        assert_eq!(f.params[2].ty, "f64");
+        assert_eq!(f.ret.as_deref(), Some("WattHours"));
+    }
+
+    #[test]
+    fn calls_are_classified() {
+        let parsed = parse_src(
+            "crates/core/src/x.rs",
+            "fn f(x: Pack) {\n    helper(1, 2);\n    x.step(3);\n    \
+             crate::util::clamp(x);\n    Watts::new(4.0);\n}\n",
+        );
+        let names: Vec<(&str, bool, Vec<String>)> = parsed
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.is_method, c.qual.clone()))
+            .collect();
+        assert_eq!(names[0], ("helper", false, vec![]));
+        assert_eq!(names[1].0, "step");
+        assert!(names[1].1, "method call");
+        assert_eq!(parsed.calls[1].receiver.as_deref(), Some("x"));
+        assert_eq!(
+            names[2],
+            (
+                "clamp",
+                false,
+                vec!["crate".to_string(), "util".to_string()]
+            )
+        );
+        assert_eq!(names[3], ("new", false, vec!["Watts".to_string()]));
+        assert_eq!(parsed.calls[0].args.len(), 2);
+    }
+
+    #[test]
+    fn use_imports_flatten_and_resolve_crate_prefix() {
+        let parsed = parse_src(
+            "crates/fleet/src/router.rs",
+            "use crate::breaker::{CircuitBreaker, Policy as BreakerPolicy};\n\
+             use ins_sim::backoff::Backoff;\nuse std::collections::BTreeMap;\n",
+        );
+        let find = |alias: &str| {
+            parsed
+                .uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .map(|u| u.path.join("::"))
+        };
+        assert_eq!(
+            find("CircuitBreaker").as_deref(),
+            Some("fleet::breaker::CircuitBreaker")
+        );
+        assert_eq!(
+            find("BreakerPolicy").as_deref(),
+            Some("fleet::breaker::Policy")
+        );
+        assert_eq!(
+            find("Backoff").as_deref(),
+            Some("ins_sim::backoff::Backoff")
+        );
+        assert_eq!(
+            find("BTreeMap").as_deref(),
+            Some("std::collections::BTreeMap")
+        );
+    }
+
+    #[test]
+    fn crate_and_module_derivation() {
+        assert_eq!(
+            crate_and_module("crates/battery/src/kibam.rs"),
+            ("battery".to_string(), vec!["kibam".to_string()])
+        );
+        assert_eq!(
+            crate_and_module("crates/service/src/bin/insure_service.rs"),
+            (
+                "service".to_string(),
+                vec!["bin".to_string(), "insure_service".to_string()]
+            )
+        );
+        assert_eq!(
+            crate_and_module("crates/core/src/lib.rs"),
+            ("core".to_string(), vec![])
+        );
+        assert_eq!(
+            crate_and_module("src/main.rs"),
+            ("insure".to_string(), vec![])
+        );
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let parsed = parse_src(
+            "crates/core/src/x.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        );
+        assert!(!parsed.fns[0].is_test);
+        assert!(parsed.fns[1].is_test);
+    }
+
+    #[test]
+    fn malformed_source_never_loops() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "pub pub pub",
+            "mod m {",
+            "fn a() { (((",
+            "use ;;; as",
+            "struct",
+            "trait T { fn x(&self) -> ; }",
+        ] {
+            let _ = parse_src("crates/core/src/x.rs", src);
+            assert_item_tiling(src);
+        }
+    }
+}

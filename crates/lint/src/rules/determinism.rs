@@ -120,3 +120,42 @@ pub fn check_ordering(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
         }
     }
 }
+
+/// L003 as a [`crate::rules::Pass`].
+pub struct Nondeterminism;
+
+impl crate::rules::Pass for Nondeterminism {
+    fn rule(&self) -> Rule {
+        Rule::Nondeterminism
+    }
+
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+        check_nondeterminism(ctx, out);
+    }
+}
+
+/// L004 as a [`crate::rules::Pass`].
+pub struct FloatEquality;
+
+impl crate::rules::Pass for FloatEquality {
+    fn rule(&self) -> Rule {
+        Rule::FloatEquality
+    }
+
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+        check_float_eq(ctx, out);
+    }
+}
+
+/// L007 as a [`crate::rules::Pass`].
+pub struct OrderingDeterminism;
+
+impl crate::rules::Pass for OrderingDeterminism {
+    fn rule(&self) -> Rule {
+        Rule::OrderingDeterminism
+    }
+
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+        check_ordering(ctx, out);
+    }
+}

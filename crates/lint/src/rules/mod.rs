@@ -1,11 +1,14 @@
-//! The rule framework: every lint is a *pass* over one file's token
-//! stream (plus the workspace [`SymbolIndex`]), registered in
-//! [`passes`]. Adding a rule means adding a variant to [`Rule`], a
-//! function with the [`PassFn`] signature, and one registry entry —
-//! the engine handles suppression filtering, test-region exemption
-//! bookkeeping, ordering and output formats.
+//! The rule framework: every token-level lint is a [`Pass`] over one
+//! file's token stream (plus the workspace [`SymbolIndex`]),
+//! registered in [`passes`]; interprocedural lints are
+//! [`graph::GraphPass`]es over the whole-workspace call graph,
+//! registered in [`graph::graph_passes`]. Adding a rule means adding a
+//! variant to [`Rule`], a unit struct implementing the right trait,
+//! and one registry entry — the engine handles suppression filtering,
+//! test-region exemption bookkeeping, ordering and output formats.
 
 pub mod determinism;
+pub mod graph;
 pub mod hygiene;
 pub mod panics;
 pub mod parallel;
@@ -25,24 +28,32 @@ pub struct RuleCtx<'a> {
     pub config: &'a Config,
 }
 
-/// The signature every rule pass implements.
-pub type PassFn = fn(&RuleCtx<'_>, &mut Vec<Finding>);
+/// One token-level rule pass. Implementations are stateless unit
+/// structs; each run sees a single file.
+pub trait Pass {
+    /// The rule this pass enforces.
+    fn rule(&self) -> Rule;
+    /// Scans `ctx` and appends findings to `out`.
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>);
+}
 
-/// The pass registry, in rule-id order. L010 (stale suppressions) is
-/// not a pass — the engine derives it from the other rules' findings.
+/// The token-pass registry, in rule-id order. L010 (stale suppressions)
+/// is not a pass — the engine derives it from the other rules'
+/// findings. L011–L013 live in [`graph::graph_passes`].
 #[must_use]
-pub fn passes() -> &'static [(Rule, PassFn)] {
-    &[
-        (Rule::UntypedQuantity, units::check_untyped_quantity),
-        (Rule::UnwrapInProduction, panics::check_unwrap),
-        (Rule::Nondeterminism, determinism::check_nondeterminism),
-        (Rule::FloatEquality, determinism::check_float_eq),
-        (Rule::UntrackedTodo, hygiene::check_todo),
-        (Rule::ParallelSafety, parallel::check_parallel_safety),
-        (Rule::OrderingDeterminism, determinism::check_ordering),
-        (Rule::UnitFlow, units::check_unit_flow),
-        (Rule::PanicSurface, panics::check_panic_surface),
-    ]
+pub fn passes() -> &'static [&'static dyn Pass] {
+    const PASSES: &[&dyn Pass] = &[
+        &units::UntypedQuantity,
+        &panics::UnwrapInProduction,
+        &determinism::Nondeterminism,
+        &determinism::FloatEquality,
+        &hygiene::UntrackedTodo,
+        &parallel::ParallelSafety,
+        &determinism::OrderingDeterminism,
+        &units::UnitFlow,
+        &panics::PanicSurface,
+    ];
+    PASSES
 }
 
 impl RuleCtx<'_> {
@@ -77,12 +88,12 @@ impl RuleCtx<'_> {
 
     /// Emits a finding anchored at byte `offset`.
     pub fn push(&self, out: &mut Vec<Finding>, rule: Rule, offset: usize, message: String) {
-        out.push(Finding {
-            path: self.file.path.clone(),
-            line: self.file.line_of(offset),
+        out.push(Finding::new(
+            self.file.path.clone(),
+            self.file.line_of(offset),
             rule,
             message,
-        });
+        ));
     }
 }
 

@@ -107,3 +107,29 @@ pub fn check_panic_surface(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
         }
     }
 }
+
+/// L002 as a [`crate::rules::Pass`].
+pub struct UnwrapInProduction;
+
+impl crate::rules::Pass for UnwrapInProduction {
+    fn rule(&self) -> Rule {
+        Rule::UnwrapInProduction
+    }
+
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+        check_unwrap(ctx, out);
+    }
+}
+
+/// L009 as a [`crate::rules::Pass`].
+pub struct PanicSurface;
+
+impl crate::rules::Pass for PanicSurface {
+    fn rule(&self) -> Rule {
+        Rule::PanicSurface
+    }
+
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+        check_panic_surface(ctx, out);
+    }
+}

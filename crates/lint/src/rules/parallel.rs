@@ -94,3 +94,16 @@ pub fn check_parallel_safety(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
         }
     }
 }
+
+/// L006 as a [`crate::rules::Pass`].
+pub struct ParallelSafety;
+
+impl crate::rules::Pass for ParallelSafety {
+    fn rule(&self) -> Rule {
+        Rule::ParallelSafety
+    }
+
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+        check_parallel_safety(ctx, out);
+    }
+}

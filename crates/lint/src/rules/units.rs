@@ -9,7 +9,7 @@ use crate::rules::{find_matching, RuleCtx};
 use crate::{Finding, Rule};
 
 /// Whether `name` reads like a physical quantity that should be typed.
-fn quantity_name(name: &str) -> bool {
+pub(crate) fn quantity_name(name: &str) -> bool {
     let n = name.to_ascii_lowercase();
     const EXACT: [&str; 5] = ["power", "energy", "current", "soc", "voltage"];
     const SUFFIX: [&str; 9] = [
@@ -209,5 +209,31 @@ pub fn check_unit_flow(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
                 }
             }
         }
+    }
+}
+
+/// L001 as a [`crate::rules::Pass`].
+pub struct UntypedQuantity;
+
+impl crate::rules::Pass for UntypedQuantity {
+    fn rule(&self) -> Rule {
+        Rule::UntypedQuantity
+    }
+
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+        check_untyped_quantity(ctx, out);
+    }
+}
+
+/// L008 as a [`crate::rules::Pass`].
+pub struct UnitFlow;
+
+impl crate::rules::Pass for UnitFlow {
+    fn rule(&self) -> Rule {
+        Rule::UnitFlow
+    }
+
+    fn run(&self, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+        check_unit_flow(ctx, out);
     }
 }

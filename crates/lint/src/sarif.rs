@@ -5,9 +5,12 @@
 //! The emitted document is deliberately minimal but schema-valid: one
 //! run, one tool driver carrying the full rule catalog (id, short
 //! description, default severity level), and one result per finding
-//! with a physical location (`uri` + `startLine`).
+//! with a physical location (`uri` + `startLine`). Interprocedural
+//! findings (L011–L013) additionally carry their call path as both
+//! `relatedLocations` (rendered as linked annotations) and a
+//! `codeFlows` thread flow (rendered step-by-step by SARIF viewers).
 
-use crate::{escape_json, Finding, Rule, Severity};
+use crate::{escape_json, Finding, Rule, Severity, TraceHop};
 
 /// The SARIF 2.1.0 schema URI embedded in every report.
 pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
@@ -58,10 +61,50 @@ pub fn report_sarif(findings: &[Finding]) -> String {
         out.push_str(&escape_json(&sarif_uri(&f.path)));
         out.push_str("\",\"uriBaseId\":\"%SRCROOT%\"},\"region\":{\"startLine\":");
         out.push_str(&f.line.max(1).to_string());
-        out.push_str("}}}]}");
+        out.push_str("}}}]");
+        if !f.trace.is_empty() {
+            out.push_str(",\"relatedLocations\":[");
+            for (j, hop) in f.trace.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_location(&mut out, hop);
+            }
+            out.push_str("],\"codeFlows\":[{\"threadFlows\":[{\"locations\":[");
+            // The flow starts at the finding itself, then walks the
+            // call path to the offending token.
+            out.push_str("{\"location\":");
+            push_location(
+                &mut out,
+                &TraceHop {
+                    path: f.path.clone(),
+                    line: f.line,
+                    note: f.message.clone(),
+                },
+            );
+            out.push('}');
+            for hop in &f.trace {
+                out.push_str(",{\"location\":");
+                push_location(&mut out, hop);
+                out.push('}');
+            }
+            out.push_str("]}]}]");
+        }
+        out.push('}');
     }
     out.push_str("]}]}");
     out
+}
+
+/// One SARIF location object (physical location + message) for a hop.
+fn push_location(out: &mut String, hop: &TraceHop) {
+    out.push_str("{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"");
+    out.push_str(&escape_json(&sarif_uri(&hop.path)));
+    out.push_str("\",\"uriBaseId\":\"%SRCROOT%\"},\"region\":{\"startLine\":");
+    out.push_str(&hop.line.max(1).to_string());
+    out.push_str("}},\"message\":{\"text\":\"");
+    out.push_str(&escape_json(&hop.note));
+    out.push_str("\"}}");
 }
 
 /// SARIF severity level string for a rule severity.
@@ -83,12 +126,34 @@ mod tests {
     use super::*;
 
     fn sample() -> Vec<Finding> {
-        vec![Finding {
-            path: "./crates/core/src/spm.rs".to_string(),
-            line: 7,
-            rule: Rule::OrderingDeterminism,
-            message: "quote \" and backslash \\ escape".to_string(),
-        }]
+        vec![Finding::new(
+            "./crates/core/src/spm.rs".to_string(),
+            7,
+            Rule::OrderingDeterminism,
+            "quote \" and backslash \\ escape".to_string(),
+        )]
+    }
+
+    fn traced_sample() -> Vec<Finding> {
+        let mut f = Finding::new(
+            "crates/fleet/src/router.rs".to_string(),
+            12,
+            Rule::TransitivePanic,
+            "`route` can reach a panic".to_string(),
+        );
+        f.trace = vec![
+            TraceHop {
+                path: "crates/fleet/src/router.rs".to_string(),
+                line: 14,
+                note: "calls `breaker::trip`".to_string(),
+            },
+            TraceHop {
+                path: "crates/fleet/src/breaker.rs".to_string(),
+                line: 30,
+                note: "panics: `.unwrap(…)`".to_string(),
+            },
+        ];
+        vec![f]
     }
 
     #[test]
@@ -116,5 +181,25 @@ mod tests {
         let doc = report_sarif(&[]);
         assert!(doc.contains("\"results\":[]"));
         assert!(doc.ends_with("]}]}"));
+    }
+
+    #[test]
+    fn traced_finding_carries_code_flow_and_related_locations() {
+        let doc = report_sarif(&traced_sample());
+        assert!(doc.contains("\"relatedLocations\":["), "{doc}");
+        assert!(doc.contains("\"codeFlows\":[{\"threadFlows\":"), "{doc}");
+        assert!(doc.contains("calls `breaker::trip`"));
+        assert!(doc.contains("\"uri\":\"crates/fleet/src/breaker.rs\""));
+        // The thread flow starts at the finding and ends at the panic.
+        let start = doc.find("`route` can reach a panic").unwrap_or(usize::MAX);
+        let sink = doc.rfind("panics:").unwrap_or(0);
+        assert!(start < sink, "flow keeps call order");
+    }
+
+    #[test]
+    fn untraced_finding_has_no_flow_keys() {
+        let doc = report_sarif(&sample());
+        assert!(!doc.contains("codeFlows"));
+        assert!(!doc.contains("relatedLocations"));
     }
 }

@@ -9,8 +9,16 @@
 //! ```
 //!
 //! The file is analyzed with the default workspace configuration and the
-//! findings — rendered one per line as `<line>: <rule> <message>` — are
-//! compared byte-for-byte against the sibling `.expected` file.
+//! findings — rendered one per line as `<line>: <rule> <message>`, with
+//! interprocedural call paths indented below as `    via <path>:<line>:
+//! <note>` — are compared byte-for-byte against the sibling `.expected`
+//! file.
+//!
+//! A fixture may hold several virtual files: each additional
+//! `// lint-fixture-file: <path>` marker line starts a new file (the
+//! marker line itself stays in that file, keeping line numbers
+//! honest). Multi-file fixtures pin the cross-crate rules (L011–L013)
+//! and render findings with a `<path>:` prefix to disambiguate.
 //!
 //! Fixtures use the `.rs.txt` extension deliberately: CI lints every
 //! `.rs` file under `crates/`, and these sources violate rules on
@@ -25,21 +33,50 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use ins_lint::{analyze_source, Config, Finding};
+use ins_lint::{analyze_source, analyze_sources, Config, Finding};
 
 const PATH_MARKER: &str = "// lint-fixture-path: ";
+const FILE_MARKER: &str = "// lint-fixture-file: ";
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
-/// Findings rendered for comparison: the virtual path is the same for
-/// every finding in a fixture, so only line, rule and message matter.
-fn render(findings: &[Finding]) -> String {
-    findings
-        .iter()
-        .map(|f| format!("{}: {} {}\n", f.line, f.rule.id(), f.message))
-        .collect()
+/// Findings rendered for comparison. Single-file fixtures omit the
+/// (constant) path; multi-file fixtures prefix each finding with its
+/// virtual path. Call paths render indented beneath their finding.
+fn render(findings: &[Finding], with_path: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        if with_path {
+            out.push_str(&format!("{}:", f.path));
+        }
+        out.push_str(&format!("{}: {} {}\n", f.line, f.rule.id(), f.message));
+        for hop in &f.trace {
+            out.push_str(&format!(
+                "    via {}:{}: {}\n",
+                hop.path, hop.line, hop.note
+            ));
+        }
+    }
+    out
+}
+
+/// Splits a fixture into its virtual files: everything up to the first
+/// `lint-fixture-file` marker belongs to the header path, then one file
+/// per marker. Marker lines stay in their file so line numbers match
+/// what a reader of the fixture sees.
+fn split_fixture(virtual_path: &str, src: &str) -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = vec![(virtual_path.to_string(), String::new())];
+    for line in src.lines() {
+        if let Some(path) = line.strip_prefix(FILE_MARKER) {
+            files.push((path.trim().to_string(), String::new()));
+        }
+        let current = &mut files.last_mut().expect("non-empty").1;
+        current.push_str(line);
+        current.push('\n');
+    }
+    files
 }
 
 #[test]
@@ -73,8 +110,14 @@ fn fixtures_match_expected_findings() {
                 )
             })
             .trim();
-        let findings = analyze_source(virtual_path, &src, &config);
-        let actual = render(&findings);
+        let files = split_fixture(virtual_path, &src);
+        let multi = files.len() > 1;
+        let findings = if multi {
+            analyze_sources(files, &config, None)
+        } else {
+            analyze_source(virtual_path, &src, &config)
+        };
+        let actual = render(&findings, multi);
 
         let expected_path = fixture.with_extension("").with_extension("expected");
         if update {

@@ -450,6 +450,28 @@ impl Soc {
         }
     }
 
+    /// Creates a state of charge from already-validated arithmetic,
+    /// clamping into `[0, 1]` and collapsing NaN to [`Soc::EMPTY`].
+    ///
+    /// This is the *total* sibling of [`Soc::new`]: it carries no panic
+    /// path, so constructors on the no-panic service surface (config
+    /// prototypes, builder defaults, physics accessors whose operands
+    /// were validated at construction) can normalize without aborting.
+    /// Reach for [`Soc::try_new`] instead wherever a NaN must surface
+    /// as an error rather than degrade to empty.
+    #[must_use]
+    pub const fn saturating(fraction: f64) -> Self {
+        // `f64::clamp` is not const; NaN fails both comparisons and
+        // lands on EMPTY, the conservative reading for a battery.
+        if fraction >= 1.0 {
+            Self::FULL
+        } else if fraction >= 0.0 {
+            Self(fraction)
+        } else {
+            Self::EMPTY
+        }
+    }
+
     /// The state of charge as a bare fraction in `[0, 1]`.
     #[must_use]
     pub const fn value(self) -> f64 {
@@ -628,6 +650,19 @@ mod tests {
     #[should_panic(expected = "invalid state of charge")]
     fn soc_new_panics_on_nan() {
         let _ = Soc::new(f64::NAN);
+    }
+
+    #[test]
+    fn soc_saturating_is_total() {
+        assert_eq!(Soc::saturating(-0.25), Soc::EMPTY);
+        assert_eq!(Soc::saturating(1.25), Soc::FULL);
+        assert_eq!(Soc::saturating(f64::INFINITY), Soc::FULL);
+        assert_eq!(Soc::saturating(f64::NEG_INFINITY), Soc::EMPTY);
+        assert_eq!(Soc::saturating(f64::NAN), Soc::EMPTY);
+        assert!((Soc::saturating(0.4).value() - 0.4).abs() < 1e-15);
+        // Usable in const position: no panic path, no runtime clamp.
+        const HALF: Soc = Soc::saturating(0.5);
+        assert_eq!(HALF, Soc::new(0.5));
     }
 
     #[test]
