@@ -1,33 +1,44 @@
 //! Multi-day endurance run + sunshine-fraction throughput sweep.
 //!
 //! ```sh
-//! cargo run -p ins-bench --release --bin endurance_weeks -- [--threads N]
+//! cargo run -p ins-bench --release --bin endurance_weeks -- [--threads N] \
+//!     [--incremental|--no-incremental]
 //! ```
 //!
 //! `--threads` fans the sunshine-sweep campaigns across a worker pool
 //! (`0` or omitted = available parallelism); the output is byte-identical
-//! at any thread count.
+//! at any thread count. The sweep honours `--incremental` (the default)
+//! like its sibling binaries, but sunshine cells diverge at `t = 0` —
+//! every point's weather differs from the first step — so the scheduler
+//! runs each from scratch either way.
 
 use std::process::ExitCode;
 
-use ins_bench::experiments::endurance::{endurance, sunshine_sweep_with};
-use ins_bench::runner::parse_threads;
+use ins_bench::experiments::endurance::{
+    endurance, sunshine_sweep_incremental, sunshine_sweep_with,
+};
+use ins_bench::runner::{parse_incremental, parse_threads};
 use ins_bench::table::TextTable;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: endurance_weeks [--threads N] [--incremental|--no-incremental]";
     let threads = match parse_threads(&argv) {
         Ok(t) => t.unwrap_or(0),
         Err(e) => {
-            eprintln!("{e}\nusage: endurance_weeks [--threads N]");
+            eprintln!("{e}\n{usage}");
             return ExitCode::from(2);
         }
     };
-    if let Some(bad) = argv
-        .iter()
-        .find(|a| *a != "--threads" && !a.starts_with("--threads=") && a.parse::<usize>().is_err())
-    {
-        eprintln!("unknown flag '{bad}'\nusage: endurance_weeks [--threads N]");
+    let incremental = parse_incremental(&argv);
+    if let Some(bad) = argv.iter().find(|a| {
+        *a != "--threads"
+            && !a.starts_with("--threads=")
+            && *a != "--incremental"
+            && *a != "--no-incremental"
+            && a.parse::<usize>().is_err()
+    }) {
+        eprintln!("unknown flag '{bad}'\n{usage}");
         return ExitCode::from(2);
     }
 
@@ -47,7 +58,12 @@ fn main() -> ExitCode {
 
     println!("Sunshine-fraction sweep (5-day campaigns) — Fig. 23/24's premise");
     let mut t = TextTable::new(vec!["sunshine fraction", "GB/day", "solar kWh/day"]);
-    for p in sunshine_sweep_with(&[1.0, 0.8, 0.6, 0.4], 5, 4, threads) {
+    let points = if incremental {
+        sunshine_sweep_incremental(&[1.0, 0.8, 0.6, 0.4], 5, 4, threads)
+    } else {
+        sunshine_sweep_with(&[1.0, 0.8, 0.6, 0.4], 5, 4, threads)
+    };
+    for p in points {
         t.row(vec![
             format!("{:.0}%", p.sunshine_fraction * 100.0),
             format!("{:.1}", p.gb_per_day),

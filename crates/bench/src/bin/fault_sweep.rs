@@ -2,28 +2,35 @@
 //!
 //! ```sh
 //! cargo run -p ins-bench --release --bin fault_sweep -- \
-//!     [--seed N] [--rates 8,4,2,1] [--threads N] [--json]
+//!     [--seed N] [--rates 8,4,2,1] [--threads N] [--json] \
+//!     [--incremental|--no-incremental]
 //! ```
 //!
 //! `--rates` takes mean fault inter-arrival times in hours; a fault-free
 //! reference row is always included first. `--threads` fans the cells
 //! across a worker pool (`0` or omitted = available parallelism); the
 //! output is byte-identical at any thread count. `--json` emits the rows
-//! as a JSON array instead of the text table.
+//! as a JSON array instead of the text table. Incremental shared-prefix
+//! forking is on by default; `--no-incremental` selects the from-scratch
+//! path (the equivalence oracle) — both produce identical output.
 
 use std::process::ExitCode;
 
-use ins_bench::experiments::faults::{render, sweep_rates_with, to_json, RATES_HOURS};
+use ins_bench::experiments::faults::{
+    render, sweep_rates_incremental, sweep_rates_with, to_json, RATES_HOURS,
+};
 
 struct Args {
     seed: u64,
     rates: Vec<Option<f64>>,
     threads: usize,
     json: bool,
+    incremental: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: fault_sweep [--seed N] [--rates H1,H2,...] [--threads N] [--json]"
+    "usage: fault_sweep [--seed N] [--rates H1,H2,...] [--threads N] [--json] \
+     [--incremental|--no-incremental]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -32,6 +39,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         rates: RATES_HOURS.to_vec(),
         threads: 0,
         json: false,
+        incremental: true,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -60,6 +68,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.rates = rates;
             }
             "--json" => args.json = true,
+            "--incremental" => args.incremental = true,
+            "--no-incremental" => args.incremental = false,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -76,7 +86,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let rows = sweep_rates_with(args.seed, &args.rates, args.threads);
+    let rows = if args.incremental {
+        sweep_rates_incremental(args.seed, &args.rates, args.threads)
+    } else {
+        sweep_rates_with(args.seed, &args.rates, args.threads)
+    };
     if args.json {
         println!("{}", to_json(&rows));
     } else {

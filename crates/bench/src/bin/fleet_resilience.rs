@@ -11,18 +11,22 @@
 //! accounting, retry/hedge volume, breaker activity, site availability
 //! and misrouted energy. `--threads` fans the cells across a worker
 //! pool (`0` or omitted = available parallelism); the output is
-//! byte-identical at any thread count.
+//! byte-identical at any thread count. Incremental shared-prefix forking
+//! is on by default; `--no-incremental` selects the from-scratch
+//! equivalence oracle.
 
 use std::process::ExitCode;
 
 use ins_bench::experiments::fleet::{
-    render, sweep_grid_with, to_json, BREAKER_POLICIES, FAULT_RATES_HOURS, FLEET_SIZES,
+    render, sweep_grid_incremental, sweep_grid_with, to_json, BREAKER_POLICIES, FAULT_RATES_HOURS,
+    FLEET_SIZES,
 };
 
 fn main() -> ExitCode {
     let mut seed = 11u64;
     let mut threads = 0usize;
     let mut json = false;
+    let mut incremental = true;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -54,21 +58,34 @@ fn main() -> ExitCode {
                 }
             }
             "--json" => json = true,
+            "--incremental" => incremental = true,
+            "--no-incremental" => incremental = false,
             other => {
                 eprintln!(
-                    "unknown flag '{other}'\nusage: fleet_resilience [--seed N] [--threads N] [--json]"
+                    "unknown flag '{other}'\nusage: fleet_resilience [--seed N] [--threads N] \
+                     [--json] [--incremental|--no-incremental]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
-    let rows = sweep_grid_with(
-        seed,
-        &FLEET_SIZES,
-        &FAULT_RATES_HOURS,
-        &BREAKER_POLICIES,
-        threads,
-    );
+    let rows = if incremental {
+        sweep_grid_incremental(
+            seed,
+            &FLEET_SIZES,
+            &FAULT_RATES_HOURS,
+            &BREAKER_POLICIES,
+            threads,
+        )
+    } else {
+        sweep_grid_with(
+            seed,
+            &FLEET_SIZES,
+            &FAULT_RATES_HOURS,
+            &BREAKER_POLICIES,
+            threads,
+        )
+    };
     if json {
         println!("{}", to_json(&rows));
     } else {

@@ -9,18 +9,21 @@
 //! periodic checkpointing, and reports goodput, lost-work hours and MTTR.
 //! `--threads` fans the cells across a worker pool (`0` or omitted =
 //! available parallelism); the output is byte-identical at any thread
-//! count.
+//! count. Incremental shared-prefix forking is on by default;
+//! `--no-incremental` selects the from-scratch equivalence oracle.
 
 use std::process::ExitCode;
 
 use ins_bench::experiments::recovery::{
-    render, sweep_grid_with, to_json, CHECKPOINT_INTERVALS_HOURS, FAULT_RATES_HOURS,
+    render, sweep_grid_incremental, sweep_grid_with, to_json, CHECKPOINT_INTERVALS_HOURS,
+    FAULT_RATES_HOURS,
 };
 
 fn main() -> ExitCode {
     let mut seed = 11u64;
     let mut threads = 0usize;
     let mut json = false;
+    let mut incremental = true;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -52,20 +55,32 @@ fn main() -> ExitCode {
                 }
             }
             "--json" => json = true,
+            "--incremental" => incremental = true,
+            "--no-incremental" => incremental = false,
             other => {
                 eprintln!(
-                    "unknown flag '{other}'\nusage: recovery [--seed N] [--threads N] [--json]"
+                    "unknown flag '{other}'\nusage: recovery [--seed N] [--threads N] [--json] \
+                     [--incremental|--no-incremental]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
-    let rows = sweep_grid_with(
-        seed,
-        &CHECKPOINT_INTERVALS_HOURS,
-        &FAULT_RATES_HOURS,
-        threads,
-    );
+    let rows = if incremental {
+        sweep_grid_incremental(
+            seed,
+            &CHECKPOINT_INTERVALS_HOURS,
+            &FAULT_RATES_HOURS,
+            threads,
+        )
+    } else {
+        sweep_grid_with(
+            seed,
+            &CHECKPOINT_INTERVALS_HOURS,
+            &FAULT_RATES_HOURS,
+            threads,
+        )
+    };
     if json {
         println!("{}", to_json(&rows));
     } else {

@@ -14,8 +14,8 @@
 
 use ins_core::controller::{BaselineController, InsureController, PowerController};
 use ins_core::metrics::RunMetrics;
-use ins_core::system::{InSituSystem, SystemEvent};
-use ins_sim::fault::{FaultSchedule, FaultTargets};
+use ins_core::system::{InSituSystem, SystemEvent, SystemSnapshot};
+use ins_sim::fault::{FaultEvent, FaultSchedule, FaultTargets};
 use ins_sim::time::{SimDuration, SimTime};
 use ins_solar::trace::high_generation_day;
 
@@ -63,6 +63,43 @@ fn schedule_for(seed: u64, mean_hours: Option<f64>) -> FaultSchedule {
     }
 }
 
+/// A schedule whose every event lands in the last quarter of the day,
+/// `[18 h, 24 h)`: the first 75 % of each cell's trajectory is
+/// fault-free and therefore shared across the whole grid. This is the
+/// benchmark grid for measuring the incremental sweep's speedup — the
+/// default [`schedule_for`] grids draw their first event early, so their
+/// shared prefixes are short.
+#[must_use]
+pub fn late_window_schedule_for(seed: u64, mean_hours: Option<f64>) -> FaultSchedule {
+    let Some(h) = mean_hours else {
+        return FaultSchedule::empty();
+    };
+    let window = FaultSchedule::stochastic(
+        seed,
+        SimDuration::from_hours(6),
+        SimDuration::from_secs((h * 3600.0) as u64),
+        TARGETS,
+    );
+    let offset = SimDuration::from_hours(18);
+    let events: Vec<FaultEvent> = window
+        .events()
+        .iter()
+        .map(|e| FaultEvent {
+            at: e.at + offset,
+            kind: e.kind,
+        })
+        .collect();
+    FaultSchedule::from_events(seed, events)
+}
+
+fn controller_by_name(name: &str) -> Box<dyn PowerController> {
+    if name == "insure" {
+        Box::new(InsureController::default())
+    } else {
+        Box::new(BaselineController::new())
+    }
+}
+
 /// Runs one full day under the given controller and fault schedule.
 #[must_use]
 pub fn run_day(
@@ -105,27 +142,136 @@ pub fn sweep_rates(seed: u64, rates: &[Option<f64>]) -> Vec<FaultSweepRow> {
 /// parallelism.
 #[must_use]
 pub fn sweep_rates_with(seed: u64, rates: &[Option<f64>], threads: usize) -> Vec<FaultSweepRow> {
-    let cells: Vec<(Option<f64>, &'static str)> = rates
+    sweep_schedules_scratch(seed, rates, threads, |rate| schedule_for(seed, rate))
+}
+
+/// [`sweep_rates_with`] on the incremental shared-prefix path.
+///
+/// Cells are grouped by controller (the only axis that shapes the
+/// fault-free trajectory); each group's prefix is simulated once up to
+/// the step-aligned instant before the group's earliest fault event,
+/// snapshotted, and every cell forks from the snapshot under its own
+/// schedule. [`InSituSystem::fork_from`] re-derives the sensor RNG from
+/// the cell's schedule seed exactly as a from-scratch build would, so
+/// rows are byte-identical to [`sweep_rates_with`] at any thread count.
+#[must_use]
+pub fn sweep_rates_incremental(
+    seed: u64,
+    rates: &[Option<f64>],
+    threads: usize,
+) -> Vec<FaultSweepRow> {
+    sweep_schedules_incremental(seed, rates, threads, |rate| schedule_for(seed, rate))
+}
+
+/// Sweeps the late-window benchmark grid (`[18 h, 24 h)` fault windows,
+/// 75 % shared prefix) on either path. Used by `bench_report` to record
+/// the incremental engine's speedup on a grid whose cells genuinely
+/// share most of their trajectory.
+#[must_use]
+pub fn sweep_shared_window(
+    seed: u64,
+    rates: &[Option<f64>],
+    threads: usize,
+    incremental: bool,
+) -> Vec<FaultSweepRow> {
+    if incremental {
+        sweep_schedules_incremental(seed, rates, threads, |rate| {
+            late_window_schedule_for(seed, rate)
+        })
+    } else {
+        sweep_schedules_scratch(seed, rates, threads, |rate| {
+            late_window_schedule_for(seed, rate)
+        })
+    }
+}
+
+fn grid_cells(rates: &[Option<f64>]) -> Vec<(Option<f64>, &'static str)> {
+    rates
         .iter()
         .flat_map(|&rate| [(rate, "insure"), (rate, "baseline")])
-        .collect();
+        .collect()
+}
+
+fn row_from(
+    rate: Option<f64>,
+    name: &'static str,
+    metrics: &RunMetrics,
+    injected: usize,
+) -> FaultSweepRow {
+    FaultSweepRow {
+        mean_interarrival_hours: rate.unwrap_or(f64::INFINITY),
+        controller: name,
+        faults_injected: injected,
+        uptime: metrics.uptime,
+        gb_per_hour: metrics.throughput_gb_per_hour,
+        energy_availability_wh: metrics.mean_stored_energy_wh,
+        brownouts: metrics.brownouts,
+    }
+}
+
+fn sweep_schedules_scratch<F>(
+    seed: u64,
+    rates: &[Option<f64>],
+    threads: usize,
+    schedule_of: F,
+) -> Vec<FaultSweepRow>
+where
+    F: Fn(Option<f64>) -> FaultSchedule + Sync,
+{
+    let cells = grid_cells(rates);
     crate::runner::run_cells(threads, &cells, |_, &(rate, name)| {
-        let controller: Box<dyn PowerController> = if name == "insure" {
-            Box::new(InsureController::default())
-        } else {
-            Box::new(BaselineController::new())
-        };
-        let (metrics, injected) = run_day(controller, schedule_for(seed, rate), seed);
-        FaultSweepRow {
-            mean_interarrival_hours: rate.unwrap_or(f64::INFINITY),
-            controller: name,
-            faults_injected: injected,
-            uptime: metrics.uptime,
-            gb_per_hour: metrics.throughput_gb_per_hour,
-            energy_availability_wh: metrics.mean_stored_energy_wh,
-            brownouts: metrics.brownouts,
-        }
+        let (metrics, injected) = run_day(controller_by_name(name), schedule_of(rate), seed);
+        row_from(rate, name, &metrics, injected)
     })
+}
+
+fn sweep_schedules_incremental<F>(
+    seed: u64,
+    rates: &[Option<f64>],
+    threads: usize,
+    schedule_of: F,
+) -> Vec<FaultSweepRow>
+where
+    F: Fn(Option<f64>) -> FaultSchedule + Sync,
+{
+    let cells = grid_cells(rates);
+    let step = SimDuration::from_secs(30);
+    let end = SimTime::from_hms(23, 59, 30);
+    crate::runner::run_cells_incremental(
+        threads,
+        &cells,
+        step,
+        |&(rate, name)| (name, schedule_of(rate).first_event_at()),
+        |name: &&'static str, fork_at| {
+            // The prefix replays every cell's fault-free warm-up: same
+            // weather, same controller, no events. The schedule seed is
+            // irrelevant here — the sensor RNG it feeds is only consumed
+            // inside noise windows, and a fault-free prefix has none;
+            // the fork re-derives it from the cell's own schedule.
+            let mut sys =
+                InSituSystem::builder(high_generation_day(seed), controller_by_name(name))
+                    .unit_count(TARGETS.units)
+                    .time_step(step)
+                    .fault_schedule(FaultSchedule::from_events(seed, Vec::new()))
+                    .build();
+            sys.run_until(fork_at);
+            sys.snapshot().ok()
+        },
+        |_, &(rate, name), snap: Option<&SystemSnapshot>| {
+            let (metrics, injected) = match snap {
+                Some(snapshot) => {
+                    let mut sys = InSituSystem::fork_from(snapshot, schedule_of(rate));
+                    sys.run_until(end);
+                    let injected = sys
+                        .events()
+                        .count(|e| matches!(e, SystemEvent::FaultInjected(_)));
+                    (RunMetrics::collect(&sys), injected)
+                }
+                None => run_day(controller_by_name(name), schedule_of(rate), seed),
+            };
+            row_from(rate, name, &metrics, injected)
+        },
+    )
 }
 
 /// Renders the sweep as a fault-rate table.
@@ -296,6 +442,41 @@ mod tests {
         for threads in [0, 2, 4] {
             assert_eq!(sweep_rates_with(11, &rates, threads), serial);
         }
+    }
+
+    #[test]
+    fn incremental_sweep_matches_scratch_exactly() {
+        let rates = [None, Some(2.0)];
+        let scratch = sweep_rates_with(11, &rates, 1);
+        for threads in [1, 2] {
+            assert_eq!(
+                sweep_rates_incremental(11, &rates, threads),
+                scratch,
+                "incremental path must be byte-identical at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn late_window_schedules_share_three_quarters_of_the_day() {
+        let schedule = late_window_schedule_for(11, Some(0.5));
+        assert!(!schedule.is_empty(), "a 30 min mean over 6 h draws events");
+        let first = schedule.first_event_at().expect("non-empty schedule");
+        assert!(
+            first >= SimTime::from_hms(18, 0, 0),
+            "every event must land in the final quarter, first at {first:?}"
+        );
+        assert!(late_window_schedule_for(11, None).is_empty());
+    }
+
+    #[test]
+    fn shared_window_sweep_is_path_independent() {
+        let rates = [Some(3.0), Some(1.5)];
+        let scratch = sweep_shared_window(11, &rates, 1, false);
+        let incremental = sweep_shared_window(11, &rates, 1, true);
+        assert_eq!(incremental, scratch);
+        // The benchmark grid really does inject faults.
+        assert!(scratch.iter().any(|r| r.faults_injected > 0));
     }
 
     #[test]

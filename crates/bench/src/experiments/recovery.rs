@@ -15,7 +15,7 @@
 
 use ins_core::controller::{BaselineController, InsureController, PowerController};
 use ins_core::metrics::RunMetrics;
-use ins_core::system::{InSituSystem, SystemEvent};
+use ins_core::system::{InSituSystem, SystemEvent, SystemSnapshot};
 use ins_sim::fault::{FaultSchedule, FaultTargets};
 use ins_sim::time::{SimDuration, SimTime};
 use ins_solar::trace::high_generation_day;
@@ -69,6 +69,38 @@ fn interval(hours: f64) -> SimDuration {
     SimDuration::from_secs((hours * 3600.0) as u64)
 }
 
+fn schedule_for(seed: u64, mean_interarrival_hours: f64) -> FaultSchedule {
+    FaultSchedule::stochastic_extended(
+        seed,
+        SimDuration::from_hours(24),
+        interval(mean_interarrival_hours),
+        TARGETS,
+    )
+}
+
+fn builder_for(
+    controller: Box<dyn PowerController>,
+    checkpoint_interval_hours: f64,
+    schedule: FaultSchedule,
+    seed: u64,
+) -> InSituSystem {
+    InSituSystem::builder(high_generation_day(seed), controller)
+        .unit_count(TARGETS.units)
+        .time_step(SimDuration::from_secs(30))
+        .fault_schedule(schedule)
+        .checkpoints(CheckpointPolicy::with_interval(interval(
+            checkpoint_interval_hours,
+        )))
+        .build()
+}
+
+fn finish(sys: &InSituSystem) -> (RunMetrics, usize) {
+    let injected = sys
+        .events()
+        .count(|e| matches!(e, SystemEvent::FaultInjected(_)));
+    (RunMetrics::collect(sys), injected)
+}
+
 /// Runs one day with checkpointing under the extended fault menu.
 #[must_use]
 pub fn run_cell(
@@ -77,25 +109,10 @@ pub fn run_cell(
     mean_interarrival_hours: f64,
     seed: u64,
 ) -> (RunMetrics, usize) {
-    let schedule = FaultSchedule::stochastic_extended(
-        seed,
-        SimDuration::from_hours(24),
-        interval(mean_interarrival_hours),
-        TARGETS,
-    );
-    let mut sys = InSituSystem::builder(high_generation_day(seed), controller)
-        .unit_count(TARGETS.units)
-        .time_step(SimDuration::from_secs(30))
-        .fault_schedule(schedule)
-        .checkpoints(CheckpointPolicy::with_interval(interval(
-            checkpoint_interval_hours,
-        )))
-        .build();
+    let schedule = schedule_for(seed, mean_interarrival_hours);
+    let mut sys = builder_for(controller, checkpoint_interval_hours, schedule, seed);
     sys.run_until(SimTime::from_hms(23, 59, 30));
-    let injected = sys
-        .events()
-        .count(|e| matches!(e, SystemEvent::FaultInjected(_)));
-    (RunMetrics::collect(&sys), injected)
+    finish(&sys)
 }
 
 /// Sweeps checkpoint interval × fault rate × {InSURE, baseline}.
@@ -133,27 +150,95 @@ pub fn sweep_grid_with(
         }
     }
     crate::runner::run_cells(threads, &cells, |_, &(ckpt, rate, name)| {
-        let controller: Box<dyn PowerController> = if name == "insure" {
-            Box::new(InsureController::default())
-        } else {
-            Box::new(BaselineController::new())
-        };
-        let (m, injected) = run_cell(controller, ckpt, rate, seed);
-        RecoveryRow {
-            checkpoint_interval_hours: ckpt,
-            mean_interarrival_hours: rate,
-            controller: name,
-            faults_injected: injected,
-            throughput_gb_per_hour: m.throughput_gb_per_hour,
-            goodput_gb_per_hour: m.goodput_gb_per_hour,
-            lost_work_hours: m.lost_work_hours,
-            mttr_minutes: m.mttr_minutes,
-            recoveries: m.recoveries,
-            data_loss_events: m.data_loss_events,
-            checkpoints_written: m.checkpoints_written,
-            checkpoints_torn: m.checkpoints_torn,
-        }
+        let (m, injected) = run_cell(controller_by_name(name), ckpt, rate, seed);
+        row_from(ckpt, rate, name, &m, injected)
     })
+}
+
+/// [`sweep_grid_with`] on the incremental shared-prefix path.
+///
+/// Cells are grouped by `(checkpoint interval, controller)` — the two
+/// axes that shape the fault-free trajectory (periodic checkpoints are
+/// written during the warm-up, so the interval is part of the prefix).
+/// Fault rate varies *within* a group: the group's prefix runs
+/// fault-free to the step-aligned instant before the earliest first
+/// event across its members' schedules, then every cell forks under its
+/// own schedule. Byte-identical to [`sweep_grid_with`] at any thread
+/// count.
+#[must_use]
+pub fn sweep_grid_incremental(
+    seed: u64,
+    intervals_hours: &[f64],
+    rates_hours: &[f64],
+    threads: usize,
+) -> Vec<RecoveryRow> {
+    let mut cells: Vec<(f64, f64, &'static str)> = Vec::new();
+    for &ckpt in intervals_hours {
+        for &rate in rates_hours {
+            cells.push((ckpt, rate, "insure"));
+            cells.push((ckpt, rate, "baseline"));
+        }
+    }
+    let step = SimDuration::from_secs(30);
+    let end = SimTime::from_hms(23, 59, 30);
+    crate::runner::run_cells_incremental(
+        threads,
+        &cells,
+        step,
+        |&(ckpt, rate, name)| ((ckpt, name), schedule_for(seed, rate).first_event_at()),
+        |&(ckpt, name): &(f64, &'static str), fork_at| {
+            let mut sys = builder_for(
+                controller_by_name(name),
+                ckpt,
+                FaultSchedule::from_events(seed, Vec::new()),
+                seed,
+            );
+            sys.run_until(fork_at);
+            sys.snapshot().ok()
+        },
+        |_, &(ckpt, rate, name), snap: Option<&SystemSnapshot>| {
+            let (m, injected) = match snap {
+                Some(snapshot) => {
+                    let mut sys = InSituSystem::fork_from(snapshot, schedule_for(seed, rate));
+                    sys.run_until(end);
+                    finish(&sys)
+                }
+                None => run_cell(controller_by_name(name), ckpt, rate, seed),
+            };
+            row_from(ckpt, rate, name, &m, injected)
+        },
+    )
+}
+
+fn controller_by_name(name: &str) -> Box<dyn PowerController> {
+    if name == "insure" {
+        Box::new(InsureController::default())
+    } else {
+        Box::new(BaselineController::new())
+    }
+}
+
+fn row_from(
+    ckpt: f64,
+    rate: f64,
+    name: &'static str,
+    m: &RunMetrics,
+    injected: usize,
+) -> RecoveryRow {
+    RecoveryRow {
+        checkpoint_interval_hours: ckpt,
+        mean_interarrival_hours: rate,
+        controller: name,
+        faults_injected: injected,
+        throughput_gb_per_hour: m.throughput_gb_per_hour,
+        goodput_gb_per_hour: m.goodput_gb_per_hour,
+        lost_work_hours: m.lost_work_hours,
+        mttr_minutes: m.mttr_minutes,
+        recoveries: m.recoveries,
+        data_loss_events: m.data_loss_events,
+        checkpoints_written: m.checkpoints_written,
+        checkpoints_torn: m.checkpoints_torn,
+    }
 }
 
 /// Renders the sweep as a text table.
@@ -315,6 +400,20 @@ mod tests {
         let serial = sweep_grid(11, &[1.0], &[2.0]);
         for threads in [0, 2, 4] {
             assert_eq!(sweep_grid_with(11, &[1.0], &[2.0], threads), serial);
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_matches_scratch_exactly() {
+        let intervals = [0.5, 1.0];
+        let rates = [2.0];
+        let scratch = sweep_grid_with(11, &intervals, &rates, 1);
+        for threads in [1, 2] {
+            assert_eq!(
+                sweep_grid_incremental(11, &intervals, &rates, threads),
+                scratch,
+                "incremental path must be byte-identical at {threads} threads"
+            );
         }
     }
 

@@ -21,6 +21,8 @@
 
 use ins_sim::pool;
 use ins_sim::rng::SimRng;
+use ins_sim::snapshot::{plan_prefix_groups, CellPlan, PrefixGroup};
+use ins_sim::time::{SimDuration, SimTime};
 
 /// Fans `cells` across `threads` workers, returning results in input
 /// order.
@@ -46,6 +48,89 @@ where
         threads
     };
     pool::scoped_map(threads, cells, f)
+}
+
+/// Fans `cells` across `threads` workers on the incremental
+/// (shared-prefix forking) path, returning results in input order.
+///
+/// The grid is first partitioned with
+/// [`ins_sim::snapshot::plan_prefix_groups`]: `key_of` maps each cell to
+/// its config-until-divergence key plus the instant it first departs from
+/// the group baseline (conventionally its first fault event). Each group
+/// whose plan yields a fork instant has its shared prefix simulated once
+/// by `prefix_of` (phase 1, parallel over groups); then every cell runs
+/// via `run` (phase 2, parallel over cells), receiving `Some(&snapshot)`
+/// when its group forked and `None` when it must run from scratch —
+/// singletons, never-diverging groups, zero-length prefixes, or a
+/// `prefix_of` that declined by returning `None`.
+///
+/// Determinism contract: both phases go through [`run_cells`], the
+/// planner is order-stable, and each cell's output depends only on
+/// `(index, payload, its group's snapshot)` — so incremental results are
+/// byte-identical at any thread count, and equal to the scratch path
+/// whenever `run(i, cell, Some(snap))` replays `run(i, cell, None)`
+/// exactly (the per-experiment fork-equivalence guarantee).
+///
+/// # Panics
+///
+/// Re-raises any panic from a worker, exactly like [`run_cells`].
+pub fn run_cells_incremental<T, K, S, R, KeyF, PrefixF, RunF>(
+    threads: usize,
+    cells: &[T],
+    step: SimDuration,
+    key_of: KeyF,
+    prefix_of: PrefixF,
+    run: RunF,
+) -> Vec<R>
+where
+    T: Sync,
+    K: PartialEq + Clone + Send + Sync,
+    S: Send + Sync,
+    R: Send,
+    KeyF: Fn(&T) -> (K, Option<SimTime>),
+    PrefixF: Fn(&K, SimTime) -> Option<S> + Sync,
+    RunF: Fn(usize, &T, Option<&S>) -> R + Sync,
+{
+    let plans: Vec<CellPlan<K>> = cells
+        .iter()
+        .map(|cell| {
+            let (key, diverges_at) = key_of(cell);
+            CellPlan { key, diverges_at }
+        })
+        .collect();
+    let groups: Vec<PrefixGroup<K>> = plan_prefix_groups(&plans, step);
+
+    // Phase 1: simulate each forkable group's shared prefix once.
+    let forkable: Vec<(usize, K, SimTime)> = groups
+        .iter()
+        .enumerate()
+        .filter_map(|(gi, g)| g.fork_at.map(|at| (gi, g.key.clone(), at)))
+        .collect();
+    let snapshots: Vec<Option<S>> =
+        run_cells(threads, &forkable, |_, (_, key, at)| prefix_of(key, *at));
+
+    // Wire each cell to its group's snapshot (if any).
+    let mut by_group: Vec<Option<&S>> = vec![None; groups.len()];
+    for ((gi, _, _), snap) in forkable.iter().zip(&snapshots) {
+        if let Some(slot) = by_group.get_mut(*gi) {
+            *slot = snap.as_ref();
+        }
+    }
+    let mut cell_snapshots: Vec<Option<&S>> = vec![None; cells.len()];
+    for (group, snap) in groups.iter().zip(&by_group) {
+        for &member in &group.members {
+            if let Some(slot) = cell_snapshots.get_mut(member) {
+                *slot = *snap;
+            }
+        }
+    }
+
+    // Phase 2: fan the cells out, forking from the prefix where one
+    // exists.
+    let work: Vec<(&T, Option<&S>)> = cells.iter().zip(cell_snapshots).collect();
+    run_cells(threads, &work, |index, (cell, snap)| {
+        run(index, cell, *snap)
+    })
 }
 
 /// Derives the seed for sweep cell `index` from the experiment's base
@@ -90,6 +175,26 @@ pub fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
     Ok(None)
 }
 
+/// Parses the `--incremental` / `--no-incremental` flag pair from a
+/// binary's argument list.
+///
+/// Incremental (shared-prefix forking) is the default; `--no-incremental`
+/// selects the from-scratch path that serves as the equivalence oracle.
+/// When both appear the last occurrence wins, matching conventional CLI
+/// override semantics.
+#[must_use]
+pub fn parse_incremental(args: &[String]) -> bool {
+    let mut incremental = true;
+    for arg in args {
+        match arg.as_str() {
+            "--incremental" => incremental = true,
+            "--no-incremental" => incremental = false,
+            _ => {}
+        }
+    }
+    incremental
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +218,68 @@ mod tests {
         // Stability: the derivation is part of the determinism contract.
         assert_eq!(cell_seed(42, 0), cell_seed(42, 0));
         assert_ne!(cell_seed(42, 0), cell_seed(43, 0));
+    }
+
+    #[test]
+    fn incremental_runner_forks_groups_and_matches_scratch() {
+        // Synthetic grid: key = cell / 10, divergence = cell seconds.
+        // The "simulation" is a running sum: the prefix covers
+        // [0, fork_at) and the cell run covers the rest, so
+        // prefix + fork must equal the scratch total exactly.
+        let cells: Vec<u64> = vec![100, 130, 170, 205, 7, 300, 330];
+        let step = SimDuration::from_secs(30);
+        let total = |cell: u64| (0..cell).sum::<u64>();
+        let scratch: Vec<u64> = run_cells(1, &cells, |_, &c| total(c));
+        for threads in [1, 2, 4] {
+            let incremental = run_cells_incremental(
+                threads,
+                &cells,
+                step,
+                |&c| (c / 100, Some(SimTime::from_secs(c))),
+                |_, fork_at| Some((fork_at.as_secs(), (0..fork_at.as_secs()).sum::<u64>())),
+                |_, &c, snap| match snap {
+                    Some(&(forked_at, prefix_sum)) => {
+                        assert!(forked_at <= c, "prefix must stop before divergence");
+                        prefix_sum + (forked_at..c).sum::<u64>()
+                    }
+                    None => total(c),
+                },
+            );
+            assert_eq!(incremental, scratch);
+        }
+    }
+
+    #[test]
+    fn incremental_runner_scratches_when_prefix_declines() {
+        let cells: Vec<u64> = vec![50, 80];
+        let results = run_cells_incremental(
+            1,
+            &cells,
+            SimDuration::from_secs(10),
+            |_| (0u8, Some(SimTime::from_secs(40))),
+            |_, _| None::<u64>,
+            |_, &c, snap| {
+                assert!(snap.is_none(), "declined prefix must fall back to scratch");
+                c * 2
+            },
+        );
+        assert_eq!(results, vec![100, 160]);
+    }
+
+    #[test]
+    fn parse_incremental_defaults_on_and_last_flag_wins() {
+        let args = |s: &[&str]| s.iter().map(|a| (*a).to_string()).collect::<Vec<_>>();
+        assert!(parse_incremental(&args(&[])));
+        assert!(parse_incremental(&args(&["--incremental"])));
+        assert!(!parse_incremental(&args(&["--no-incremental"])));
+        assert!(!parse_incremental(&args(&[
+            "--incremental",
+            "--no-incremental"
+        ])));
+        assert!(parse_incremental(&args(&[
+            "--no-incremental",
+            "--incremental"
+        ])));
     }
 
     #[test]

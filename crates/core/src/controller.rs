@@ -89,6 +89,31 @@ pub trait PowerController {
 
     /// Produces the orders for the next control period.
     fn control(&mut self, obs: &SystemObservation) -> ControlAction;
+
+    /// The controller's snapshot handle, when it supports copy-on-write
+    /// forking (see [`SnapshotController`]).
+    ///
+    /// The default declines: controllers wrapping non-clonable state
+    /// (service-mode engines, external processes) simply cannot be
+    /// forked, and [`crate::system::InSituSystem::snapshot`] reports that
+    /// as an error instead of guessing.
+    fn fork_controller(&self) -> Option<Box<dyn SnapshotController>> {
+        None
+    }
+}
+
+/// A [`PowerController`] that can be duplicated for copy-on-write sweep
+/// forking.
+///
+/// Implementations must produce an exact state copy: a forked cell is
+/// only byte-identical to its from-scratch run if the cloned controller
+/// resumes from precisely the prefix's internal state. Plain-data
+/// controllers get this for free from `#[derive(Clone)]`; `Send + Sync`
+/// is required so one frozen snapshot can seed forks on many sweep
+/// workers at once.
+pub trait SnapshotController: PowerController + Send + Sync {
+    /// Duplicates the controller, state and all.
+    fn clone_snapshot(&self) -> Box<dyn SnapshotController>;
 }
 
 // ---------------------------------------------------------------------
@@ -206,6 +231,10 @@ impl InsureController {
 impl PowerController for InsureController {
     fn name(&self) -> &'static str {
         "InSURE (spatio-temporal)"
+    }
+
+    fn fork_controller(&self) -> Option<Box<dyn SnapshotController>> {
+        Some(Box::new(self.clone()))
     }
 
     fn control(&mut self, obs: &SystemObservation) -> ControlAction {
@@ -490,6 +519,10 @@ impl PowerController for BaselineController {
         "baseline (tracking + peak shaving)"
     }
 
+    fn fork_controller(&self) -> Option<Box<dyn SnapshotController>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn control(&mut self, obs: &SystemObservation) -> ControlAction {
         let mut action = ControlAction::default();
         let mean_soc = if obs.units.is_empty() {
@@ -607,6 +640,10 @@ impl PowerController for NoOptController {
         "non-optimized (fixed schedule)"
     }
 
+    fn fork_controller(&self) -> Option<Box<dyn SnapshotController>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn control(&mut self, obs: &SystemObservation) -> ControlAction {
         let mut action = ControlAction::default();
         let mut target = Self::scheduled_vms(obs.now.time_of_day_hours()).min(obs.total_vm_slots);
@@ -652,6 +689,30 @@ impl PowerController for NoOptController {
             action.attachments.push((u.id, a));
         }
         action
+    }
+}
+
+// Every stock policy is plain data, so its snapshot copy is a derived
+// clone. Controllers that wrap external machinery (the service bridge,
+// the PolicyEngine adapter) deliberately do *not* appear here: they keep
+// the default `fork_controller() -> None`, which makes
+// `InSituSystem::snapshot()` fail loudly instead of forking a handle
+// whose far side cannot be duplicated.
+impl SnapshotController for InsureController {
+    fn clone_snapshot(&self) -> Box<dyn SnapshotController> {
+        Box::new(self.clone())
+    }
+}
+
+impl SnapshotController for BaselineController {
+    fn clone_snapshot(&self) -> Box<dyn SnapshotController> {
+        Box::new(self.clone())
+    }
+}
+
+impl SnapshotController for NoOptController {
+    fn clone_snapshot(&self) -> Box<dyn SnapshotController> {
+        Box::new(self.clone())
     }
 }
 

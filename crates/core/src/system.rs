@@ -28,7 +28,7 @@ use ins_workload::checkpoint::{
 use ins_workload::scaling::ScalingModel;
 use ins_workload::stream::{StreamSpec, StreamWorkload};
 
-use crate::controller::{ControlAction, PowerController, SystemObservation};
+use crate::controller::{ControlAction, PowerController, SnapshotController, SystemObservation};
 use crate::spm::UnitView;
 use crate::tpm::LoadKnob;
 
@@ -276,11 +276,369 @@ impl core::fmt::Debug for InSituSystem {
     }
 }
 
+/// Why a system could not be snapshotted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The installed controller declined
+    /// [`PowerController::fork_controller`]: it wraps state that cannot
+    /// be duplicated (a service-mode engine, an external process), so a
+    /// forked copy could not be byte-identical. Carries the controller's
+    /// display name.
+    ControllerNotForkable(&'static str),
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ControllerNotForkable(name) => {
+                write!(f, "controller '{name}' does not support snapshot forking")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The frozen state behind a [`SystemSnapshot`]: every [`InSituSystem`]
+/// field, verbatim, with the controller held through its snapshot handle.
+///
+/// Kept field-for-field parallel to [`InSituSystem`] (both sides use
+/// exhaustive struct expressions, no `..`), so adding a field to one
+/// without the other is a compile error — state can never silently fall
+/// out of the fork path.
+struct SnapshotState {
+    clock: SimClock,
+    solar: SolarTrace,
+    units: Vec<BatteryUnit>,
+    matrix: SwitchMatrix,
+    charger: ChargeController,
+    bus: LoadBus,
+    rack: Rack,
+    workload: WorkloadModel,
+    controller: Box<dyn SnapshotController>,
+    control_period: SimDuration,
+    started: SimTime,
+    last_control: Option<SimTime>,
+    last_discharge_current: Amps,
+    faults: FaultSchedule,
+    sensor_rng: SimRng,
+    sensor_noise: Option<(f64, SimTime)>,
+    charger_dropout_until: Option<SimTime>,
+    stale_windows: Vec<Option<StaleWindow>>,
+    checkpoint_faults: Vec<(usize, SimTime)>,
+    restart_storm_until: Option<SimTime>,
+    matrix_cache_generation: Option<u64>,
+    cached_discharging: Vec<BatteryId>,
+    cached_charging: Vec<BatteryId>,
+    checkpointer: Option<JobCheckpointer>,
+    last_checkpoint_attempt: Option<SimTime>,
+    needs_recovery: bool,
+    outage_started: Option<SimTime>,
+    recovery_durations: Vec<SimDuration>,
+    lost_work_gb: f64,
+    data_loss_events: u64,
+    brownouts: usize,
+    trace_solar: Trace,
+    trace_load: Trace,
+    trace_stored: Trace,
+    trace_pack_voltage: Trace,
+    voltage_stats: RunningStats,
+    events: EventLog<SystemEvent>,
+    solar_harvested: WattHours,
+    solar_used_load: WattHours,
+    solar_used_charge: WattHours,
+    battery_delivered: WattHours,
+    served_time: SimDuration,
+    demand_time: SimDuration,
+}
+
+/// A copy-on-write snapshot of an [`InSituSystem`] mid-run.
+///
+/// The state sits behind an [`Arc`], so handing a snapshot to every
+/// worker of a sweep pool shares one frozen copy; each
+/// [`InSituSystem::fork_from`] call then pays only for the clone it
+/// actually needs. The snapshot embeds the job-checkpoint store (the
+/// PR 3 [`ins_workload::checkpoint::CheckpointStore`], whose round-trip
+/// guarantee the recovery tests pin) verbatim, so forked cells restore
+/// from exactly the durable artifacts the prefix wrote.
+///
+/// Obtained from [`InSituSystem::snapshot`]; consumed (any number of
+/// times, from any thread) by [`InSituSystem::fork_from`].
+#[derive(Clone)]
+pub struct SystemSnapshot {
+    inner: std::sync::Arc<SnapshotState>,
+}
+
+impl core::fmt::Debug for SystemSnapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SystemSnapshot")
+            .field("now", &self.inner.clock.now())
+            .field("controller", &self.inner.controller.name())
+            .field("units", &self.inner.units.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemSnapshot {
+    /// The instant the snapshot was taken (the forked run's first step
+    /// starts here).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.inner.clock.now()
+    }
+
+    /// The fault schedule the snapshotted run carried. Forks that keep
+    /// the same schedule (e.g. fleet sites, whose faults arrive at the
+    /// fleet level) pass a clone of this to [`InSituSystem::fork_from`].
+    #[must_use]
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.inner.faults
+    }
+}
+
 impl InSituSystem {
     /// Starts building a system.
     #[must_use]
     pub fn builder(solar: SolarTrace, controller: Box<dyn PowerController>) -> SystemBuilder {
         SystemBuilder::new(solar, controller)
+    }
+
+    /// Freezes the system's complete state into a shareable
+    /// copy-on-write [`SystemSnapshot`].
+    ///
+    /// The incremental sweep engine simulates a grid's shared prefix
+    /// once, snapshots it here, and forks every cell from the snapshot
+    /// via [`InSituSystem::fork_from`]. The snapshot is a deep copy —
+    /// mutating this system afterwards never disturbs it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ControllerNotForkable`] when the installed
+    /// controller declines [`PowerController::fork_controller`] (service
+    /// bridges, engine adapters): its state cannot be duplicated, so a
+    /// fork could not be byte-identical to a from-scratch run.
+    pub fn snapshot(&self) -> Result<SystemSnapshot, SnapshotError> {
+        // Exhaustive destructuring: a new `InSituSystem` field that is
+        // not also threaded through `SnapshotState` fails to compile
+        // here, instead of silently resetting in every forked cell.
+        let InSituSystem {
+            clock,
+            solar,
+            units,
+            matrix,
+            charger,
+            bus,
+            rack,
+            workload,
+            controller,
+            control_period,
+            started,
+            last_control,
+            last_discharge_current,
+            faults,
+            sensor_rng,
+            sensor_noise,
+            charger_dropout_until,
+            stale_windows,
+            checkpoint_faults,
+            restart_storm_until,
+            matrix_cache_generation,
+            cached_discharging,
+            cached_charging,
+            checkpointer,
+            last_checkpoint_attempt,
+            needs_recovery,
+            outage_started,
+            recovery_durations,
+            lost_work_gb,
+            data_loss_events,
+            brownouts,
+            trace_solar,
+            trace_load,
+            trace_stored,
+            trace_pack_voltage,
+            voltage_stats,
+            events,
+            solar_harvested,
+            solar_used_load,
+            solar_used_charge,
+            battery_delivered,
+            served_time,
+            demand_time,
+        } = self;
+        let controller = controller
+            .fork_controller()
+            .ok_or(SnapshotError::ControllerNotForkable(self.controller.name()))?;
+        Ok(SystemSnapshot {
+            inner: std::sync::Arc::new(SnapshotState {
+                clock: clock.clone(),
+                solar: solar.clone(),
+                units: units.clone(),
+                matrix: matrix.clone(),
+                charger: *charger,
+                bus: *bus,
+                rack: rack.clone(),
+                workload: workload.clone(),
+                controller,
+                control_period: *control_period,
+                started: *started,
+                last_control: *last_control,
+                last_discharge_current: *last_discharge_current,
+                faults: faults.clone(),
+                sensor_rng: sensor_rng.clone(),
+                sensor_noise: *sensor_noise,
+                charger_dropout_until: *charger_dropout_until,
+                stale_windows: stale_windows.clone(),
+                checkpoint_faults: checkpoint_faults.clone(),
+                restart_storm_until: *restart_storm_until,
+                matrix_cache_generation: *matrix_cache_generation,
+                cached_discharging: cached_discharging.clone(),
+                cached_charging: cached_charging.clone(),
+                checkpointer: checkpointer.clone(),
+                last_checkpoint_attempt: *last_checkpoint_attempt,
+                needs_recovery: *needs_recovery,
+                outage_started: *outage_started,
+                recovery_durations: recovery_durations.clone(),
+                lost_work_gb: *lost_work_gb,
+                data_loss_events: *data_loss_events,
+                brownouts: *brownouts,
+                trace_solar: trace_solar.clone(),
+                trace_load: trace_load.clone(),
+                trace_stored: trace_stored.clone(),
+                trace_pack_voltage: trace_pack_voltage.clone(),
+                voltage_stats: *voltage_stats,
+                events: events.clone(),
+                solar_harvested: *solar_harvested,
+                solar_used_load: *solar_used_load,
+                solar_used_charge: *solar_used_charge,
+                battery_delivered: *battery_delivered,
+                served_time: *served_time,
+                demand_time: *demand_time,
+            }),
+        })
+    }
+
+    /// Reconstructs a running system from a snapshot, installing `faults`
+    /// as the cell's schedule.
+    ///
+    /// This is the fork half of the incremental sweep contract: when the
+    /// snapshot was taken before the cell's first fault arrival (the
+    /// planner's `fork_at` guarantees it) and no sensor-noise window was
+    /// active, the forked system's trajectory is **byte-identical** to
+    /// running the same configuration from scratch under `faults`.
+    ///
+    /// Two pieces of state are re-derived rather than copied, mirroring
+    /// what [`SystemBuilder::build`] would have done for this cell:
+    ///
+    /// * the sensor-noise RNG restarts from `faults.seed()` — the stream
+    ///   is untouched during a fault-free prefix, so the fork sees the
+    ///   exact stream the scratch run would draw from;
+    /// * events already delivered by the prefix's steps (`at <= now - dt`)
+    ///   are marked spent via [`FaultSchedule::expire_delivered`], so a
+    ///   mis-planned schedule can never re-fire a pre-fork fault late —
+    ///   it is dropped, and the equivalence oracle (`--no-incremental`)
+    ///   flags the divergence instead of compounding it.
+    #[must_use]
+    pub fn fork_from(snapshot: &SystemSnapshot, faults: FaultSchedule) -> InSituSystem {
+        // Exhaustive destructuring again: see `snapshot`.
+        let SnapshotState {
+            clock,
+            solar,
+            units,
+            matrix,
+            charger,
+            bus,
+            rack,
+            workload,
+            controller,
+            control_period,
+            started,
+            last_control,
+            last_discharge_current,
+            faults: _prefix_faults,
+            sensor_rng: _prefix_sensor_rng,
+            sensor_noise,
+            charger_dropout_until,
+            stale_windows,
+            checkpoint_faults,
+            restart_storm_until,
+            matrix_cache_generation,
+            cached_discharging,
+            cached_charging,
+            checkpointer,
+            last_checkpoint_attempt,
+            needs_recovery,
+            outage_started,
+            recovery_durations,
+            lost_work_gb,
+            data_loss_events,
+            brownouts,
+            trace_solar,
+            trace_load,
+            trace_stored,
+            trace_pack_voltage,
+            voltage_stats,
+            events,
+            solar_harvested,
+            solar_used_load,
+            solar_used_charge,
+            battery_delivered,
+            served_time,
+            demand_time,
+        } = &*snapshot.inner;
+        let mut faults = faults;
+        let now = clock.now();
+        if now > *started {
+            // The prefix's last step started at `now - dt` and drained
+            // everything due then; those events are spent, not pending.
+            faults.expire_delivered(now - clock.dt());
+        }
+        let sensor_rng = SimRng::seed(faults.seed()).fork("sensor-noise");
+        InSituSystem {
+            clock: clock.clone(),
+            solar: solar.clone(),
+            units: units.clone(),
+            matrix: matrix.clone(),
+            charger: *charger,
+            bus: *bus,
+            rack: rack.clone(),
+            workload: workload.clone(),
+            controller: controller.clone_snapshot(),
+            control_period: *control_period,
+            started: *started,
+            last_control: *last_control,
+            last_discharge_current: *last_discharge_current,
+            faults,
+            sensor_rng,
+            sensor_noise: *sensor_noise,
+            charger_dropout_until: *charger_dropout_until,
+            stale_windows: stale_windows.clone(),
+            checkpoint_faults: checkpoint_faults.clone(),
+            restart_storm_until: *restart_storm_until,
+            matrix_cache_generation: *matrix_cache_generation,
+            cached_discharging: cached_discharging.clone(),
+            cached_charging: cached_charging.clone(),
+            checkpointer: checkpointer.clone(),
+            last_checkpoint_attempt: *last_checkpoint_attempt,
+            needs_recovery: *needs_recovery,
+            outage_started: *outage_started,
+            recovery_durations: recovery_durations.clone(),
+            lost_work_gb: *lost_work_gb,
+            data_loss_events: *data_loss_events,
+            brownouts: *brownouts,
+            trace_solar: trace_solar.clone(),
+            trace_load: trace_load.clone(),
+            trace_stored: trace_stored.clone(),
+            trace_pack_voltage: trace_pack_voltage.clone(),
+            voltage_stats: *voltage_stats,
+            events: events.clone(),
+            solar_harvested: *solar_harvested,
+            solar_used_load: *solar_used_load,
+            solar_used_charge: *solar_used_charge,
+            battery_delivered: *battery_delivered,
+            served_time: *served_time,
+            demand_time: *demand_time,
+        }
     }
 
     /// Current simulated time.
@@ -1257,12 +1615,95 @@ impl SystemBuilder {
 mod tests {
     use super::*;
     use crate::controller::{BaselineController, InsureController, NoOptController};
+    use crate::engine::{EngineController, PolicyEngine};
+    use crate::metrics::RunMetrics;
     use ins_solar::trace::high_generation_day;
 
     fn day_system(controller: Box<dyn PowerController>) -> InSituSystem {
         InSituSystem::builder(high_generation_day(42), controller)
             .time_step(SimDuration::from_secs(30))
             .build()
+    }
+
+    fn dropout_at(secs: u64, minutes: u64) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_secs(secs),
+            kind: FaultKind::ChargerDropout {
+                duration: SimDuration::from_minutes(minutes),
+            },
+        }
+    }
+
+    #[test]
+    fn forked_run_is_identical_to_its_scratch_run() {
+        let schedule = || {
+            FaultSchedule::from_events(
+                5,
+                vec![dropout_at(7 * 3600, 30), dropout_at(12 * 3600 + 30, 45)],
+            )
+        };
+        let end = SimTime::from_hms(23, 59, 30);
+        // From scratch: the whole day under the cell's schedule.
+        let mut scratch = InSituSystem::builder(
+            high_generation_day(42),
+            Box::new(InsureController::default()),
+        )
+        .time_step(SimDuration::from_secs(30))
+        .fault_schedule(schedule())
+        .build();
+        scratch.run_until(end);
+        // Incremental: fault-free shared prefix to 06:00, snapshot, fork
+        // under the same schedule (first event 07:00 > fork point).
+        let mut prefix = day_system(Box::new(InsureController::default()));
+        prefix.run_until(SimTime::from_hms(6, 0, 0));
+        let snap = prefix.snapshot().expect("stock controllers fork");
+        let mut forked = InSituSystem::fork_from(&snap, schedule());
+        forked.run_until(end);
+        // Mutating the prefix afterwards must not disturb the fork's
+        // source (copy-on-write isolation).
+        prefix.run_until(SimTime::from_hms(8, 0, 0));
+        assert_eq!(RunMetrics::collect(&scratch), RunMetrics::collect(&forked));
+        assert_eq!(scratch.trace_solar(), forked.trace_solar());
+        assert_eq!(scratch.trace_load(), forked.trace_load());
+        assert_eq!(scratch.trace_stored(), forked.trace_stored());
+        assert_eq!(scratch.trace_pack_voltage(), forked.trace_pack_voltage());
+        assert_eq!(scratch.events().len(), forked.events().len());
+        assert_eq!(
+            scratch
+                .events()
+                .count(|e| matches!(e, SystemEvent::FaultInjected(_))),
+            forked
+                .events()
+                .count(|e| matches!(e, SystemEvent::FaultInjected(_)))
+        );
+        assert_eq!(scratch.now(), forked.now());
+    }
+
+    #[test]
+    fn pre_fork_events_never_refire_in_forked_cells() {
+        // Regression: a schedule carrying an event *before* the fork
+        // point (a planner bug, or a hand-built schedule) must see that
+        // event expired, not delivered late.
+        let mut prefix = day_system(Box::new(InsureController::default()));
+        prefix.run_until(SimTime::from_hms(6, 0, 0));
+        let snap = prefix.snapshot().expect("stock controllers fork");
+        let schedule =
+            FaultSchedule::from_events(3, vec![dropout_at(3600, 30), dropout_at(8 * 3600, 30)]);
+        let mut forked = InSituSystem::fork_from(&snap, schedule);
+        forked.run_until(SimTime::from_hms(23, 59, 30));
+        let injected = forked
+            .events()
+            .count(|e| matches!(e, SystemEvent::FaultInjected(_)));
+        assert_eq!(injected, 1, "only the post-fork event may fire");
+    }
+
+    #[test]
+    fn engine_wrapped_controllers_decline_snapshotting() {
+        let engine: Box<dyn PolicyEngine> = Box::new(InsureController::default());
+        let sys = day_system(Box::new(EngineController::new(engine)));
+        let err = sys.snapshot().expect_err("engine adapters cannot fork");
+        assert!(matches!(err, SnapshotError::ControllerNotForkable(_)));
+        assert!(err.to_string().contains("snapshot forking"));
     }
 
     #[test]

@@ -20,10 +20,12 @@ use ins_sim::time::{SimDuration, SimTime};
 use ins_solar::trace::high_generation_day;
 use ins_workload::checkpoint::CheckpointPolicy;
 
+use ins_core::system::SnapshotError;
+
 use crate::breaker::BreakerPolicy;
 use crate::metrics::FleetMetrics;
 use crate::router::{Router, RouterPolicy};
-use crate::site::{Site, SiteId};
+use crate::site::{Site, SiteId, SiteSnapshot};
 
 /// Everything that determines a fleet trajectory.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +80,21 @@ impl FleetConfig {
         self.fleet_fault_mean = Some(mean);
         self
     }
+
+    /// The fleet-level fault schedule this configuration implies.
+    ///
+    /// Both [`Fleet::new`] and [`Fleet::fork_from`] derive their
+    /// schedule through this one helper, so a forked fleet can never
+    /// drift from the schedule a from-scratch build would draw.
+    #[must_use]
+    pub fn fault_schedule(&self) -> FaultSchedule {
+        match self.fleet_fault_mean {
+            Some(mean) => {
+                FaultSchedule::stochastic_fleet(self.seed, self.horizon, mean, self.sites)
+            }
+            None => FaultSchedule::empty(),
+        }
+    }
 }
 
 /// N federated sites behind one fault-tolerant router.
@@ -122,12 +139,7 @@ impl Fleet {
                 )
             })
             .collect();
-        let schedule = match config.fleet_fault_mean {
-            Some(mean) => {
-                FaultSchedule::stochastic_fleet(config.seed, config.horizon, mean, config.sites)
-            }
-            None => FaultSchedule::empty(),
-        };
+        let schedule = config.fault_schedule();
         Self {
             router: Router::new(config.router),
             config,
@@ -247,6 +259,87 @@ impl Fleet {
         }
     }
 
+    /// Freezes the whole fleet — every site, the router's counters, the
+    /// drained fleet-fault cursor and the tick clock — into a
+    /// [`FleetSnapshot`] that any number of variant fleets can fork
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first site's [`SnapshotError`]; fleets built by
+    /// [`Fleet::new`] always use the stock InSURE controller, which
+    /// forks, so this only fires for hand-assembled exotic fleets.
+    pub fn snapshot(&self) -> Result<FleetSnapshot, SnapshotError> {
+        // Exhaustive destructuring: adding a `Fleet` field without
+        // threading it through the snapshot is a compile error.
+        let Fleet {
+            config,
+            sites,
+            schedule,
+            router,
+            flap_until,
+            now,
+            tick_index,
+            fleet_faults,
+        } = self;
+        let sites = sites
+            .iter()
+            .map(Site::snapshot)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FleetSnapshot {
+            config: config.clone(),
+            sites,
+            schedule: schedule.clone(),
+            router: router.clone(),
+            flap_until: *flap_until,
+            now: *now,
+            tick_index: *tick_index,
+            fleet_faults: *fleet_faults,
+        })
+    }
+
+    /// Reconstructs a fleet from a snapshot, swapping in a (possibly
+    /// different) fleet-fault mean — the axis `fleet_resilience` sweeps.
+    ///
+    /// The forked fleet re-derives its schedule through
+    /// [`FleetConfig::fault_schedule`], exactly as a from-scratch build
+    /// would, then expires every event the prefix's ticks already
+    /// covered: a tick starting at `t` drains events with `at <= t`, so
+    /// everything at or before `now - tick` must not re-fire. Prefix
+    /// fleets run fault-free (the planner forks before the earliest
+    /// event of any member), so for equivalent grids this expires
+    /// nothing — it is the guard that makes mis-planned forks fail
+    /// loudly in the equivalence oracle rather than double-inject.
+    #[must_use]
+    pub fn fork_from(snapshot: &FleetSnapshot, fleet_fault_mean: Option<SimDuration>) -> Fleet {
+        let FleetSnapshot {
+            config,
+            sites,
+            schedule: _prefix_schedule,
+            router,
+            flap_until,
+            now,
+            tick_index,
+            fleet_faults,
+        } = snapshot;
+        let mut config = config.clone();
+        config.fleet_fault_mean = fleet_fault_mean;
+        let mut schedule = config.fault_schedule();
+        if *now > SimTime::from_secs(0) {
+            schedule.expire_delivered(*now - config.tick);
+        }
+        Fleet {
+            sites: sites.iter().map(Site::fork_from).collect(),
+            schedule,
+            router: router.clone(),
+            flap_until: *flap_until,
+            now: *now,
+            tick_index: *tick_index,
+            fleet_faults: *fleet_faults,
+            config,
+        }
+    }
+
     /// The run's metric bundle (router counters + per-site aggregates).
     #[must_use]
     pub fn metrics(&self) -> FleetMetrics {
@@ -262,6 +355,38 @@ impl Fleet {
             breaker_trips: self.sites.iter().map(|s| s.breaker().trips()).sum(),
             breaker_resets: self.sites.iter().map(|s| s.breaker().resets()).sum(),
         }
+    }
+}
+
+/// Frozen [`Fleet`] state: per-site [`SiteSnapshot`]s plus the router,
+/// fault cursor and tick clock, verbatim.
+///
+/// Produced by [`Fleet::snapshot`]; consumed any number of times by
+/// [`Fleet::fork_from`]. Cloning is cheap — each site's heavy physics
+/// state is shared behind its snapshot's `Arc`.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    config: FleetConfig,
+    sites: Vec<SiteSnapshot>,
+    schedule: FaultSchedule,
+    router: Router,
+    flap_until: Option<SimTime>,
+    now: SimTime,
+    tick_index: u64,
+    fleet_faults: u64,
+}
+
+impl FleetSnapshot {
+    /// The simulated instant the snapshot was taken at.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration the prefix fleet ran under.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
     }
 }
 
@@ -355,6 +480,42 @@ mod tests {
             fleet.step_tick();
         }
         assert!(!fleet.routing_flap_active());
+    }
+
+    #[test]
+    fn forked_fleet_matches_its_scratch_run() {
+        let config = quick_config(7, 2).with_fleet_faults(SimDuration::from_hours(1));
+        let mut scratch = Fleet::new(config.clone());
+        scratch.run_to_horizon();
+
+        // Fork at the last tick boundary at or before the first fleet
+        // fault — exactly the instant the incremental planner picks.
+        let first = config
+            .fault_schedule()
+            .first_event_at()
+            .expect("a faulted fleet draws at least one event");
+        let fork_ticks = first.as_secs() / config.tick.as_secs();
+        assert!(fork_ticks > 0, "first fault must land after the first tick");
+
+        let mut prefix_config = config.clone();
+        prefix_config.fleet_fault_mean = None;
+        let mut prefix = Fleet::new(prefix_config);
+        for _ in 0..fork_ticks {
+            prefix.step_tick();
+        }
+        let snap = prefix.snapshot().expect("stock fleets snapshot");
+        let mut forked = Fleet::fork_from(&snap, config.fleet_fault_mean);
+        forked.run_to_horizon();
+
+        assert_eq!(forked.now(), scratch.now());
+        assert_eq!(
+            forked.metrics(),
+            scratch.metrics(),
+            "a forked fleet must replay its scratch trajectory exactly"
+        );
+        // The prefix stays live and independent after the fork.
+        prefix.step_tick();
+        assert!(prefix.metrics().fleet_faults == 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! adding or removing sites never perturbs its neighbours, and the
 //! fleet replays byte-identically at any worker count.
 
-use ins_core::system::InSituSystem;
+use ins_core::system::{InSituSystem, SnapshotError, SystemSnapshot};
 use ins_sim::backoff::Backoff;
 use ins_sim::time::{SimDuration, SimTime};
 use ins_solar::trace::SolarTrace;
@@ -280,6 +280,88 @@ impl Site {
         self.power_draw_w() / per_hour
     }
 
+    /// Freezes the site — wrapped system and all WAN-facing state —
+    /// into a [`SiteSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] from the wrapped system (fleet sites
+    /// always install the stock InSURE controller, which forks, so this
+    /// only fires for hand-built sites around exotic controllers).
+    pub fn snapshot(&self) -> Result<SiteSnapshot, SnapshotError> {
+        // Exhaustive destructuring: adding a `Site` field without
+        // threading it through the snapshot is a compile error.
+        let Site {
+            id,
+            system,
+            solar,
+            solar_peak_w,
+            breaker,
+            retry_gate,
+            base_latency_ms,
+            blackout_until,
+            partition_until,
+            slow_until,
+            slow_factor,
+            routable_ticks,
+            total_ticks,
+        } = self;
+        Ok(SiteSnapshot {
+            id: *id,
+            system: system.snapshot()?,
+            solar: solar.clone(),
+            solar_peak_w: *solar_peak_w,
+            breaker: breaker.clone(),
+            retry_gate: *retry_gate,
+            base_latency_ms: *base_latency_ms,
+            blackout_until: *blackout_until,
+            partition_until: *partition_until,
+            slow_until: *slow_until,
+            slow_factor: *slow_factor,
+            routable_ticks: *routable_ticks,
+            total_ticks: *total_ticks,
+        })
+    }
+
+    /// Reconstructs a site from a snapshot.
+    ///
+    /// Sites carry no site-level fault schedule — fleet faults arrive
+    /// from the [`crate::fleet::Fleet`] above — so the wrapped system
+    /// forks under a clone of the schedule it was snapshotted with.
+    #[must_use]
+    pub fn fork_from(snapshot: &SiteSnapshot) -> Site {
+        let SiteSnapshot {
+            id,
+            system,
+            solar,
+            solar_peak_w,
+            breaker,
+            retry_gate,
+            base_latency_ms,
+            blackout_until,
+            partition_until,
+            slow_until,
+            slow_factor,
+            routable_ticks,
+            total_ticks,
+        } = snapshot;
+        Site {
+            id: *id,
+            system: InSituSystem::fork_from(system, system.faults().clone()),
+            solar: solar.clone(),
+            solar_peak_w: *solar_peak_w,
+            breaker: breaker.clone(),
+            retry_gate: *retry_gate,
+            base_latency_ms: *base_latency_ms,
+            blackout_until: *blackout_until,
+            partition_until: *partition_until,
+            slow_until: *slow_until,
+            slow_factor: *slow_factor,
+            routable_ticks: *routable_ticks,
+            total_ticks: *total_ticks,
+        }
+    }
+
     /// Records one routing tick for availability accounting.
     pub fn record_tick(&mut self, routable: bool) {
         self.total_ticks += 1;
@@ -298,6 +380,29 @@ impl Site {
             self.routable_ticks as f64 / self.total_ticks as f64
         }
     }
+}
+
+/// Frozen [`Site`] state: the wrapped system's copy-on-write
+/// [`SystemSnapshot`] plus every WAN-facing field, verbatim.
+///
+/// Produced by [`Site::snapshot`]; consumed any number of times by
+/// [`Site::fork_from`]. Cloning is cheap — the heavy system state sits
+/// behind the snapshot's shared `Arc`.
+#[derive(Debug, Clone)]
+pub struct SiteSnapshot {
+    id: SiteId,
+    system: SystemSnapshot,
+    solar: SolarTrace,
+    solar_peak_w: f64,
+    breaker: CircuitBreaker,
+    retry_gate: Backoff,
+    base_latency_ms: f64,
+    blackout_until: Option<SimTime>,
+    partition_until: Option<SimTime>,
+    slow_until: Option<SimTime>,
+    slow_factor: f64,
+    routable_ticks: u64,
+    total_ticks: u64,
 }
 
 #[cfg(test)]

@@ -318,9 +318,11 @@ pub struct Config {
     pub pool_files: Vec<String>,
     /// Path suffixes of *critical* files: every fn defined there (pub or
     /// not) is an L011 root — these paths must be statically panic-free.
-    /// The service supervisor and safe-mode policy live here: the
-    /// crash-isolation claim (DESIGN.md §11) assumes the takeover path
-    /// itself cannot panic.
+    /// The service supervisor, safe-mode policy and the sweep prefix
+    /// planner live here: the crash-isolation claim (DESIGN.md §11)
+    /// assumes the takeover path itself cannot panic, and the
+    /// incremental-sweep equivalence claim (DESIGN.md §12) assumes the
+    /// planner cannot abort a sweep mid-fan-out.
     pub critical_files: Vec<String>,
     /// Name fragments marking a `pub fn` as a serialization/telemetry
     /// root for L012 (experiment output must be reproducible from the
@@ -359,6 +361,7 @@ impl Config {
             critical_files: vec![
                 "crates/service/src/supervisor.rs".to_string(),
                 "crates/service/src/safe_mode.rs".to_string(),
+                "crates/sim/src/snapshot.rs".to_string(),
             ],
             serialization_roots: vec![
                 "json".to_string(),

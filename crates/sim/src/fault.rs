@@ -535,6 +535,30 @@ impl FaultSchedule {
         self.cursor = start + fired;
         &self.events[start..self.cursor]
     }
+
+    /// Arrival instant of the earliest un-drained event, if any.
+    ///
+    /// The snapshot planner uses this peek to find a grid cell's
+    /// divergence point: until its first fault fires, a cell's trajectory
+    /// is indistinguishable from the fault-free run of the same
+    /// configuration.
+    #[must_use]
+    pub fn first_event_at(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Marks every event due at or before `now` as already delivered,
+    /// without firing it.
+    ///
+    /// This is the fork-time counterpart of [`FaultSchedule::due`]: a run
+    /// forked from a snapshot taken at instant `P` resumes with a step
+    /// that starts at `P`, so everything the from-scratch run would have
+    /// drained during earlier steps (events with `at <= P - dt`) must be
+    /// skipped, never re-fired. The cursor only ever advances.
+    pub fn expire_delivered(&mut self, now: SimTime) {
+        let cut = self.events.partition_point(|e| e.at <= now);
+        self.cursor = self.cursor.max(cut);
+    }
 }
 
 /// Draws one fault kind with severity parameters; `None` when `targets`
@@ -1066,5 +1090,52 @@ mod tests {
             SimDuration::from_secs(0),
             TARGETS,
         );
+    }
+
+    #[test]
+    fn first_event_at_peeks_the_undrained_head() {
+        let mut s = FaultSchedule::from_events(
+            3,
+            vec![
+                FaultEvent {
+                    at: SimTime::from_secs(10),
+                    kind: FaultKind::ChargerDropout {
+                        duration: SimDuration::from_secs(5),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_secs(20),
+                    kind: FaultKind::ChargerDropout {
+                        duration: SimDuration::from_secs(5),
+                    },
+                },
+            ],
+        );
+        assert_eq!(s.first_event_at(), Some(SimTime::from_secs(10)));
+        let _ = s.due(SimTime::from_secs(10));
+        assert_eq!(s.first_event_at(), Some(SimTime::from_secs(20)));
+        let _ = s.due(SimTime::from_secs(20));
+        assert_eq!(s.first_event_at(), None);
+        assert_eq!(FaultSchedule::empty().first_event_at(), None);
+    }
+
+    #[test]
+    fn expire_delivered_skips_without_firing_and_never_rewinds() {
+        let ev = |secs| FaultEvent {
+            at: SimTime::from_secs(secs),
+            kind: FaultKind::ChargerDropout {
+                duration: SimDuration::from_secs(5),
+            },
+        };
+        let mut s = FaultSchedule::from_events(3, vec![ev(10), ev(20), ev(30)]);
+        s.expire_delivered(SimTime::from_secs(20));
+        // Events at 10 and 20 are spent; only the 30 s event can fire.
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.first_event_at(), Some(SimTime::from_secs(30)));
+        let fired: Vec<SimTime> = s.due(SimTime::from_secs(60)).iter().map(|e| e.at).collect();
+        assert_eq!(fired, vec![SimTime::from_secs(30)]);
+        // Expiring behind the cursor is a no-op, not a rewind.
+        s.expire_delivered(SimTime::from_secs(0));
+        assert_eq!(s.remaining(), 0);
     }
 }

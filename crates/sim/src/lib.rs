@@ -14,6 +14,8 @@
 //!   ([`backoff::Backoff`]), shared by checkpoint restores, server
 //!   cooldowns and the fleet router,
 //! * [`pool`] — deterministic scoped worker pool ([`pool::scoped_map`]),
+//! * [`snapshot`] — shared-prefix planning for copy-on-write sweep
+//!   forking ([`snapshot::plan_prefix_groups`]),
 //! * [`log`] — typed event logs ([`log::EventLog`]),
 //! * [`fault`] — seeded, deterministic fault injection
 //!   ([`fault::FaultSchedule`], [`fault::FaultKind`]),
@@ -49,6 +51,7 @@ pub mod log;
 pub mod pool;
 pub mod replay;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -1,0 +1,211 @@
+//! Shared-prefix planning for copy-on-write sweep forking.
+//!
+//! Sweeps are grids of independent cells that usually share most of their
+//! trajectory: two cells with the same controller, weather and step width
+//! evolve identically until the first instant their configurations
+//! *diverge* (typically the first injected fault). Re-simulating that
+//! shared warm-up in every cell is the dominant cost of large grids.
+//!
+//! This module plans the reuse: callers describe each cell with a
+//! [`CellPlan`] — an equality key for the config-until-divergence and the
+//! instant the cell first departs from that baseline — and
+//! [`plan_prefix_groups`] partitions the grid into [`PrefixGroup`]s. Each
+//! group's shared prefix is simulated once (by the caller, e.g.
+//! `ins-bench`'s incremental runner), snapshotted, and every member cell
+//! is forked from the snapshot at the group's [`PrefixGroup::fork_at`]
+//! instant.
+//!
+//! The fork instant is quantized *down* to the simulation step width, so
+//! the prefix run never executes a step the divergent cell would have
+//! seen differently: a step starting at `now` delivers events with
+//! `at <= now`, and `fork_at <= first_divergence` guarantees every prefix
+//! step satisfies `now <= fork_at - step < first_divergence`.
+//!
+//! The planner is pure bookkeeping — no simulation state, no panics (it
+//! is an `ins-lint` L011 critical file) — and fully deterministic: groups
+//! come back in first-occurrence order and members in input order, so an
+//! incremental sweep stays byte-identical at any thread count.
+
+use crate::time::{SimDuration, SimTime};
+
+/// One grid cell, as the planner sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPlan<K> {
+    /// Equality key for everything that shapes the trajectory *before*
+    /// the divergence point (controller, weather seed, step width,
+    /// checkpoint interval, …). Cells fork from a common snapshot only
+    /// when their keys compare equal.
+    pub key: K,
+    /// First instant this cell departs from the group baseline —
+    /// conventionally the arrival of its first fault event. `None` means
+    /// the cell never diverges (it *is* the baseline run).
+    pub diverges_at: Option<SimTime>,
+}
+
+/// A set of cells sharing one simulated prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixGroup<K> {
+    /// The shared config-until-divergence key.
+    pub key: K,
+    /// Indices into the planner's input, in input order.
+    pub members: Vec<usize>,
+    /// The step-aligned instant to snapshot the shared prefix at:
+    /// `floor(min diverges_at / step) * step`. `None` means the group
+    /// runs from scratch — it is a singleton, no member ever diverges,
+    /// or the earliest divergence lands before the first full step.
+    pub fork_at: Option<SimTime>,
+}
+
+/// Quantizes the earliest divergence instant down to a step boundary.
+///
+/// Returns `None` when no full step fits before the divergence (a zero
+/// fork instant buys nothing over building the cell from scratch) or
+/// when `step` is degenerate.
+fn quantize_fork(diverge: SimTime, step: SimDuration) -> Option<SimTime> {
+    let step_secs = step.as_secs();
+    let steps = diverge.as_secs().checked_div(step_secs)?;
+    let at = steps.checked_mul(step_secs)?;
+    if at == 0 {
+        None
+    } else {
+        Some(SimTime::from_secs(at))
+    }
+}
+
+/// Partitions a grid into shared-prefix groups.
+///
+/// Cells with equal keys share a group; each group's
+/// [`PrefixGroup::fork_at`] is the earliest member divergence, quantized
+/// down to a `step` boundary. Groups that cannot profit from a shared
+/// prefix (singletons, zero-length prefixes, or groups where no member
+/// ever diverges so no fork instant is defined) come back with
+/// `fork_at: None` and should be run from scratch.
+///
+/// Deterministic: groups in first-occurrence order, members in input
+/// order, independent of thread count.
+#[must_use]
+pub fn plan_prefix_groups<K: PartialEq + Clone>(
+    cells: &[CellPlan<K>],
+    step: SimDuration,
+) -> Vec<PrefixGroup<K>> {
+    let mut groups: Vec<PrefixGroup<K>> = Vec::new();
+    let mut earliest: Vec<Option<SimTime>> = Vec::new();
+    for (index, cell) in cells.iter().enumerate() {
+        let slot = groups.iter().position(|g| g.key == cell.key);
+        match slot {
+            Some(at) => {
+                if let (Some(group), Some(min)) = (groups.get_mut(at), earliest.get_mut(at)) {
+                    group.members.push(index);
+                    *min = match (*min, cell.diverges_at) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (Some(a), None) => Some(a),
+                        (None, b) => b,
+                    };
+                }
+            }
+            None => {
+                groups.push(PrefixGroup {
+                    key: cell.key.clone(),
+                    members: vec![index],
+                    fork_at: None,
+                });
+                earliest.push(cell.diverges_at);
+            }
+        }
+    }
+    for (group, min) in groups.iter_mut().zip(earliest) {
+        group.fork_at = match (group.members.len(), min) {
+            (0 | 1, _) | (_, None) => None,
+            (_, Some(diverge)) => quantize_fork(diverge, step),
+        };
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(key: u8, diverges_secs: Option<u64>) -> CellPlan<u8> {
+        CellPlan {
+            key,
+            diverges_at: diverges_secs.map(SimTime::from_secs),
+        }
+    }
+
+    const STEP: SimDuration = SimDuration::from_secs(30);
+
+    #[test]
+    fn groups_by_key_in_first_occurrence_order() {
+        let cells = [
+            cell(1, Some(100)),
+            cell(2, Some(50)),
+            cell(1, Some(200)),
+            cell(2, Some(95)),
+        ];
+        let groups = plan_prefix_groups(&cells, STEP);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].key, 1);
+        assert_eq!(groups[0].members, vec![0, 2]);
+        assert_eq!(groups[1].key, 2);
+        assert_eq!(groups[1].members, vec![1, 3]);
+    }
+
+    #[test]
+    fn fork_at_is_the_earliest_divergence_quantized_down() {
+        let cells = [cell(1, Some(100)), cell(1, Some(70))];
+        let groups = plan_prefix_groups(&cells, STEP);
+        // min(100, 70) = 70 s → floor to the 30 s grid → 60 s.
+        assert_eq!(groups[0].fork_at, Some(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn baseline_members_inherit_the_group_fork_instant() {
+        // A never-diverging cell (fault-free reference) forks alongside
+        // its group: its run from the snapshot is the prefix extended.
+        let cells = [cell(1, None), cell(1, Some(3600)), cell(1, Some(7200))];
+        let groups = plan_prefix_groups(&cells, STEP);
+        assert_eq!(groups[0].members, vec![0, 1, 2]);
+        assert_eq!(groups[0].fork_at, Some(SimTime::from_secs(3600)));
+    }
+
+    #[test]
+    fn degenerate_groups_fall_back_to_scratch() {
+        // Singleton: a prefix+fork round-trip buys nothing.
+        let single = plan_prefix_groups(&[cell(1, Some(3600))], STEP);
+        assert_eq!(single[0].fork_at, None);
+        // No member ever diverges: no fork instant is defined.
+        let baseline_only = plan_prefix_groups(&[cell(1, None), cell(1, None)], STEP);
+        assert_eq!(baseline_only[0].fork_at, None);
+        // Divergence before the first full step: zero-length prefix.
+        let immediate = plan_prefix_groups(&[cell(1, Some(10)), cell(1, Some(40))], STEP);
+        assert_eq!(immediate[0].fork_at, None);
+        // Degenerate step width: quantization declines rather than
+        // dividing by zero.
+        let zero_step =
+            plan_prefix_groups(&[cell(1, Some(100)), cell(1, Some(90))], SimDuration::ZERO);
+        assert_eq!(zero_step[0].fork_at, None);
+    }
+
+    #[test]
+    fn divergence_exactly_on_a_step_boundary_forks_there() {
+        let cells = [cell(1, Some(60)), cell(1, Some(90))];
+        let groups = plan_prefix_groups(&cells, STEP);
+        // The event at 60 s is delivered by the step *starting* at 60 s,
+        // which the forked run executes — the prefix stops just short.
+        assert_eq!(groups[0].fork_at, Some(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let cells = [
+            cell(3, Some(40)),
+            cell(1, None),
+            cell(3, Some(4000)),
+            cell(1, Some(120)),
+        ];
+        let a = plan_prefix_groups(&cells, STEP);
+        let b = plan_prefix_groups(&cells, STEP);
+        assert_eq!(a, b);
+    }
+}
